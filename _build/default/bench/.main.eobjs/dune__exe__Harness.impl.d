@@ -1,0 +1,1 @@
+bench/harness.ml: Lazy List Printf Unix Zodiac Zodiac_util Zodiac_validation

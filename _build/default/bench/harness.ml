@@ -1,0 +1,36 @@
+(* Shared context for the experiment reproductions: one pipeline run
+   reused by every experiment, plus small reporting helpers. *)
+
+module Pipeline = Zodiac.Pipeline
+module Scheduler = Zodiac_validation.Scheduler
+module Tablefmt = Zodiac_util.Tablefmt
+
+let bench_config =
+  {
+    Pipeline.default_config with
+    Pipeline.corpus_size = 900;
+    scheduler = { Scheduler.default_config with Scheduler.max_iterations = 5 };
+  }
+
+let artifacts : Pipeline.artifacts Lazy.t =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     Printf.printf "[harness] running the Zodiac pipeline (%d projects)...\n%!"
+       bench_config.Pipeline.corpus_size;
+     let a = Pipeline.run ~config:bench_config () in
+     Printf.printf "[harness] pipeline done in %.1fs (%d validated checks)\n%!"
+       (Unix.gettimeofday () -. t0)
+       (List.length a.Pipeline.final_checks);
+     a)
+
+let section = Tablefmt.section
+
+let print_table ~header rows = print_endline (Tablefmt.render ~header rows)
+
+let pct x total =
+  if total = 0 then "0.0%"
+  else Printf.sprintf "%.2f%%" (100.0 *. float_of_int x /. float_of_int total)
+
+let f2 = Printf.sprintf "%.2f"
+
+let paper_note text = Printf.printf "paper: %s\n" text

@@ -1,0 +1,34 @@
+(* The Zodiac benchmark harness.
+
+     dune exec bench/main.exe             # all experiments + micro-benchmarks
+     dune exec bench/main.exe -- e4 e8    # selected experiments
+     dune exec bench/main.exe -- micro    # micro-benchmarks only
+
+   Each experiment regenerates one table or figure from the paper's
+   evaluation section (see DESIGN.md for the index) and prints the
+   paper's values alongside for shape comparison. *)
+
+let usage () =
+  print_endline "usage: main.exe [e1..e11|micro|all]...";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Unix.gettimeofday () in
+  let run_all () =
+    List.iter (fun e -> e ()) Experiments.all;
+    Micro.run ()
+  in
+  (match args with
+  | [] | [ "all" ] -> run_all ()
+  | args ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | "micro" -> Micro.run ()
+          | name -> (
+              match List.assoc_opt name Experiments.by_name with
+              | Some e -> e ()
+              | None -> usage ()))
+        args);
+  Printf.printf "\n[bench] total wall time %.1fs\n" (Unix.gettimeofday () -. t0)

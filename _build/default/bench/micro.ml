@@ -1,0 +1,115 @@
+(* Bechamel micro-benchmarks for the core components: HCL parsing,
+   graph construction, check evaluation, deployment simulation, CSP
+   solving, and a full mining pass. *)
+
+open Bechamel
+open Toolkit
+
+module Generator = Zodiac_corpus.Generator
+module Kb = Zodiac_kb.Kb
+module Miner = Zodiac_mining.Miner
+module Arm = Zodiac_cloud.Arm
+module Graph = Zodiac_iac.Graph
+module Program = Zodiac_iac.Program
+module Eval = Zodiac_spec.Eval
+module Csp = Zodiac_solver.Csp
+module Value = Zodiac_iac.Value
+
+let quickstart_hcl = Zodiac.Registry.quickstart_vm
+
+let sample_project =
+  lazy
+    (let projects = Generator.conforming ~seed:1 ~count:30 () in
+     (* pick the largest program for a meaty graph *)
+     List.fold_left
+       (fun best p ->
+         if Program.size p.Generator.program > Program.size best then p.Generator.program
+         else best)
+       (List.hd projects).Generator.program projects)
+
+let sample_corpus =
+  lazy
+    (let projects = Generator.conforming ~seed:2 ~count:60 () in
+     List.map (fun p -> p.Generator.program) projects)
+
+let location_check =
+  Zodiac_spec.Spec_parser.parse_exn
+    "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location"
+
+let test_hcl_parse =
+  Test.make ~name:"hcl: parse+compile quickstart"
+    (Staged.stage (fun () -> ignore (Zodiac.Registry.compile quickstart_hcl)))
+
+let test_graph_build =
+  let prog = Lazy.force sample_project in
+  Test.make ~name:"graph: build resource graph"
+    (Staged.stage (fun () -> ignore (Graph.build prog)))
+
+let test_check_eval =
+  let graph = Graph.build (Lazy.force sample_project) in
+  Test.make ~name:"spec: evaluate inter-resource check"
+    (Staged.stage (fun () ->
+         ignore (Eval.holds ~defaults:Arm.defaults graph location_check)))
+
+let test_deploy =
+  let prog = Lazy.force sample_project in
+  Test.make ~name:"cloud: simulate full deployment"
+    (Staged.stage (fun () -> ignore (Arm.deploy prog)))
+
+let test_solver =
+  Test.make ~name:"solver: 8-queens-style CSP"
+    (Staged.stage (fun () ->
+         let p = Csp.create () in
+         let n = 8 in
+         let cols = List.init n (fun _ -> List.init n (fun i -> Value.Int i)) in
+         let vars =
+           List.mapi (fun i dom -> Csp.new_var p ~name:(string_of_int i) dom) cols
+         in
+         List.iteri
+           (fun i x ->
+             List.iteri
+               (fun j y ->
+                 if i < j then
+                   Csp.add_hard p ~name:(Printf.sprintf "q%d%d" i j) [ x; y ]
+                     (fun l ->
+                       match (l x, l y) with
+                       | Value.Int a, Value.Int b ->
+                           a <> b && abs (a - b) <> j - i
+                       | _ -> false))
+               vars)
+           vars;
+         ignore (Csp.solve p)))
+
+let test_mining_pass =
+  let corpus = Lazy.force sample_corpus in
+  let kb = Kb.build ~projects:corpus in
+  Test.make ~name:"mining: full pass over 60 projects"
+    (Staged.stage (fun () -> ignore (Miner.mine kb corpus)))
+
+let benchmarks =
+  [
+    test_hcl_parse; test_graph_build; test_check_eval; test_deploy; test_solver;
+    test_mining_pass;
+  ]
+
+let run () =
+  print_endline (Zodiac_util.Tablefmt.section "Micro-benchmarks (Bechamel)");
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+      in
+      let analyze =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          (Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-42s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+        analyze)
+    benchmarks

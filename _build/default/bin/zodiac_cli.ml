@@ -1,0 +1,321 @@
+(* The zodiac command-line tool.
+
+   Subcommands:
+     zodiac mine      — run the mining phase and print the funnel + checks
+     zodiac validate  — run the full pipeline (mining + validation)
+     zodiac scan FILE — check an HCL file against the ground-truth ruleset
+     zodiac deploy FILE — simulate deployment of an HCL file
+     zodiac plan FILE — compile an HCL file to Terraform-style plan JSON
+     zodiac graph FILE — resource graph in Graphviz DOT
+     zodiac corpus    — generate a synthetic corpus and print statistics
+     zodiac rules     — list the simulated cloud's ground-truth rules
+     zodiac export    — render validated checks as insights / RAG KB / policies *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable verbose logging.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 20240704
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Corpus generation seed.")
+
+let size_arg default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "projects" ] ~docv:"N" ~doc:"Number of synthetic projects.")
+
+let config_of seed size =
+  {
+    Zodiac.Pipeline.default_config with
+    Zodiac.Pipeline.corpus_seed = seed;
+    corpus_size = size;
+  }
+
+(* ---- mine ----------------------------------------------------------- *)
+
+let mine_cmd =
+  let run verbose seed size limit =
+    setup_logs verbose;
+    let artifacts = Zodiac.Pipeline.mine_only ~config:(config_of seed size) () in
+    print_endline (Zodiac.Report.mining_summary artifacts);
+    print_endline "";
+    print_endline "Top candidates by support:";
+    print_endline
+      (Zodiac.Report.checks_listing ~limit artifacts.Zodiac.Pipeline.candidates)
+  in
+  let limit =
+    Arg.(value & opt int 25 & info [ "limit" ] ~docv:"N" ~doc:"Checks to list.")
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 800 $ limit)
+
+(* ---- validate ------------------------------------------------------- *)
+
+let validate_cmd =
+  let run verbose seed size output =
+    setup_logs verbose;
+    let artifacts = Zodiac.Pipeline.run ~config:(config_of seed size) () in
+    print_endline (Zodiac.Report.full artifacts);
+    match output with
+    | None -> ()
+    | Some path ->
+        Zodiac.Checkset.save path artifacts.Zodiac.Pipeline.final_checks;
+        Printf.printf "
+wrote %d validated checks to %s
+"
+          (List.length artifacts.Zodiac.Pipeline.final_checks)
+          path
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the validated check set to FILE (JSON).")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ output)
+
+(* ---- scan ----------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A Terraform (HCL) configuration file.")
+
+let load_hcl path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Zodiac.Registry.compile src with
+  | Ok prog -> prog
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 2
+
+let scan_cmd =
+  let run verbose path checks_file =
+    setup_logs verbose;
+    let prog = load_hcl path in
+    let graph = Zodiac_iac.Graph.build prog in
+    let defaults = Zodiac_cloud.Arm.defaults in
+    (* lint against a saved validated check set when given one,
+       otherwise against the built-in semantic rules *)
+    let checks =
+      match checks_file with
+      | Some file -> (
+          match Zodiac.Checkset.load file with
+          | Ok checks ->
+              List.map
+                (fun (c : Zodiac_spec.Check.t) ->
+                  (c.Zodiac_spec.Check.cid, Zodiac_spec.Spec_printer.to_string c, c))
+                checks
+          | Error e ->
+              prerr_endline ("error loading checks: " ^ e);
+              exit 2)
+      | None ->
+          List.map
+            (fun (rule : Zodiac_cloud.Rules.t) ->
+              ( rule.Zodiac_cloud.Rules.rule_id,
+                rule.Zodiac_cloud.Rules.message,
+                rule.Zodiac_cloud.Rules.check ))
+            (Zodiac_cloud.Rules.ground_truth ())
+    in
+    let violations =
+      List.concat_map
+        (fun (id, message, check) ->
+          List.map
+            (fun assignment -> (id, message, check, assignment))
+            (Zodiac_spec.Eval.violations ~defaults graph check))
+        checks
+    in
+    if violations = [] then print_endline "no semantic check violations found"
+    else begin
+      Printf.printf "%d semantic check violation(s):\n" (List.length violations);
+      List.iter
+        (fun (id, message, check, assignment) ->
+          let diagnosis =
+            Zodiac_spec.Diagnose.violation ~defaults graph check assignment
+          in
+          Printf.printf "  [%s] %s\n    where %s\n    because %s\n" id message
+            (String.concat ", "
+               (List.map
+                  (fun (var, rid) ->
+                    Printf.sprintf "%s = %s" var
+                      (Zodiac_iac.Resource.id_to_string rid))
+                  assignment))
+            diagnosis.Zodiac_spec.Diagnose.explanation)
+        violations;
+      exit 1
+    end
+  in
+  let checks_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "checks" ] ~docv:"FILE"
+          ~doc:"Lint against a validated check set saved by 'zodiac validate -o'.")
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Scan an HCL file for semantic check violations")
+    Term.(const run $ verbose_arg $ file_arg $ checks_file)
+
+(* ---- deploy --------------------------------------------------------- *)
+
+let deploy_cmd =
+  let run verbose path =
+    setup_logs verbose;
+    let prog = load_hcl path in
+    let outcome = Zodiac_cloud.Arm.deploy prog in
+    List.iter
+      (fun id ->
+        Printf.printf "created  %s\n" (Zodiac_iac.Resource.id_to_string id))
+      outcome.Zodiac_cloud.Arm.deployed;
+    (match outcome.Zodiac_cloud.Arm.failure with
+    | None -> ()
+    | Some f ->
+        Printf.printf "FAILED   %s [%s phase] %s\n"
+          (Zodiac_iac.Resource.id_to_string f.Zodiac_cloud.Arm.resource)
+          (Zodiac_cloud.Rules.phase_to_string f.Zodiac_cloud.Arm.phase)
+          f.Zodiac_cloud.Arm.message;
+        List.iter
+          (fun id ->
+            Printf.printf "halted   %s\n" (Zodiac_iac.Resource.id_to_string id))
+          outcome.Zodiac_cloud.Arm.halted);
+    List.iter
+      (fun (f : Zodiac_cloud.Arm.failure) ->
+        Printf.printf "post-sync inconsistency: %s (%s)\n"
+          f.Zodiac_cloud.Arm.message
+          (Zodiac_iac.Resource.id_to_string f.Zodiac_cloud.Arm.resource))
+      outcome.Zodiac_cloud.Arm.post_sync_issues;
+    if not (Zodiac_cloud.Arm.success outcome) then exit 1
+    else print_endline "deployment succeeded"
+  in
+  Cmd.v
+    (Cmd.info "deploy" ~doc:"Simulate a cloud deployment of an HCL file")
+    Term.(const run $ verbose_arg $ file_arg)
+
+(* ---- graph ---------------------------------------------------------- *)
+
+let graph_cmd =
+  let run verbose path =
+    setup_logs verbose;
+    let prog = load_hcl path in
+    print_string (Zodiac_iac.Graph.to_dot (Zodiac_iac.Graph.build prog))
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Print the resource graph of an HCL file in Graphviz DOT format")
+    Term.(const run $ verbose_arg $ file_arg)
+
+(* ---- plan ----------------------------------------------------------- *)
+
+let plan_cmd =
+  let run verbose path =
+    setup_logs verbose;
+    let prog = load_hcl path in
+    print_endline
+      (Zodiac_hcl.Plan.to_string ~type_name:Zodiac_azure.Catalog.to_terraform prog)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Compile an HCL file and print its Terraform-style plan JSON")
+    Term.(const run $ verbose_arg $ file_arg)
+
+(* ---- export --------------------------------------------------------- *)
+
+let export_cmd =
+  let run verbose seed size format =
+    setup_logs verbose;
+    let artifacts = Zodiac.Pipeline.run ~config:(config_of seed size) () in
+    let checks = artifacts.Zodiac.Pipeline.final_checks in
+    match format with
+    | "insights" -> print_endline (Zodiac.Export.insights checks)
+    | "rag" ->
+        print_endline
+          (Zodiac_util.Json.to_string ~pretty:true
+             (Zodiac.Export.rag_knowledge_base checks))
+    | "policy" -> print_endline (Zodiac.Export.policy_rules checks)
+    | other ->
+        prerr_endline ("unknown format: " ^ other);
+        exit 2
+  in
+  let format =
+    Arg.(
+      value
+      & opt string "insights"
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: insights (markdown), rag (JSON), policy (YAML).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Run the pipeline and export the validated checks as documentation \
+          insights, a RAG knowledge base, or an ancillary-checker policy file")
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ format)
+
+(* ---- corpus --------------------------------------------------------- *)
+
+let corpus_cmd =
+  let run verbose seed size =
+    setup_logs verbose;
+    let projects =
+      Zodiac_corpus.Generator.generate ~seed ~count:size ()
+    in
+    let by_scenario = Hashtbl.create 16 in
+    List.iter
+      (fun p ->
+        Hashtbl.replace by_scenario p.Zodiac_corpus.Generator.scenario
+          (1
+          + Option.value ~default:0
+              (Hashtbl.find_opt by_scenario p.Zodiac_corpus.Generator.scenario)))
+      projects;
+    Printf.printf "%d projects (%d with injected violations)\n"
+      (List.length projects)
+      (List.length
+         (List.filter (fun p -> p.Zodiac_corpus.Generator.injected <> []) projects));
+    Hashtbl.iter (fun s c -> Printf.printf "  %-18s %d\n" s c) by_scenario
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate a synthetic corpus and print statistics")
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 1000)
+
+(* ---- rules ---------------------------------------------------------- *)
+
+let rules_cmd =
+  let run verbose =
+    setup_logs verbose;
+    List.iter
+      (fun (rule : Zodiac_cloud.Rules.t) ->
+        Printf.printf "%-28s [%-9s] %s\n" rule.Zodiac_cloud.Rules.rule_id
+          (Zodiac_cloud.Rules.phase_to_string rule.Zodiac_cloud.Rules.phase)
+          (Zodiac_spec.Spec_printer.to_string rule.Zodiac_cloud.Rules.check))
+      (Zodiac_cloud.Rules.ground_truth ())
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List the simulated cloud's ground-truth rules")
+    Term.(const run $ verbose_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "zodiac" ~version:"1.0.0"
+       ~doc:"Unearthing semantic checks for cloud IaC programs")
+    [
+      mine_cmd; validate_cmd; scan_cmd; deploy_cmd; plan_cmd; graph_cmd; corpus_cmd;
+      rules_cmd; export_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

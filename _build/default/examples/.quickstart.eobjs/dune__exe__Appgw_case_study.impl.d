@@ -1,0 +1,1 @@
+examples/appgw_case_study.ml: List Printf Zodiac Zodiac_cloud Zodiac_iac

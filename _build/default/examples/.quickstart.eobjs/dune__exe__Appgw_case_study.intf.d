@@ -1,0 +1,1 @@
+examples/appgw_case_study.mli:

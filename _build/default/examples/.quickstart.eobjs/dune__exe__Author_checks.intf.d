@@ -1,0 +1,1 @@
+examples/author_checks.mli:

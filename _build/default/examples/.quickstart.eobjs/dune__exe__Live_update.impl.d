@@ -1,0 +1,1 @@
+examples/live_update.ml: List Printf String Zodiac Zodiac_cloud Zodiac_iac

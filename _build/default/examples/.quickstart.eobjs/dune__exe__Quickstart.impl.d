@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Zodiac Zodiac_cloud Zodiac_iac Zodiac_spec

@@ -1,0 +1,1 @@
+examples/scan_repository.ml: List Printf String Zodiac_cloud Zodiac_corpus Zodiac_iac Zodiac_spec

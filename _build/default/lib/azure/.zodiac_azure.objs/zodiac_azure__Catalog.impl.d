@@ -1,0 +1,1 @@
+lib/azure/catalog.ml: List Printf Skus String Zodiac_iac

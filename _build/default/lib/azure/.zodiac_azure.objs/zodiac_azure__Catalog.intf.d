@@ -1,0 +1,1 @@
+lib/azure/catalog.mli: Zodiac_iac

@@ -1,0 +1,1 @@
+lib/azure/regions.ml: List String

@@ -1,0 +1,1 @@
+lib/azure/regions.mli:

@@ -1,0 +1,1 @@
+lib/azure/skus.mli:

@@ -1,0 +1,1202 @@
+open Zodiac_iac.Schema
+module Value = Zodiac_iac.Value
+
+(* Shorthands for schema construction. *)
+let req = Required
+let computed = Computed
+
+let a = attr_v
+
+let str_default s = Value.Str s
+let bool_default b = Value.Bool b
+let int_default i = Value.Int i
+
+(* Attributes shared by nearly every Azure resource. *)
+let name_attr = a ~req ~format:Name_format "name" T_string
+let location_attr = a ~req ~format:Region "location" T_string
+let id_attr = a ~req:computed ~format:Id_format "id" T_string
+let tags_attr = a "tags" (T_block [])
+
+let common = [ name_attr; location_attr; id_attr; tags_attr ]
+
+(* A timeouts block, present on most azurerm resources; contributes to
+   realistic attribute counts. *)
+let timeouts_block =
+  a "timeouts"
+    (T_block
+       [
+         a "create" T_string;
+         a "read" T_string;
+         a "update" T_string;
+         a "delete" T_string;
+       ])
+
+let identity_block =
+  a "identity"
+    (T_block
+       [
+         a ~req ~format:(Enum [ "SystemAssigned"; "UserAssigned" ]) "type" T_string;
+         a ~refs_to:[ ("IDENTITY", "id") ] "identity_ids" (T_list T_string);
+         a ~req:computed "principal_id" T_string;
+       ])
+
+let vpc =
+  make ~description:"Virtual network (VPC)" "VPC"
+    (common
+    @ [
+        a ~req ~format:Cidr_format "address_space" (T_list T_string);
+        a "dns_servers" (T_list T_string);
+        a "flow_timeout_in_minutes" T_int;
+        a "bgp_community" T_string;
+        a ~default:(bool_default false) "encryption_enabled" T_bool;
+        a ~format:Id_format ~refs_to:[ ("DDOS", "id") ] "ddos_protection_plan_id" T_string;
+        timeouts_block;
+      ])
+
+let subnet =
+  make ~description:"Subnet of a virtual network" "SUBNET"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("VPC", "name") ] "vpc_name" T_string;
+      a ~req ~format:Cidr_format "cidr" T_string;
+      a
+        ~format:
+          (Enum
+             [
+               "Microsoft.Storage";
+               "Microsoft.Sql";
+               "Microsoft.KeyVault";
+               "Microsoft.Web";
+               "Microsoft.ContainerRegistry";
+             ])
+        "service_endpoints" (T_list T_string);
+      a
+        "delegation"
+        (T_block
+           [
+             a ~req "name" T_string;
+             a ~req
+               ~format:
+                 (Enum
+                    [
+                      "Microsoft.Web/serverFarms";
+                      "Microsoft.ContainerInstance/containerGroups";
+                      "Microsoft.Netapp/volumes";
+                      "Microsoft.DBforMySQL/flexibleServers";
+                    ])
+               "service" T_string;
+           ]);
+      a ~default:(str_default "Enabled") ~format:(Enum [ "Enabled"; "Disabled" ])
+        "private_endpoint_network_policies" T_string;
+      a ~default:(bool_default true) "private_link_service_network_policies_enabled"
+        T_bool;
+      a "default_outbound_access_enabled" T_bool;
+      timeouts_block;
+    ]
+
+let nic =
+  make ~description:"Network interface card" "NIC"
+    (common
+    @ [
+        a ~req "ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                 T_string;
+               a ~req ~format:(Enum [ "Dynamic"; "Static" ]) "private_ip_allocation"
+                 T_string;
+               a "private_ip_address" T_string;
+               a ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id" T_string;
+               a ~default:(bool_default true) "primary" T_bool;
+               a ~default:(str_default "IPv4") ~format:(Enum [ "IPv4"; "IPv6" ])
+                 "private_ip_version" T_string;
+             ]);
+        a "dns_servers" (T_list T_string);
+        a ~default:(bool_default false) "accelerated_networking" T_bool;
+        a ~default:(bool_default false) "ip_forwarding" T_bool;
+        a "internal_dns_name_label" T_string;
+        a ~req:computed "mac_address" T_string;
+        a ~req:computed "private_ip_addresses" (T_list T_string);
+        timeouts_block;
+      ])
+
+(* The VM schema is deliberately the broadest (Figure 7a's right-most
+   column): Azure's azurerm_linux_virtual_machine has 80+ attributes. *)
+let vm =
+  make ~description:"Virtual machine" "VM"
+    (common
+    @ [
+        a ~req ~format:(Enum Skus.vm_sku_names) "sku" T_string;
+        a ~req ~format:Id_format ~refs_to:[ ("NIC", "id") ] "nic_ids" (T_list T_string);
+        a ~req "os_disk"
+          (T_block
+             [
+               a ~req ~format:Name_format "name" T_string;
+               a ~req ~format:(Enum [ "None"; "ReadOnly"; "ReadWrite" ]) "caching"
+                 T_string;
+               a ~req
+                 ~format:
+                   (Enum
+                      [ "Standard_LRS"; "StandardSSD_LRS"; "Premium_LRS"; "UltraSSD_LRS" ])
+                 "storage_type" T_string;
+               a "disk_size_gb" T_int;
+               a "write_accelerator_enabled" T_bool;
+               a "security_encryption_type" T_string;
+             ]);
+        a "source_image_ref"
+          (T_block
+             [
+               a ~req "publisher" T_string;
+               a ~req "offer" T_string;
+               a ~req "sku" T_string;
+               a ~default:(str_default "latest") "version" T_string;
+             ]);
+        a ~format:Id_format ~refs_to:[ ("IMAGE", "id") ] "source_image_id" T_string;
+        a ~default:(str_default "Image") ~format:(Enum [ "Image"; "Attach" ]) "create"
+          T_string;
+        a "admin_username" T_string;
+        a "admin_password" T_string;
+        a "admin_ssh_key"
+          (T_block [ a ~req "username" T_string; a ~req "public_key" T_string ]);
+        a ~default:(bool_default true) "password_authentication_enabled" T_bool;
+        a ~default:(str_default "Regular") ~format:(Enum [ "Regular"; "Spot" ])
+          "priority" T_string;
+        a ~format:(Enum [ "Deallocate"; "Delete" ]) "evict_policy" T_string;
+        a "max_bid_price" T_int;
+        a "zone" T_string;
+        a ~format:Id_format ~refs_to:[ ("AVSET", "id") ] "availability_set_id" T_string;
+        a ~format:Id_format ~refs_to:[ ("PPG", "id") ] "proximity_placement_group_id"
+          T_string;
+        a ~format:Id_format "dedicated_host_id" T_string;
+        a "custom_data" T_string;
+        a "user_data" T_string;
+        a "computer_name" T_string;
+        a ~default:(bool_default false) "encryption_at_host_enabled" T_bool;
+        a ~default:(bool_default false) "secure_boot_enabled" T_bool;
+        a ~default:(bool_default false) "vtpm_enabled" T_bool;
+        a ~format:(Enum [ "ImageDefault"; "AutomaticByPlatform" ]) "patch_mode" T_string;
+        a ~format:(Enum [ "None"; "Windows_Client"; "Windows_Server"; "RHEL_BYOS" ])
+          "license_type" T_string;
+        a "extensions_time_budget" T_string;
+        a "allow_extension_operations" T_bool;
+        a "boot_diagnostics" (T_block [ a "storage_account_uri" T_string ]);
+        a "plan"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req "product" T_string;
+               a ~req "publisher" T_string;
+             ]);
+        a "termination_notification"
+          (T_block [ a ~req "enabled" T_bool; a "timeout" T_string ]);
+        a "gallery_application"
+          (T_block [ a ~req "version_id" T_string; a "order" T_int ]);
+        identity_block;
+        a ~req:computed "private_ip_address" T_string;
+        a ~req:computed "public_ip_address" T_string;
+        a ~req:computed "virtual_machine_id" T_string;
+        timeouts_block;
+      ])
+
+let ip =
+  make ~description:"Public IP address" "IP"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Static"; "Dynamic" ]) "allocation" T_string;
+        a ~default:(str_default "Basic") ~format:(Enum Skus.ip_sku_names) "sku" T_string;
+        a ~default:(str_default "Regional") ~format:(Enum [ "Regional"; "Global" ])
+          "sku_tier" T_string;
+        a ~default:(str_default "IPv4") ~format:(Enum [ "IPv4"; "IPv6" ]) "ip_version"
+          T_string;
+        a "zones" (T_list T_string);
+        a "domain_name_label" T_string;
+        a ~default:(int_default 4) "idle_timeout_in_minutes" T_int;
+        a "reverse_fqdn" T_string;
+        a ~req:computed "ip_address" T_string;
+        a ~req:computed "fqdn" T_string;
+        timeouts_block;
+      ])
+
+let gw =
+  make ~slow_create:true ~description:"Virtual network gateway" "GW"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Vpn"; "ExpressRoute" ]) "type" T_string;
+        a ~default:(str_default "RouteBased")
+          ~format:(Enum [ "RouteBased"; "PolicyBased" ]) "vpn_type" T_string;
+        a ~req ~format:(Enum Skus.gw_sku_names) "sku" T_string;
+        a ~default:(bool_default false) "active_active" T_bool;
+        a ~default:(bool_default false) "enable_bgp" T_bool;
+        a ~default:(str_default "Generation1")
+          ~format:(Enum [ "Generation1"; "Generation2" ]) "generation" T_string;
+        a ~req "ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id"
+                 T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                 T_string;
+               a ~default:(str_default "Dynamic")
+                 ~format:(Enum [ "Dynamic"; "Static" ]) "private_ip_allocation" T_string;
+             ]);
+        a "bgp_settings"
+          (T_block [ a "asn" T_int; a "peering_addresses" (T_list T_string) ]);
+        a "custom_route" (T_block [ a "address_prefixes" (T_list T_string) ]);
+        timeouts_block;
+      ])
+
+let appgw =
+  make ~slow_create:true ~description:"Application gateway" "APPGW"
+    (common
+    @ [
+        a ~req "sku"
+          (T_block
+             [
+               a ~req ~format:(Enum Skus.appgw_sku_names) "name" T_string;
+               a ~req
+                 ~format:(Enum [ "Standard"; "Standard_v2"; "WAF"; "WAF_v2" ]) "tier"
+                 T_string;
+               a "capacity" T_int;
+             ]);
+        a ~req "gateway_ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                 T_string;
+             ]);
+        a ~req "frontend_ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id" T_string;
+               a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+               a ~format:(Enum [ "Dynamic"; "Static" ]) "private_ip_allocation" T_string;
+             ]);
+        a ~req "frontend_port"
+          (T_list
+             (T_block
+                [ a ~req "name" T_string; a ~req ~format:Port_format "port" T_int ]));
+        a ~req "backend_address_pool"
+          (T_list (T_block [ a ~req "name" T_string; a "ip_addresses" (T_list T_string) ]));
+        a ~req "backend_http_settings"
+          (T_list
+             (T_block
+                [
+                  a ~req "name" T_string;
+                  a ~req ~format:Port_format "port" T_int;
+                  a ~req ~format:(Enum [ "Http"; "Https" ]) "protocol" T_string;
+                  a ~format:(Enum [ "Enabled"; "Disabled" ]) "cookie_based_affinity"
+                    T_string;
+                  a "request_timeout" T_int;
+                ]));
+        a ~req "http_listener"
+          (T_list
+             (T_block
+                [
+                  a ~req "name" T_string;
+                  a ~req "frontend_ip_config_name" T_string;
+                  a ~req "frontend_port_name" T_string;
+                  a ~req ~format:(Enum [ "Http"; "Https" ]) "protocol" T_string;
+                  a "host_name" T_string;
+                ]));
+        a ~req "request_routing_rule"
+          (T_list
+             (T_block
+                [
+                  a ~req "name" T_string;
+                  a ~req ~format:(Enum [ "Basic"; "PathBasedRouting" ]) "rule_type"
+                    T_string;
+                  a ~req "http_listener_name" T_string;
+                  a "backend_address_pool_name" T_string;
+                  a "backend_http_settings_name" T_string;
+                  a "priority" T_int;
+                ]));
+        a "waf_configuration"
+          (T_block
+             [
+               a ~req "enabled" T_bool;
+               a ~req ~format:(Enum [ "Detection"; "Prevention" ]) "firewall_mode"
+                 T_string;
+               a ~req "rule_set_version" T_string;
+             ]);
+        a ~default:(bool_default false) "http2_enabled" T_bool;
+        a "zones" (T_list T_string);
+        identity_block;
+        timeouts_block;
+      ])
+
+let lb =
+  make ~description:"Load balancer" "LB"
+    (common
+    @ [
+        a ~default:(str_default "Basic") ~format:(Enum Skus.lb_sku_names) "sku" T_string;
+        a ~default:(str_default "Regional") ~format:(Enum [ "Regional"; "Global" ])
+          "sku_tier" T_string;
+        a ~req "frontend_ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id" T_string;
+               a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+               a ~format:(Enum [ "Dynamic"; "Static" ]) "private_ip_allocation" T_string;
+               a "private_ip_address" T_string;
+               a "zones" (T_list T_string);
+             ]);
+        timeouts_block;
+      ])
+
+let sg =
+  make ~description:"Network security group" "SG"
+    (common
+    @ [
+        a "rule"
+          (T_list
+             (T_block
+                [
+                  a ~req "name" T_string;
+                  a ~req ~format:(Enum [ "Inbound"; "Outbound" ]) "dir" T_string;
+                  a ~req ~format:(Enum [ "Allow"; "Deny" ]) "access" T_string;
+                  a ~req "priority" T_int;
+                  a ~req ~format:(Enum [ "Tcp"; "Udp"; "Icmp"; "*" ]) "protocol"
+                    T_string;
+                  a ~req ~format:Port_format "source_port_range" T_string;
+                  a ~req ~format:Port_format "dest_port_range" T_string;
+                  a ~req ~format:Cidr_format "source_cidr" T_string;
+                  a ~req ~format:Cidr_format "dest_cidr" T_string;
+                  a "description" T_string;
+                ]));
+        timeouts_block;
+      ])
+
+let rt =
+  make ~description:"Route table" "RT"
+    (common
+    @ [
+        a ~default:(bool_default false) "disable_bgp_route_propagation" T_bool;
+        timeouts_block;
+      ])
+
+let route =
+  make ~description:"Route within a route table" "ROUTE"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("RT", "name") ] "rt_name" T_string;
+      a ~req ~format:Cidr_format "address_prefix" T_string;
+      a ~req
+        ~format:
+          (Enum
+             [
+               "VirtualNetworkGateway"; "VnetLocal"; "Internet"; "VirtualAppliance"; "None";
+             ])
+        "next_hop_type" T_string;
+      a "next_hop_ip" T_string;
+      timeouts_block;
+    ]
+
+let rtassoc =
+  make ~description:"Subnet / route-table association" "RTASSOC"
+    [
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("RT", "id") ] "rt_id" T_string;
+      timeouts_block;
+    ]
+
+let sgassoc =
+  make ~description:"Subnet / security-group association" "SGASSOC"
+    [
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("SG", "id") ] "sg_id" T_string;
+      timeouts_block;
+    ]
+
+let fw =
+  make ~slow_create:true ~description:"Azure firewall" "FW"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "AZFW_VNet"; "AZFW_Hub" ]) "sku_name" T_string;
+        a ~req ~format:(Enum [ "Basic"; "Standard"; "Premium" ]) "sku_tier" T_string;
+        a ~req "ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                 T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id"
+                 T_string;
+             ]);
+        a ~format:Id_format "policy_id" T_string;
+        a "zones" (T_list T_string);
+        a "dns_servers" (T_list T_string);
+        timeouts_block;
+      ])
+
+let sa =
+  make ~description:"Storage account" "SA"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Standard"; "Premium" ]) "tier" T_string;
+        a ~req ~format:(Enum Skus.sa_replications) "replica" T_string;
+        a ~default:(str_default "StorageV2")
+          ~format:(Enum [ "StorageV2"; "Storage"; "BlobStorage"; "FileStorage"; "BlockBlobStorage" ])
+          "kind" T_string;
+        a ~default:(str_default "Hot") ~format:(Enum [ "Hot"; "Cool" ]) "access_tier"
+          T_string;
+        a ~default:(bool_default true) "https_only" T_bool;
+        a ~default:(str_default "TLS1_2")
+          ~format:(Enum [ "TLS1_0"; "TLS1_1"; "TLS1_2" ]) "min_tls" T_string;
+        a ~default:(bool_default false) "public_access_enabled" T_bool;
+        a ~default:(bool_default false) "hns_enabled" T_bool;
+        a ~default:(bool_default false) "sftp_enabled" T_bool;
+        a "network_rules"
+          (T_block
+             [
+               a ~req ~format:(Enum [ "Allow"; "Deny" ]) "default_action" T_string;
+               a "ip_rules" (T_list T_string);
+               a ~refs_to:[ ("SUBNET", "id") ] "subnet_ids" (T_list T_string);
+             ]);
+        identity_block;
+        a ~req:computed "primary_blob_endpoint" T_string;
+        a ~req:computed "primary_access_key" T_string;
+        timeouts_block;
+      ])
+
+let disk =
+  make ~description:"Managed disk" "DISK"
+    (common
+    @ [
+        a ~req
+          ~format:
+            (Enum [ "Standard_LRS"; "StandardSSD_LRS"; "Premium_LRS"; "UltraSSD_LRS" ])
+          "storage_type" T_string;
+        a ~req ~format:(Enum [ "Empty"; "Copy"; "FromImage"; "Import"; "Restore" ])
+          "create_option" T_string;
+        a "size_gb" T_int;
+        a ~format:Id_format ~refs_to:[ ("DISK", "id"); ("SNAPSHOT", "id") ] "source_id"
+          T_string;
+        a ~format:Id_format ~refs_to:[ ("IMAGE", "id") ] "image_id" T_string;
+        a "zone" T_string;
+        a "disk_iops_read_write" T_int;
+        a "disk_mbps_read_write" T_int;
+        a ~default:(bool_default false) "public_network_access_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let attach =
+  make ~description:"VM / managed-disk attachment" "ATTACH"
+    [
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("VM", "id") ] "vm_id" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("DISK", "id") ] "disk_id" T_string;
+      a ~req "lun" T_int;
+      a ~req ~format:(Enum [ "None"; "ReadOnly"; "ReadWrite" ]) "caching" T_string;
+      a ~default:(bool_default false) "write_accelerator_enabled" T_bool;
+      timeouts_block;
+    ]
+
+let peering =
+  make ~description:"VPC peering" "PEERING"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("VPC", "name") ] "vpc_name" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("VPC", "id") ] "remote_vpc_id" T_string;
+      a ~default:(bool_default false) "allow_forwarded_traffic" T_bool;
+      a ~default:(bool_default false) "allow_gateway_transit" T_bool;
+      a ~default:(bool_default false) "use_remote_gateways" T_bool;
+      a ~default:(bool_default true) "allow_virtual_network_access" T_bool;
+      timeouts_block;
+    ]
+
+let tunnel =
+  make ~slow_create:true ~description:"VPN connection (tunnel)" "TUNNEL"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "IPsec"; "Vnet2Vnet"; "ExpressRoute" ]) "type" T_string;
+        a ~req ~format:Id_format ~refs_to:[ ("GW", "id") ] "gw_id" T_string;
+        a ~format:Id_format ~refs_to:[ ("GW", "id") ] "peer_gw_id" T_string;
+        a ~format:Id_format ~refs_to:[ ("LNG", "id") ] "lng_id" T_string;
+        a "shared_key" T_string;
+        a ~default:(int_default 10) "routing_weight" T_int;
+        a ~default:(bool_default false) "enable_bgp" T_bool;
+        a ~format:(Enum [ "IKEv1"; "IKEv2" ]) "connection_protocol" T_string;
+        a "dpd_timeout_seconds" T_int;
+        timeouts_block;
+      ])
+
+let lng =
+  make ~description:"Local network gateway (on-premises endpoint)" "LNG"
+    (common
+    @ [
+        a ~req "gateway_address" T_string;
+        a ~req ~format:Cidr_format "address_space" (T_list T_string);
+        a "bgp_settings" (T_block [ a "asn" T_int; a "bgp_peering_address" T_string ]);
+        timeouts_block;
+      ])
+
+let nat =
+  make ~description:"NAT gateway" "NAT"
+    (common
+    @ [
+        a ~default:(str_default "Standard") ~format:(Enum [ "Standard" ]) "sku" T_string;
+        a ~default:(int_default 4) "idle_timeout_in_minutes" T_int;
+        a "zones" (T_list T_string);
+        timeouts_block;
+      ])
+
+let natassoc =
+  make ~description:"Subnet / NAT gateway association" "NATASSOC"
+    [
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("NAT", "id") ] "nat_id" T_string;
+      timeouts_block;
+    ]
+
+let natipassoc =
+  make ~description:"NAT gateway / public-IP association" "NATIPASSOC"
+    [
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("NAT", "id") ] "nat_id" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("IP", "id") ] "ip_id" T_string;
+      timeouts_block;
+    ]
+
+let bastion =
+  make ~description:"Bastion host" "BASTION"
+    (common
+    @ [
+        a ~default:(str_default "Basic") ~format:(Enum [ "Developer"; "Basic"; "Standard" ])
+          "sku" T_string;
+        a ~req "ip_config"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                 T_string;
+               a ~req ~format:Id_format ~refs_to:[ ("IP", "id") ] "public_ip_id"
+                 T_string;
+             ]);
+        a "scale_units" T_int;
+        a ~default:(bool_default false) "tunneling_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let avset =
+  make ~description:"Availability set" "AVSET"
+    (common
+    @ [
+        a ~default:(int_default 3) "fault_domain_count" T_int;
+        a ~default:(int_default 5) "update_domain_count" T_int;
+        a ~default:(bool_default true) "managed" T_bool;
+        a ~format:Id_format ~refs_to:[ ("PPG", "id") ] "proximity_placement_group_id"
+          T_string;
+        timeouts_block;
+      ])
+
+let ppg =
+  make ~description:"Proximity placement group" "PPG"
+    (common
+    @ [
+        a "allowed_vm_sizes" (T_list T_string);
+        a "zone" T_string;
+        timeouts_block;
+      ])
+
+let vmss =
+  make ~description:"VM scale set" "VMSS"
+    (common
+    @ [
+        a ~req ~format:(Enum Skus.vm_sku_names) "sku" T_string;
+        a ~req "instances" T_int;
+        a ~req "os_disk"
+          (T_block
+             [
+               a ~req ~format:(Enum [ "None"; "ReadOnly"; "ReadWrite" ]) "caching"
+                 T_string;
+               a ~req
+                 ~format:(Enum [ "Standard_LRS"; "StandardSSD_LRS"; "Premium_LRS" ])
+                 "storage_type" T_string;
+             ]);
+        a ~req "network_interface"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req "ip_config"
+                 (T_block
+                    [
+                      a ~req "name" T_string;
+                      a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id"
+                        T_string;
+                    ]);
+               a ~default:(bool_default true) "primary" T_bool;
+             ]);
+        a "source_image_ref"
+          (T_block
+             [
+               a ~req "publisher" T_string;
+               a ~req "offer" T_string;
+               a ~req "sku" T_string;
+               a ~req "version" T_string;
+             ]);
+        a "admin_username" T_string;
+        a "admin_password" T_string;
+        a "upgrade_mode" ~format:(Enum [ "Manual"; "Automatic"; "Rolling" ]) T_string;
+        a "zones" (T_list T_string);
+        a ~default:(bool_default false) "overprovision" T_bool;
+        identity_block;
+        timeouts_block;
+      ])
+
+let snapshot =
+  make ~description:"Disk snapshot" "SNAPSHOT"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Copy"; "Import" ]) "create_option" T_string;
+        a ~req ~format:Id_format ~refs_to:[ ("DISK", "id") ] "source_disk_id" T_string;
+        a "size_gb" T_int;
+        timeouts_block;
+      ])
+
+let image =
+  make ~description:"Custom VM image" "IMAGE"
+    (common
+    @ [
+        a ~format:Id_format ~refs_to:[ ("VM", "id") ] "source_vm_id" T_string;
+        a "os_disk"
+          (T_block
+             [
+               a ~format:(Enum [ "Linux"; "Windows" ]) "os_type" T_string;
+               a ~format:(Enum [ "Generalized"; "Specialized" ]) "os_state" T_string;
+               a ~format:Id_format "managed_disk_id" T_string;
+             ]);
+        a ~default:(str_default "V1") ~format:(Enum [ "V1"; "V2" ]) "hyper_v_generation"
+          T_string;
+        timeouts_block;
+      ])
+
+let container =
+  make ~description:"Blob container" "CONTAINER"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("SA", "name") ] "sa_name" T_string;
+      a ~default:(str_default "private")
+        ~format:(Enum [ "private"; "blob"; "container" ]) "access_type" T_string;
+      timeouts_block;
+    ]
+
+let share =
+  make ~description:"File share" "SHARE"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("SA", "name") ] "sa_name" T_string;
+      a ~req "quota" T_int;
+      a ~format:(Enum [ "SMB"; "NFS" ]) "protocol" T_string;
+      a ~format:(Enum [ "TransactionOptimized"; "Hot"; "Cool"; "Premium" ]) "tier"
+        T_string;
+      timeouts_block;
+    ]
+
+let dns =
+  make ~description:"Public DNS zone" "DNS"
+    [ name_attr; id_attr; tags_attr; a ~req:computed "name_servers" (T_list T_string); timeouts_block ]
+
+let dnsrec =
+  make ~description:"DNS record set" "DNSREC"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("DNS", "name") ] "zone_name" T_string;
+      a ~req ~format:(Enum [ "A"; "AAAA"; "CNAME"; "MX"; "TXT"; "NS"; "SRV" ]) "type"
+        T_string;
+      a ~req "ttl" T_int;
+      a "records" (T_list T_string);
+      a ~format:Id_format ~refs_to:[ ("IP", "id") ] "target_resource_id" T_string;
+      timeouts_block;
+    ]
+
+let privdns =
+  make ~description:"Private DNS zone" "PRIVDNS"
+    [ name_attr; id_attr; tags_attr; timeouts_block ]
+
+let privdnslink =
+  make ~description:"Private DNS zone / VPC link" "PRIVDNSLINK"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("PRIVDNS", "name") ] "zone_name" T_string;
+      a ~req ~format:Id_format ~refs_to:[ ("VPC", "id") ] "vpc_id" T_string;
+      a ~default:(bool_default false) "registration_enabled" T_bool;
+      timeouts_block;
+    ]
+
+let privep =
+  make ~description:"Private endpoint" "PRIVEP"
+    (common
+    @ [
+        a ~req ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+        a ~req "private_service_connection"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req ~format:Id_format
+                 ~refs_to:[ ("SA", "id"); ("KV", "id"); ("SQLSERVER", "id") ]
+                 "target_resource_id" T_string;
+               a ~req "subresource_names" (T_list T_string);
+               a ~default:(bool_default false) "is_manual_connection" T_bool;
+             ]);
+        timeouts_block;
+      ])
+
+let kv =
+  make ~description:"Key vault" "KV"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "standard"; "premium" ]) "sku" T_string;
+        a ~req "tenant_id" T_string;
+        a ~default:(bool_default false) "purge_protection_enabled" T_bool;
+        a ~default:(int_default 90) "soft_delete_retention_days" T_int;
+        a ~default:(bool_default false) "rbac_authorization_enabled" T_bool;
+        a ~default:(bool_default true) "public_network_access_enabled" T_bool;
+        a "network_acls"
+          (T_block
+             [
+               a ~req ~format:(Enum [ "Allow"; "Deny" ]) "default_action" T_string;
+               a ~req ~format:(Enum [ "AzureServices"; "None" ]) "bypass" T_string;
+               a "ip_rules" (T_list T_string);
+             ]);
+        timeouts_block;
+      ])
+
+let acr =
+  make ~description:"Container registry" "ACR"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Basic"; "Standard"; "Premium" ]) "sku" T_string;
+        a ~default:(bool_default false) "admin_enabled" T_bool;
+        a "georeplications"
+          (T_list
+             (T_block
+                [
+                  a ~req ~format:Region "location" T_string;
+                  a ~default:(bool_default false) "zone_redundancy_enabled" T_bool;
+                ]));
+        a ~default:(bool_default false) "anonymous_pull_enabled" T_bool;
+        a ~default:(bool_default true) "public_network_access_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let aks =
+  make ~slow_create:true ~description:"Managed Kubernetes cluster" "AKS"
+    (common
+    @ [
+        a ~req "dns_prefix" T_string;
+        a ~req "default_node_pool"
+          (T_block
+             [
+               a ~req "name" T_string;
+               a ~req "node_count" T_int;
+               a ~req ~format:(Enum Skus.vm_sku_names) "vm_size" T_string;
+               a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+               a "max_pods" T_int;
+               a ~default:(bool_default false) "auto_scaling_enabled" T_bool;
+               a "min_count" T_int;
+               a "max_count" T_int;
+             ]);
+        a "network_profile"
+          (T_block
+             [
+               a ~req ~format:(Enum [ "azure"; "kubenet"; "none" ]) "network_plugin"
+                 T_string;
+               a ~format:(Enum [ "azure"; "calico"; "cilium" ]) "network_policy" T_string;
+               a ~format:Cidr_format "service_cidr" T_string;
+               a ~format:Cidr_format "pod_cidr" T_string;
+               a "dns_service_ip" T_string;
+               a ~format:(Enum [ "loadBalancer"; "userDefinedRouting"; "natGateway" ])
+                 "outbound_type" T_string;
+             ]);
+        a ~default:(str_default "Free") ~format:(Enum [ "Free"; "Standard"; "Premium" ])
+          "sku_tier" T_string;
+        a "kubernetes_version" T_string;
+        a ~default:(bool_default false) "private_cluster_enabled" T_bool;
+        a ~default:(bool_default true) "role_based_access_control_enabled" T_bool;
+        identity_block;
+        a ~req:computed "kube_config" T_string;
+        a ~req:computed "fqdn" T_string;
+        timeouts_block;
+      ])
+
+let sqlserver =
+  make ~description:"SQL server" "SQLSERVER"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "12.0" ]) "version" T_string;
+        a ~req "administrator_login" T_string;
+        a ~req "administrator_password" T_string;
+        a ~default:(str_default "1.2") ~format:(Enum [ "1.0"; "1.1"; "1.2" ])
+          "minimum_tls_version" T_string;
+        a ~default:(bool_default true) "public_network_access_enabled" T_bool;
+        identity_block;
+        a ~req:computed "fully_qualified_domain_name" T_string;
+        timeouts_block;
+      ])
+
+let sqldb =
+  make ~description:"SQL database" "SQLDB"
+    [
+      name_attr;
+      id_attr;
+      tags_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("SQLSERVER", "id") ] "server_id" T_string;
+      a ~default:(str_default "Basic")
+        ~format:(Enum [ "Basic"; "S0"; "S1"; "S2"; "P1"; "P2"; "GP_Gen5_2"; "BC_Gen5_2" ])
+        "sku" T_string;
+      a "max_size_gb" T_int;
+      a ~default:(bool_default false) "zone_redundant" T_bool;
+      a ~format:(Enum [ "Local"; "Zone"; "Geo"; "GeoZone" ]) "backup_storage_redundancy"
+        T_string;
+      a ~default:(str_default "LicenseIncluded")
+        ~format:(Enum [ "LicenseIncluded"; "BasePrice" ]) "license_type" T_string;
+      timeouts_block;
+    ]
+
+let mysql =
+  make ~description:"MySQL flexible server" "MYSQL"
+    (common
+    @ [
+        a ~req
+          ~format:(Enum [ "B_Standard_B1s"; "B_Standard_B2s"; "GP_Standard_D2ds_v4"; "MO_Standard_E4ds_v4" ])
+          "sku" T_string;
+        a ~req ~format:(Enum [ "5.7"; "8.0.21" ]) "version" T_string;
+        a "administrator_login" T_string;
+        a "administrator_password" T_string;
+        a "storage" (T_block [ a "size_gb" T_int; a "iops" T_int; a "auto_grow_enabled" T_bool ]);
+        a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "delegated_subnet_id" T_string;
+        a "zone" T_string;
+        a ~default:(int_default 7) "backup_retention_days" T_int;
+        a ~default:(bool_default false) "geo_redundant_backup_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let redis =
+  make ~description:"Redis cache" "REDIS"
+    (common
+    @ [
+        a ~req "capacity" T_int;
+        a ~req ~format:(Enum [ "C"; "P" ]) "family" T_string;
+        a ~req ~format:(Enum [ "Basic"; "Standard"; "Premium" ]) "sku" T_string;
+        a ~default:(bool_default false) "non_ssl_port_enabled" T_bool;
+        a ~default:(str_default "1.2") ~format:(Enum [ "1.0"; "1.1"; "1.2" ])
+          "minimum_tls_version" T_string;
+        a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "subnet_id" T_string;
+        a "shard_count" T_int;
+        a "zones" (T_list T_string);
+        a "redis_configuration"
+          (T_block
+             [
+               a "maxmemory_policy" T_string;
+               a "rdb_backup_enabled" T_bool;
+               a "rdb_storage_connection_string" T_string;
+             ]);
+        timeouts_block;
+      ])
+
+let cosmos =
+  make ~description:"Cosmos DB account" "COSMOS"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Standard" ]) "offer_type" T_string;
+        a ~default:(str_default "GlobalDocumentDB")
+          ~format:(Enum [ "GlobalDocumentDB"; "MongoDB"; "Parse" ]) "kind" T_string;
+        a ~req "consistency_policy"
+          (T_block
+             [
+               a ~req
+                 ~format:
+                   (Enum
+                      [ "Eventual"; "Session"; "BoundedStaleness"; "Strong"; "ConsistentPrefix" ])
+                 "level" T_string;
+               a "max_interval_in_seconds" T_int;
+               a "max_staleness_prefix" T_int;
+             ]);
+        a ~req "geo_location"
+          (T_list
+             (T_block
+                [
+                  a ~req ~format:Region "location" T_string;
+                  a ~req "failover_priority" T_int;
+                  a "zone_redundant" T_bool;
+                ]));
+        a ~default:(bool_default false) "free_tier_enabled" T_bool;
+        a ~default:(bool_default false) "automatic_failover_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let plan =
+  make ~description:"App service plan" "PLAN"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Linux"; "Windows" ]) "os_type" T_string;
+        a ~req
+          ~format:
+            (Enum [ "F1"; "B1"; "B2"; "S1"; "S2"; "P1v2"; "P2v2"; "P1v3"; "EP1"; "Y1" ])
+          "sku" T_string;
+        a "worker_count" T_int;
+        a ~default:(bool_default false) "zone_balancing_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let webapp =
+  make ~description:"Web app (app service)" "WEBAPP"
+    (common
+    @ [
+        a ~req ~format:Id_format ~refs_to:[ ("PLAN", "id") ] "plan_id" T_string;
+        a ~req "site_config"
+          (T_block
+             [
+               a ~default:(bool_default true) "always_on" T_bool;
+               a ~format:(Enum [ "1.0"; "1.1"; "1.2" ]) "minimum_tls_version" T_string;
+               a "app_command_line" T_string;
+               a "application_stack"
+                 (T_block
+                    [
+                      a "node_version" T_string;
+                      a "python_version" T_string;
+                      a "dotnet_version" T_string;
+                    ]);
+             ]);
+        a "app_settings" (T_block []);
+        a ~default:(bool_default true) "https_only" T_bool;
+        a ~format:Id_format ~refs_to:[ ("SUBNET", "id") ] "virtual_network_subnet_id"
+          T_string;
+        identity_block;
+        a ~req:computed "default_hostname" T_string;
+        timeouts_block;
+      ])
+
+let func =
+  make ~description:"Function app" "FUNC"
+    (common
+    @ [
+        a ~req ~format:Id_format ~refs_to:[ ("PLAN", "id") ] "plan_id" T_string;
+        a ~req ~format:Name_format ~refs_to:[ ("SA", "name") ] "sa_name" T_string;
+        a "sa_access_key" T_string;
+        a "site_config"
+          (T_block
+             [
+               a "always_on" T_bool;
+               a "application_stack" (T_block [ a "node_version" T_string; a "python_version" T_string ]);
+             ]);
+        a "app_settings" (T_block []);
+        a ~default:(bool_default true) "https_only" T_bool;
+        identity_block;
+        timeouts_block;
+      ])
+
+let logws =
+  make ~description:"Log analytics workspace" "LOGWS"
+    (common
+    @ [
+        a ~default:(str_default "PerGB2018")
+          ~format:(Enum [ "Free"; "PerNode"; "PerGB2018"; "CapacityReservation" ]) "sku"
+          T_string;
+        a ~default:(int_default 30) "retention_in_days" T_int;
+        a "daily_quota_gb" T_int;
+        a ~default:(bool_default true) "internet_ingestion_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let appins =
+  make ~description:"Application insights" "APPINS"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "web"; "java"; "other"; "ios"; "Node.JS" ])
+          "application_type" T_string;
+        a ~format:Id_format ~refs_to:[ ("LOGWS", "id") ] "workspace_id" T_string;
+        a ~default:(int_default 90) "retention_in_days" T_int;
+        a ~req:computed "instrumentation_key" T_string;
+        a ~req:computed "connection_string" T_string;
+        timeouts_block;
+      ])
+
+let eventhub_ns =
+  make ~description:"Event hubs namespace" "EVENTHUB_NS"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Basic"; "Standard"; "Premium" ]) "sku" T_string;
+        a ~default:(int_default 1) "capacity" T_int;
+        a ~default:(bool_default false) "auto_inflate_enabled" T_bool;
+        a "maximum_throughput_units" T_int;
+        a ~default:(bool_default true) "public_network_access_enabled" T_bool;
+        timeouts_block;
+      ])
+
+let eventhub =
+  make ~description:"Event hub" "EVENTHUB"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Name_format ~refs_to:[ ("EVENTHUB_NS", "name") ] "namespace_name"
+        T_string;
+      a ~req "partition_count" T_int;
+      a ~req "message_retention" T_int;
+      a "capture_description"
+        (T_block
+           [
+             a ~req "enabled" T_bool;
+             a ~req ~format:(Enum [ "Avro"; "AvroDeflate" ]) "encoding" T_string;
+           ]);
+      timeouts_block;
+    ]
+
+let servicebus_ns =
+  make ~description:"Service bus namespace" "SERVICEBUS_NS"
+    (common
+    @ [
+        a ~req ~format:(Enum [ "Basic"; "Standard"; "Premium" ]) "sku" T_string;
+        a "capacity" T_int;
+        a ~default:(bool_default false) "premium_messaging_partitions_enabled" T_bool;
+        a ~default:(str_default "1.2") "minimum_tls_version" T_string;
+        timeouts_block;
+      ])
+
+let sbqueue =
+  make ~description:"Service bus queue" "SBQUEUE"
+    [
+      name_attr;
+      id_attr;
+      a ~req ~format:Id_format ~refs_to:[ ("SERVICEBUS_NS", "id") ] "namespace_id"
+        T_string;
+      a ~default:(int_default 1024) "max_size_in_megabytes" T_int;
+      a ~default:(bool_default false) "requires_session" T_bool;
+      a ~default:(bool_default false) "requires_duplicate_detection" T_bool;
+      a ~default:(bool_default false) "partitioning_enabled" T_bool;
+      a "lock_duration" T_string;
+      timeouts_block;
+    ]
+
+let identity =
+  make ~description:"User-assigned managed identity" "IDENTITY"
+    (common @ [ a ~req:computed "client_id" T_string; a ~req:computed "principal_id" T_string; timeouts_block ])
+
+let express =
+  make ~slow_create:true ~description:"ExpressRoute circuit" "EXPRESS"
+    (common
+    @ [
+        a ~req "service_provider_name" T_string;
+        a ~req "peering_location" T_string;
+        a ~req "bandwidth_in_mbps" T_int;
+        a ~req "sku"
+          (T_block
+             [
+               a ~req ~format:(Enum [ "Standard"; "Premium"; "Local" ]) "tier" T_string;
+               a ~req ~format:(Enum [ "MeteredData"; "UnlimitedData" ]) "family" T_string;
+             ]);
+        a ~default:(bool_default false) "allow_classic_operations" T_bool;
+        timeouts_block;
+      ])
+
+let ddos =
+  make ~description:"DDoS protection plan" "DDOS" (common @ [ timeouts_block ])
+
+let schemas =
+  [
+    vpc; subnet; nic; vm; ip; gw; appgw; lb; sg; rt; route; rtassoc; sgassoc; fw; sa;
+    disk; attach; peering; tunnel; lng; nat; natassoc; natipassoc; bastion; avset; ppg;
+    vmss; snapshot; image; container; share; dns; dnsrec; privdns; privdnslink; privep;
+    kv; acr; aks; sqlserver; sqldb; mysql; redis; cosmos; plan; webapp; func; logws;
+    appins; eventhub_ns; eventhub; servicebus_ns; sbqueue; identity; express; ddos;
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.type_name name) schemas
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Catalog.find_exn: unknown type %s" name)
+
+let type_names = List.map (fun s -> s.type_name) schemas
+
+let terraform_names =
+  [
+    ("azurerm_virtual_network", "VPC");
+    ("azurerm_subnet", "SUBNET");
+    ("azurerm_network_interface", "NIC");
+    ("azurerm_linux_virtual_machine", "VM");
+    ("azurerm_public_ip", "IP");
+    ("azurerm_virtual_network_gateway", "GW");
+    ("azurerm_application_gateway", "APPGW");
+    ("azurerm_lb", "LB");
+    ("azurerm_network_security_group", "SG");
+    ("azurerm_route_table", "RT");
+    ("azurerm_route", "ROUTE");
+    ("azurerm_subnet_route_table_association", "RTASSOC");
+    ("azurerm_subnet_network_security_group_association", "SGASSOC");
+    ("azurerm_firewall", "FW");
+    ("azurerm_storage_account", "SA");
+    ("azurerm_managed_disk", "DISK");
+    ("azurerm_virtual_machine_data_disk_attachment", "ATTACH");
+    ("azurerm_virtual_network_peering", "PEERING");
+    ("azurerm_virtual_network_gateway_connection", "TUNNEL");
+    ("azurerm_local_network_gateway", "LNG");
+    ("azurerm_nat_gateway", "NAT");
+    ("azurerm_subnet_nat_gateway_association", "NATASSOC");
+    ("azurerm_nat_gateway_public_ip_association", "NATIPASSOC");
+    ("azurerm_bastion_host", "BASTION");
+    ("azurerm_availability_set", "AVSET");
+    ("azurerm_proximity_placement_group", "PPG");
+    ("azurerm_linux_virtual_machine_scale_set", "VMSS");
+    ("azurerm_snapshot", "SNAPSHOT");
+    ("azurerm_image", "IMAGE");
+    ("azurerm_storage_container", "CONTAINER");
+    ("azurerm_storage_share", "SHARE");
+    ("azurerm_dns_zone", "DNS");
+    ("azurerm_dns_a_record", "DNSREC");
+    ("azurerm_private_dns_zone", "PRIVDNS");
+    ("azurerm_private_dns_zone_virtual_network_link", "PRIVDNSLINK");
+    ("azurerm_private_endpoint", "PRIVEP");
+    ("azurerm_key_vault", "KV");
+    ("azurerm_container_registry", "ACR");
+    ("azurerm_kubernetes_cluster", "AKS");
+    ("azurerm_mssql_server", "SQLSERVER");
+    ("azurerm_mssql_database", "SQLDB");
+    ("azurerm_mysql_flexible_server", "MYSQL");
+    ("azurerm_redis_cache", "REDIS");
+    ("azurerm_cosmosdb_account", "COSMOS");
+    ("azurerm_service_plan", "PLAN");
+    ("azurerm_linux_web_app", "WEBAPP");
+    ("azurerm_linux_function_app", "FUNC");
+    ("azurerm_log_analytics_workspace", "LOGWS");
+    ("azurerm_application_insights", "APPINS");
+    ("azurerm_eventhub_namespace", "EVENTHUB_NS");
+    ("azurerm_eventhub", "EVENTHUB");
+    ("azurerm_servicebus_namespace", "SERVICEBUS_NS");
+    ("azurerm_servicebus_queue", "SBQUEUE");
+    ("azurerm_user_assigned_identity", "IDENTITY");
+    ("azurerm_express_route_circuit", "EXPRESS");
+    ("azurerm_network_ddos_protection_plan", "DDOS");
+  ]
+
+let of_terraform tf = List.assoc_opt tf terraform_names
+
+let to_terraform canonical =
+  match
+    List.find_opt (fun (_, c) -> String.equal c canonical) terraform_names
+  with
+  | Some (tf, _) -> tf
+  | None -> canonical
+
+let reserved_subnet_names =
+  [
+    ("GatewaySubnet", "GW");
+    ("AzureFirewallSubnet", "FW");
+    ("AzureBastionSubnet", "BASTION");
+  ]

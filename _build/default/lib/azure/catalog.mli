@@ -1,0 +1,29 @@
+(** The Azure provider catalogue: schemas for the 52 resource types the
+    paper's evaluation covers, and the mapping between Terraform type
+    names ([azurerm_*]) and Zodiac's canonical short names.
+
+    Schemas encode the provider-schema facts (Class 1 of the semantic
+    KB: requirement classes, types, declared enums) and the registry's
+    reference semantics (which attributes may reference which resource
+    attributes — the raw material for Class 3). *)
+
+val schemas : Zodiac_iac.Schema.t list
+(** All resource schemas, one per canonical type. *)
+
+val find : string -> Zodiac_iac.Schema.t option
+(** Lookup by canonical type name (e.g. ["SUBNET"]). *)
+
+val find_exn : string -> Zodiac_iac.Schema.t
+
+val type_names : string list
+(** All canonical type names. *)
+
+val of_terraform : string -> string option
+(** ["azurerm_subnet"] -> [Some "SUBNET"]. *)
+
+val to_terraform : string -> string
+(** ["SUBNET"] -> ["azurerm_subnet"]; identity for unknown types. *)
+
+val reserved_subnet_names : (string * string) list
+(** Provider-reserved subnet names and the single resource type allowed
+    to occupy them, e.g. [("GatewaySubnet", "GW")]. *)

@@ -1,0 +1,56 @@
+(* Region name, paired region, availability-zone support. *)
+let table =
+  [
+    ("eastus", "westus", true);
+    ("eastus2", "centralus", true);
+    ("westus", "eastus", false);
+    ("westus2", "westcentralus", true);
+    ("westus3", "eastus", true);
+    ("centralus", "eastus2", true);
+    ("northcentralus", "southcentralus", false);
+    ("southcentralus", "northcentralus", true);
+    ("westcentralus", "westus2", false);
+    ("canadacentral", "canadaeast", true);
+    ("canadaeast", "canadacentral", false);
+    ("brazilsouth", "southcentralus", true);
+    ("northeurope", "westeurope", true);
+    ("westeurope", "northeurope", true);
+    ("uksouth", "ukwest", true);
+    ("ukwest", "uksouth", false);
+    ("francecentral", "francesouth", true);
+    ("francesouth", "francecentral", false);
+    ("germanywestcentral", "germanynorth", true);
+    ("germanynorth", "germanywestcentral", false);
+    ("switzerlandnorth", "switzerlandwest", true);
+    ("switzerlandwest", "switzerlandnorth", false);
+    ("norwayeast", "norwaywest", true);
+    ("norwaywest", "norwayeast", false);
+    ("swedencentral", "swedensouth", true);
+    ("swedensouth", "swedencentral", false);
+    ("eastasia", "southeastasia", true);
+    ("southeastasia", "eastasia", true);
+    ("japaneast", "japanwest", true);
+    ("japanwest", "japaneast", false);
+    ("australiaeast", "australiasoutheast", true);
+    ("australiasoutheast", "australiaeast", false);
+    ("koreacentral", "koreasouth", true);
+    ("koreasouth", "koreacentral", false);
+    ("centralindia", "southindia", true);
+    ("southindia", "centralindia", false);
+    ("uaenorth", "uaecentral", true);
+    ("uaecentral", "uaenorth", false);
+    ("southafricanorth", "southafricawest", true);
+    ("southafricawest", "southafricanorth", false);
+  ]
+
+let all = List.map (fun (name, _, _) -> name) table
+
+let is_region name = List.exists (fun (n, _, _) -> String.equal n name) table
+
+let paired name =
+  List.find_map
+    (fun (n, pair, _) -> if String.equal n name then Some pair else None)
+    table
+
+let zonal name =
+  List.exists (fun (n, _, z) -> String.equal n name && z) table

@@ -1,0 +1,14 @@
+(** Azure region catalogue used by the provider model and corpus
+    generator. *)
+
+val all : string list
+(** Canonical region names (a representative subset of Azure's
+    regions). *)
+
+val is_region : string -> bool
+
+val paired : string -> string option
+(** The paired secondary region used for geo-redundant replication. *)
+
+val zonal : string -> bool
+(** Whether the region supports availability zones. *)

@@ -1,0 +1,1 @@
+lib/checkers/baselines.ml: Checker List Printf String Zodiac_azure Zodiac_iac

@@ -1,0 +1,1 @@
+lib/checkers/baselines.mli: Checker

@@ -1,0 +1,1 @@
+lib/checkers/checker.ml: List Zodiac_iac

@@ -1,0 +1,337 @@
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+module Schema = Zodiac_iac.Schema
+module Catalog = Zodiac_azure.Catalog
+
+let finding checker rule r message security_related =
+  {
+    Checker.checker;
+    rule;
+    resource = Some (Resource.id r);
+    message;
+    security_related;
+  }
+
+let str_attr r path = match Resource.get r path with Value.Str s -> Some s | _ -> None
+
+let bool_attr r path =
+  match Resource.get r path with Value.Bool b -> Some b | _ -> None
+
+let has r path = not (Value.is_null (Resource.get r path))
+
+(* ---------------- terraform validate ------------------------------- *)
+
+let native_analyze prog =
+  List.concat_map
+    (fun r ->
+      match Catalog.find r.Resource.rtype with
+      | None -> []
+      | Some schema ->
+          let missing =
+            List.filter_map
+              (fun (a : Schema.attr) ->
+                if a.Schema.req = Schema.Required && a.Schema.default = None
+                   && not (has r a.Schema.aname)
+                then
+                  Some
+                    (finding "native" "required-attribute" r
+                       (Printf.sprintf "%S is required" a.Schema.aname)
+                       false)
+                else None)
+              schema.Schema.attrs
+          in
+          let bad_enums =
+            List.concat_map
+              (fun (path, (a : Schema.attr)) ->
+                match a.Schema.format with
+                | Schema.Enum allowed ->
+                    List.filter_map
+                      (fun v ->
+                        match v with
+                        | Value.Str s when not (List.mem s allowed) ->
+                            Some
+                              (finding "native" "invalid-value" r
+                                 (Printf.sprintf "expected %s to be one of [%s], got %S"
+                                    path (String.concat ", " allowed) s)
+                                 false)
+                        | _ -> None)
+                      (Resource.get_all r path)
+                | _ -> [])
+              (Schema.leaf_paths schema)
+          in
+          let conflicts =
+            match r.Resource.rtype with
+            | "VM" ->
+                let both_images = has r "source_image_ref" && has r "source_image_id" in
+                let no_auth =
+                  (not (has r "admin_password"))
+                  && (not (has r "admin_ssh_key"))
+                  && bool_attr r "password_authentication_enabled" <> Some false
+                in
+                (if both_images then
+                   [
+                     finding "native" "conflicting-attributes" r
+                       "source_image_ref conflicts with source_image_id" false;
+                   ]
+                 else [])
+                @
+                if no_auth then
+                  [
+                    finding "native" "missing-authentication" r
+                      "one of admin_password or admin_ssh_key must be declared" false;
+                  ]
+                else []
+            | _ -> []
+          in
+          missing @ bad_enums @ conflicts)
+    (Program.resources prog)
+
+let native =
+  {
+    Checker.name = "Native";
+    spec_format = "JSON";
+    input_phase = "Config";
+    supports_plan_json = true;
+    analyze = native_analyze;
+  }
+
+(* ---------------- security rule helpers ----------------------------- *)
+
+let sg_rule_findings checker prog ~ports ~rule_name ~message =
+  List.concat_map
+    (fun r ->
+      if not (String.equal r.Resource.rtype "SG") then []
+      else
+        match Resource.attr r "rule" with
+        | Some (Value.List rules) ->
+            List.filter_map
+              (fun rule ->
+                match rule with
+                | Value.Block fields ->
+                    let get k = List.assoc_opt k fields in
+                    let open_world = get "source_cidr" = Some (Value.Str "0.0.0.0/0") in
+                    let inbound = get "dir" = Some (Value.Str "Inbound") in
+                    let allow = get "access" = Some (Value.Str "Allow") in
+                    let port_hit =
+                      match get "dest_port_range" with
+                      | Some (Value.Str p) -> ports = [] || List.mem p ports
+                      | _ -> false
+                    in
+                    if open_world && inbound && allow && port_hit then
+                      Some (finding checker rule_name r message true)
+                    else None
+                | _ -> None)
+              rules
+        | _ -> [])
+    (Program.resources prog)
+
+(* ---------------- tfsec --------------------------------------------- *)
+
+let tfsec_analyze prog =
+  sg_rule_findings "tfsec" prog ~ports:[ "22"; "3389" ] ~rule_name:"azure-network-ssh-blocked-from-internet"
+    ~message:"SSH/RDP port open to the internet"
+  @ List.concat_map
+      (fun r ->
+        match r.Resource.rtype with
+        | "SA" when bool_attr r "public_access_enabled" = Some true ->
+            [
+              finding "tfsec" "azure-storage-public-access" r
+                "storage account allows public access" true;
+            ]
+        | "SA" when bool_attr r "https_only" = Some false ->
+            [
+              finding "tfsec" "azure-storage-enforce-https" r
+                "storage account does not enforce HTTPS" true;
+            ]
+        | "KV" when bool_attr r "purge_protection_enabled" = Some false && has r "network_acls" ->
+            [
+              finding "tfsec" "azure-keyvault-no-purge" r
+                "key vault purge protection disabled" true;
+            ]
+        | _ -> [])
+      (Program.resources prog)
+
+let tfsec =
+  {
+    Checker.name = "TFSec";
+    spec_format = "JSON";
+    input_phase = "Plan";
+    supports_plan_json = true;
+    analyze = tfsec_analyze;
+  }
+
+(* ---------------- checkov ------------------------------------------- *)
+
+let checkov_analyze prog =
+  sg_rule_findings "checkov" prog ~ports:[] ~rule_name:"CKV_AZURE_9"
+    ~message:"security rule allows ingress from 0.0.0.0/0"
+  @ List.concat_map
+      (fun r ->
+        let f rule message = [ finding "checkov" rule r message true ] in
+        match r.Resource.rtype with
+        | "SA" ->
+            (if bool_attr r "https_only" <> Some true then
+               f "CKV_AZURE_3" "storage account should enforce HTTPS"
+             else [])
+            @ (match str_attr r "min_tls" with
+              | Some ("TLS1_0" | "TLS1_1") ->
+                  f "CKV_AZURE_44" "storage account should require TLS1_2"
+              | Some _ | None -> [] (* provider default is TLS1_2 *))
+            @
+            if bool_attr r "public_access_enabled" = Some true then
+              f "CKV_AZURE_59" "storage account should deny public access"
+            else []
+        | "VM" ->
+            if has r "admin_password" then
+              f "CKV_AZURE_149" "VM should disable password authentication"
+            else []
+        | "SUBNET" ->
+            (* flagged when no SG association exists in the program *)
+            let protected =
+              List.exists
+                (fun assoc ->
+                  String.equal assoc.Resource.rtype "SGASSOC"
+                  &&
+                  match Resource.get assoc "subnet_id" with
+                  | Value.Ref reference -> String.equal reference.Value.rname r.Resource.rname
+                  | _ -> false)
+                (Program.resources prog)
+            in
+            if not protected then
+              f "CKV2_AZURE_31" "subnet should be protected by a security group"
+            else []
+        | "KV" ->
+            (if bool_attr r "purge_protection_enabled" <> Some true then
+               f "CKV_AZURE_110" "key vault should enable purge protection"
+             else [])
+            @
+            if not (has r "network_acls") then
+              f "CKV_AZURE_109" "key vault should restrict network access"
+            else []
+        | "ACR" ->
+            if bool_attr r "admin_enabled" = Some true then
+              f "CKV_AZURE_137" "container registry should disable admin account"
+            else []
+        | "WEBAPP" | "FUNC" ->
+            if bool_attr r "https_only" <> Some true then
+              f "CKV_AZURE_14" "web app should redirect HTTP to HTTPS"
+            else []
+        | "AKS" ->
+            if bool_attr r "role_based_access_control_enabled" = Some false then
+              f "CKV_AZURE_5" "AKS should enable RBAC"
+            else []
+        | "REDIS" ->
+            if bool_attr r "non_ssl_port_enabled" = Some true then
+              f "CKV_AZURE_20" "redis cache should not enable the non-SSL port"
+            else []
+        | "SQLSERVER" ->
+            if bool_attr r "public_network_access_enabled" <> Some false then
+              f "CKV_AZURE_113" "SQL server should disable public network access"
+            else []
+        | "IP" ->
+            if str_attr r "sku" = Some "Basic" then
+              f "CKV_AZURE_226" "public IPs should use the Standard sku for zone resilience"
+            else []
+        | _ -> [])
+      (Program.resources prog)
+
+let checkov =
+  {
+    Checker.name = "Checkov";
+    spec_format = "YAML";
+    input_phase = "Plan";
+    supports_plan_json = true;
+    analyze = checkov_analyze;
+  }
+
+(* ---------------- tfcomp -------------------------------------------- *)
+
+let tfcomp_analyze prog =
+  List.concat_map
+    (fun r ->
+      match r.Resource.rtype with
+      | "GW" when str_attr r "sku" = Some "Basic" ->
+          [
+            finding "tfcomp" "gw-basic-deprecated" r
+              "Basic sku VPN gateways are deprecated" true;
+          ]
+      | "IP"
+        when str_attr r "allocation" = Some "Dynamic"
+             && str_attr r "sku" = Some "Basic" ->
+          [
+            finding "tfcomp" "ip-dynamic-legacy" r
+              "dynamic Basic public IPs are being retired" true;
+          ]
+      | "VM" when str_attr r "admin_username" = Some "admin" ->
+          [
+            finding "tfcomp" "vm-default-admin" r
+              "VM uses a default administrator name" true;
+          ]
+      | "REDIS" when bool_attr r "non_ssl_port_enabled" = Some true ->
+          [
+            finding "tfcomp" "redis-plaintext-port" r "redis non-SSL port enabled"
+              true;
+          ]
+      | "SA" when (match str_attr r "name" with Some n -> String.length n > 24 | None -> false) ->
+          [
+            finding "tfcomp" "storage-name-length" r
+              "storage account names must be at most 24 characters" false;
+          ]
+      | _ -> [])
+    (Program.resources prog)
+
+let tfcomp =
+  {
+    Checker.name = "TFComp";
+    spec_format = "BDD";
+    input_phase = "Plan";
+    supports_plan_json = true;
+    analyze = tfcomp_analyze;
+  }
+
+(* ---------------- regula -------------------------------------------- *)
+
+let regula_analyze prog =
+  sg_rule_findings "regula" prog ~ports:[ "*" ] ~rule_name:"FG_R00191"
+    ~message:"security rule allows any traffic from the internet"
+  @ List.concat_map
+      (fun r ->
+        let f rule message = [ finding "regula" rule r message true ] in
+        match r.Resource.rtype with
+        | "KV" when bool_attr r "public_network_access_enabled" <> Some false ->
+            f "FG_R00213" "key vault allows public network access"
+        | "AKS" when bool_attr r "private_cluster_enabled" <> Some true ->
+            f "FG_R00225" "AKS API server is publicly reachable"
+        | "MYSQL" when bool_attr r "geo_redundant_backup_enabled" = Some false ->
+            f "FG_R00478" "MySQL geo-redundant backup disabled"
+        | "LOGWS" -> (
+            match Resource.get r "retention_in_days" with
+            | Value.Int d when d < 30 -> f "FG_R00435" "log retention below 30 days"
+            | _ -> [])
+        | _ -> [])
+      (Program.resources prog)
+
+let regula =
+  {
+    Checker.name = "Regula";
+    spec_format = "OPA";
+    input_phase = "Plan";
+    supports_plan_json = true;
+    analyze = regula_analyze;
+  }
+
+(* ---------------- tflint -------------------------------------------- *)
+
+(* TFLint only consumes HCL configurations; it cannot read the JSON
+   plans Zodiac test cases are expressed in (Table 4 row 6). *)
+let tflint =
+  {
+    Checker.name = "TFLint";
+    spec_format = "HCL";
+    input_phase = "Config";
+    supports_plan_json = false;
+    analyze = (fun _ -> []);
+  }
+
+let all = [ native; tfsec; checkov; tfcomp; regula; tflint ]

@@ -1,0 +1,24 @@
+type finding = {
+  checker : string;
+  rule : string;
+  resource : Zodiac_iac.Resource.id option;
+  message : string;
+  security_related : bool;
+}
+
+type t = {
+  name : string;
+  spec_format : string;
+  input_phase : string;
+  supports_plan_json : bool;
+  analyze : Zodiac_iac.Program.t -> finding list;
+}
+
+let prevalence t programs =
+  match programs with
+  | [] -> 0.0
+  | _ ->
+      let flagged =
+        List.length (List.filter (fun p -> t.analyze p <> []) programs)
+      in
+      float_of_int flagged /. float_of_int (List.length programs)

@@ -1,0 +1,28 @@
+(** Common interface for the baseline IaC static checkers of Table 4.
+
+    Each baseline consumes either the HCL configuration or the compiled
+    JSON plan (here: the program model) and reports findings. A finding
+    is {e deployment-relevant} when the flagged configuration would
+    actually fail to deploy — the precision column of Table 4 is the
+    fraction of reported findings that are. *)
+
+type finding = {
+  checker : string;
+  rule : string;
+  resource : Zodiac_iac.Resource.id option;
+  message : string;
+  security_related : bool;
+      (** compliance/security finding rather than a deployment error *)
+}
+
+type t = {
+  name : string;
+  spec_format : string;  (** rule language (JSON, YAML, OPA, ...) *)
+  input_phase : string;  (** "Config" (HCL) or "Plan" (compiled JSON) *)
+  supports_plan_json : bool;
+      (** false for TFLint, which only reads HCL configurations *)
+  analyze : Zodiac_iac.Program.t -> finding list;
+}
+
+val prevalence : t -> Zodiac_iac.Program.t list -> float
+(** Fraction of programs with at least one finding. *)

@@ -1,0 +1,1 @@
+lib/cloud/arm.ml: Defaults List Printf Quota Rules String Zodiac_azure Zodiac_iac Zodiac_spec Zodiac_util

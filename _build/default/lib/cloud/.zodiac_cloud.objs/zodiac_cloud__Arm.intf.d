@@ -1,0 +1,1 @@
+lib/cloud/arm.mli: Quota Rules Zodiac_iac Zodiac_spec

@@ -1,0 +1,1 @@
+lib/cloud/defaults.ml: List Zodiac_azure Zodiac_iac

@@ -1,0 +1,1 @@
+lib/cloud/defaults.mli: Zodiac_iac

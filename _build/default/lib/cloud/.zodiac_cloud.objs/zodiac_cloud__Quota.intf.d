@@ -1,0 +1,1 @@
+lib/cloud/quota.mli:

@@ -1,0 +1,1 @@
+lib/cloud/rules.ml: List Printf String Zodiac_azure Zodiac_spec

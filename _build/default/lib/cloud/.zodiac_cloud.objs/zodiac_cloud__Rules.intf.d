@@ -1,0 +1,1 @@
+lib/cloud/rules.mli: Zodiac_spec

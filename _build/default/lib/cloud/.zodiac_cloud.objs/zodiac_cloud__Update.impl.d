@@ -1,0 +1,1 @@
+lib/cloud/update.ml: Arm List String Zodiac_iac

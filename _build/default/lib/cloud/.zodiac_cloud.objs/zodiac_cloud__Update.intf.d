@@ -1,0 +1,1 @@
+lib/cloud/update.mli: Arm Rules Zodiac_iac

@@ -1,0 +1,24 @@
+module Schema = Zodiac_iac.Schema
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Catalog = Zodiac_azure.Catalog
+
+let lookup ~rtype ~attr =
+  match Catalog.find rtype with
+  | None -> None
+  | Some schema -> (
+      match Schema.find_attr schema attr with
+      | Some { Schema.default = Some d; _ } -> Some d
+      | Some _ | None -> None)
+
+let effective r =
+  match Catalog.find r.Resource.rtype with
+  | None -> r
+  | Some schema ->
+      List.fold_left
+        (fun r (a : Schema.attr) ->
+          match a.Schema.default with
+          | Some d when Resource.attr r a.Schema.aname = None ->
+              { r with Resource.attrs = r.Resource.attrs @ [ (a.Schema.aname, d) ] }
+          | Some _ | None -> r)
+        r schema.Schema.attrs

@@ -1,0 +1,64 @@
+type t = {
+  per_type : (string * int) list;
+  total : int option;
+  regional_skus : bool;
+}
+
+let unlimited = { per_type = []; total = None; regional_skus = false }
+
+let default_subscription =
+  {
+    per_type = [ ("IP", 10); ("VM", 25); ("DISK", 50); ("GW", 1); ("EXPRESS", 10) ];
+    total = Some 1000;
+    regional_skus = true;
+  }
+
+let strict =
+  {
+    per_type = [ ("IP", 1); ("VM", 2); ("DISK", 2); ("GW", 1) ];
+    total = Some 8;
+    regional_skus = true;
+  }
+
+(* GPU and large-memory skus are only rolled out to major regions; the
+   table lists regions where a sku is NOT offered. *)
+let restricted_regions =
+  [
+    ( "Standard_NC6s_v3",
+      [
+        "westcentralus"; "canadaeast"; "ukwest"; "francesouth"; "germanynorth";
+        "switzerlandwest"; "norwaywest"; "swedensouth"; "japanwest";
+        "australiasoutheast"; "koreasouth"; "southindia"; "uaecentral";
+        "southafricawest";
+      ] );
+    ( "Standard_M64s",
+      [
+        "westcentralus"; "northcentralus"; "canadaeast"; "ukwest"; "francesouth";
+        "germanynorth"; "switzerlandwest"; "norwaywest"; "swedensouth";
+        "japanwest"; "australiasoutheast"; "koreasouth"; "southindia";
+        "uaecentral"; "southafricawest"; "brazilsouth";
+      ] );
+    ("Standard_L8s_v2", [ "westcentralus"; "ukwest"; "francesouth"; "germanynorth" ]);
+  ]
+
+let check_type_quota t ~rtype ~deployed_of_type =
+  match List.assoc_opt rtype t.per_type with
+  | Some limit when deployed_of_type >= limit ->
+      Some
+        (Printf.sprintf
+           "subscription quota exceeded: at most %d %s resources allowed" limit rtype)
+  | _ -> None
+
+let check_total_quota t ~deployed_total =
+  match t.total with
+  | Some limit when deployed_total >= limit ->
+      Some (Printf.sprintf "subscription quota exceeded: at most %d resources" limit)
+  | _ -> None
+
+let check_regional_sku t ~sku ~region =
+  if not t.regional_skus then None
+  else
+    match List.assoc_opt sku restricted_regions with
+    | Some unavailable when List.mem region unavailable ->
+        Some (Printf.sprintf "sku %s is not available in region %s" sku region)
+    | _ -> None

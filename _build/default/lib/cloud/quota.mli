@@ -1,0 +1,40 @@
+(** Subscription quotas and regional sku availability — the two
+    constraint classes the paper explicitly leaves unsupported (§6,
+    "Unsupported constraints"), implemented here as opt-in extensions
+    of the deployment engine.
+
+    Both are off by default so the blackbox mining/validation setting
+    matches the paper's; pass a {!t} to {!Arm.deploy} to turn them on. *)
+
+type t = {
+  per_type : (string * int) list;
+      (** maximum deployed resources per type (subscription quota) *)
+  total : int option;  (** overall resource cap, if any *)
+  regional_skus : bool;
+      (** enforce the {!restricted_regions} table: certain VM skus are
+          unavailable in certain regions *)
+}
+
+val unlimited : t
+(** No quotas, no regional enforcement (the paper's setting). *)
+
+val default_subscription : t
+(** Realistic defaults for a pay-as-you-go subscription: 10 public
+    IPs, 25 VMs, 50 disks, 1000 resources overall, regional skus
+    enforced. *)
+
+val strict : t
+(** Tiny limits, for tests. *)
+
+val restricted_regions : (string * string list) list
+(** [(vm sku, regions where it is unavailable)] — GPU and large-memory
+    skus exist only in major regions. *)
+
+val check_type_quota : t -> rtype:string -> deployed_of_type:int -> string option
+(** [Some message] when creating one more resource of [rtype] would
+    exceed the quota. *)
+
+val check_total_quota : t -> deployed_total:int -> string option
+
+val check_regional_sku : t -> sku:string -> region:string -> string option
+(** [Some message] when the sku is unavailable in the region. *)

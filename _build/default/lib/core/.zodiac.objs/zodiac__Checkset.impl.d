@@ -1,0 +1,1 @@
+lib/core/checkset.ml: List Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+lib/core/checkset.mli: Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer List Printf String Zodiac_iac Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Hashtbl List Zodiac_cloud Zodiac_corpus Zodiac_iac Zodiac_kb Zodiac_mining Zodiac_oracle Zodiac_spec Zodiac_validation

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Zodiac_corpus Zodiac_iac Zodiac_kb Zodiac_mining Zodiac_spec Zodiac_validation

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Buffer List Printf String Zodiac_azure Zodiac_hcl

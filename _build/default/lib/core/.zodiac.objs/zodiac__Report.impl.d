@@ -1,0 +1,1 @@
+lib/core/report.ml: List Pipeline Printf String Zodiac_iac Zodiac_kb Zodiac_mining Zodiac_spec Zodiac_util Zodiac_validation

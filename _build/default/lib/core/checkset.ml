@@ -1,0 +1,74 @@
+module Check = Zodiac_spec.Check
+module Spec_parser = Zodiac_spec.Spec_parser
+module Spec_printer = Zodiac_spec.Spec_printer
+module Json = Zodiac_util.Json
+
+let source_to_string = function
+  | Check.Mined -> "mined"
+  | Check.Llm_interpolated -> "llm"
+  | Check.Authored -> "authored"
+
+let source_of_string = function
+  | "mined" -> Check.Mined
+  | "llm" -> Check.Llm_interpolated
+  | _ -> Check.Authored
+
+let to_json checks =
+  Json.Obj
+    [
+      ("format", Json.String "zodiac-checks-1");
+      ( "checks",
+        Json.List
+          (List.map
+             (fun (c : Check.t) ->
+               Json.Obj
+                 [
+                   ("id", Json.String c.Check.cid);
+                   ("source", Json.String (source_to_string c.Check.source));
+                   ("check", Json.String (Spec_printer.to_string c));
+                 ])
+             checks) );
+    ]
+
+let of_json json =
+  match Json.member "checks" json with
+  | Json.List entries ->
+      let rec parse acc = function
+        | [] -> Ok (List.rev acc)
+        | entry :: rest -> (
+            match Json.string_value (Json.member "check" entry) with
+            | None -> Error "entry without a \"check\" field"
+            | Some src -> (
+                match Spec_parser.parse src with
+                | Error e -> Error e
+                | Ok check ->
+                    let source =
+                      match Json.string_value (Json.member "source" entry) with
+                      | Some s -> source_of_string s
+                      | None -> Check.Authored
+                    in
+                    let check =
+                      Check.make ~source check.Check.bindings check.Check.cond
+                        check.Check.stmt
+                    in
+                    parse (check :: acc) rest))
+      in
+      parse [] entries
+  | _ -> Error "missing \"checks\" list"
+
+let save path checks =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (to_json checks));
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      match Json.of_string text with
+      | exception Json.Parse_error e -> Error e
+      | json -> of_json json)

@@ -1,0 +1,16 @@
+(** Persistence for validated check sets.
+
+    Validated checks are the pipeline's durable artifact: a team runs
+    [zodiac validate] periodically (clouds evolve, §6) and ships the
+    resulting check set to CI, where [zodiac scan --checks FILE] lints
+    every pull request. Serialization goes through the concrete check
+    syntax, which round-trips by construction. *)
+
+val to_json : Zodiac_spec.Check.t list -> Zodiac_util.Json.t
+val of_json : Zodiac_util.Json.t -> (Zodiac_spec.Check.t list, string) result
+
+val save : string -> Zodiac_spec.Check.t list -> unit
+(** Write a check set to a file (pretty JSON). *)
+
+val load : string -> (Zodiac_spec.Check.t list, string) result
+(** Read a check set back; reports the first malformed entry. *)

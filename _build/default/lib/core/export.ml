@@ -1,0 +1,163 @@
+module Check = Zodiac_spec.Check
+module Spec_printer = Zodiac_spec.Spec_printer
+module Value = Zodiac_iac.Value
+module Graph = Zodiac_iac.Graph
+module Json = Zodiac_util.Json
+
+(* ---- natural language ---------------------------------------------- *)
+
+let value_text = function
+  | Value.Null -> "unset"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> Printf.sprintf "'%s'" s
+  | (Value.List _ | Value.Block _ | Value.Ref _) as v -> Value.to_string v
+
+let tyspec_text = function
+  | Graph.Type ty -> ty
+  | Graph.Not_type ty -> "non-" ^ ty
+
+let term_text = function
+  | Check.Const v -> value_text v
+  | Check.Attr e -> Printf.sprintf "its %s" (Check.strip_indices e.Check.attr)
+  | Check.Indeg (_, ty) ->
+      Printf.sprintf "the number of %s resources it references" (tyspec_text ty)
+  | Check.Outdeg (_, ty) ->
+      Printf.sprintf "the number of %s resources attached to it" (tyspec_text ty)
+
+let cmp_text positive = function
+  | Check.Eq -> if positive then "must be" else "is"
+  | Check.Ne -> if positive then "must differ from" else "differs from"
+  | Check.Le -> if positive then "must be at most" else "is at most"
+  | Check.Ge -> if positive then "must be at least" else "is at least"
+  | Check.Lt -> if positive then "must be below" else "is below"
+  | Check.Gt -> if positive then "must be above" else "is above"
+
+let rec expr_text ~assertive = function
+  | Check.Conn (a, b) ->
+      Printf.sprintf "the %s connects to the %s through %s" a.Check.var b.Check.var
+        (Check.strip_indices a.Check.attr)
+  | Check.Path (a, b) -> Printf.sprintf "the %s reaches the %s" a b
+  | Check.Coconn ((a, b), (c, d)) ->
+      Printf.sprintf "%s and %s"
+        (expr_text ~assertive (Check.Conn (a, b)))
+        (expr_text ~assertive (Check.Conn (c, d)))
+  | Check.Copath ((a, b), (c, d)) ->
+      Printf.sprintf "the %s reaches both the %s and the %s" a b d |> fun s ->
+      if String.equal a c then s
+      else
+        Printf.sprintf "%s and %s"
+          (expr_text ~assertive (Check.Path (a, b)))
+          (expr_text ~assertive (Check.Path (c, d)))
+  | Check.Cmp (Check.Ne, t, Check.Const Value.Null)
+  | Check.Cmp (Check.Ne, Check.Const Value.Null, t) ->
+      if assertive then Printf.sprintf "%s must be set" (term_text t)
+      else Printf.sprintf "%s is set" (term_text t)
+  | Check.Cmp (Check.Eq, t, Check.Const Value.Null)
+  | Check.Cmp (Check.Eq, Check.Const Value.Null, t) ->
+      if assertive then Printf.sprintf "%s must be left unset" (term_text t)
+      else Printf.sprintf "%s is unset" (term_text t)
+  | Check.Cmp (op, t1, t2) ->
+      Printf.sprintf "%s %s %s" (term_text t1) (cmp_text assertive op) (term_text t2)
+  | Check.Func (Check.Overlap, t1, t2) ->
+      Printf.sprintf "%s overlaps %s" (term_text t1) (term_text t2)
+  | Check.Func (Check.Contain, t1, t2) ->
+      if assertive then
+        Printf.sprintf "%s must contain %s" (term_text t1) (term_text t2)
+      else Printf.sprintf "%s contains %s" (term_text t1) (term_text t2)
+  | Check.Func (Check.Length, t1, t2) ->
+      Printf.sprintf "%s has exactly %s element(s)" (term_text t1) (term_text t2)
+  | Check.Not (Check.Func (Check.Overlap, t1, t2)) ->
+      if assertive then
+        Printf.sprintf "%s must not overlap %s" (term_text t1) (term_text t2)
+      else Printf.sprintf "%s does not overlap %s" (term_text t1) (term_text t2)
+  | Check.Not e ->
+      Printf.sprintf "it is not the case that %s" (expr_text ~assertive e)
+  | Check.And es ->
+      String.concat " and " (List.map (expr_text ~assertive) es)
+
+let bindings_text (bindings : Check.binding list) =
+  String.concat ", "
+    (List.map (fun (b : Check.binding) -> Printf.sprintf "%s (a %s)" b.Check.var b.Check.btype) bindings)
+
+let to_sentence (c : Check.t) =
+  Printf.sprintf "For %s: when %s, %s." (bindings_text c.Check.bindings)
+    (expr_text ~assertive:false c.Check.cond)
+    (expr_text ~assertive:true c.Check.stmt)
+
+(* ---- documentation insights ----------------------------------------- *)
+
+let primary_type (c : Check.t) =
+  match c.Check.bindings with
+  | { Check.btype; _ } :: _ -> btype
+  | [] -> "GENERAL"
+
+let insights checks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# Deployment insights\n\n";
+  Buffer.add_string buf
+    "Semantic requirements unearthed by Zodiac through deployment-based\n\
+     testing. Violating any of these compiles cleanly but fails (or\n\
+     corrupts) the deployment.\n";
+  let types =
+    List.sort_uniq compare (List.map primary_type checks)
+  in
+  List.iter
+    (fun ty ->
+      Buffer.add_string buf (Printf.sprintf "\n## %s\n\n" ty);
+      List.iter
+        (fun c ->
+          if String.equal (primary_type c) ty then begin
+            Buffer.add_string buf (Printf.sprintf "- %s\n" (to_sentence c));
+            Buffer.add_string buf
+              (Printf.sprintf "  `%s`\n" (Spec_printer.to_string c))
+          end)
+        checks)
+    types;
+  Buffer.contents buf
+
+(* ---- RAG knowledge base ---------------------------------------------- *)
+
+let rag_knowledge_base checks =
+  Json.List
+    (List.map
+       (fun (c : Check.t) ->
+         Json.Obj
+           [
+             ("id", Json.String c.Check.cid);
+             ( "types",
+               Json.List
+                 (List.map
+                    (fun (b : Check.binding) -> Json.String b.Check.btype)
+                    c.Check.bindings) );
+             ("check", Json.String (Spec_printer.to_string c));
+             ("statement", Json.String (to_sentence c));
+             ( "category",
+               Json.String
+                 (match Check.category c with
+                 | Check.Intra -> "intra-resource"
+                 | Check.Inter_no_agg -> "inter-resource"
+                 | Check.Inter_agg -> "aggregation"
+                 | Check.Interpolated -> "quantitative") );
+           ])
+       checks)
+
+(* ---- ancillary-checker policy file ----------------------------------- *)
+
+let policy_rules checks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# Custom semantic policies generated by Zodiac\n";
+  Buffer.add_string buf "policies:\n";
+  List.iter
+    (fun (c : Check.t) ->
+      Buffer.add_string buf (Printf.sprintf "  - id: ZODIAC_%s\n" c.Check.cid);
+      Buffer.add_string buf
+        (Printf.sprintf "    severity: error\n    resources: [%s]\n"
+           (String.concat ", "
+              (List.map (fun (b : Check.binding) -> b.Check.btype) c.Check.bindings)));
+      Buffer.add_string buf
+        (Printf.sprintf "    description: %S\n" (to_sentence c));
+      Buffer.add_string buf
+        (Printf.sprintf "    assertion: %S\n" (Spec_printer.to_string c)))
+    checks;
+  Buffer.contents buf

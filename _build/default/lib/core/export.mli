@@ -1,0 +1,25 @@
+(** Downstream uses of validated semantic checks (§6, "Use cases").
+
+    Beyond flagging violations, the paper sketches two applications for
+    the unearthed checks: feeding them to LLM program-synthesis
+    workflows as a retrieval-augmented-generation knowledge base, and
+    bolstering provider documentation with deployment insights. This
+    module renders both, plus a Checkov-style policy file so the checks
+    can ride in existing ancillary-checker pipelines. *)
+
+val to_sentence : Zodiac_spec.Check.t -> string
+(** A natural-language rendering of one check, e.g.
+    ["When a SA's tier is 'Premium', its replica must not be 'GZRS'."] *)
+
+val insights : Zodiac_spec.Check.t list -> string
+(** A markdown "deployment insights" document grouped by resource
+    type — the documentation-bolstering use case. *)
+
+val rag_knowledge_base : Zodiac_spec.Check.t list -> Zodiac_util.Json.t
+(** A JSON knowledge base of [{id, types, check, statement}] entries
+    keyed for retrieval — the RAG use case. Each entry carries both the
+    formal check and its natural-language statement. *)
+
+val policy_rules : Zodiac_spec.Check.t list -> string
+(** A YAML-ish custom-policy file in the style ancillary checkers
+    (Checkov/TFSec) accept, one rule per check. *)

@@ -1,0 +1,171 @@
+module Generator = Zodiac_corpus.Generator
+module Kb = Zodiac_kb.Kb
+module Miner = Zodiac_mining.Miner
+module Filter = Zodiac_mining.Filter
+module Candidate = Zodiac_mining.Candidate
+module Llm = Zodiac_oracle.Llm
+module Scheduler = Zodiac_validation.Scheduler
+module Arm = Zodiac_cloud.Arm
+module Check = Zodiac_spec.Check
+module Eval = Zodiac_spec.Eval
+module Graph = Zodiac_iac.Graph
+module Program = Zodiac_iac.Program
+
+type config = {
+  corpus_seed : int;
+  corpus_size : int;
+  violation_rate : float;
+  oracle_seed : int;
+  oracle_error_rate : float;
+  mining : Miner.config;
+  thresholds : Filter.thresholds;
+  scheduler : Scheduler.config;
+}
+
+let default_config =
+  {
+    corpus_seed = 20240704;
+    corpus_size = 1200;
+    violation_rate = 0.04;
+    oracle_seed = 91;
+    oracle_error_rate = 0.05;
+    mining = Miner.default_config;
+    thresholds = Filter.default_thresholds;
+    scheduler = Scheduler.default_config;
+  }
+
+let quick_config = { default_config with corpus_size = 300 }
+
+type artifacts = {
+  config : config;
+  projects : Generator.project list;
+  corpus : (string * Program.t) list;
+  kb : Kb.t;
+  mined : Candidate.t list;
+  filtered : Filter.outcome;
+  llm_refined : Check.t list;
+  llm_rejected : int;
+  candidates : Check.t list;
+  validation : Scheduler.result;
+  final_checks : Check.t list;
+  counterexample_fps : Check.t list;
+}
+
+let deploy prog = Arm.success (Arm.deploy prog)
+
+let dedup_checks checks =
+  let seen = Hashtbl.create 128 in
+  List.filter
+    (fun (c : Check.t) ->
+      if Hashtbl.mem seen c.Check.cid then false
+      else begin
+        Hashtbl.replace seen c.Check.cid ();
+        true
+      end)
+    checks
+
+let prepare config =
+  let projects =
+    Generator.generate ~violation_rate:config.violation_rate ~seed:config.corpus_seed
+      ~count:config.corpus_size ()
+  in
+  let programs =
+    Miner.materialize (List.map (fun p -> p.Generator.program) projects)
+  in
+  let corpus =
+    List.map2 (fun p prog -> (p.Generator.pname, prog)) projects programs
+  in
+  let kb = Kb.build ~projects:programs in
+  (projects, corpus, kb, programs)
+
+let mine_phase config kb programs =
+  let mined = Miner.mine ~config:config.mining kb programs in
+  let filtered = Filter.run ~thresholds:config.thresholds mined in
+  let oracle = Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed in
+  let refined, rejected =
+    List.fold_left
+      (fun (refined, rejected) candidate ->
+        match Llm.interpolate oracle candidate with
+        | Llm.Refined check -> (check :: refined, rejected)
+        | Llm.Unsupported -> (refined, rejected + 1))
+      ([], 0) filtered.Filter.interpolation_queue
+  in
+  let candidates =
+    dedup_checks
+      (List.map (fun c -> c.Candidate.check) filtered.Filter.kept @ List.rev refined)
+  in
+  (mined, filtered, List.rev refined, rejected, candidates)
+
+let empty_validation =
+  {
+    Scheduler.validated = [];
+    falsified = [];
+    iterations = [];
+    deployments = 0;
+  }
+
+let mine_only ?(config = default_config) () =
+  let projects, corpus, kb, programs = prepare config in
+  let mined, filtered, llm_refined, llm_rejected, candidates =
+    mine_phase config kb programs
+  in
+  {
+    config;
+    projects;
+    corpus;
+    kb;
+    mined;
+    filtered;
+    llm_refined;
+    llm_rejected;
+    candidates;
+    validation = empty_validation;
+    final_checks = [];
+    counterexample_fps = [];
+  }
+
+let run ?(config = default_config) () =
+  let projects, corpus, kb, programs = prepare config in
+  let mined, filtered, llm_refined, llm_rejected, candidates =
+    mine_phase config kb programs
+  in
+  let validation =
+    Scheduler.run ~config:config.scheduler ~kb ~corpus ~deploy candidates
+  in
+  let final_checks, counterexample_fps =
+    Scheduler.counterexample_pass ~corpus ~deploy validation.Scheduler.validated
+  in
+  {
+    config;
+    projects;
+    corpus;
+    kb;
+    mined;
+    filtered;
+    llm_refined;
+    llm_rejected;
+    candidates;
+    validation;
+    final_checks;
+    counterexample_fps;
+  }
+
+type violation_report = {
+  project : string;
+  check : Check.t;
+  resources : Zodiac_iac.Resource.id list;
+}
+
+let scan ~checks ~corpus =
+  let defaults = Arm.defaults in
+  List.concat_map
+    (fun (project, prog) ->
+      let graph = Graph.build prog in
+      List.concat_map
+        (fun check ->
+          List.map
+            (fun assignment ->
+              { project; check; resources = List.map snd assignment })
+            (Eval.violations ~defaults graph check))
+        checks)
+    corpus

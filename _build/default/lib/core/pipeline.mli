@@ -1,0 +1,60 @@
+(** The end-to-end Zodiac pipeline (Figure 2): crawl (synthesize) a
+    corpus, build the semantic KB, mine hypothesized checks, filter
+    them statistically, complete quantitative checks through the LLM
+    oracle, validate by deployment-based testing, and run the
+    counterexample pass. *)
+
+type config = {
+  corpus_seed : int;
+  corpus_size : int;
+  violation_rate : float;
+  oracle_seed : int;
+  oracle_error_rate : float;
+  mining : Zodiac_mining.Miner.config;
+  thresholds : Zodiac_mining.Filter.thresholds;
+  scheduler : Zodiac_validation.Scheduler.config;
+}
+
+val default_config : config
+(** 1200 projects, 4% injected violations, default thresholds. *)
+
+val quick_config : config
+(** A small configuration for tests and examples (300 projects). *)
+
+type artifacts = {
+  config : config;
+  projects : Zodiac_corpus.Generator.project list;
+  corpus : (string * Zodiac_iac.Program.t) list;  (** materialized *)
+  kb : Zodiac_kb.Kb.t;
+  mined : Zodiac_mining.Candidate.t list;
+  filtered : Zodiac_mining.Filter.outcome;
+  llm_refined : Zodiac_spec.Check.t list;
+  llm_rejected : int;
+  candidates : Zodiac_spec.Check.t list;  (** deduplicated input to validation *)
+  validation : Zodiac_validation.Scheduler.result;
+  final_checks : Zodiac_spec.Check.t list;  (** after counterexample pass *)
+  counterexample_fps : Zodiac_spec.Check.t list;
+}
+
+val deploy : Zodiac_iac.Program.t -> bool
+(** The deployment oracle used throughout: success of the simulated
+    ARM deployment. *)
+
+val run : ?config:config -> unit -> artifacts
+(** Execute the whole pipeline. Deterministic for a given config. *)
+
+val mine_only : ?config:config -> unit -> artifacts
+(** Stop after filtering and interpolation (validation left empty);
+    much faster, used by mining-phase experiments. *)
+
+type violation_report = {
+  project : string;
+  check : Zodiac_spec.Check.t;
+  resources : Zodiac_iac.Resource.id list;
+}
+
+val scan :
+  checks:Zodiac_spec.Check.t list ->
+  corpus:(string * Zodiac_iac.Program.t) list ->
+  violation_report list
+(** Apply validated checks to repositories (§5.5). *)

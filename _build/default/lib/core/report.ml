@@ -1,0 +1,90 @@
+module Check = Zodiac_spec.Check
+module Spec_printer = Zodiac_spec.Spec_printer
+module Filter = Zodiac_mining.Filter
+module Scheduler = Zodiac_validation.Scheduler
+module Tablefmt = Zodiac_util.Tablefmt
+
+let mining_summary (a : Pipeline.artifacts) =
+  let f = a.Pipeline.filtered in
+  String.concat "\n"
+    [
+      Printf.sprintf "corpus: %d projects, %d resources"
+        (List.length a.Pipeline.projects)
+        (List.fold_left
+           (fun acc (_, p) -> acc + Zodiac_iac.Program.size p)
+           0 a.Pipeline.corpus);
+      Printf.sprintf "knowledge base: %d attribute entries, %d connection kinds"
+        (Zodiac_kb.Kb.size a.Pipeline.kb)
+        (List.length (Zodiac_kb.Kb.conn_kinds a.Pipeline.kb));
+      Printf.sprintf "hypothesized checks: %d" (List.length a.Pipeline.mined);
+      Printf.sprintf "  removed by confidence: %d"
+        (List.length f.Filter.removed_confidence);
+      Printf.sprintf "  removed by lift:       %d" (List.length f.Filter.removed_lift);
+      Printf.sprintf "  kept after filtering:  %d" (List.length f.Filter.kept);
+      Printf.sprintf "  interpolation queue:   %d (LLM refined %d, rejected %d)"
+        (List.length f.Filter.interpolation_queue)
+        (List.length a.Pipeline.llm_refined)
+        a.Pipeline.llm_rejected;
+      Printf.sprintf "candidates entering validation: %d"
+        (List.length a.Pipeline.candidates);
+    ]
+
+let validation_summary (a : Pipeline.artifacts) =
+  let v = a.Pipeline.validation in
+  let iteration_lines =
+    List.map
+      (fun (it : Scheduler.iteration) ->
+        Printf.sprintf
+          "  iter %d: fp(deployable)=%d fp(unsat)=%d fp(no-instance)=%d tp(single)=%d tp(group)=%d remaining=%d"
+          it.Scheduler.iter it.Scheduler.fp_deployable it.Scheduler.fp_unsat
+          it.Scheduler.fp_no_instance it.Scheduler.tp_single it.Scheduler.tp_group
+          it.Scheduler.remaining)
+      v.Scheduler.iterations
+  in
+  String.concat "\n"
+    ([
+       Printf.sprintf "validated checks: %d" (List.length v.Scheduler.validated);
+       Printf.sprintf "falsified candidates: %d" (List.length v.Scheduler.falsified);
+       Printf.sprintf "cloud deployments: %d" v.Scheduler.deployments;
+       Printf.sprintf "counterexample pass: kept %d, exposed %d false positives"
+         (List.length a.Pipeline.final_checks)
+         (List.length a.Pipeline.counterexample_fps);
+     ]
+    @ iteration_lines)
+
+let category_breakdown checks =
+  let count cat =
+    List.length (List.filter (fun c -> Check.category c = cat) checks)
+  in
+  [
+    ("intra-resource", count Check.Intra);
+    ("inter w/o agg", count Check.Inter_no_agg);
+    ("inter w/ agg", count Check.Inter_agg);
+    ("interpolation", count Check.Interpolated);
+  ]
+
+let checks_listing ?(limit = 20) checks =
+  let shown = List.filteri (fun i _ -> i < limit) checks in
+  String.concat "\n"
+    (List.map (fun c -> "  " ^ Spec_printer.describe c) shown)
+  ^
+  if List.length checks > limit then
+    Printf.sprintf "\n  ... and %d more" (List.length checks - limit)
+  else ""
+
+let full a =
+  String.concat "\n"
+    [
+      Tablefmt.section "Mining phase";
+      mining_summary a;
+      Tablefmt.section "Validation phase";
+      validation_summary a;
+      Tablefmt.section "Validated checks by category";
+      Tablefmt.render
+        ~header:[ "category"; "count" ]
+        (List.map
+           (fun (cat, n) -> [ cat; string_of_int n ])
+           (category_breakdown a.Pipeline.final_checks));
+      Tablefmt.section "Sample of validated checks";
+      checks_listing a.Pipeline.final_checks;
+    ]

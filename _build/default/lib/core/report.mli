@@ -1,0 +1,15 @@
+(** Human-readable reporting over pipeline artifacts. *)
+
+val mining_summary : Pipeline.artifacts -> string
+(** The mining funnel: hypothesized, filtered, interpolated counts. *)
+
+val validation_summary : Pipeline.artifacts -> string
+(** Validated/falsified counts, per-iteration progress, deployments. *)
+
+val category_breakdown : Zodiac_spec.Check.t list -> (string * int) list
+(** Counts per check category (intra, inter w/o agg, ...). *)
+
+val checks_listing : ?limit:int -> Zodiac_spec.Check.t list -> string
+(** Pretty-printed checks, one per line. *)
+
+val full : Pipeline.artifacts -> string

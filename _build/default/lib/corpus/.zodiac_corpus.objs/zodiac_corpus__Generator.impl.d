@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Fun Hashtbl List Option Printf String Zodiac_azure Zodiac_iac Zodiac_util

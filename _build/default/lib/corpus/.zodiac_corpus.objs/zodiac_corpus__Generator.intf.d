@@ -1,0 +1,1 @@
+lib/corpus/generator.mli: Zodiac_iac Zodiac_util

@@ -1,0 +1,40 @@
+(** Synthetic IaC repository generator.
+
+    Stands in for the paper's 26k crawled GitHub repositories. Projects
+    are drawn from fourteen realistic scenario families (web tiers,
+    hub-and-spoke networks, VPN sites, AKS clusters, storage pipelines,
+    application-gateway frontends, data tiers, VM fleets, hardened
+    networks, DNS setups, messaging stacks, PaaS apps). Generation is
+    conforming-by-construction — locations agree, CIDRs are carved
+    disjointly from the VPC space, skus come from the documentation
+    tables — and then a configurable fraction of projects get a
+    violation injected, reproducing the statistical structure mining
+    relies on (high confidence with a tail of counterexamples).
+
+    The generator also skews option usage the way real corpora do:
+    e.g. the [VM.create = "Attach"] path is vanishingly rare, which is
+    exactly what produces the paper's §5.6 false positive. *)
+
+type project = {
+  pname : string;
+  scenario : string;
+  program : Zodiac_iac.Program.t;
+  injected : string list;
+      (** labels of violations injected into this project (empty for a
+          conforming project) *)
+}
+
+val scenario_names : string list
+
+val generate_one :
+  ?violation_rate:float -> Zodiac_util.Prng.t -> int -> project
+(** [generate_one rng index] builds one project; the scenario is chosen
+    from a weighted distribution. [violation_rate] (default 0.04) is
+    the probability that a violation is injected. *)
+
+val generate :
+  ?violation_rate:float -> seed:int -> count:int -> unit -> project list
+(** A deterministic corpus of [count] projects. *)
+
+val conforming : seed:int -> count:int -> unit -> project list
+(** A corpus with no injected violations (used for clean baselines). *)

@@ -1,0 +1,1 @@
+lib/hcl/compile.ml: Ast List Option Parser Printer Printf String Zodiac_iac

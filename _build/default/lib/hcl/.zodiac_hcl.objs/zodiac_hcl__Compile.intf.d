@@ -1,0 +1,1 @@
+lib/hcl/compile.mli: Ast Zodiac_iac

@@ -1,0 +1,1 @@
+lib/hcl/lexer.ml: Ast Buffer List Printf String

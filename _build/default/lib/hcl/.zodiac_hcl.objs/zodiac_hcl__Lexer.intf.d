@@ -1,0 +1,1 @@
+lib/hcl/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/hcl/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/hcl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/hcl/plan.ml: List Option Printf String Zodiac_iac Zodiac_util

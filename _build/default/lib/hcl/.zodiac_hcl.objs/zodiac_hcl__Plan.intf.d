@@ -1,0 +1,1 @@
+lib/hcl/plan.mli: Zodiac_iac Zodiac_util

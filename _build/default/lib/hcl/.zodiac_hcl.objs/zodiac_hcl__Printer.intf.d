@@ -1,0 +1,1 @@
+lib/hcl/printer.mli: Ast

@@ -1,0 +1,263 @@
+type token =
+  | Ident of string
+  | Str of Ast.string_part list
+  | Int_lit of int
+  | Float_lit of float
+  | Lbrace
+  | Rbrace
+  | Lbrack
+  | Rbrack
+  | Equal
+  | Comma
+  | Colon
+  | Dot
+  | Newline
+  | Eof
+
+type spanned = { tok : token; line : int }
+
+exception Lex_error of string * int
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Str _ -> "string"
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbrack -> "'['"
+  | Rbrack -> "']'"
+  | Equal -> "'='"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Dot -> "'.'"
+  | Newline -> "newline"
+  | Eof -> "end of input"
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let is_ident_start c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false
+
+let is_digit c = match c with '0' .. '9' -> true | _ -> false
+
+let read_ident st =
+  let start = st.pos in
+  while
+    match peek st with Some c when is_ident_char c -> true | Some _ | None -> false
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_number st =
+  let start = st.pos in
+  let seen_dot = ref false in
+  while
+    match peek st with
+    | Some c when is_digit c -> true
+    | Some '.' when not !seen_dot && (match peek2 st with Some d -> is_digit d | None -> false) ->
+        seen_dot := true;
+        true
+    | Some _ | None -> false
+  do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if !seen_dot then Float_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int_lit i
+    | None -> raise (Lex_error (Printf.sprintf "bad number %S" text, st.line))
+
+(* Read the traversal inside ${...}: dotted identifiers, allowing
+   numeric segments for list indexing (azurerm_x.a.ids.0). Index
+   brackets [0] are normalized into numeric segments. *)
+let read_interp_traversal st =
+  let segments = ref [] in
+  let read_segment () =
+    match peek st with
+    | Some c when is_ident_start c -> segments := read_ident st :: !segments
+    | Some c when is_digit c -> (
+        match read_number st with
+        | Int_lit i -> segments := string_of_int i :: !segments
+        | Float_lit _ | _ -> raise (Lex_error ("bad index in interpolation", st.line)))
+    | _ -> raise (Lex_error ("bad interpolation", st.line))
+  in
+  read_segment ();
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some '.' ->
+        advance st;
+        read_segment ()
+    | Some '[' ->
+        advance st;
+        read_segment ();
+        (match peek st with
+        | Some ']' -> advance st
+        | _ -> raise (Lex_error ("expected ']' in interpolation", st.line)))
+    | _ -> continue := false
+  done;
+  (match peek st with
+  | Some '}' -> advance st
+  | _ -> raise (Lex_error ("expected '}' closing interpolation", st.line)));
+  List.rev !segments
+
+let read_string st =
+  let line0 = st.line in
+  advance st;
+  (* opening quote *)
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_lit () =
+    if Buffer.length buf > 0 then begin
+      parts := Ast.Lit (Buffer.contents buf) :: !parts;
+      Buffer.clear buf
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Lex_error ("unterminated string", line0))
+    | Some '"' ->
+        advance st;
+        flush_lit ()
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '$' -> Buffer.add_char buf '$'
+        | Some c -> Buffer.add_char buf c
+        | None -> raise (Lex_error ("unterminated string", line0)));
+        advance st;
+        loop ()
+    | Some '$' when peek2 st = Some '{' ->
+        advance st;
+        advance st;
+        flush_lit ();
+        let traversal = read_interp_traversal st in
+        parts := Ast.Interp traversal :: !parts;
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Str (List.rev !parts)
+
+let skip_line_comment st =
+  while match peek st with Some c when c <> '\n' -> true | Some _ | None -> false do
+    advance st
+  done
+
+let skip_block_comment st =
+  let line0 = st.line in
+  let rec loop () =
+    match (peek st, peek2 st) with
+    | Some '*', Some '/' ->
+        advance st;
+        advance st
+    | Some _, _ ->
+        advance st;
+        loop ()
+    | None, _ -> raise (Lex_error ("unterminated comment", line0))
+  in
+  advance st;
+  advance st;
+  loop ()
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let out = ref [] in
+  let emit tok = out := { tok; line = st.line } :: !out in
+  let last_is_newline () =
+    match !out with { tok = Newline; _ } :: _ | [] -> true | _ -> false
+  in
+  let rec loop () =
+    match peek st with
+    | None -> emit Eof
+    | Some (' ' | '\t' | '\r') ->
+        advance st;
+        loop ()
+    | Some '\n' ->
+        if not (last_is_newline ()) then emit Newline;
+        advance st;
+        loop ()
+    | Some '#' ->
+        skip_line_comment st;
+        loop ()
+    | Some '/' when peek2 st = Some '/' ->
+        skip_line_comment st;
+        loop ()
+    | Some '/' when peek2 st = Some '*' ->
+        skip_block_comment st;
+        loop ()
+    | Some '"' ->
+        emit (read_string st);
+        loop ()
+    | Some '{' ->
+        advance st;
+        emit Lbrace;
+        loop ()
+    | Some '}' ->
+        advance st;
+        emit Rbrace;
+        loop ()
+    | Some '[' ->
+        advance st;
+        emit Lbrack;
+        loop ()
+    | Some ']' ->
+        advance st;
+        emit Rbrack;
+        loop ()
+    | Some '=' ->
+        advance st;
+        emit Equal;
+        loop ()
+    | Some ',' ->
+        advance st;
+        emit Comma;
+        loop ()
+    | Some ':' ->
+        advance st;
+        emit Colon;
+        loop ()
+    | Some '.' ->
+        advance st;
+        emit Dot;
+        loop ()
+    | Some '-' when (match peek2 st with Some d -> is_digit d | None -> false) ->
+        advance st;
+        (match read_number st with
+        | Int_lit i -> emit (Int_lit (-i))
+        | Float_lit f -> emit (Float_lit (-.f))
+        | _ -> assert false);
+        loop ()
+    | Some c when is_digit c ->
+        emit (read_number st);
+        loop ()
+    | Some c when is_ident_start c ->
+        emit (Ident (read_ident st));
+        loop ()
+    | Some c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, st.line))
+  in
+  loop ();
+  List.rev !out

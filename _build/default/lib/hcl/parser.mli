@@ -1,0 +1,12 @@
+(** Recursive-descent parser from tokens to {!Ast.file}. *)
+
+exception Parse_error of string * int
+(** Message and line number. *)
+
+val parse : string -> Ast.file
+(** Parse a complete HCL document.
+    @raise Parse_error on syntax errors.
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_result : string -> (Ast.file, string) result
+(** Like {!parse} but folding both error kinds into a message. *)

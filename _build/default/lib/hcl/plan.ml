@@ -1,0 +1,177 @@
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+module Json = Zodiac_util.Json
+
+(* ---- emission -------------------------------------------------------- *)
+
+(* planned values: references are unknown at plan time *)
+let rec value_to_planned = function
+  | Value.Null -> Json.Null
+  | Value.Bool b -> Json.Bool b
+  | Value.Int i -> Json.Int i
+  | Value.Str s -> Json.String s
+  | Value.List items -> Json.List (List.map value_to_planned items)
+  | Value.Block fields ->
+      Json.Obj (List.map (fun (k, v) -> (k, value_to_planned v)) fields)
+  | Value.Ref _ -> Json.Null
+
+(* configuration expressions: structure plus references *)
+let rec value_to_expression ~type_name v =
+  match v with
+  | Value.Ref r ->
+      Json.Obj
+        [
+          ( "references",
+            Json.List
+              [
+                Json.String
+                  (Printf.sprintf "%s.%s.%s" (type_name r.Value.rtype) r.Value.rname
+                     r.Value.attr);
+              ] );
+        ]
+  | Value.Block fields ->
+      Json.Obj
+        (List.map (fun (k, v) -> (k, value_to_expression ~type_name v)) fields)
+  | Value.List items ->
+      (* a list with references keeps per-element expressions; terraform
+         flattens reference lists into a single references array, which
+         we mirror when every element is a reference *)
+      if items <> [] && List.for_all (function Value.Ref _ -> true | _ -> false) items
+      then
+        Json.Obj
+          [
+            ( "references",
+              Json.List
+                (List.map
+                   (function
+                     | Value.Ref r ->
+                         Json.String
+                           (Printf.sprintf "%s.%s.%s" (type_name r.Value.rtype)
+                              r.Value.rname r.Value.attr)
+                     | _ -> Json.Null)
+                   items) );
+          ]
+      else Json.List (List.map (value_to_expression ~type_name) items)
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _ ->
+      Json.Obj [ ("constant_value", value_to_planned v) ]
+
+let to_json ~type_name prog =
+  let planned =
+    List.map
+      (fun r ->
+        let tf_type = type_name r.Resource.rtype in
+        Json.Obj
+          [
+            ("address", Json.String (Printf.sprintf "%s.%s" tf_type r.Resource.rname));
+            ("mode", Json.String "managed");
+            ("type", Json.String tf_type);
+            ("name", Json.String r.Resource.rname);
+            ("provider_name", Json.String "registry.terraform.io/hashicorp/azurerm");
+            ( "values",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, value_to_planned v)) r.Resource.attrs) );
+          ])
+      (Program.resources prog)
+  in
+  let configuration =
+    List.map
+      (fun r ->
+        let tf_type = type_name r.Resource.rtype in
+        Json.Obj
+          [
+            ("address", Json.String (Printf.sprintf "%s.%s" tf_type r.Resource.rname));
+            ("type", Json.String tf_type);
+            ("name", Json.String r.Resource.rname);
+            ( "expressions",
+              Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, value_to_expression ~type_name v))
+                   r.Resource.attrs) );
+          ])
+      (Program.resources prog)
+  in
+  Json.Obj
+    [
+      ("format_version", Json.String "1.2");
+      ("terraform_version", Json.String "1.9.0");
+      ( "planned_values",
+        Json.Obj [ ("root_module", Json.Obj [ ("resources", Json.List planned) ]) ] );
+      ( "configuration",
+        Json.Obj
+          [ ("root_module", Json.Obj [ ("resources", Json.List configuration) ]) ] );
+    ]
+
+let to_string ~type_name prog = Json.to_string ~pretty:true (to_json ~type_name prog)
+
+(* ---- parsing --------------------------------------------------------- *)
+
+let parse_reference ~type_map text =
+  match String.split_on_char '.' text with
+  | tf_type :: rname :: attr_segments when attr_segments <> [] -> (
+      match type_map tf_type with
+      | Some rtype ->
+          Some (Value.Ref { Value.rtype; rname; attr = String.concat "." attr_segments })
+      | None -> None)
+  | _ -> None
+
+let rec expression_to_value ~type_map json =
+  match json with
+  | Json.Obj fields when List.mem_assoc "references" fields -> (
+      match List.assoc "references" fields with
+      | Json.List [ Json.String text ] -> (
+          match parse_reference ~type_map text with
+          | Some v -> v
+          | None -> Value.Str text)
+      | Json.List refs ->
+          Value.List
+            (List.map
+               (fun r ->
+                 match r with
+                 | Json.String text -> (
+                     match parse_reference ~type_map text with
+                     | Some v -> v
+                     | None -> Value.Str text)
+                 | _ -> Value.Null)
+               refs)
+      | _ -> Value.Null)
+  | Json.Obj fields when List.mem_assoc "constant_value" fields ->
+      Value.of_json (List.assoc "constant_value" fields)
+  | Json.Obj fields ->
+      Value.Block (List.map (fun (k, v) -> (k, expression_to_value ~type_map v)) fields)
+  | Json.List items -> Value.List (List.map (expression_to_value ~type_map) items)
+  | other -> Value.of_json other
+
+let of_json ~type_map json =
+  let resources_json =
+    Json.member "configuration" json
+    |> Json.member "root_module" |> Json.member "resources" |> Json.to_list
+  in
+  if resources_json = [] then Error "no resources in configuration.root_module"
+  else
+    let parse_resource entry =
+      match
+        ( Json.string_value (Json.member "type" entry),
+          Json.string_value (Json.member "name" entry),
+          Json.member "expressions" entry )
+      with
+      | Some tf_type, Some rname, Json.Obj fields ->
+          let rtype = Option.value ~default:tf_type (type_map tf_type) in
+          Ok
+            (Resource.make rtype rname
+               (List.map (fun (k, v) -> (k, expression_to_value ~type_map v)) fields))
+      | _ -> Error "malformed resource entry"
+    in
+    let rec go acc = function
+      | [] -> Ok (Program.of_resources (List.rev acc))
+      | entry :: rest -> (
+          match parse_resource entry with
+          | Ok r -> go (r :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] resources_json
+
+let of_string ~type_map text =
+  match Json.of_string text with
+  | exception Json.Parse_error e -> Error e
+  | json -> of_json ~type_map json

@@ -1,0 +1,34 @@
+(** Terraform-style JSON deployment plans.
+
+    Zodiac's mining operates on compiled deployment plans, and the
+    paper's cross-framework roadmap (§6) rests on plan JSON being the
+    common denominator between Terraform, CDKTF and CloudFormation.
+    This module emits and parses a [terraform show -json]-shaped
+    document:
+
+    - [planned_values.root_module.resources] carries concrete attribute
+      values, with cross-resource references rendered as [null] (their
+      values are only known after apply);
+    - [configuration.root_module.resources[].expressions] carries the
+      expression structure, including [references], from which the
+      parser reconstructs the resource graph. *)
+
+val to_json :
+  type_name:(string -> string) -> Zodiac_iac.Program.t -> Zodiac_util.Json.t
+(** Emit a plan document. [type_name] maps canonical type names to
+    Terraform type names. *)
+
+val of_json :
+  type_map:(string -> string option) ->
+  Zodiac_util.Json.t ->
+  (Zodiac_iac.Program.t, string) result
+(** Reconstruct a program from a plan document (references are restored
+    from the configuration section). *)
+
+val to_string :
+  type_name:(string -> string) -> Zodiac_iac.Program.t -> string
+
+val of_string :
+  type_map:(string -> string option) ->
+  string ->
+  (Zodiac_iac.Program.t, string) result

@@ -1,0 +1,75 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '$' -> Buffer.add_string buf "\\$"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string_parts_to_string parts =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf '"';
+  List.iter
+    (fun part ->
+      match part with
+      | Ast.Lit s -> Buffer.add_string buf (escape s)
+      | Ast.Interp traversal ->
+          Buffer.add_string buf "${";
+          Buffer.add_string buf (String.concat "." traversal);
+          Buffer.add_char buf '}')
+    parts;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec expr_to_string = function
+  | Ast.E_null -> "null"
+  | Ast.E_bool b -> string_of_bool b
+  | Ast.E_int i -> string_of_int i
+  | Ast.E_float f -> string_of_float f
+  | Ast.E_string parts -> string_parts_to_string parts
+  | Ast.E_list items -> "[" ^ String.concat ", " (List.map expr_to_string items) ^ "]"
+  | Ast.E_map fields ->
+      "{ "
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s = %s" k (expr_to_string v)) fields)
+      ^ " }"
+  | Ast.E_traversal segments -> String.concat "." segments
+
+let rec emit_block buf indent block =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  Buffer.add_string buf block.Ast.btype;
+  List.iter
+    (fun label -> Buffer.add_string buf (Printf.sprintf " %S" label))
+    block.Ast.labels;
+  Buffer.add_string buf " {\n";
+  emit_body buf (indent + 2) block.Ast.body;
+  Buffer.add_string buf pad;
+  Buffer.add_string buf "}\n"
+
+and emit_body buf indent body =
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s = %s\n" pad k (expr_to_string v)))
+    body.Ast.battrs;
+  List.iter
+    (fun block ->
+      emit_block buf indent block)
+    body.Ast.bblocks
+
+let file_to_string file =
+  let buf = Buffer.create 512 in
+  List.iteri
+    (fun i block ->
+      if i > 0 then Buffer.add_char buf '\n';
+      emit_block buf 0 block)
+    file;
+  Buffer.contents buf

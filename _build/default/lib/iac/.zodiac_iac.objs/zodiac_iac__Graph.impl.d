@@ -1,0 +1,1 @@
+lib/iac/graph.ml: Buffer Hashtbl List Map Printf Program Resource String Value

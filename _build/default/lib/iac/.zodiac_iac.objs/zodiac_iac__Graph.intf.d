@@ -1,0 +1,1 @@
+lib/iac/graph.mli: Program Resource

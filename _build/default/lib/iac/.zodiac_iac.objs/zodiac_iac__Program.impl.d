@@ -1,0 +1,1 @@
+lib/iac/program.ml: Format Fun List Option Printf Resource String Value Zodiac_util

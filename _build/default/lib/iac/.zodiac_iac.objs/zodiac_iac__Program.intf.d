@@ -1,0 +1,1 @@
+lib/iac/program.mli: Format Resource Value Zodiac_util

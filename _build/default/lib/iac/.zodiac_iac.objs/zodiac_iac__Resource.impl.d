@@ -1,0 +1,1 @@
+lib/iac/resource.ml: Format List Printf String Value Zodiac_util

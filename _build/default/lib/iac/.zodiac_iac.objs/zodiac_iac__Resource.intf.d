@@ -1,0 +1,1 @@
+lib/iac/resource.mli: Format Value Zodiac_util

@@ -1,0 +1,1 @@
+lib/iac/schema.ml: List String Value

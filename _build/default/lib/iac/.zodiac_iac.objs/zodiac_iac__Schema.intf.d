@@ -1,0 +1,1 @@
+lib/iac/schema.mli: Value

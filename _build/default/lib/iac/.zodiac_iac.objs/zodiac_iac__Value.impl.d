@@ -1,0 +1,1 @@
+lib/iac/value.ml: Format List Printf Stdlib String Zodiac_util

@@ -1,0 +1,1 @@
+lib/iac/value.mli: Format Zodiac_util

@@ -1,0 +1,86 @@
+module Json = Zodiac_util.Json
+
+type t = { items : Resource.t list }
+
+let empty = { items = [] }
+
+let mem t id = List.exists (fun r -> Resource.equal_id (Resource.id r) id) t.items
+
+let add t r =
+  let id = Resource.id r in
+  if mem t id then
+    { items = List.map (fun r' -> if Resource.equal_id (Resource.id r') id then r else r') t.items }
+  else { items = t.items @ [ r ] }
+
+let of_resources rs = List.fold_left add empty rs
+
+let resources t = t.items
+
+let size t = List.length t.items
+
+let find t id = List.find_opt (fun r -> Resource.equal_id (Resource.id r) id) t.items
+
+let remove t id =
+  { items = List.filter (fun r -> not (Resource.equal_id (Resource.id r) id)) t.items }
+
+let update t id f =
+  { items = List.map (fun r -> if Resource.equal_id (Resource.id r) id then f r else r) t.items }
+
+let filter pred t = { items = List.filter pred t.items }
+
+let by_type t rtype = List.filter (fun r -> String.equal r.Resource.rtype rtype) t.items
+
+let types t =
+  List.fold_left
+    (fun acc r ->
+      if List.mem r.Resource.rtype acc then acc else acc @ [ r.Resource.rtype ])
+    [] t.items
+
+let fresh_name t rtype =
+  let rec try_index i =
+    let candidate = Printf.sprintf "v%d" i in
+    if mem t { Resource.rtype; rname = candidate } then try_index (i + 1) else candidate
+  in
+  try_index 0
+
+let dangling_refs t =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun (_, (reference : Value.reference)) ->
+          let target = { Resource.rtype = reference.rtype; rname = reference.rname } in
+          if mem t target then None else Some (Resource.id r, reference))
+        (Resource.references r))
+    t.items
+
+let to_json t =
+  Json.Obj
+    [
+      ("format_version", Json.String "zodiac-plan-1");
+      ("resources", Json.List (List.map Resource.to_json t.items));
+    ]
+
+let of_json json =
+  match Json.member "resources" json with
+  | Json.List items ->
+      let parsed = List.map Resource.of_json items in
+      if List.for_all Option.is_some parsed then
+        Some (of_resources (List.filter_map Fun.id parsed))
+      else None
+  | _ -> None
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun r -> Format.fprintf fmt "%a@," Resource.pp r) t.items;
+  Format.fprintf fmt "@]"
+
+let equal a b =
+  List.length a.items = List.length b.items
+  && List.for_all2
+       (fun r1 r2 ->
+         Resource.equal_id (Resource.id r1) (Resource.id r2)
+         && List.length r1.Resource.attrs = List.length r2.Resource.attrs
+         && List.for_all2
+              (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && Value.equal v1 v2)
+              r1.Resource.attrs r2.Resource.attrs)
+       a.items b.items

@@ -1,0 +1,42 @@
+(** A compiled IaC program: an ordered collection of resources.
+
+    Corresponds to a Terraform deployment plan. Resource (type, name)
+    pairs are unique within a program. *)
+
+type t
+
+val empty : t
+val of_resources : Resource.t list -> t
+(** Later duplicates of the same (type, name) replace earlier ones. *)
+
+val resources : t -> Resource.t list
+val size : t -> int
+
+val find : t -> Resource.id -> Resource.t option
+val mem : t -> Resource.id -> bool
+
+val add : t -> Resource.t -> t
+(** Add or replace. *)
+
+val remove : t -> Resource.id -> t
+val update : t -> Resource.id -> (Resource.t -> Resource.t) -> t
+
+val filter : (Resource.t -> bool) -> t -> t
+val by_type : t -> string -> Resource.t list
+
+val types : t -> string list
+(** Distinct resource types, in first-appearance order. *)
+
+val fresh_name : t -> string -> string
+(** [fresh_name t rtype] is a local name not used by any [rtype]
+    resource, of the form ["v0"], ["v1"], ... *)
+
+val dangling_refs : t -> (Resource.id * Value.reference) list
+(** References whose target resource does not exist in the program. *)
+
+val to_json : t -> Zodiac_util.Json.t
+(** The JSON deployment-plan encoding (shared with {!Zodiac_hcl}). *)
+
+val of_json : Zodiac_util.Json.t -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,164 @@
+module Json = Zodiac_util.Json
+
+type id = { rtype : string; rname : string }
+
+type t = { rtype : string; rname : string; attrs : (string * Value.t) list }
+
+let make rtype rname attrs = { rtype; rname; attrs }
+
+let id r = { rtype = r.rtype; rname = r.rname }
+
+let id_to_string (i : id) = Printf.sprintf "%s.%s" i.rtype i.rname
+
+let equal_id (a : id) (b : id) =
+  String.equal a.rtype b.rtype && String.equal a.rname b.rname
+
+let compare_id (a : id) (b : id) =
+  match String.compare a.rtype b.rtype with
+  | 0 -> String.compare a.rname b.rname
+  | c -> c
+
+let attr r name = List.assoc_opt name r.attrs
+
+let split_path path = String.split_on_char '.' path
+
+(* Walk a dotted path; [fanout] controls whether lists expand to all
+   elements or only their head. *)
+let rec walk ~fanout segments value =
+  match segments with
+  | [] -> [ value ]
+  | seg :: rest -> (
+      match value with
+      | Value.Block fields -> (
+          match List.assoc_opt seg fields with
+          | Some v -> walk ~fanout rest v
+          | None -> [])
+      | Value.List items ->
+          let items = if fanout then items else match items with [] -> [] | x :: _ -> [ x ] in
+          List.concat_map (walk ~fanout (seg :: rest)) items
+      | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Ref _ -> [])
+
+let lookup ~fanout r path =
+  match split_path path with
+  | [] -> []
+  | seg :: rest -> (
+      match attr r seg with
+      | None -> []
+      | Some v -> walk ~fanout rest v)
+
+let get r path =
+  match lookup ~fanout:false r path with [] -> Value.Null | v :: _ -> v
+
+let get_all r path = lookup ~fanout:true r path
+
+let rec update_value segments v value =
+  match segments with
+  | [] -> v
+  | seg :: rest -> (
+      match value with
+      | Value.Block fields ->
+          let found = ref false in
+          let fields =
+            List.map
+              (fun (k, old) ->
+                if String.equal k seg then begin
+                  found := true;
+                  (k, update_value rest v old)
+                end
+                else (k, old))
+              fields
+          in
+          let fields =
+            if !found then fields else fields @ [ (seg, update_value rest v Value.Null) ]
+          in
+          Value.Block fields
+      | Value.List (x :: xs) -> Value.List (update_value (seg :: rest) v x :: xs)
+      | Value.List [] | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _
+      | Value.Ref _ ->
+          update_value rest v (Value.Block []))
+
+let set r path v =
+  match split_path path with
+  | [] -> r
+  | [ seg ] when Value.is_null v ->
+      { r with attrs = List.filter (fun (k, _) -> not (String.equal k seg)) r.attrs }
+  | seg :: rest ->
+      let found = ref false in
+      let attrs =
+        List.map
+          (fun (k, old) ->
+            if String.equal k seg then begin
+              found := true;
+              (k, update_value rest v old)
+            end
+            else (k, old))
+          r.attrs
+      in
+      let attrs =
+        if !found then attrs else attrs @ [ (seg, update_value rest v Value.Null) ]
+      in
+      { r with attrs }
+
+let remove_attr r name =
+  { r with attrs = List.filter (fun (k, _) -> not (String.equal k name)) r.attrs }
+
+let references r =
+  let acc = ref [] in
+  let rec walk path value =
+    match value with
+    | Value.Ref reference -> acc := (path, reference) :: !acc
+    | Value.List items -> List.iter (walk path) items
+    | Value.Block fields -> List.iter (fun (k, v) -> walk (path ^ "." ^ k) v) fields
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _ -> ()
+  in
+  List.iter (fun (k, v) -> walk k v) r.attrs;
+  List.rev !acc
+
+let rename_refs ~(old_id : id) ~(new_id : id) r =
+  let rewrite (reference : Value.reference) =
+    if
+      String.equal reference.rtype old_id.rtype
+      && String.equal reference.rname old_id.rname
+    then Value.Ref { reference with rtype = new_id.rtype; rname = new_id.rname }
+    else Value.Ref reference
+  in
+  { r with attrs = List.map (fun (k, v) -> (k, Value.map_refs rewrite v)) r.attrs }
+
+let attr_paths r =
+  let acc = ref [] in
+  let add path = if not (List.mem path !acc) then acc := path :: !acc in
+  let rec walk path value =
+    match value with
+    | Value.Null | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Ref _ -> add path
+    | Value.List items ->
+        if items = [] then add path else List.iter (walk path) items
+    | Value.Block fields ->
+        if fields = [] then add path
+        else List.iter (fun (k, v) -> walk (path ^ "." ^ k) v) fields
+  in
+  List.iter (fun (k, v) -> walk k v) r.attrs;
+  List.rev !acc
+
+let to_json r =
+  Json.Obj
+    [
+      ("type", Json.String r.rtype);
+      ("name", Json.String r.rname);
+      ("attributes", Json.Obj (List.map (fun (k, v) -> (k, Value.to_json v)) r.attrs));
+    ]
+
+let of_json json =
+  match
+    ( Json.string_value (Json.member "type" json),
+      Json.string_value (Json.member "name" json),
+      Json.member "attributes" json )
+  with
+  | Some rtype, Some rname, Json.Obj fields ->
+      Some (make rtype rname (List.map (fun (k, v) -> (k, Value.of_json v)) fields))
+  | Some rtype, Some rname, Json.Null -> Some (make rtype rname [])
+  | _ -> None
+
+let pp fmt r =
+  Format.fprintf fmt "resource %s %s {" r.rtype r.rname;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s = %a;" k Value.pp v) r.attrs;
+  Format.fprintf fmt " }"

@@ -1,0 +1,58 @@
+(** A single IaC resource block.
+
+    Resources are identified by (type, local name) — mirroring Terraform's
+    [resource "azurerm_subnet" "a" { ... }]. Attribute access supports
+    dotted paths through nested blocks; traversing a list fans out over
+    its elements (so ["rule.dir"] yields the direction of every security
+    rule), matching the paper's [SG.rule\[i\].dir] notation. *)
+
+type id = { rtype : string; rname : string }
+(** Stable identity of a resource within a program. *)
+
+type t = {
+  rtype : string;
+  rname : string;
+  attrs : (string * Value.t) list;
+}
+
+val make : string -> string -> (string * Value.t) list -> t
+val id : t -> id
+val id_to_string : id -> string
+val equal_id : id -> id -> bool
+val compare_id : id -> id -> int
+
+val attr : t -> string -> Value.t option
+(** Top-level attribute lookup (no path traversal). *)
+
+val get : t -> string -> Value.t
+(** Dotted-path lookup returning the first match, or [Null] when the path
+    is absent. A list on the path is entered at its first element. *)
+
+val get_all : t -> string -> Value.t list
+(** Dotted-path lookup that fans out across list elements; returns every
+    value reached. Empty when the path is absent. *)
+
+val set : t -> string -> Value.t -> t
+(** [set r path v] returns a copy with the dotted [path] replaced (or the
+    top-level attribute added when the path has one segment and is
+    absent). List fan-out is not performed: a list on the path updates
+    its first element. Setting [Null] on a one-segment path removes the
+    attribute. *)
+
+val remove_attr : t -> string -> t
+(** Remove a top-level attribute if present. *)
+
+val references : t -> (string * Value.reference) list
+(** Every reference in the resource with the dotted attribute path where
+    it occurs. List positions are not encoded in the path. *)
+
+val rename_refs : old_id:id -> new_id:id -> t -> t
+(** Rewrite all references to [old_id] so they point at [new_id]. *)
+
+val attr_paths : t -> string list
+(** All dotted paths to leaf values present in the resource (lists fan
+    out; each path is reported once). *)
+
+val to_json : t -> Zodiac_util.Json.t
+val of_json : Zodiac_util.Json.t -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kb/kb.ml: Hashtbl Int List Option String Zodiac_azure Zodiac_iac Zodiac_util

@@ -1,0 +1,1 @@
+lib/kb/kb.mli: Zodiac_iac Zodiac_spec

@@ -1,0 +1,253 @@
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+module Graph = Zodiac_iac.Graph
+module Schema = Zodiac_iac.Schema
+module Catalog = Zodiac_azure.Catalog
+module Cidr = Zodiac_util.Cidr
+
+type attr_info = {
+  rtype : string;
+  attr : string;
+  requirement : Schema.requirement option;
+  format : Schema.format;
+  observed : (Value.t * int) list;
+  enum_values : Value.t list;
+  default : Value.t option;
+  occurrences : int;
+}
+
+type conn_kind = {
+  src_type : string;
+  src_attr : string;
+  dst_type : string;
+  dst_attr : string;
+  count : int;
+}
+
+type t = {
+  entries : (string, attr_info) Hashtbl.t;  (* key: rtype ^ "/" ^ attr *)
+  conns : conn_kind list;
+  known_types : string list;
+  populations : (string, int) Hashtbl.t;  (* resources per type *)
+}
+
+let key rtype attr = rtype ^ "/" ^ attr
+
+(* An attribute is enum-like when its observed value set is small,
+   string-typed and well-supported — or when the schema declares an
+   enum outright. *)
+let max_enum_cardinality = 12
+let min_enum_support = 4
+
+(* Values worth keeping in the observation table: scalars only. *)
+let observable = function
+  | Value.Str _ | Value.Int _ | Value.Bool _ -> true
+  | Value.Null | Value.List _ | Value.Block _ | Value.Ref _ -> false
+
+let build ~projects =
+  let observations : (string, (Value.t, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 512
+  in
+  let attr_presence : (string, int) Hashtbl.t = Hashtbl.create 512 in
+  let conn_counts : (string * string * string * string, int) Hashtbl.t =
+    Hashtbl.create 128
+  in
+  let observe_value rtype path v =
+    if observable v then begin
+      let k = key rtype path in
+      let table =
+        match Hashtbl.find_opt observations k with
+        | Some t -> t
+        | None ->
+            let t = Hashtbl.create 8 in
+            Hashtbl.replace observations k t;
+            t
+      in
+      Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v))
+    end
+  in
+  let populations : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let observe_resource r =
+    let rtype = r.Resource.rtype in
+    Hashtbl.replace populations rtype
+      (1 + Option.value ~default:0 (Hashtbl.find_opt populations rtype));
+    List.iter
+      (fun path ->
+        Hashtbl.replace attr_presence (key rtype path)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt attr_presence (key rtype path)));
+        List.iter (observe_value rtype path) (Resource.get_all r path))
+      (Resource.attr_paths r)
+  in
+  List.iter
+    (fun prog ->
+      List.iter observe_resource (Program.resources prog);
+      let graph = Graph.build prog in
+      List.iter
+        (fun (e : Graph.edge) ->
+          let k =
+            ( e.Graph.src.Resource.rtype,
+              e.Graph.src_attr,
+              e.Graph.dst.Resource.rtype,
+              e.Graph.dst_attr )
+          in
+          Hashtbl.replace conn_counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt conn_counts k)))
+        (Graph.edges graph))
+    projects;
+  (* Fold schema facts (Class 1 + declared Class 2) with observations. *)
+  let entries = Hashtbl.create 512 in
+  let add_entry rtype attr requirement declared_format default =
+    let k = key rtype attr in
+    let observed =
+      match Hashtbl.find_opt observations k with
+      | None -> []
+      | Some table ->
+          Hashtbl.fold (fun v c acc -> (v, c) :: acc) table []
+          |> List.sort (fun (_, c1) (_, c2) -> Int.compare c2 c1)
+    in
+    let occurrences = Option.value ~default:0 (Hashtbl.find_opt attr_presence k) in
+    let strings_only =
+      observed <> []
+      && (List.for_all
+            (fun (v, _) -> match v with Value.Str _ -> true | _ -> false)
+            observed
+         || List.for_all
+              (fun (v, _) -> match v with Value.Bool _ -> true | _ -> false)
+              observed)
+    in
+    let total_support = List.fold_left (fun acc (_, c) -> acc + c) 0 observed in
+    let enum_values =
+      match declared_format with
+      | Schema.Enum declared -> List.map (fun s -> Value.Str s) declared
+      | Schema.Free_string
+        when strings_only
+             && List.length observed <= max_enum_cardinality
+             && total_support >= min_enum_support ->
+          List.map fst observed
+      | Schema.Free_string | Schema.Cidr_format | Schema.Port_format | Schema.Region
+      | Schema.Name_format | Schema.Id_format ->
+          []
+    in
+    (* Infer CIDR format from observed values when undeclared. *)
+    let format =
+      match declared_format with
+      | Schema.Free_string
+        when observed <> []
+             && List.for_all
+                  (fun (v, _) ->
+                    match v with
+                    | Value.Str s -> Cidr.of_string s <> None
+                    | _ -> false)
+                  observed ->
+          Schema.Cidr_format
+      | f -> f
+    in
+    Hashtbl.replace entries k
+      { rtype; attr; requirement; format; observed; enum_values; default; occurrences }
+  in
+  (* Class 1: every schema attribute. *)
+  List.iter
+    (fun schema ->
+      List.iter
+        (fun (path, (a : Schema.attr)) ->
+          add_entry schema.Schema.type_name path (Some a.Schema.req) a.Schema.format
+            a.Schema.default)
+        (Schema.leaf_paths schema))
+    Catalog.schemas;
+  (* Corpus-only attributes (unknown to schemas) still get entries. *)
+  Hashtbl.iter
+    (fun k _count ->
+      if not (Hashtbl.mem entries k) then
+        match String.index_opt k '/' with
+        | Some i ->
+            let rtype = String.sub k 0 i in
+            let attr = String.sub k (i + 1) (String.length k - i - 1) in
+            add_entry rtype attr None Schema.Free_string None
+        | None -> ())
+    attr_presence;
+  let conns =
+    Hashtbl.fold
+      (fun (src_type, src_attr, dst_type, dst_attr) count acc ->
+        { src_type; src_attr; dst_type; dst_attr; count } :: acc)
+      conn_counts []
+    |> List.sort (fun a b -> Int.compare b.count a.count)
+  in
+  let known_types =
+    let from_corpus =
+      Hashtbl.fold
+        (fun k _ acc ->
+          match String.index_opt k '/' with
+          | Some i ->
+              let ty = String.sub k 0 i in
+              if List.mem ty acc then acc else ty :: acc
+          | None -> acc)
+        attr_presence []
+    in
+    List.fold_left
+      (fun acc ty -> if List.mem ty acc then acc else acc @ [ ty ])
+      Catalog.type_names from_corpus
+  in
+  { entries; conns; known_types; populations }
+
+let attr_info t ~rtype ~attr = Hashtbl.find_opt t.entries (key rtype attr)
+
+let population t rtype =
+  Option.value ~default:0 (Hashtbl.find_opt t.populations rtype)
+
+let attrs_of_type t rtype =
+  Hashtbl.fold
+    (fun _ info acc -> if String.equal info.rtype rtype then info :: acc else acc)
+    t.entries []
+  |> List.sort (fun a b -> String.compare a.attr b.attr)
+
+let enum_values t ~rtype ~attr =
+  match attr_info t ~rtype ~attr with Some info -> info.enum_values | None -> []
+
+let conn_kinds t = t.conns
+
+let conn_kinds_from t src_type =
+  List.filter (fun c -> String.equal c.src_type src_type) t.conns
+
+let conn_kinds_between t src_type dst_type =
+  List.filter
+    (fun c -> String.equal c.src_type src_type && String.equal c.dst_type dst_type)
+    t.conns
+
+let legal_targets t ~src_type ~src_attr =
+  List.filter_map
+    (fun c ->
+      if String.equal c.src_type src_type && String.equal c.src_attr src_attr then
+        Some (c.dst_type, c.dst_attr)
+      else None)
+    t.conns
+
+let cidr_attrs t rtype =
+  List.filter_map
+    (fun info ->
+      if info.format = Schema.Cidr_format then Some info.attr else None)
+    (attrs_of_type t rtype)
+
+let numeric_attrs t rtype =
+  List.filter_map
+    (fun info ->
+      let numeric =
+        info.observed <> []
+        && List.for_all
+             (fun (v, _) -> match v with Value.Int _ -> true | _ -> false)
+             info.observed
+      in
+      if numeric then Some info.attr else None)
+    (attrs_of_type t rtype)
+
+let defaults ~rtype ~attr =
+  match Catalog.find rtype with
+  | None -> None
+  | Some schema -> (
+      match Schema.find_attr schema attr with
+      | Some { Schema.default = Some d; _ } -> Some d
+      | Some _ | None -> None)
+
+let types t = t.known_types
+
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,78 @@
+(** The semantic knowledge base (§3.1).
+
+    Holds the three classes of base facts that bootstrap check mining:
+
+    - {b Class 1 — IaC native constraints}: requirement class and type
+      of every attribute, read from the provider schema files
+      (here: the Azure catalogue).
+    - {b Class 2 — provider-specific constraints}: enum-like value
+      sets, CIDR/port formats, defaults, and reserved names, mined from
+      attribute usage across the crawled corpus (plus the schema's
+      declared enums).
+    - {b Class 3 — resource references}: which attribute endpoints
+      legally connect to which resource attributes, harvested from the
+      reference patterns observed in registry examples and user
+      repositories.
+
+    The KB is the search-space regulator of Figure 7a: templates only
+    instantiate enum comparisons on Class-2 enum attributes and
+    connection patterns on Class-3 edges. *)
+
+type attr_info = {
+  rtype : string;
+  attr : string;  (** dotted path without index markers *)
+  requirement : Zodiac_iac.Schema.requirement option;  (** Class 1 *)
+  format : Zodiac_iac.Schema.format;  (** declared or inferred *)
+  observed : (Zodiac_iac.Value.t * int) list;
+      (** distinct observed values with counts, most frequent first *)
+  enum_values : Zodiac_iac.Value.t list;
+      (** Class 2: values usable on the right of an [==] (empty when
+          the attribute is not enum-like) *)
+  default : Zodiac_iac.Value.t option;
+  occurrences : int;  (** resources in the corpus carrying the attr *)
+}
+
+type conn_kind = {
+  src_type : string;
+  src_attr : string;  (** inbound endpoint path *)
+  dst_type : string;
+  dst_attr : string;  (** outbound endpoint path *)
+  count : int;  (** occurrences across the corpus *)
+}
+
+type t
+
+val build : projects:Zodiac_iac.Program.t list -> t
+(** Construct the KB from provider schemas plus a corpus. *)
+
+val attr_info : t -> rtype:string -> attr:string -> attr_info option
+
+val population : t -> string -> int
+(** Number of corpus resources of the given type. *)
+
+val attrs_of_type : t -> string -> attr_info list
+(** All attributes observed or declared for a type. *)
+
+val enum_values : t -> rtype:string -> attr:string -> Zodiac_iac.Value.t list
+val conn_kinds : t -> conn_kind list
+val conn_kinds_from : t -> string -> conn_kind list
+(** Connection kinds whose source is the given type. *)
+
+val conn_kinds_between : t -> string -> string -> conn_kind list
+
+val legal_targets : t -> src_type:string -> src_attr:string -> (string * string) list
+(** Class 3: legal (dst type, dst attr) targets of an endpoint. *)
+
+val cidr_attrs : t -> string -> string list
+(** Attribute paths of a type holding CIDR values. *)
+
+val numeric_attrs : t -> string -> string list
+
+val defaults : Zodiac_spec.Eval.defaults
+(** Class 2 defaults (delegates to the provider schema). *)
+
+val types : t -> string list
+(** Types known to the KB (union of catalogue and corpus). *)
+
+val size : t -> int
+(** Number of attribute entries. *)

@@ -1,0 +1,1 @@
+lib/mining/candidate.ml: Hashtbl Int List Printf Zodiac_spec

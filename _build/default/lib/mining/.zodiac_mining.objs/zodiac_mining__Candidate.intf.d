@@ -1,0 +1,1 @@
+lib/mining/candidate.mli: Zodiac_spec

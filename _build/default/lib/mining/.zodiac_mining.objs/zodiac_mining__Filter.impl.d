@@ -1,0 +1,1 @@
+lib/mining/filter.ml: Candidate List Printf

@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Candidate Float Hashtbl List Option Printf String Zodiac_azure Zodiac_cloud Zodiac_iac Zodiac_kb Zodiac_spec Zodiac_util

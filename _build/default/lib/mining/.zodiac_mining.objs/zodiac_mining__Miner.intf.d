@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Candidate Zodiac_iac Zodiac_kb

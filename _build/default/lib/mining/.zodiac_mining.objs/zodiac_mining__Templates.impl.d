@@ -1,0 +1,1 @@
+lib/mining/templates.ml: List

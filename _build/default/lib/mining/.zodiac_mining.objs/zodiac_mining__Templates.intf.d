@@ -1,0 +1,1 @@
+lib/mining/templates.mli:

@@ -1,0 +1,33 @@
+module Check = Zodiac_spec.Check
+module Spec_printer = Zodiac_spec.Spec_printer
+
+type t = {
+  check : Check.t;
+  template_id : string;
+  support : int;
+  confidence : float;
+  lift : float;
+  needs_interpolation : bool;
+}
+
+let make ?(needs_interpolation = false) ~template_id ~support ~confidence ~lift check
+    =
+  { check; template_id; support; confidence; lift; needs_interpolation }
+
+let dedup candidates =
+  let table = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      let key = c.check.Check.cid in
+      match Hashtbl.find_opt table key with
+      | Some existing when existing.support >= c.support -> ()
+      | Some _ | None -> Hashtbl.replace table key c)
+    candidates;
+  Hashtbl.fold (fun _ c acc -> c :: acc) table []
+  |> List.sort (fun a b -> Int.compare b.support a.support)
+
+let describe c =
+  Printf.sprintf "%s [%s sup=%d conf=%.2f lift=%.2f%s]"
+    (Spec_printer.to_string c.check)
+    c.template_id c.support c.confidence c.lift
+    (if c.needs_interpolation then " interp" else "")

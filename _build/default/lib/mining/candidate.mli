@@ -1,0 +1,28 @@
+(** Hypothesized semantic checks produced by the mining engine, with
+    the association statistics used for filtering (§3.3). *)
+
+type t = {
+  check : Zodiac_spec.Check.t;
+  template_id : string;  (** the template family that produced it *)
+  support : int;  (** occurrences of the condition in the corpus *)
+  confidence : float;  (** P(statement | condition) *)
+  lift : float;  (** confidence / P(statement) *)
+  needs_interpolation : bool;
+      (** quantitative checks whose constant was only witnessed, not
+          confirmed — to be completed by the LLM oracle *)
+}
+
+val make :
+  ?needs_interpolation:bool ->
+  template_id:string ->
+  support:int ->
+  confidence:float ->
+  lift:float ->
+  Zodiac_spec.Check.t ->
+  t
+
+val dedup : t list -> t list
+(** Keep one candidate per structurally-distinct check (the one with
+    the highest support). *)
+
+val describe : t -> string

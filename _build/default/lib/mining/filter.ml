@@ -1,0 +1,30 @@
+type thresholds = { min_confidence : float; min_lift : float }
+
+let default_thresholds = { min_confidence = 0.95; min_lift = 1.10 }
+
+type outcome = {
+  kept : Candidate.t list;
+  removed_confidence : Candidate.t list;
+  removed_lift : Candidate.t list;
+  interpolation_queue : Candidate.t list;
+}
+
+let run ?(thresholds = default_thresholds) candidates =
+  let interpolation_queue, statistical =
+    List.partition (fun c -> c.Candidate.needs_interpolation) candidates
+  in
+  let passes_confidence c = c.Candidate.confidence >= thresholds.min_confidence in
+  let passes_lift c = c.Candidate.lift >= thresholds.min_lift in
+  let removed_confidence, rest =
+    List.partition (fun c -> not (passes_confidence c)) statistical
+  in
+  let removed_lift, kept = List.partition (fun c -> not (passes_lift c)) rest in
+  { kept; removed_confidence; removed_lift; interpolation_queue }
+
+let summary o =
+  Printf.sprintf
+    "filter: kept=%d removed(confidence)=%d removed(lift)=%d interpolation=%d"
+    (List.length o.kept)
+    (List.length o.removed_confidence)
+    (List.length o.removed_lift)
+    (List.length o.interpolation_queue)

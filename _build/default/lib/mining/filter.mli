@@ -1,0 +1,25 @@
+(** Statistical filtering of mined candidates (§3.3, Figure 7b).
+
+    Confidence removes checks with too many counterexamples in the
+    corpus; lift removes checks whose condition and statement are not
+    positively correlated. Interpolation candidates bypass both — they
+    are completed by the LLM oracle instead. *)
+
+type thresholds = {
+  min_confidence : float;  (** default 0.95 *)
+  min_lift : float;  (** default 1.10 *)
+}
+
+val default_thresholds : thresholds
+
+type outcome = {
+  kept : Candidate.t list;
+  removed_confidence : Candidate.t list;
+  removed_lift : Candidate.t list;
+  interpolation_queue : Candidate.t list;
+      (** quantitative candidates routed to the oracle *)
+}
+
+val run : ?thresholds:thresholds -> Candidate.t list -> outcome
+
+val summary : outcome -> string

@@ -1,0 +1,54 @@
+(** The association-rule mining engine (§3.3).
+
+    One counting pass per template family walks the (default-
+    materialized) corpus and instantiates every witnessed check with
+    its association statistics:
+
+    - {e support}: number of instances satisfying the condition;
+    - {e confidence}: P(statement | condition);
+    - {e lift}: confidence / P(statement), where the statement's prior
+      is estimated from the KB's global value distributions.
+
+    With [use_kb = false] the intra-resource families run without the
+    KB's slot restrictions (any scalar value may appear on the right
+    of an [==], any attribute in a presence test) — the ablation of
+    Figure 7a. *)
+
+type config = {
+  use_kb : bool;
+  min_support : int;  (** candidates below this support are not emitted *)
+}
+
+val default_config : config
+
+val materialize : Zodiac_iac.Program.t list -> Zodiac_iac.Program.t list
+(** Apply provider defaults to every resource. Mining always runs on
+    materialized programs; build the KB from the same materialized
+    corpus so that statement priors line up with observation (a
+    default-valued attribute then has prior ~1 and its artifacts are
+    removed by the lift filter). *)
+
+val mine :
+  ?config:config ->
+  Zodiac_kb.Kb.t ->
+  Zodiac_iac.Program.t list ->
+  Candidate.t list
+(** Run every template family over the corpus; candidates are
+    deduplicated, keeping the highest-support instance. *)
+
+val mine_intra :
+  ?config:config ->
+  Zodiac_kb.Kb.t ->
+  Zodiac_iac.Program.t list ->
+  Candidate.t list
+(** Only the intra-resource families (used by the Figure 7a ablation,
+    which plots per-type intra candidate counts with and without the
+    KB). *)
+
+val intra_counts_by_type :
+  use_kb:bool ->
+  Zodiac_kb.Kb.t ->
+  Zodiac_iac.Program.t list ->
+  (string * int * int) list
+(** Per resource type: (type, attribute count, mined intra
+    candidates). *)

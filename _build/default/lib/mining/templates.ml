@@ -1,0 +1,101 @@
+type family = F_intra | F_intra_indexed | F_inter | F_inter_agg | F_interpolation
+
+type t = {
+  template_id : string;
+  family : family;
+  shape : string;
+  example : string;
+}
+
+let t template_id family shape example = { template_id; family; shape; example }
+
+(* The catalogue enumerates the operator variants of each counting
+   pass implemented in Miner; ids of the form FAMILY-VARIANT. *)
+let all =
+  [
+    (* Intra-resource attribute relations. *)
+    t "INTRA-EQ-EQ" F_intra "A.attr1 == Enum => A.attr2 == Enum"
+      "GW.sku == 'Basic' => GW.active_active == false";
+    t "INTRA-EQ-NE" F_intra "A.attr1 == Enum => A.attr2 != Enum"
+      "SA.tier == 'Premium' => SA.replica != 'GZRS'";
+    t "INTRA-EQ-NOTNULL" F_intra "A.attr1 == Enum => A.attr2 != null"
+      "VM.priority == 'Spot' => VM.evict_policy != null";
+    t "INTRA-EQ-NULL" F_intra "A.attr1 == Enum => A.attr2 == null"
+      "AKS.network_plugin == 'azure' => AKS.pod_cidr == null";
+    t "INTRA-NOTNULL-EQ" F_intra "A.attr1 != null => A.attr2 == Enum"
+      "REDIS.subnet_id != null => REDIS.sku == 'Premium'";
+    t "INTRA-NOTNULL-NULL" F_intra "A.attr1 != null => A.attr2 == null"
+      "VM.zone != null => VM.availability_set_id == null";
+    t "INTRA-NOTNULL-NOTNULL" F_intra "A.attr1 != null => A.attr2 != null"
+      "ROUTE.next_hop_ip != null => ROUTE.next_hop_type != null";
+    (* Repeated-block element relations. *)
+    t "IDX-EQ-NE" F_intra_indexed
+      "A.blk[i].x == A.blk[j].x => A.blk[i].y != A.blk[j].y"
+      "SG.rule[i].dir == SG.rule[j].dir => SG.rule[i].priority != SG.rule[j].priority";
+    t "IDX-NE" F_intra_indexed "A.blk[i].y present => A.blk[i].y != A.blk[j].y"
+      "SG.rule[i].name != SG.rule[j].name";
+    (* Inter-resource, no aggregation. *)
+    t "CONN-ATTR-EQ" F_inter "conn(A.in -> B.out) => A.attr1 == B.attr2"
+      "conn(VM.nic_ids -> NIC.id) => VM.location == NIC.location";
+    t "PATH-ATTR-EQ" F_inter "path(A -> B) => A.attr1 == B.attr2"
+      "path(NIC -> VPC) => NIC.location == VPC.location";
+    t "CONN-DST-EQ" F_inter "conn(A.in -> B.out) => B.attr == Enum"
+      "conn(APPGW.ip -> IP.id) => IP.sku == 'Standard'";
+    t "CONN-DST-NULL" F_inter "conn(A.in -> B.out) => B.attr == null"
+      "conn(FW.subnet_id -> SUBNET.id) => SUBNET.delegation == null";
+    t "CONN-SRC-EQ" F_inter "conn(A.in -> B.out) => A.attr == Enum"
+      "conn(TUNNEL.gw_id -> GW.id) => TUNNEL.type == 'IPsec'";
+    t "CONN-COND-DST-EQ" F_inter
+      "conn(A.in -> B.out) && A.attr1 == Enum => B.attr2 == Enum"
+      "conn(LB.ip -> IP.id) && LB.sku == 'Standard' => IP.sku == 'Standard'";
+    t "CONN-CONTAIN" F_inter "conn(A.in -> B.out) => contain(B.attr, A.attr)"
+      "conn(SUBNET.vpc_name -> VPC.name) => contain(VPC.address_space, SUBNET.cidr)";
+    t "SIBLING-OVERLAP" F_inter
+      "coconn(A.in -> C.out, B.in -> C.out) => !overlap(A.attr, B.attr)"
+      "two subnets of one VPC have disjoint CIDR ranges";
+    t "SIBLING-NE" F_inter
+      "coconn(A.in -> C.out, B.in -> C.out) => A.attr != B.attr"
+      "routes of one table have distinct address prefixes";
+    t "ASSOC-ATTR-EQ" F_inter
+      "coconn(C.in1 -> A.out, C.in2 -> B.out) => A.attr == B.attr"
+      "coconn(ATTACH.vm_id -> VM.id, ATTACH.disk_id -> DISK.id) => VM.location == DISK.location";
+    t "ASSOC-ATTR-NE" F_inter
+      "coconn(C.in1 -> A.out, C.in2 -> B.out) => A.attr != B.attr"
+      "VM os_disk and data disk have different names";
+    t "COPATH-OVERLAP" F_inter
+      "copath(A -> B, A -> C) => !overlap(B.attr, C.attr)"
+      "two tunneled VPCs have exclusive IP CIDR";
+    (* Aggregation. *)
+    t "CONN-OUTDEG-ONE" F_inter_agg "conn(A.in -> B.out) => outdegree(B, tau) == 1"
+      "a NIC can only be attached to one VM";
+    t "CONN-OUTDEG-EXCL" F_inter_agg "conn(A.in -> B.out) => outdegree(B, !tau) == 0"
+      "no other resource can share a subnet with a GW";
+    t "NAME-OUTDEG-EXCL" F_inter_agg "A.attr == Enum => outdegree(A, !tau) == 0"
+      "subnets named GatewaySubnet only host gateways";
+    t "ENUM-INDEG-ZERO" F_inter_agg "A.attr == Enum => indegree(A, tau) == 0"
+      "VPC2VPC tunnels cannot use HA gateways";
+    (* Interpolation targets. *)
+    t "ENUM-INDEG-LE" F_interpolation "A.attr == Enum => indegree(A, tau) <= int"
+      "an sf4 sku VM can be attached to at most 4 NICs";
+    t "ENUM-OUTDEG-LE" F_interpolation "A.attr == Enum => outdegree(A, tau) <= int"
+      "a Basic sku GW can have at most 10 tunnels";
+    t "ENUM-NUM-LE" F_interpolation "A.attr1 == Enum => A.attr2 <= int"
+      "family C Redis caches support capacity at most 6";
+    t "ENUM-NUM-GE" F_interpolation "A.attr1 == Enum => A.attr2 >= int"
+      "family P Redis caches need capacity at least 1";
+    t "PRESENT-NUM-LE" F_interpolation "A.attr1 != null => A.attr2 <= int"
+      "key vault retention is at most 90 days";
+    t "PRESENT-NUM-GE" F_interpolation "A.attr1 != null => A.attr2 >= int"
+      "key vault retention is at least 7 days";
+  ]
+
+let count () = List.length all
+
+let by_family family = List.filter (fun tpl -> tpl.family = family) all
+
+let family_to_string = function
+  | F_intra -> "intra-resource"
+  | F_intra_indexed -> "intra-resource (indexed)"
+  | F_inter -> "inter w/o agg"
+  | F_inter_agg -> "inter w/ agg"
+  | F_interpolation -> "interpolation"

@@ -1,0 +1,29 @@
+(** The curated check-template catalogue (§3.3).
+
+    Each template constrains the shape of a hypothesized check: which
+    expression kinds may appear in the condition and statement, and
+    which KB classes restrict the slots (e.g. the right side of an
+    [==] must be a Class-2 enum value). The mining engine implements a
+    counting pass per template family; this module is the declarative
+    index of those families and their operator variants. *)
+
+type family =
+  | F_intra  (** attribute relations within one resource *)
+  | F_intra_indexed  (** relations over repeated-block elements *)
+  | F_inter  (** topological predicates, no aggregation *)
+  | F_inter_agg  (** indegree/outdegree aggregation *)
+  | F_interpolation  (** quantitative, completed by the LLM *)
+
+type t = {
+  template_id : string;
+  family : family;
+  shape : string;  (** informal pattern, paper notation *)
+  example : string;  (** an instance Zodiac can mine *)
+}
+
+val all : t list
+(** The full catalogue. *)
+
+val count : unit -> int
+val by_family : family -> t list
+val family_to_string : family -> string

@@ -1,0 +1,1 @@
+lib/oracle/llm.ml: List Option String Zodiac_azure Zodiac_iac Zodiac_mining Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+lib/oracle/llm.mli: Zodiac_mining Zodiac_spec

@@ -1,0 +1,1 @@
+lib/oracle/prompt.ml: Printf String Zodiac_iac Zodiac_spec

@@ -1,0 +1,1 @@
+lib/oracle/prompt.mli: Zodiac_spec

@@ -1,0 +1,35 @@
+(** The simulated LLM used for interpolation and (optionally)
+    plausibility assessment.
+
+    The paper queries GPT-4 with few-shot prompts whose answers are
+    grounded in Azure documentation pages (sku tables). This offline
+    substitute answers the same structured queries from the
+    documentation tables in {!Zodiac_azure.Skus} plus a small list of
+    documented service limits — with a configurable hallucination
+    rate, so the pipeline has to tolerate wrong answers exactly as the
+    paper's does (validation catches them). *)
+
+type t
+
+val create : ?error_rate:float -> int -> t
+(** [create seed] builds an oracle; [error_rate] (default 0.05) is the
+    probability an answer is hallucinated (perturbed bound or wrong
+    verdict). *)
+
+type verdict =
+  | Refined of Zodiac_spec.Check.t
+      (** documented limit found; the candidate's constant is replaced
+          by the documented value *)
+  | Unsupported
+      (** no documented limit — the candidate is discarded *)
+
+val interpolate : t -> Zodiac_mining.Candidate.t -> verdict
+(** Answer an interpolation query for a quantitative candidate. *)
+
+val assess : t -> Zodiac_mining.Candidate.t -> bool
+(** The §5.3 plausibility assessment: does the oracle believe the
+    check is a true constraint? Used only to {e evaluate} statistical
+    filtering, never to decide validity. *)
+
+val queries_made : t -> int
+(** Number of oracle calls so far (cost accounting). *)

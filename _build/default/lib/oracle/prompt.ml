@@ -1,0 +1,79 @@
+module Check = Zodiac_spec.Check
+module Value = Zodiac_iac.Value
+module Graph = Zodiac_iac.Graph
+
+type query = {
+  subject_type : string;
+  cond_attr : string;
+  cond_value : string;
+  quantity : string;
+}
+
+let question q =
+  Printf.sprintf "For a %s %s whose %s is %s, what is the %s allowed?"
+    q.subject_type "resource" q.cond_attr q.cond_value q.quantity
+
+let few_shot q =
+  String.concat "\n"
+    [
+      "You are answering questions about Microsoft Azure resource limits.";
+      "Answer with a single integer, or \"none\" when no documented limit exists.";
+      "Refer to the official Azure documentation tables.";
+      "";
+      "Q: For a VM resource whose sku is Standard_F2s_v2, what is the maximum \
+       number of network interfaces allowed?";
+      "A: 2";
+      "";
+      "Q: For a GW resource whose sku is Basic, what is the maximum number of \
+       tunnels allowed?";
+      "A: 10";
+      "";
+      "Q: For a SA resource whose kind is StorageV2, what is the maximum number \
+       of tags allowed?";
+      "A: none";
+      "";
+      "Q: " ^ question q;
+      "A:";
+    ]
+
+let quantity_of_stmt subject = function
+  | Check.Cmp ((Check.Le | Check.Ge), Check.Indeg (_, Graph.Type tau), Check.Const _)
+    ->
+      Some (Printf.sprintf "maximum number of %s resources referenced by the %s" tau subject)
+  | Check.Cmp ((Check.Le | Check.Ge), Check.Outdeg (_, Graph.Type tau), Check.Const _)
+    ->
+      Some (Printf.sprintf "maximum number of %s resources attached to the %s" tau subject)
+  | Check.Cmp (Check.Le, Check.Attr { Check.attr; _ }, Check.Const _) ->
+      Some (Printf.sprintf "maximum value of %s" attr)
+  | Check.Cmp (Check.Ge, Check.Attr { Check.attr; _ }, Check.Const _) ->
+      Some (Printf.sprintf "minimum value of %s" attr)
+  | _ -> None
+
+let of_check (check : Check.t) =
+  match (check.Check.bindings, check.Check.cond) with
+  | ( [ { Check.btype; _ } ],
+      Check.Cmp (Check.Eq, Check.Attr { Check.attr; _ }, Check.Const v) ) -> (
+      match quantity_of_stmt btype check.Check.stmt with
+      | Some quantity ->
+          Some
+            {
+              subject_type = btype;
+              cond_attr = attr;
+              cond_value = Value.to_string v;
+              quantity;
+            }
+      | None -> None)
+  | ( [ { Check.btype; _ } ],
+      Check.Cmp (Check.Ne, Check.Attr { Check.attr; _ }, Check.Const Value.Null) )
+    -> (
+      match quantity_of_stmt btype check.Check.stmt with
+      | Some quantity ->
+          Some
+            {
+              subject_type = btype;
+              cond_attr = attr;
+              cond_value = "present";
+              quantity;
+            }
+      | None -> None)
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/solver/csp.ml: Array Int List Printf Zodiac_iac

@@ -1,0 +1,1 @@
+lib/solver/csp.mli: Zodiac_iac

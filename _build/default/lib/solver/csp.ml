@@ -1,0 +1,206 @@
+module Value = Zodiac_iac.Value
+
+type var = int
+
+type constraint_ = {
+  cname : string;
+  scope : var list;
+  pred : (var -> Value.t) -> bool;
+  weight : int option;  (* None = hard *)
+}
+
+type problem = {
+  mutable domains : Value.t array array;  (* var -> candidate values *)
+  mutable names : string array;
+  mutable value_costs : (Value.t -> int) array;
+  mutable priorities : int array;  (* lower = assigned earlier *)
+  mutable nvars : int;
+  mutable constraints : constraint_ list;
+  mutable nodes : int;
+}
+
+let initial_capacity = 16
+
+let create () =
+  {
+    domains = Array.make initial_capacity [||];
+    names = Array.make initial_capacity "";
+    value_costs = Array.make initial_capacity (fun _ -> 0);
+    priorities = Array.make initial_capacity 1;
+    nvars = 0;
+    constraints = [];
+    nodes = 0;
+  }
+
+let ensure_capacity p =
+  if p.nvars >= Array.length p.domains then begin
+    let n = 2 * Array.length p.domains in
+    let grow a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    p.domains <- grow p.domains [||];
+    p.names <- grow p.names "";
+    p.value_costs <- grow p.value_costs (fun _ -> 0);
+    p.priorities <- grow p.priorities 1
+  end
+
+let new_var p ~name values =
+  if values = [] then invalid_arg (Printf.sprintf "Csp.new_var %s: empty domain" name);
+  ensure_capacity p;
+  let v = p.nvars in
+  p.domains.(v) <- Array.of_list values;
+  p.names.(v) <- name;
+  p.nvars <- p.nvars + 1;
+  v
+
+let var_name p v = p.names.(v)
+
+let domain p v = Array.to_list p.domains.(v)
+
+let set_value_cost p v cost = p.value_costs.(v) <- cost
+
+let set_priority p v priority = p.priorities.(v) <- priority
+
+let add_hard p ~name scope pred =
+  p.constraints <- { cname = name; scope; pred; weight = None } :: p.constraints
+
+let add_soft p ~name ~weight scope pred =
+  p.constraints <- { cname = name; scope; pred; weight = Some weight } :: p.constraints
+
+type solution = {
+  values : Value.t array;
+  total_cost : int;
+  violated : string list;
+}
+
+let value s v = s.values.(v)
+let cost s = s.total_cost
+let violated_soft s = s.violated
+
+exception Found_infeasible
+
+exception Good_enough
+
+let solve ?(node_budget = 200_000) ?(good_enough = min_int) p =
+  p.nodes <- 0;
+  let n = p.nvars in
+  let assignment = Array.make (max n 1) Value.Null in
+  let assigned = Array.make (max n 1) false in
+  let lookup v =
+    if assigned.(v) then assignment.(v) else raise Found_infeasible
+  in
+  (* A constraint is decided when all scope vars are assigned. *)
+  let check_decided c =
+    match c.pred lookup with
+    | ok -> Some ok
+    | exception Found_infeasible -> None
+  in
+  let constraints = Array.of_list (List.rev p.constraints) in
+  (* Per-variable constraint index for quick relevance tests. *)
+  let relevant = Array.make (max n 1) [] in
+  Array.iter
+    (fun c -> List.iter (fun v -> relevant.(v) <- c :: relevant.(v)) c.scope)
+    constraints;
+  let best : solution option ref = ref None in
+  let best_cost () = match !best with Some s -> s.total_cost | None -> max_int in
+  (* Penalty of soft constraints already fully decided + value costs of
+     assigned vars — a monotone lower bound on any completion. *)
+  let rec search depth lower_bound =
+    if p.nodes < node_budget then begin
+      p.nodes <- p.nodes + 1;
+      if lower_bound < best_cost () then begin
+        (* pick the unassigned var with the lowest priority class,
+           breaking ties by smallest domain (variables constrained by
+           the problem's focus come first, avoiding thrash on unrelated
+           variables deep in the tree) *)
+        let pick = ref (-1) in
+        let pick_key = ref (max_int, max_int) in
+        for v = 0 to n - 1 do
+          if not assigned.(v) then begin
+            let key = (p.priorities.(v), Array.length p.domains.(v)) in
+            if key < !pick_key then begin
+              pick := v;
+              pick_key := key
+            end
+          end
+        done;
+        if !pick < 0 then begin
+          (* complete assignment *)
+          let violated =
+            Array.to_list constraints
+            |> List.filter_map (fun c ->
+                   match (c.weight, check_decided c) with
+                   | Some _, Some false -> Some c.cname
+                   | _ -> None)
+          in
+          if
+            Array.for_all
+              (fun c ->
+                match (c.weight, check_decided c) with
+                | None, Some ok -> ok
+                | None, None -> false
+                | Some _, _ -> true)
+              constraints
+          then begin
+            let total = lower_bound in
+            if total < best_cost () then begin
+              best :=
+                Some { values = Array.copy assignment; total_cost = total; violated };
+              if total <= good_enough then raise Good_enough
+            end
+          end
+        end
+        else begin
+          let v = !pick in
+          (* order values by their cost, cheapest first *)
+          let values =
+            Array.to_list p.domains.(v)
+            |> List.map (fun value -> (p.value_costs.(v) value, value))
+            |> List.stable_sort (fun (c1, _) (c2, _) -> Int.compare c1 c2)
+          in
+          List.iter
+            (fun (vcost, value) ->
+              assignment.(v) <- value;
+              assigned.(v) <- true;
+              (* consistency of newly decided constraints + new penalty *)
+              let feasible = ref true in
+              let penalty = ref 0 in
+              List.iter
+                (fun c ->
+                  if List.for_all (fun w -> assigned.(w)) c.scope then
+                    (* newly decided iff v is the last assigned in scope *)
+                    match check_decided c with
+                    | Some ok ->
+                        if not ok then begin
+                          match c.weight with
+                          | None -> feasible := false
+                          | Some w ->
+                              (* charge only when v completes the scope *)
+                              let completes =
+                                List.for_all
+                                  (fun w' -> w' = v || assigned.(w'))
+                                  c.scope
+                              in
+                              if completes then penalty := !penalty + w
+                        end
+                    | None -> ())
+                (List.filter
+                   (fun c ->
+                     (* decided now, and v is in scope (so decided by this
+                        assignment, not earlier) *)
+                     List.mem v c.scope
+                     && List.for_all (fun w -> assigned.(w)) c.scope)
+                   relevant.(v));
+              if !feasible then search (depth + 1) (lower_bound + vcost + !penalty);
+              assigned.(v) <- false)
+            values
+        end
+      end
+    end
+  in
+  (try search 0 0 with Good_enough -> ());
+  !best
+
+let stats_nodes p = p.nodes

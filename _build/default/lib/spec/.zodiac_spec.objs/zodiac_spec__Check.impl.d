@@ -1,0 +1,1 @@
+lib/spec/check.ml: Buffer Char List Printf Stdlib String Zodiac_iac

@@ -1,0 +1,1 @@
+lib/spec/diagnose.ml: Check Eval List Printf Spec_printer String Zodiac_iac

@@ -1,0 +1,1 @@
+lib/spec/diagnose.mli: Check Eval Zodiac_iac

@@ -1,0 +1,1 @@
+lib/spec/eval.ml: Check Fun List String Zodiac_iac Zodiac_util

@@ -1,0 +1,1 @@
+lib/spec/spec_parser.ml: Array Check List Printf String Zodiac_iac

@@ -1,0 +1,1 @@
+lib/spec/spec_printer.ml: Check Format List Printf String Zodiac_iac

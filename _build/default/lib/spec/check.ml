@@ -1,0 +1,188 @@
+module Value = Zodiac_iac.Value
+module Graph = Zodiac_iac.Graph
+
+type binding = { var : string; btype : string }
+
+type endpoint = { var : string; attr : string }
+
+type cmp_op = Eq | Ne | Le | Ge | Lt | Gt
+
+type func = Overlap | Contain | Length
+
+type term =
+  | Const of Value.t
+  | Attr of endpoint
+  | Indeg of string * Graph.type_spec
+  | Outdeg of string * Graph.type_spec
+
+type expr =
+  | Conn of endpoint * endpoint
+  | Path of string * string
+  | Coconn of (endpoint * endpoint) * (endpoint * endpoint)
+  | Copath of (string * string) * (string * string)
+  | Cmp of cmp_op * term * term
+  | Func of func * term * term
+  | Not of expr
+  | And of expr list
+
+type category = Intra | Inter_no_agg | Inter_agg | Interpolated
+
+type source = Mined | Llm_interpolated | Authored
+
+type t = {
+  cid : string;
+  bindings : binding list;
+  cond : expr;
+  stmt : expr;
+  source : source;
+}
+
+(* Canonical rendering used only for digesting into a stable id. *)
+let tyspec_render = function
+  | Graph.Type ty -> ty
+  | Graph.Not_type ty -> "!" ^ ty
+
+let term_render = function
+  | Const v -> Value.to_string v
+  | Attr e -> Printf.sprintf "%s.%s" e.var e.attr
+  | Indeg (v, ty) -> Printf.sprintf "indeg(%s,%s)" v (tyspec_render ty)
+  | Outdeg (v, ty) -> Printf.sprintf "outdeg(%s,%s)" v (tyspec_render ty)
+
+let cmp_render = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Le -> "<="
+  | Ge -> ">="
+  | Lt -> "<"
+  | Gt -> ">"
+
+let func_render = function Overlap -> "overlap" | Contain -> "contain" | Length -> "length"
+
+let rec expr_render = function
+  | Conn (a, b) -> Printf.sprintf "conn(%s.%s->%s.%s)" a.var a.attr b.var b.attr
+  | Path (a, b) -> Printf.sprintf "path(%s->%s)" a b
+  | Coconn ((a, b), (c, d)) ->
+      Printf.sprintf "coconn(%s.%s->%s.%s,%s.%s->%s.%s)" a.var a.attr b.var b.attr
+        c.var c.attr d.var d.attr
+  | Copath ((a, b), (c, d)) -> Printf.sprintf "copath(%s->%s,%s->%s)" a b c d
+  | Cmp (op, t1, t2) ->
+      Printf.sprintf "%s%s%s" (term_render t1) (cmp_render op) (term_render t2)
+  | Func (f, t1, t2) ->
+      Printf.sprintf "%s(%s,%s)" (func_render f) (term_render t1) (term_render t2)
+  | Not e -> "!" ^ expr_render e
+  | And es -> String.concat "&&" (List.map expr_render es)
+
+let render c =
+  Printf.sprintf "let %s in %s => %s"
+    (String.concat ","
+       (List.map
+          (fun (b : binding) -> Printf.sprintf "%s:%s" b.var b.btype)
+          c.bindings))
+    (expr_render c.cond) (expr_render c.stmt)
+
+(* FNV-1a over the canonical rendering. *)
+let digest s =
+  let h = ref 0x3f29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  Printf.sprintf "c%08x" (!h land 0xFFFFFFFF)
+
+let make ?cid ?(source = Authored) bindings cond stmt =
+  let proto = { cid = ""; bindings; cond; stmt; source } in
+  let cid = match cid with Some id -> id | None -> digest (render proto) in
+  { proto with cid }
+
+let rec vars_of_expr_acc acc = function
+  | Conn (a, b) -> add a.var (add b.var acc)
+  | Path (a, b) -> add a (add b acc)
+  | Coconn ((a, b), (c, d)) -> add a.var (add b.var (add c.var (add d.var acc)))
+  | Copath ((a, b), (c, d)) -> add a (add b (add c (add d acc)))
+  | Cmp (_, t1, t2) | Func (_, t1, t2) -> term_vars (term_vars acc t1) t2
+  | Not e -> vars_of_expr_acc acc e
+  | And es -> List.fold_left vars_of_expr_acc acc es
+
+and term_vars acc = function
+  | Const _ -> acc
+  | Attr e -> add e.var acc
+  | Indeg (v, _) | Outdeg (v, _) -> add v acc
+
+and add v acc = if List.mem v acc then acc else acc @ [ v ]
+
+let vars_of_expr e = vars_of_expr_acc [] e
+
+let rec attrs_of_expr = function
+  | Conn (a, b) -> [ a; b ]
+  | Path _ | Copath _ -> []
+  | Coconn ((a, b), (c, d)) -> [ a; b; c; d ]
+  | Cmp (_, t1, t2) | Func (_, t1, t2) -> term_attrs t1 @ term_attrs t2
+  | Not e -> attrs_of_expr e
+  | And es -> List.concat_map attrs_of_expr es
+
+and term_attrs = function
+  | Const _ | Indeg _ | Outdeg _ -> []
+  | Attr e -> [ e ]
+
+let rec has_agg = function
+  | Cmp (_, t1, t2) | Func (_, t1, t2) -> term_agg t1 || term_agg t2
+  | Not e -> has_agg e
+  | And es -> List.exists has_agg es
+  | Conn _ | Path _ | Coconn _ | Copath _ -> false
+
+and term_agg = function Indeg _ | Outdeg _ -> true | Const _ | Attr _ -> false
+
+let category c =
+  if c.source = Llm_interpolated then Interpolated
+  else if has_agg c.cond || has_agg c.stmt then Inter_agg
+  else if List.length c.bindings <= 1 then Intra
+  else Inter_no_agg
+
+let binding_type c var =
+  List.find_map
+    (fun (b : binding) -> if String.equal b.var var then Some b.btype else None)
+    c.bindings
+
+(* Index variables are single letters inside brackets. *)
+let index_vars_of_path path =
+  let acc = ref [] in
+  let n = String.length path in
+  let i = ref 0 in
+  while !i < n do
+    if path.[!i] = '[' && !i + 2 < n && path.[!i + 2] = ']' then begin
+      let v = String.make 1 path.[!i + 1] in
+      if not (List.mem v !acc) then acc := v :: !acc;
+      i := !i + 3
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+let index_vars c =
+  let endpoints = attrs_of_expr c.cond @ attrs_of_expr c.stmt in
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc v -> if List.mem v acc then acc else acc @ [ v ])
+        acc
+        (index_vars_of_path e.attr))
+    [] endpoints
+
+let strip_indices path =
+  let buf = Buffer.create (String.length path) in
+  let n = String.length path in
+  let i = ref 0 in
+  while !i < n do
+    if path.[!i] = '[' && !i + 2 < n && path.[!i + 2] = ']' then i := !i + 3
+    else begin
+      Buffer.add_char buf path.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let equal a b =
+  a.bindings = b.bindings && a.cond = b.cond && a.stmt = b.stmt
+
+let compare a b = Stdlib.compare (render a) (render b)

@@ -1,0 +1,82 @@
+(** The semantic-check assertion language (Figure 4 of the paper).
+
+    A check is [let r1:t1, ..., rn:tn in cond => stmt]: for every
+    (injective) assignment of the bound variables to resources of the
+    declared types in an IaC graph, if [cond] holds then [stmt] must
+    hold.
+
+    Attribute paths may carry index variables ([rule\[i\].priority]);
+    these are implicitly universally quantified over the elements of the
+    traversed lists, which is how intra-resource checks over repeated
+    blocks (security rules, routes) are expressed. *)
+
+type binding = { var : string; btype : string }
+
+type endpoint = { var : string; attr : string }
+(** [r.attr] — [attr] is a dotted path, possibly with index variables. *)
+
+type cmp_op = Eq | Ne | Le | Ge | Lt | Gt
+
+type func = Overlap | Contain | Length
+
+type term =
+  | Const of Zodiac_iac.Value.t
+  | Attr of endpoint
+  | Indeg of string * Zodiac_iac.Graph.type_spec
+  | Outdeg of string * Zodiac_iac.Graph.type_spec
+
+type expr =
+  | Conn of endpoint * endpoint
+  | Path of string * string
+  | Coconn of (endpoint * endpoint) * (endpoint * endpoint)
+  | Copath of (string * string) * (string * string)
+  | Cmp of cmp_op * term * term
+  | Func of func * term * term
+      (** [Func (Length, t1, t2)] asserts the length of list/string [t1]
+          equals [t2]; [Overlap]/[Contain] operate on CIDR values. *)
+  | Not of expr
+  | And of expr list
+
+type category =
+  | Intra  (** single resource, attribute-only *)
+  | Inter_no_agg  (** multiple resources, no counting *)
+  | Inter_agg  (** uses indegree/outdegree *)
+  | Interpolated  (** quantitative check completed by the LLM oracle *)
+
+type source = Mined | Llm_interpolated | Authored
+
+type t = {
+  cid : string;  (** stable identifier *)
+  bindings : binding list;
+  cond : expr;
+  stmt : expr;
+  source : source;
+}
+
+val make : ?cid:string -> ?source:source -> binding list -> expr -> expr -> t
+(** When [cid] is omitted a digest of the printed form is used, so
+    structurally equal checks share an id. *)
+
+val category : t -> category
+(** Structural classification, with {!Llm_interpolated} provenance
+    taking precedence. *)
+
+val binding_type : t -> string -> string option
+(** Declared type of a bound variable. *)
+
+val vars_of_expr : expr -> string list
+(** Bound variables mentioned, without duplicates. *)
+
+val attrs_of_expr : expr -> endpoint list
+(** Every attribute endpoint mentioned in the expression. *)
+
+val index_vars : t -> string list
+(** Index variables (e.g. ["i"; "j"]) appearing in attribute paths. *)
+
+val strip_indices : string -> string
+(** Remove ["\[i\]"] markers from an attribute path. *)
+
+val equal : t -> t -> bool
+(** Structural equality of bindings/cond/stmt (ignores id and source). *)
+
+val compare : t -> t -> int

@@ -1,0 +1,89 @@
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Graph = Zodiac_iac.Graph
+
+type t = {
+  check : Check.t;
+  assignment : Eval.assignment;
+  bindings : (string * string) list;
+  explanation : string;
+}
+
+(* Render a term together with its actual value under the assignment. *)
+let term_with_value ?defaults graph env ienv term =
+  let value = Eval.term_value ?defaults graph env ienv term in
+  match term with
+  | Check.Const _ -> Value.to_string value
+  | Check.Attr { Check.var; attr } ->
+      Printf.sprintf "%s.%s = %s" var attr (Value.to_string value)
+  | Check.Indeg (var, ty) ->
+      Printf.sprintf "indegree(%s, %s) = %s" var
+        (match ty with Graph.Type t -> t | Graph.Not_type t -> "!" ^ t)
+        (Value.to_string value)
+  | Check.Outdeg (var, ty) ->
+      Printf.sprintf "outdegree(%s, %s) = %s" var
+        (match ty with Graph.Type t -> t | Graph.Not_type t -> "!" ^ t)
+        (Value.to_string value)
+
+let cmp_expectation = function
+  | Check.Eq -> "expected them to be equal"
+  | Check.Ne -> "expected them to differ"
+  | Check.Le -> "expected the first to be at most the second"
+  | Check.Ge -> "expected the first to be at least the second"
+  | Check.Lt -> "expected the first to be below the second"
+  | Check.Gt -> "expected the first to be above the second"
+
+(* Explain the (sub)expression that actually fails. *)
+let rec explain ?defaults graph env ienv expr =
+  let eval e = Eval.eval_expr ?defaults graph env ienv e in
+  let tv t = term_with_value ?defaults graph env ienv t in
+  match expr with
+  | Check.And es -> (
+      match List.find_opt (fun e -> not (eval e)) es with
+      | Some failing -> explain ?defaults graph env ienv failing
+      | None -> "all conjuncts hold")
+  | Check.Not inner ->
+      Printf.sprintf "%s — but it must not"
+        (match inner with
+        | Check.Func (Check.Overlap, t1, t2) ->
+            Printf.sprintf "%s overlaps %s" (tv t1) (tv t2)
+        | _ -> Printf.sprintf "%s holds" (Spec_printer.expr_to_string inner))
+  | Check.Cmp (op, t1, t2) ->
+      Printf.sprintf "%s; %s — %s" (tv t1) (tv t2) (cmp_expectation op)
+  | Check.Func (Check.Overlap, t1, t2) ->
+      Printf.sprintf "%s and %s do not overlap — expected overlap" (tv t1) (tv t2)
+  | Check.Func (Check.Contain, t1, t2) ->
+      Printf.sprintf "%s does not contain %s" (tv t1) (tv t2)
+  | Check.Func (Check.Length, t1, t2) ->
+      Printf.sprintf "%s does not have length %s" (tv t1) (tv t2)
+  | Check.Conn (a, b) ->
+      Printf.sprintf "no connection %s.%s -> %s.%s" a.Check.var a.Check.attr b.Check.var
+        b.Check.attr
+  | Check.Path (a, b) -> Printf.sprintf "no path from %s to %s" a b
+  | Check.Coconn _ | Check.Copath _ ->
+      Printf.sprintf "the topology pattern %s is absent"
+        (Spec_printer.expr_to_string expr)
+
+let violation ?defaults graph check assignment =
+  let bindings =
+    List.map (fun (var, id) -> (var, Resource.id_to_string id)) assignment
+  in
+  let explanation =
+    match Eval.violating_index_env ?defaults graph check assignment with
+    | Some ienv -> explain ?defaults graph assignment ienv check.Check.stmt
+    | None -> explain ?defaults graph assignment [] check.Check.stmt
+  in
+  { check; assignment; bindings; explanation }
+
+let all ?defaults graph check =
+  List.map (violation ?defaults graph check) (Eval.violations ?defaults graph check)
+
+let to_string t =
+  String.concat "\n"
+    ([
+       Printf.sprintf "violated: %s" (Spec_printer.to_string t.check);
+       Printf.sprintf "  where %s"
+         (String.concat ", "
+            (List.map (fun (var, id) -> Printf.sprintf "%s = %s" var id) t.bindings));
+     ]
+    @ [ Printf.sprintf "  because %s" t.explanation ])

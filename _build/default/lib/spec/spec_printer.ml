@@ -1,0 +1,73 @@
+module Value = Zodiac_iac.Value
+module Graph = Zodiac_iac.Graph
+
+let value_to_string = function
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> Printf.sprintf "'%s'" s
+  | (Value.List _ | Value.Block _ | Value.Ref _) as v -> Value.to_string v
+
+let tyspec_to_string = function
+  | Graph.Type ty -> ty
+  | Graph.Not_type ty -> "!" ^ ty
+
+let term_to_string = function
+  | Check.Const v -> value_to_string v
+  | Check.Attr e -> Printf.sprintf "%s.%s" e.Check.var e.Check.attr
+  | Check.Indeg (v, ty) -> Printf.sprintf "indegree(%s, %s)" v (tyspec_to_string ty)
+  | Check.Outdeg (v, ty) -> Printf.sprintf "outdegree(%s, %s)" v (tyspec_to_string ty)
+
+let cmp_to_string = function
+  | Check.Eq -> "=="
+  | Check.Ne -> "!="
+  | Check.Le -> "<="
+  | Check.Ge -> ">="
+  | Check.Lt -> "<"
+  | Check.Gt -> ">"
+
+let func_to_string = function
+  | Check.Overlap -> "overlap"
+  | Check.Contain -> "contain"
+  | Check.Length -> "length"
+
+let endpoint_to_string (e : Check.endpoint) = Printf.sprintf "%s.%s" e.var e.attr
+
+let rec expr_to_string = function
+  | Check.Conn (a, b) ->
+      Printf.sprintf "conn(%s -> %s)" (endpoint_to_string a) (endpoint_to_string b)
+  | Check.Path (a, b) -> Printf.sprintf "path(%s -> %s)" a b
+  | Check.Coconn ((a, b), (c, d)) ->
+      Printf.sprintf "coconn(%s -> %s, %s -> %s)" (endpoint_to_string a)
+        (endpoint_to_string b) (endpoint_to_string c) (endpoint_to_string d)
+  | Check.Copath ((a, b), (c, d)) ->
+      Printf.sprintf "copath(%s -> %s, %s -> %s)" a b c d
+  | Check.Cmp (op, t1, t2) ->
+      Printf.sprintf "%s %s %s" (term_to_string t1) (cmp_to_string op)
+        (term_to_string t2)
+  | Check.Func (f, t1, t2) ->
+      Printf.sprintf "%s(%s, %s)" (func_to_string f) (term_to_string t1)
+        (term_to_string t2)
+  | Check.Not e -> "!" ^ expr_to_string e
+  | Check.And es -> String.concat " && " (List.map expr_to_string es)
+
+let to_string (c : Check.t) =
+  Printf.sprintf "let %s in %s => %s"
+    (String.concat ", "
+       (List.map
+          (fun (b : Check.binding) -> Printf.sprintf "%s:%s" b.var b.btype)
+          c.bindings))
+    (expr_to_string c.cond) (expr_to_string c.stmt)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let category_to_string = function
+  | Check.Intra -> "intra-resource"
+  | Check.Inter_no_agg -> "inter w/o agg"
+  | Check.Inter_agg -> "inter w/ agg"
+  | Check.Interpolated -> "interpolation"
+
+let describe c =
+  Printf.sprintf "[%s|%s] %s" c.Check.cid
+    (category_to_string (Check.category c))
+    (to_string c)

@@ -1,0 +1,91 @@
+type t = { net : int; prefix : int }
+
+let mask prefix = if prefix <= 0 then 0 else 0xFFFFFFFF lsl (32 - prefix) land 0xFFFFFFFF
+
+let normalize net prefix =
+  let prefix = max 0 (min 32 prefix) in
+  { net = net land mask prefix; prefix }
+
+let v a b c d prefix =
+  let octet x = x land 0xFF in
+  normalize ((octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d) prefix
+
+let of_string s =
+  let addr_part, prefix_part =
+    match String.index_opt s '/' with
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (s, "32")
+  in
+  let octets = String.split_on_char '.' addr_part in
+  let parse_octet o =
+    match int_of_string_opt o with
+    | Some v when v >= 0 && v <= 255 -> Some v
+    | _ -> None
+  in
+  match (octets, int_of_string_opt prefix_part) with
+  | [ a; b; c; d ], Some p when p >= 0 && p <= 32 -> (
+      match (parse_octet a, parse_octet b, parse_octet c, parse_octet d) with
+      | Some a, Some b, Some c, Some d -> Some (v a b c d p)
+      | _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Cidr.of_string_exn: %S" s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d/%d"
+    ((t.net lsr 24) land 0xFF)
+    ((t.net lsr 16) land 0xFF)
+    ((t.net lsr 8) land 0xFF)
+    (t.net land 0xFF) t.prefix
+
+let prefix_len t = t.prefix
+
+let network t = t.net
+
+let size t = 1 lsl (32 - t.prefix)
+
+let contains outer inner =
+  outer.prefix <= inner.prefix && inner.net land mask outer.prefix = outer.net
+
+let overlap a b = contains a b || contains b a
+
+let equal a b = a.net = b.net && a.prefix = b.prefix
+
+let compare a b =
+  match Int.compare a.net b.net with 0 -> Int.compare a.prefix b.prefix | c -> c
+
+let adjacent t =
+  if t.prefix = 0 then t
+  else
+    let step = size t in
+    let sibling = t.net lxor step in
+    if sibling land 0xFFFFFFFF = sibling && sibling >= 0 then normalize sibling t.prefix
+    else normalize (t.net - step) t.prefix
+
+let nth_subnet t p i =
+  if p < t.prefix || p > 32 then None
+  else
+    let step = 1 lsl (32 - p) in
+    let count = 1 lsl (p - t.prefix) in
+    if i < 0 || i >= count then None else Some (normalize (t.net + (i * step)) p)
+
+let subdivide t p =
+  if p <= t.prefix then [ t ]
+  else
+    let count = min 256 (1 lsl (min 30 (p - t.prefix))) in
+    List.init count (fun i ->
+        match nth_subnet t p i with
+        | Some s -> s
+        | None -> assert false)
+
+let disjoint_within parent p n =
+  let blocks = subdivide parent p in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take n blocks

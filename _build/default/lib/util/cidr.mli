@@ -1,0 +1,60 @@
+(** IPv4 CIDR arithmetic.
+
+    Semantic checks over IaC programs frequently constrain address space
+    ("subnets of a VPC must not overlap", "peered VPCs use disjoint
+    ranges"), and negative test generation must mutate CIDR values to
+    adjacent ranges of the same prefix length. This module provides exact
+    prefix arithmetic on IPv4 blocks. *)
+
+type t
+(** A CIDR block, normalized: host bits below the prefix are zero. *)
+
+val v : int -> int -> int -> int -> int -> t
+(** [v a b c d prefix] builds [a.b.c.d/prefix]. Octets are masked to
+    8 bits, prefix clamped to [\[0,32\]], host bits cleared. *)
+
+val of_string : string -> t option
+(** Parse ["10.0.0.0/16"]. [None] on malformed input. A bare address
+    parses as a /32. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val prefix_len : t -> int
+(** Prefix length in [\[0,32\]]. *)
+
+val network : t -> int
+(** Network address as a 32-bit unsigned value in an OCaml int. *)
+
+val size : t -> int
+(** Number of addresses covered, [2^(32-prefix)]. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner] — every address of [inner] lies in [outer]. *)
+
+val overlap : t -> t -> bool
+(** The two blocks share at least one address. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Order by network address, then prefix length. *)
+
+val adjacent : t -> t
+(** The neighbouring block of the same prefix length (sibling within the
+    parent block when one exists, otherwise the previous block). Used to
+    minimally mutate a CIDR value. *)
+
+val subdivide : t -> int -> t list
+(** [subdivide t p] splits [t] into blocks of prefix length [p >=
+    prefix_len t]. Returns [\[t\]] when [p <= prefix_len t]. The list is
+    capped at 256 blocks to bound enumeration. *)
+
+val nth_subnet : t -> int -> int -> t option
+(** [nth_subnet t p i] is the [i]-th /p block inside [t], if it exists. *)
+
+val disjoint_within : t -> int -> int -> t list
+(** [disjoint_within parent p n] carves up to [n] pairwise-disjoint /p
+    blocks out of [parent]. *)

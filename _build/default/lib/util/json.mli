@@ -1,0 +1,39 @@
+(** Minimal self-contained JSON representation.
+
+    Terraform compiles HCL programs into JSON deployment plans; several
+    Zodiac components (the plan format, baseline checkers, the KB dump)
+    exchange data in JSON. No external JSON library is assumed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} on malformed input, with a human message. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default false) adds newlines and 2-space indent. *)
+
+val of_string : string -> t
+(** Parse a JSON document. @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t
+(** [member key json] is the value bound to [key] in an object, or [Null]
+    when absent or when [json] is not an object. *)
+
+val to_list : t -> t list
+(** The elements of a [List], or [] for any other constructor. *)
+
+val string_value : t -> string option
+(** [Some s] when the value is a [String]. *)
+
+val int_value : t -> int option
+(** [Some i] when the value is an [Int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality with object keys order-sensitive. *)

@@ -1,0 +1,27 @@
+(** ASCII table rendering for experiment reports.
+
+    The benchmark harness regenerates every table and figure of the paper
+    as text; this module renders aligned tables and simple horizontal bar
+    charts so the output is directly comparable to the paper. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] draws a boxed table with column widths fitted
+    to content. Rows shorter than the header are padded with blanks. *)
+
+val bar_chart :
+  ?width:int -> title:string -> (string * float) list -> string
+(** [bar_chart ~title series] renders one horizontal bar per entry,
+    scaled so the largest value spans [width] (default 50) cells. *)
+
+val grouped_bars :
+  ?width:int ->
+  title:string ->
+  group_names:string list ->
+  (string * float list) list ->
+  string
+(** [grouped_bars ~title ~group_names rows] renders, for each row label,
+    one bar per group (used for the w/- and w/o-KB comparison of
+    Figure 7a). *)
+
+val section : string -> string
+(** A visually distinct section banner. *)

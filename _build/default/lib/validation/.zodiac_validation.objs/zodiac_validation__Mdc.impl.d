@@ -1,0 +1,1 @@
+lib/validation/mdc.ml: List Zodiac_azure Zodiac_iac

@@ -1,0 +1,1 @@
+lib/validation/mdc.mli: Zodiac_iac

@@ -1,0 +1,1 @@
+lib/validation/mutation.ml: Hashtbl Int List Mdc Option Printf String Testcase Zodiac_azure Zodiac_cloud Zodiac_iac Zodiac_kb Zodiac_solver Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+lib/validation/mutation.mli: Testcase Zodiac_iac Zodiac_kb Zodiac_spec

@@ -1,0 +1,1 @@
+lib/validation/scheduler.ml: Hashtbl Int List Mdc Mutation Option String Testcase Zodiac_cloud Zodiac_iac Zodiac_kb Zodiac_spec

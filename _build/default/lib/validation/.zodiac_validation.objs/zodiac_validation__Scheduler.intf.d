@@ -1,0 +1,1 @@
+lib/validation/scheduler.mli: Zodiac_iac Zodiac_kb Zodiac_spec

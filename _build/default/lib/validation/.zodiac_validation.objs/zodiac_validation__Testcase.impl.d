@@ -1,0 +1,1 @@
+lib/validation/testcase.ml: Int List Mdc String Zodiac_cloud Zodiac_iac Zodiac_spec

@@ -1,0 +1,1 @@
+lib/validation/testcase.mli: Zodiac_iac Zodiac_spec

@@ -1,0 +1,26 @@
+module Program = Zodiac_iac.Program
+module Resource = Zodiac_iac.Resource
+module Graph = Zodiac_iac.Graph
+module Catalog = Zodiac_azure.Catalog
+
+let prune prog ~keep =
+  let graph = Graph.build prog in
+  let closure =
+    List.concat_map (fun id -> id :: Graph.reachable_from graph id) keep
+  in
+  Program.filter
+    (fun r ->
+      let id = Resource.id r in
+      List.exists (Resource.equal_id id) closure)
+    prog
+
+type sizes = { attended : int; unattended : int }
+
+let measure prog =
+  List.fold_left
+    (fun acc r ->
+      if Catalog.find r.Resource.rtype = None then
+        { acc with unattended = acc.unattended + 1 }
+      else { acc with attended = acc.attended + 1 })
+    { attended = 0; unattended = 0 }
+    (Program.resources prog)

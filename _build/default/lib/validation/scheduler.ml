@@ -1,0 +1,369 @@
+module Program = Zodiac_iac.Program
+module Graph = Zodiac_iac.Graph
+module Check = Zodiac_spec.Check
+module Eval = Zodiac_spec.Eval
+module Kb = Zodiac_kb.Kb
+module Arm = Zodiac_cloud.Arm
+
+type deploy = Program.t -> bool
+
+type iteration = {
+  iter : int;
+  fp_deployable : int;
+  fp_unsat : int;
+  fp_no_instance : int;
+  tp_single : int;
+  tp_group : int;
+  remaining : int;
+}
+
+type verdict =
+  | Validated of { group : string list }
+  | Falsified of [ `Deployable | `Unsat | `No_instance | `Stalled ]
+
+type result = {
+  validated : Check.t list;
+  falsified : (Check.t * verdict) list;
+  iterations : iteration list;
+  deployments : int;
+}
+
+type config = {
+  handle_indistinct : bool;
+  use_partial_order : bool;
+  max_iterations : int;
+  tp_limit : int;
+}
+
+let default_config =
+  { handle_indistinct = true; use_partial_order = true; max_iterations = 8; tp_limit = 2 }
+
+(* --- evaluation partial order (O4) ---------------------------------- *)
+
+(* Types referenced by others deploy first; a check's rank is the
+   highest rank among its bound types, and lower ranks are evaluated
+   first. *)
+let type_ranks kb =
+  let ranks : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rank ty = Option.value ~default:0 (Hashtbl.find_opt ranks ty) in
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed && !guard < 64 do
+    changed := false;
+    incr guard;
+    List.iter
+      (fun (k : Kb.conn_kind) ->
+        let wanted = rank k.Kb.dst_type + 1 in
+        if rank k.Kb.src_type < wanted then begin
+          Hashtbl.replace ranks k.Kb.src_type wanted;
+          changed := true
+        end)
+      (Kb.conn_kinds kb)
+  done;
+  rank
+
+let check_rank rank (c : Check.t) =
+  List.fold_left (fun acc (b : Check.binding) -> max acc (rank b.Check.btype)) 0 c.Check.bindings
+
+(* --- main loop ------------------------------------------------------ *)
+
+type state = {
+  mutable rc : Check.t list;
+  mutable rv : Check.t list;
+  mutable falsified : (Check.t * verdict) list;
+  mutable deployments : int;
+  tp_cache : (string, Testcase.tp list) Hashtbl.t;
+  index : Testcase.index;
+}
+
+let cids checks = List.map (fun (c : Check.t) -> c.Check.cid) checks
+
+let find_tps st ~corpus:_ ~limit (c : Check.t) =
+  match Hashtbl.find_opt st.tp_cache c.Check.cid with
+  | Some tps -> tps
+  | None ->
+      let tps = Testcase.find_indexed ~limit ~index:st.index c in
+      Hashtbl.replace st.tp_cache c.Check.cid tps;
+      tps
+
+let remove_from_rc st cid =
+  st.rc <- List.filter (fun (c : Check.t) -> not (String.equal c.Check.cid cid)) st.rc
+
+let mutate _st ~kb ~donors ~target ~hard ~soft tp =
+  Mutation.negative ~kb ~donors ~target ~hard ~soft tp
+
+(* Union-find style grouping of mutually-inseparable checks. *)
+let compute_groups st ~kb ~donors ~corpus ~tp_limit =
+  let rn_of (c : Check.t) =
+    match find_tps st ~corpus ~limit:tp_limit c with
+    | [] -> []
+    | tp :: _ -> (
+        let soft =
+          List.filter (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid)) st.rc
+        in
+        match mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp with
+        | None -> []
+        | Some res -> c.Check.cid :: res.Mutation.violated_soft)
+  in
+  let rns = List.map (fun c -> (c, rn_of c)) st.rc in
+  let mutual (c1 : Check.t) (c2 : Check.t) =
+    let rn1 = try List.assq c1 rns with Not_found -> [] in
+    let rn2 = try List.assq c2 rns with Not_found -> [] in
+    List.mem c2.Check.cid rn1 && List.mem c1.Check.cid rn2
+  in
+  (* build candidate groups by transitive closure of mutuality *)
+  let groups = ref [] in
+  List.iter
+    (fun c ->
+      let joined = ref false in
+      groups :=
+        List.map
+          (fun group ->
+            if (not !joined) && List.exists (mutual c) group then begin
+              joined := true;
+              c :: group
+            end
+            else group)
+          !groups;
+      if not !joined then
+        let mates = List.filter (fun c' -> c' != c && mutual c c') st.rc in
+        if mates <> [] then groups := (c :: mates) :: !groups)
+    st.rc;
+  (* refine: a member is separable if some t_p admits a t_n conforming
+     to all other group members (hard) *)
+  let refined =
+    List.map
+      (fun group ->
+        List.filter
+          (fun (c : Check.t) ->
+            let others =
+              List.filter
+                (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
+                group
+            in
+            let separable =
+              List.exists
+                (fun tp ->
+                  match
+                    mutate st ~kb ~donors ~target:c ~hard:(st.rv @ others) ~soft:[] tp
+                  with
+                  | Some _ -> true
+                  | None -> false)
+                (find_tps st ~corpus ~limit:tp_limit c)
+            in
+            not separable)
+          group)
+      !groups
+  in
+  List.filter (fun g -> List.length g >= 2) refined
+
+let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
+  let donors =
+    List.filteri (fun i _ -> i < 200) corpus
+  in
+  let st =
+    {
+      rc = candidates;
+      rv = [];
+      falsified = [];
+      deployments = 0;
+      tp_cache = Hashtbl.create 256;
+      index = Testcase.index corpus;
+    }
+  in
+  let rank = type_ranks kb in
+  let order checks =
+    if config.use_partial_order then
+      List.stable_sort
+        (fun c1 c2 -> Int.compare (check_rank rank c1) (check_rank rank c2))
+        checks
+    else checks
+  in
+  st.rc <- order st.rc;
+  let deploy_count prog =
+    st.deployments <- st.deployments + 1;
+    deploy prog
+  in
+  let iterations = ref [] in
+  let iter_no = ref 0 in
+  let progress = ref true in
+  while st.rc <> [] && !progress && !iter_no < config.max_iterations do
+    incr iter_no;
+    let fp_deployable = ref 0 in
+    let fp_unsat = ref 0 in
+    let fp_no_instance = ref 0 in
+    let tp_single = ref 0 in
+    let tp_group = ref 0 in
+    (* ---- false positive removal pass ---- *)
+    List.iter
+      (fun (c : Check.t) ->
+        if List.exists (fun (c' : Check.t) -> c' == c) st.rc then begin
+          match find_tps st ~corpus ~limit:config.tp_limit c with
+          | [] ->
+              remove_from_rc st c.Check.cid;
+              st.falsified <- (c, Falsified `No_instance) :: st.falsified;
+              incr fp_no_instance
+          | tps -> (
+              let soft =
+                List.filter
+                  (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
+                  st.rc
+              in
+              let results =
+                List.filter_map
+                  (fun tp ->
+                    mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp)
+                  tps
+              in
+              match results with
+              | [] ->
+                  remove_from_rc st c.Check.cid;
+                  st.falsified <- (c, Falsified `Unsat) :: st.falsified;
+                  incr fp_unsat
+              | res :: _ ->
+                  if deploy_count res.Mutation.program then begin
+                    (* deployable: c and every violated candidate are FPs *)
+                    let victims =
+                      c.Check.cid :: res.Mutation.violated_soft
+                      |> List.filter (fun cid ->
+                             List.exists
+                               (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                               st.rc)
+                    in
+                    List.iter
+                      (fun cid ->
+                        match
+                          List.find_opt
+                            (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                            st.rc
+                        with
+                        | Some victim ->
+                            remove_from_rc st cid;
+                            st.falsified <-
+                              (victim, Falsified `Deployable) :: st.falsified;
+                            incr fp_deployable
+                        | None -> ())
+                      victims
+                  end)
+        end)
+      (order st.rc);
+    (* ---- indistinguishable groups (O3) ---- *)
+    let groups =
+      if config.handle_indistinct then
+        compute_groups st ~kb ~donors ~corpus ~tp_limit:config.tp_limit
+      else []
+    in
+    let group_of (cid : string) =
+      List.find_opt
+        (fun g -> List.exists (fun (c : Check.t) -> String.equal c.Check.cid cid) g)
+        groups
+    in
+    (* ---- true positive validation pass ---- *)
+    List.iter
+      (fun (c : Check.t) ->
+        if List.exists (fun (c' : Check.t) -> c' == c) st.rc then begin
+          match find_tps st ~corpus ~limit:config.tp_limit c with
+          | [] -> ()
+          | tp :: _ -> (
+              let soft =
+                List.filter
+                  (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
+                  st.rc
+              in
+              match mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp with
+              | None -> ()
+              | Some res ->
+                  if not (deploy_count res.Mutation.program) then begin
+                    let rn =
+                      c.Check.cid
+                      :: List.filter
+                           (fun cid ->
+                             List.exists
+                               (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                               st.rc)
+                           res.Mutation.violated_soft
+                    in
+                    if List.length rn = 1 then begin
+                      remove_from_rc st c.Check.cid;
+                      st.rv <- c :: st.rv;
+                      incr tp_single
+                    end
+                    else
+                      match group_of c.Check.cid with
+                      | Some group
+                        when List.for_all
+                               (fun cid ->
+                                 List.exists
+                                   (fun (g : Check.t) -> String.equal g.Check.cid cid)
+                                   group)
+                               rn ->
+                          (* validate every member of R_n together *)
+                          List.iter
+                            (fun cid ->
+                              match
+                                List.find_opt
+                                  (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                                  st.rc
+                              with
+                              | Some mate ->
+                                  remove_from_rc st cid;
+                                  st.rv <- mate :: st.rv;
+                                  incr tp_group
+                              | None -> ())
+                            rn
+                      | Some _ | None -> ()
+                  end)
+        end)
+      (order st.rc);
+    let made_progress =
+      !fp_deployable + !fp_unsat + !fp_no_instance + !tp_single + !tp_group > 0
+    in
+    progress := made_progress;
+    iterations :=
+      {
+        iter = !iter_no;
+        fp_deployable = !fp_deployable;
+        fp_unsat = !fp_unsat;
+        fp_no_instance = !fp_no_instance;
+        tp_single = !tp_single;
+        tp_group = !tp_group;
+        remaining = List.length st.rc;
+      }
+      :: !iterations
+  done;
+  (* whatever is left could not be resolved *)
+  List.iter
+    (fun (c : Check.t) -> st.falsified <- (c, Falsified `Stalled) :: st.falsified)
+    st.rc;
+  {
+    validated = List.rev st.rv;
+    falsified = List.rev st.falsified;
+    iterations = List.rev !iterations;
+    deployments = st.deployments;
+  }
+
+let counterexample_pass ~corpus ~deploy validated =
+  let defaults = Arm.defaults in
+  let kept, exposed =
+    List.partition
+      (fun (c : Check.t) ->
+        (* look for a corpus program violating c that still deploys *)
+        let counterexample =
+          List.exists
+            (fun (_, prog) ->
+              let graph = Graph.build prog in
+              match Eval.violations ~defaults graph c with
+              | [] -> false
+              | violation :: _ ->
+                  let mdc = Mdc.prune prog ~keep:(List.map snd violation) in
+                  let mdc_graph = Graph.build mdc in
+                  (not (Eval.holds ~defaults mdc_graph c)) && deploy mdc)
+            corpus
+        in
+        not counterexample)
+      validated
+  in
+  (kept, exposed)
+
+(* silence unused-warning for cids helper kept for debugging *)
+let _ = cids

@@ -1,0 +1,73 @@
+(** The end-to-end validation scheduling algorithm (Figure 5).
+
+    Iterates over the candidate set [R_c] with alternating passes until
+    it empties (or a pass makes no progress):
+
+    - {b false-positive removal}: for each candidate, generate a
+      negative test case that conforms to every validated check in
+      [R_v] (hard) while minimizing collateral violations of [R_c]
+      (soft). UNSAT means the candidate conflicts with ground truth and
+      is dropped; a {e deployable} negative test case falsifies the
+      candidate — and every other [R_c] check it violates.
+    - {b true-positive validation}: when the negative test case fails
+      to deploy, the candidate is validated if it is the only violated
+      candidate, or if the violated set lies within a pre-computed
+      {e indistinguishable group} (checks that can never be violated
+      separately, O3).
+
+    Candidates are processed in {e evaluation partial order} (O4):
+    checks over early-deploying resource types first, which defuses
+    reasoning loops between location-style checks.
+
+    Every pass is instrumented for the convergence plots of Figure 8. *)
+
+type deploy = Zodiac_iac.Program.t -> bool
+(** Deployment oracle: true iff the program deploys cleanly. *)
+
+type iteration = {
+  iter : int;
+  fp_deployable : int;  (** FPs removed because [t_n] deployed *)
+  fp_unsat : int;  (** FPs removed because no [t_n] exists *)
+  fp_no_instance : int;  (** FPs removed for lack of a positive witness *)
+  tp_single : int;  (** validated with a single violation *)
+  tp_group : int;  (** validated through an indistinguishable group *)
+  remaining : int;  (** |R_c| after the iteration *)
+}
+
+type verdict =
+  | Validated of { group : string list }
+      (** cids validated together (singleton for a lone check) *)
+  | Falsified of
+      [ `Deployable | `Unsat | `No_instance | `Stalled ]
+
+type result = {
+  validated : Zodiac_spec.Check.t list;
+  falsified : (Zodiac_spec.Check.t * verdict) list;
+  iterations : iteration list;
+  deployments : int;  (** total cloud deployments performed *)
+}
+
+type config = {
+  handle_indistinct : bool;  (** O3 (Figure 8b ablation) *)
+  use_partial_order : bool;  (** O4 *)
+  max_iterations : int;
+  tp_limit : int;  (** positive test cases considered per check *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  kb:Zodiac_kb.Kb.t ->
+  corpus:(string * Zodiac_iac.Program.t) list ->
+  deploy:deploy ->
+  Zodiac_spec.Check.t list ->
+  result
+
+val counterexample_pass :
+  corpus:(string * Zodiac_iac.Program.t) list ->
+  deploy:deploy ->
+  Zodiac_spec.Check.t list ->
+  Zodiac_spec.Check.t list * Zodiac_spec.Check.t list
+(** §5.6: hunt for corpus programs that violate a validated check yet
+    deploy successfully. Returns (kept, exposed false positives). *)

@@ -1,0 +1,28 @@
+(** Positive test cases: corpus programs witnessing a candidate check
+    (its condition and statement both hold), pruned to a minimal
+    deployable configuration. *)
+
+type tp = {
+  program : Zodiac_iac.Program.t;  (** the MDC *)
+  original : Zodiac_iac.Program.t;  (** the un-pruned source program *)
+  witness : Zodiac_spec.Eval.assignment;
+  source : string;  (** project name *)
+}
+
+val find :
+  ?limit:int ->
+  corpus:(string * Zodiac_iac.Program.t) list ->
+  Zodiac_spec.Check.t ->
+  tp list
+(** Up to [limit] (default 3) positive test cases from distinct
+    projects, smallest MDC first. The MDC is re-checked to still
+    witness the check after pruning. *)
+
+type index
+(** A corpus with pre-built graphs and type signatures, so repeated
+    lookups don't rebuild graphs per (check, program) pair. *)
+
+val index : (string * Zodiac_iac.Program.t) list -> index
+
+val find_indexed :
+  ?limit:int -> index:index -> Zodiac_spec.Check.t -> tp list

@@ -1,0 +1,1 @@
+test/test_azure.ml: Alcotest List Printf String Zodiac_azure Zodiac_iac

@@ -1,0 +1,1 @@
+test/test_checkers.ml: Alcotest List Printf String Zodiac_checkers Zodiac_corpus Zodiac_iac

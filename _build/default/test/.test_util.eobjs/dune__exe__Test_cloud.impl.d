@@ -1,0 +1,1 @@
+test/test_cloud.ml: Alcotest List Option Printf Zodiac_cloud Zodiac_iac

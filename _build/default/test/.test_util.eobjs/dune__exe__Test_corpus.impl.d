@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List String Zodiac_azure Zodiac_cloud Zodiac_corpus Zodiac_iac Zodiac_util

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Filename List String Sys Zodiac Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+test/test_hcl.ml: Alcotest List String Zodiac Zodiac_azure Zodiac_hcl Zodiac_iac Zodiac_util

@@ -1,0 +1,1 @@
+test/test_iac.ml: Alcotest List String Zodiac_iac

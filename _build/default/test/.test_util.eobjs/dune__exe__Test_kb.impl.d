@@ -1,0 +1,1 @@
+test/test_kb.ml: Alcotest List Zodiac_corpus Zodiac_iac Zodiac_kb

@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Lazy List Printf String Zodiac_corpus Zodiac_kb Zodiac_mining Zodiac_spec

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest List String Zodiac_iac Zodiac_mining Zodiac_oracle Zodiac_spec

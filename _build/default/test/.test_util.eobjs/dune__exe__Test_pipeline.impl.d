@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Lazy List String Zodiac Zodiac_cloud Zodiac_corpus Zodiac_mining Zodiac_spec Zodiac_validation

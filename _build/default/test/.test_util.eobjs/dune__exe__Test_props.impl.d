@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Zodiac_cloud Zodiac_corpus Zodiac_iac Zodiac_solver Zodiac_spec Zodiac_util

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest List Printf Zodiac_iac Zodiac_solver

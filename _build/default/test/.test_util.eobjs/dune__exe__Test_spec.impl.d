@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest List String Zodiac_iac Zodiac_spec

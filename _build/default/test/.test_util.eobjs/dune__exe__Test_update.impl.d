@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest List Zodiac Zodiac_cloud Zodiac_iac

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Option Printf QCheck QCheck_alcotest String Zodiac_util

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Lazy List Printf Zodiac_cloud Zodiac_corpus Zodiac_iac Zodiac_kb Zodiac_mining Zodiac_spec Zodiac_validation

@@ -1,0 +1,496 @@
+(* Tests for the HCL subset: lexer, parser, printer, compiler. *)
+
+module Ast = Zodiac_hcl.Ast
+module Lexer = Zodiac_hcl.Lexer
+module Parser = Zodiac_hcl.Parser
+module Printer = Zodiac_hcl.Printer
+module Compile = Zodiac_hcl.Compile
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+
+let type_map = Zodiac_azure.Catalog.of_terraform
+
+let parse_ok src =
+  match Parser.parse_result src with
+  | Ok file -> file
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let compile_ok src =
+  match Compile.compile_string ~type_map src with
+  | Ok (prog, _) -> prog
+  | Error e -> Alcotest.failf "compile failed: %s" e
+
+(* ---------------- lexer --------------------------------------------- *)
+
+let test_lex_basics () =
+  let toks = Lexer.tokenize "a = 1\nb = \"x\"" in
+  Alcotest.(check int) "token count" 8 (List.length toks)
+(* a = 1 NL b = "x" EOF *)
+
+let test_lex_comments () =
+  let toks = Lexer.tokenize "# line\n// line2\n/* block\nspanning */ a" in
+  let idents =
+    List.filter (fun t -> match t.Lexer.tok with Lexer.Ident _ -> true | _ -> false) toks
+  in
+  Alcotest.(check int) "only ident a" 1 (List.length idents)
+
+let test_lex_string_escapes () =
+  match Lexer.tokenize {|x = "a\"b\nc"|} with
+  | [ _; _; { Lexer.tok = Lexer.Str [ Ast.Lit s ]; _ }; _ ] ->
+      Alcotest.(check string) "unescaped" "a\"b\nc" s
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lex_interpolation () =
+  match Lexer.tokenize {|x = "${azurerm_subnet.a.id}"|} with
+  | [ _; _; { Lexer.tok = Lexer.Str [ Ast.Interp segs ]; _ }; _ ] ->
+      Alcotest.(check (list string)) "traversal" [ "azurerm_subnet"; "a"; "id" ] segs
+  | _ -> Alcotest.fail "expected single interpolation"
+
+let test_lex_errors () =
+  List.iter
+    (fun src ->
+      match Lexer.tokenize src with
+      | exception Lexer.Lex_error _ -> ()
+      | _ -> Alcotest.failf "expected lex error for %S" src)
+    [ {|x = "unterminated|}; "x = @" ]
+
+let test_lex_negative_number () =
+  match Lexer.tokenize "x = -5" with
+  | [ _; _; { Lexer.tok = Lexer.Int_lit (-5); _ }; _ ] -> ()
+  | _ -> Alcotest.fail "expected -5"
+
+(* ---------------- parser -------------------------------------------- *)
+
+let test_parse_resource_block () =
+  let file =
+    parse_ok
+      {|
+resource "azurerm_subnet" "a" {
+  name = "frontend"
+  cidr = "10.0.1.0/24"
+}
+|}
+  in
+  match file with
+  | [ { Ast.btype = "resource"; labels = [ "azurerm_subnet"; "a" ]; body } ] ->
+      Alcotest.(check int) "two attrs" 2 (List.length body.Ast.battrs)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_nested_blocks () =
+  let file =
+    parse_ok
+      {|
+resource "t" "x" {
+  outer {
+    inner = true
+  }
+  outer {
+    inner = false
+  }
+}
+|}
+  in
+  match file with
+  | [ { Ast.body = { Ast.bblocks; _ }; _ } ] ->
+      Alcotest.(check int) "two nested" 2 (List.length bblocks)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_lists_and_maps () =
+  let file =
+    parse_ok
+      {|
+resource "t" "x" {
+  xs = [1, 2,
+        3]
+  m = { a = "b", c = 2 }
+  empty = []
+}
+|}
+  in
+  match file with
+  | [ { Ast.body = { Ast.battrs; _ }; _ } ] -> (
+      match List.assoc "xs" battrs with
+      | Ast.E_list items -> Alcotest.(check int) "3 items" 3 (List.length items)
+      | _ -> Alcotest.fail "xs not a list")
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_traversal () =
+  let file = parse_ok {|
+resource "t" "x" {
+  r = azurerm_subnet.a.id
+}
+|} in
+  match file with
+  | [ { Ast.body = { Ast.battrs = [ (_, Ast.E_traversal segs) ]; _ }; _ } ] ->
+      Alcotest.(check (list string)) "segments" [ "azurerm_subnet"; "a"; "id" ] segs
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_index_traversal () =
+  let file = parse_ok {|
+resource "t" "x" {
+  r = azurerm_x.a.ids[0]
+}
+|} in
+  match file with
+  | [ { Ast.body = { Ast.battrs = [ (_, Ast.E_traversal segs) ]; _ }; _ } ] ->
+      Alcotest.(check (list string)) "segments" [ "azurerm_x"; "a"; "ids"; "0" ] segs
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse_result src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse error for %S" src)
+    [
+      "resource {";
+      "resource \"a\" \"b\" { x = }";
+      "resource \"a\" \"b\" { x 1 }";
+      "= 3";
+    ]
+
+(* ---------------- printer roundtrip --------------------------------- *)
+
+let test_print_parse_roundtrip () =
+  let src =
+    {|
+resource "azurerm_virtual_network" "net" {
+  name          = "n"
+  address_space = ["10.0.0.0/16"]
+  tags          = { env = "prod" }
+}
+
+resource "azurerm_subnet" "s" {
+  name     = "x"
+  vpc_name = azurerm_virtual_network.net.name
+  cidr     = "10.0.1.0/24"
+  delegation {
+    name    = "d"
+    service = "Microsoft.Web/serverFarms"
+  }
+}
+|}
+  in
+  let file = parse_ok src in
+  let printed = Printer.file_to_string file in
+  let file2 = parse_ok printed in
+  (* compare through compilation, which normalizes formatting *)
+  let p1, _ = Compile.compile_file ~type_map file in
+  let p2, _ = Compile.compile_file ~type_map file2 in
+  Alcotest.(check bool) "same program" true (Program.equal p1 p2)
+
+(* ---------------- compile ------------------------------------------- *)
+
+let test_compile_references () =
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_virtual_network" "n" {
+  name = "vn"
+}
+resource "azurerm_subnet" "s" {
+  name     = "sub"
+  vpc_name = azurerm_virtual_network.n.name
+  cidr     = "10.0.0.0/24"
+}
+|}
+  in
+  match Program.find prog { Resource.rtype = "SUBNET"; rname = "s" } with
+  | Some r -> (
+      match Resource.get r "vpc_name" with
+      | Value.Ref { Value.rtype = "VPC"; rname = "n"; attr = "name" } -> ()
+      | v -> Alcotest.failf "unexpected %s" (Value.to_string v))
+  | None -> Alcotest.fail "subnet missing"
+
+let test_compile_interpolation_ref () =
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_subnet" "s" {
+  name     = "sub"
+  vpc_name = "${azurerm_virtual_network.n.name}"
+  cidr     = "10.0.0.0/24"
+}
+|}
+  in
+  match Program.resources prog with
+  | [ r ] -> (
+      match Resource.get r "vpc_name" with
+      | Value.Ref _ -> ()
+      | v -> Alcotest.failf "expected ref, got %s" (Value.to_string v))
+  | _ -> Alcotest.fail "one resource expected"
+
+let test_compile_variables () =
+  let prog =
+    compile_ok
+      {|
+variable "region" {
+  default = "eastus"
+}
+resource "azurerm_public_ip" "p" {
+  name     = "ip"
+  location = var.region
+  allocation = "Static"
+}
+|}
+  in
+  match Program.resources prog with
+  | [ r ] ->
+      Alcotest.(check bool) "substituted" true
+        (Resource.get r "location" = Value.Str "eastus")
+  | _ -> Alcotest.fail "one resource expected"
+
+let test_compile_unknown_type_diagnostic () =
+  match
+    Compile.compile_string ~type_map
+      {|
+resource "azurerm_something_new" "x" {
+  name = "n"
+}
+|}
+  with
+  | Ok (prog, diags) ->
+      Alcotest.(check int) "kept with literal type" 1 (Program.size prog);
+      Alcotest.(check bool) "diagnostic emitted" true (diags <> [])
+  | Error e -> Alcotest.failf "unexpected failure %s" e
+
+let test_compile_repeated_blocks_to_list () =
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_network_security_group" "sg" {
+  name = "n"
+  location = "eastus"
+  rule {
+    name = "a"
+    priority = 100
+  }
+  rule {
+    name = "b"
+    priority = 200
+  }
+}
+|}
+  in
+  match Program.resources prog with
+  | [ r ] -> (
+      match Resource.attr r "rule" with
+      | Some (Value.List items) -> Alcotest.(check int) "two rules" 2 (List.length items)
+      | _ -> Alcotest.fail "rule should be a list")
+  | _ -> Alcotest.fail "one resource expected"
+
+let test_compile_mixed_template_degrades () =
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_subnet" "s" {
+  name = "prefix-${azurerm_virtual_network.n.name}"
+  cidr = "10.0.0.0/24"
+  vpc_name = azurerm_virtual_network.n.name
+}
+|}
+  in
+  match Program.resources prog with
+  | [ r ] -> (
+      match Resource.get r "name" with
+      | Value.Str s ->
+          Alcotest.(check bool) "rendered textually" true
+            (String.length s > String.length "prefix-")
+      | v -> Alcotest.failf "expected string, got %s" (Value.to_string v))
+  | _ -> Alcotest.fail "one resource expected"
+
+let test_decompile_roundtrip () =
+  (* program -> HCL -> program is stable *)
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_network_interface" "nic" {
+  name     = "n"
+  location = "eastus"
+  ip_config {
+    name                  = "internal"
+    subnet_id             = azurerm_subnet.s.id
+    private_ip_allocation = "Dynamic"
+  }
+}
+resource "azurerm_subnet" "s" {
+  name = "sub"
+  cidr = "10.0.0.0/24"
+  vpc_name = "net"
+}
+|}
+  in
+  let hcl = Compile.program_to_hcl ~type_name:Zodiac_azure.Catalog.to_terraform prog in
+  let prog2 = compile_ok hcl in
+  Alcotest.(check bool) "stable" true (Program.equal prog prog2)
+
+(* ---------------- plan JSON ----------------------------------------- *)
+
+module Plan = Zodiac_hcl.Plan
+
+let tf_name = Zodiac_azure.Catalog.to_terraform
+
+let test_plan_roundtrip () =
+  let prog =
+    compile_ok
+      {|
+resource "azurerm_virtual_network" "n" {
+  name = "vn"
+  location = "eastus"
+  address_space = ["10.0.0.0/16"]
+}
+resource "azurerm_subnet" "s" {
+  name     = "sub"
+  vpc_name = azurerm_virtual_network.n.name
+  cidr     = "10.0.0.0/24"
+}
+resource "azurerm_linux_virtual_machine" "vm" {
+  name = "m"
+  location = "eastus"
+  sku = "Standard_B2s"
+  nic_ids = [azurerm_network_interface.a.id, azurerm_network_interface.b.id]
+  os_disk {
+    name = "osd"
+    caching = "ReadWrite"
+    storage_type = "Standard_LRS"
+  }
+}
+resource "azurerm_network_interface" "a" {
+  name = "a"
+  location = "eastus"
+  ip_config {
+    name = "c"
+    subnet_id = azurerm_subnet.s.id
+    private_ip_allocation = "Dynamic"
+  }
+}
+resource "azurerm_network_interface" "b" {
+  name = "b"
+  location = "eastus"
+  ip_config {
+    name = "c"
+    subnet_id = azurerm_subnet.s.id
+    private_ip_allocation = "Dynamic"
+  }
+}
+|}
+  in
+  let text = Plan.to_string ~type_name:tf_name prog in
+  match Plan.of_string ~type_map text with
+  | Ok prog2 ->
+      Alcotest.(check bool) "round trip" true (Program.equal prog prog2);
+      (* the resource graph survives *)
+      let g1 = Zodiac_iac.Graph.build prog in
+      let g2 = Zodiac_iac.Graph.build prog2 in
+      Alcotest.(check int) "same edges"
+        (List.length (Zodiac_iac.Graph.edges g1))
+        (List.length (Zodiac_iac.Graph.edges g2))
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_plan_shape () =
+  let prog = compile_ok {|
+resource "azurerm_public_ip" "p" {
+  name = "pip"
+  location = "eastus"
+  allocation = "Static"
+}
+|} in
+  let json = Plan.to_json ~type_name:tf_name prog in
+  let open Zodiac_util.Json in
+  (* terraform-shaped top level *)
+  Alcotest.(check (option string)) "format_version" (Some "1.2")
+    (string_value (member "format_version" json));
+  let planned =
+    member "planned_values" json |> member "root_module" |> member "resources"
+    |> to_list
+  in
+  Alcotest.(check int) "one planned resource" 1 (List.length planned);
+  Alcotest.(check (option string)) "address" (Some "azurerm_public_ip.p")
+    (string_value (member "address" (List.hd planned)))
+
+let test_plan_refs_null_in_values () =
+  let prog = compile_ok {|
+resource "azurerm_subnet" "s" {
+  name = "x"
+  cidr = "10.0.0.0/24"
+  vpc_name = azurerm_virtual_network.n.name
+}
+resource "azurerm_virtual_network" "n" {
+  name = "vn"
+  location = "eastus"
+  address_space = ["10.0.0.0/16"]
+}
+|} in
+  let json = Plan.to_json ~type_name:tf_name prog in
+  let open Zodiac_util.Json in
+  let subnet_values =
+    member "planned_values" json |> member "root_module" |> member "resources"
+    |> to_list
+    |> List.find (fun r -> string_value (member "name" r) = Some "s")
+    |> member "values"
+  in
+  Alcotest.(check bool) "reference unknown at plan time" true
+    (member "vpc_name" subnet_values = Null)
+
+let test_plan_rejects_garbage () =
+  match Plan.of_string ~type_map "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty plan accepted"
+
+let test_registry_examples_compile () =
+  List.iter
+    (fun src ->
+      match Zodiac.Registry.compile src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "registry example failed: %s" e)
+    [
+      Zodiac.Registry.appgw_assoc_buggy;
+      Zodiac.Registry.appgw_assoc_fixed;
+      Zodiac.Registry.mssql_db_buggy;
+      Zodiac.Registry.mssql_db_fixed;
+      Zodiac.Registry.quickstart_vm;
+    ]
+
+let () =
+  Alcotest.run "hcl"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lex_basics;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escapes;
+          Alcotest.test_case "interpolation" `Quick test_lex_interpolation;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "negative numbers" `Quick test_lex_negative_number;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "resource block" `Quick test_parse_resource_block;
+          Alcotest.test_case "nested blocks" `Quick test_parse_nested_blocks;
+          Alcotest.test_case "lists and maps" `Quick test_parse_lists_and_maps;
+          Alcotest.test_case "traversal" `Quick test_parse_traversal;
+          Alcotest.test_case "indexed traversal" `Quick test_parse_index_traversal;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "printer",
+        [ Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip ] );
+      ( "plan",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "terraform shape" `Quick test_plan_shape;
+          Alcotest.test_case "refs null in planned values" `Quick test_plan_refs_null_in_values;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_rejects_garbage;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "references" `Quick test_compile_references;
+          Alcotest.test_case "interpolated ref" `Quick test_compile_interpolation_ref;
+          Alcotest.test_case "variables" `Quick test_compile_variables;
+          Alcotest.test_case "unknown types" `Quick test_compile_unknown_type_diagnostic;
+          Alcotest.test_case "repeated blocks" `Quick test_compile_repeated_blocks_to_list;
+          Alcotest.test_case "mixed templates" `Quick test_compile_mixed_template_degrades;
+          Alcotest.test_case "decompile roundtrip" `Quick test_decompile_roundtrip;
+          Alcotest.test_case "registry examples" `Quick test_registry_examples_compile;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for the mining engine: templates, association statistics,
+   statistical filtering. *)
+
+module Generator = Zodiac_corpus.Generator
+module Kb = Zodiac_kb.Kb
+module Miner = Zodiac_mining.Miner
+module Filter = Zodiac_mining.Filter
+module Candidate = Zodiac_mining.Candidate
+module Templates = Zodiac_mining.Templates
+module Check = Zodiac_spec.Check
+module Printer = Zodiac_spec.Spec_printer
+
+let corpus =
+  lazy
+    (let projects = Generator.generate ~seed:101 ~count:500 () in
+     Miner.materialize (List.map (fun p -> p.Generator.program) projects))
+
+let kb = lazy (Kb.build ~projects:(Lazy.force corpus))
+
+let mined = lazy (Miner.mine (Lazy.force kb) (Lazy.force corpus))
+
+let find_check pattern =
+  List.find_opt
+    (fun (c : Candidate.t) ->
+      let s = Printer.to_string c.Candidate.check in
+      (* substring search *)
+      let n = String.length pattern and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = pattern || go (i + 1)) in
+      go 0)
+    (Lazy.force mined)
+
+(* ---------------- templates ------------------------------------------ *)
+
+let test_template_catalogue () =
+  Alcotest.(check bool) "25+ templates" true (Templates.count () >= 25);
+  let ids = List.map (fun t -> t.Templates.template_id) Templates.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun family ->
+      Alcotest.(check bool)
+        (Templates.family_to_string family ^ " non-empty")
+        true
+        (Templates.by_family family <> []))
+    [
+      Templates.F_intra; Templates.F_intra_indexed; Templates.F_inter;
+      Templates.F_inter_agg; Templates.F_interpolation;
+    ]
+
+(* ---------------- mining --------------------------------------------- *)
+
+let test_mining_volume () =
+  let n = List.length (Lazy.force mined) in
+  Alcotest.(check bool) "thousands of hypotheses" true (n > 2000)
+
+let test_mining_statistics_sane () =
+  List.iter
+    (fun (c : Candidate.t) ->
+      Alcotest.(check bool) "support positive" true (c.Candidate.support > 0);
+      Alcotest.(check bool) "confidence in [0,1]" true
+        (c.Candidate.confidence >= 0.0 && c.Candidate.confidence <= 1.0001);
+      Alcotest.(check bool) "lift nonneg" true (c.Candidate.lift >= 0.0))
+    (Lazy.force mined)
+
+let test_mining_dedup () =
+  let cids = List.map (fun c -> c.Candidate.check.Check.cid) (Lazy.force mined) in
+  Alcotest.(check int) "no duplicate checks" (List.length cids)
+    (List.length (List.sort_uniq compare cids))
+
+let test_finds_spot_evict () =
+  match find_check "r.priority == 'Spot' => r.evict_policy != null" with
+  | Some c ->
+      Alcotest.(check bool) "high confidence" true (c.Candidate.confidence > 0.9)
+  | None -> Alcotest.fail "VM spot/evict check not mined"
+
+let test_finds_location_consistency () =
+  Alcotest.(check bool) "VM/NIC location mined" true
+    (find_check "conn(r1.nic_ids -> r2.id) => r1.location == r2.location" <> None)
+
+let test_finds_path_location () =
+  (* NIC and VPC are two hops apart; only the path family can see it *)
+  match find_check "path(r1 -> r2) => r1.location == r2.location" with
+  | Some c ->
+      Alcotest.(check string) "template" "PATH-ATTR-EQ" c.Candidate.template_id
+  | None -> Alcotest.fail "path-based location agreement not mined" 
+
+let test_finds_reserved_subnet () =
+  Alcotest.(check bool) "firewall subnet name mined" true
+    (find_check "=> r2.name == 'AzureFirewallSubnet'" <> None)
+
+let test_finds_sibling_overlap () =
+  Alcotest.(check bool) "subnet overlap mined" true
+    (find_check "!overlap(r1.cidr, r2.cidr)" <> None)
+
+let test_finds_degree_template () =
+  Alcotest.(check bool) "outdegree template mined" true
+    (List.exists
+       (fun (c : Candidate.t) -> c.Candidate.template_id = "CONN-OUTDEG-ONE")
+       (Lazy.force mined))
+
+let test_interpolation_candidates_flagged () =
+  let interp =
+    List.filter (fun c -> c.Candidate.needs_interpolation) (Lazy.force mined)
+  in
+  Alcotest.(check bool) "interpolation queue non-empty" true (interp <> []);
+  List.iter
+    (fun (c : Candidate.t) ->
+      match Check.category c.Candidate.check with
+      | Check.Intra | Check.Inter_agg | Check.Interpolated | Check.Inter_no_agg -> ())
+    interp
+
+(* ---------------- KB ablation (Figure 7a) ---------------------------- *)
+
+let test_kb_reduces_candidates () =
+  let with_kb = Miner.intra_counts_by_type ~use_kb:true (Lazy.force kb) (Lazy.force corpus) in
+  let without_kb =
+    Miner.intra_counts_by_type ~use_kb:false (Lazy.force kb) (Lazy.force corpus)
+  in
+  let total counts = List.fold_left (fun acc (_, _, n) -> acc + n) 0 counts in
+  let w = total with_kb and wo = total without_kb in
+  Alcotest.(check bool) "both non-trivial" true (w > 50 && wo > w);
+  Alcotest.(check bool)
+    (Printf.sprintf "KB reduces by >3x (%d vs %d)" w wo)
+    true
+    (wo > 3 * w)
+
+(* ---------------- filtering (Figure 7b) ------------------------------ *)
+
+let test_filter_partitions () =
+  let all = Lazy.force mined in
+  let o = Filter.run all in
+  Alcotest.(check int) "partition complete"
+    (List.length all)
+    (List.length o.Filter.kept
+    + List.length o.Filter.removed_confidence
+    + List.length o.Filter.removed_lift
+    + List.length o.Filter.interpolation_queue);
+  Alcotest.(check bool) "confidence removals exist" true
+    (o.Filter.removed_confidence <> []);
+  Alcotest.(check bool) "lift removals exist" true (o.Filter.removed_lift <> []);
+  List.iter
+    (fun (c : Candidate.t) ->
+      Alcotest.(check bool) "kept pass confidence" true (c.Candidate.confidence >= 0.95);
+      Alcotest.(check bool) "kept pass lift" true (c.Candidate.lift >= 1.10))
+    o.Filter.kept
+
+let test_filter_thresholds () =
+  let o =
+    Filter.run ~thresholds:{ Filter.min_confidence = 0.0; min_lift = 0.0 }
+      (Lazy.force mined)
+  in
+  Alcotest.(check int) "nothing removed at zero thresholds" 0
+    (List.length o.Filter.removed_confidence + List.length o.Filter.removed_lift)
+
+let test_injected_noise_lowers_confidence () =
+  (* violations in the corpus should leave some checks below perfect
+     confidence *)
+  let below =
+    List.filter (fun (c : Candidate.t) -> c.Candidate.confidence < 1.0) (Lazy.force mined)
+  in
+  Alcotest.(check bool) "noise visible" true (below <> [])
+
+let () =
+  Alcotest.run "mining"
+    [
+      ("templates", [ Alcotest.test_case "catalogue" `Quick test_template_catalogue ]);
+      ( "miner",
+        [
+          Alcotest.test_case "volume" `Slow test_mining_volume;
+          Alcotest.test_case "statistics sane" `Slow test_mining_statistics_sane;
+          Alcotest.test_case "dedup" `Slow test_mining_dedup;
+          Alcotest.test_case "finds spot/evict" `Slow test_finds_spot_evict;
+          Alcotest.test_case "finds location rule" `Slow test_finds_location_consistency;
+          Alcotest.test_case "finds path location rule" `Slow test_finds_path_location;
+          Alcotest.test_case "finds reserved subnet" `Slow test_finds_reserved_subnet;
+          Alcotest.test_case "finds sibling overlap" `Slow test_finds_sibling_overlap;
+          Alcotest.test_case "finds degree template" `Slow test_finds_degree_template;
+          Alcotest.test_case "interpolation flagged" `Slow test_interpolation_candidates_flagged;
+        ] );
+      ( "kb ablation",
+        [ Alcotest.test_case "kb reduces candidates" `Slow test_kb_reduces_candidates ] );
+      ( "filter",
+        [
+          Alcotest.test_case "partitions" `Slow test_filter_partitions;
+          Alcotest.test_case "thresholds" `Slow test_filter_thresholds;
+          Alcotest.test_case "noise lowers confidence" `Slow test_injected_noise_lowers_confidence;
+        ] );
+    ]

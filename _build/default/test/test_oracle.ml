@@ -1,0 +1,124 @@
+(* Tests for the simulated LLM oracle: prompt construction and
+   interpolation. *)
+
+module Llm = Zodiac_oracle.Llm
+module Prompt = Zodiac_oracle.Prompt
+module Candidate = Zodiac_mining.Candidate
+module Check = Zodiac_spec.Check
+module Parser = Zodiac_spec.Spec_parser
+module Printer = Zodiac_spec.Spec_printer
+module Value = Zodiac_iac.Value
+
+let candidate src =
+  Candidate.make ~needs_interpolation:true ~template_id:"TEST" ~support:10
+    ~confidence:1.0 ~lift:1.0 (Parser.parse_exn src)
+
+let perfect () = Llm.create ~error_rate:0.0 1
+
+let test_prompt_of_check () =
+  match Prompt.of_check (Parser.parse_exn "let r:VM in r.sku == 'Standard_F2s_v2' => indegree(r, NIC) <= 1") with
+  | Some q ->
+      Alcotest.(check string) "subject" "VM" q.Prompt.subject_type;
+      Alcotest.(check string) "attr" "sku" q.Prompt.cond_attr;
+      let text = Prompt.few_shot q in
+      Alcotest.(check bool) "few-shot examples present" true
+        (String.length text > 200)
+  | None -> Alcotest.fail "query extraction failed"
+
+let test_prompt_not_applicable () =
+  Alcotest.(check bool) "non-quantitative rejected" true
+    (Prompt.of_check (Parser.parse_exn "let r:SA in r.tier == 'Premium' => r.replica != 'GZRS'")
+    = None)
+
+let refined_bound check =
+  match check.Check.stmt with
+  | Check.Cmp (_, _, Check.Const (Value.Int i)) -> i
+  | _ -> Alcotest.fail "unexpected statement shape"
+
+let test_interpolate_vm_nics () =
+  (* mined witness says <= 1, documentation says 2 *)
+  let c = candidate "let r:VM in r.sku == 'Standard_F2s_v2' => indegree(r, NIC) <= 1" in
+  match Llm.interpolate (perfect ()) c with
+  | Llm.Refined check ->
+      Alcotest.(check int) "documented bound" 2 (refined_bound check);
+      Alcotest.(check bool) "provenance" true
+        (check.Check.source = Check.Llm_interpolated)
+  | Llm.Unsupported -> Alcotest.fail "should be documented"
+
+let test_interpolate_gw_tunnels () =
+  let c = candidate "let g:GW in g.sku == 'Basic' => outdegree(g, TUNNEL) <= 3" in
+  match Llm.interpolate (perfect ()) c with
+  | Llm.Refined check -> Alcotest.(check int) "documented bound" 10 (refined_bound check)
+  | Llm.Unsupported -> Alcotest.fail "should be documented"
+
+let test_interpolate_kv_retention () =
+  let c = candidate "let k:KV in k.soft_delete_retention_days != null => k.soft_delete_retention_days >= 30" in
+  match Llm.interpolate (perfect ()) c with
+  | Llm.Refined check -> Alcotest.(check int) "documented min" 7 (refined_bound check)
+  | Llm.Unsupported -> Alcotest.fail "should be documented"
+
+let test_interpolate_undocumented () =
+  let c = candidate "let r:VPC in r.encryption_enabled == false => outdegree(r, SUBNET) <= 5" in
+  match Llm.interpolate (perfect ()) c with
+  | Llm.Unsupported -> ()
+  | Llm.Refined check ->
+      Alcotest.failf "fabricated a limit: %s" (Printer.to_string check)
+
+let test_hallucination_rate () =
+  (* with error_rate 1.0, the oracle always misbehaves *)
+  let oracle = Llm.create ~error_rate:1.0 7 in
+  let c = candidate "let r:VM in r.sku == 'Standard_F2s_v2' => indegree(r, NIC) <= 1" in
+  (match Llm.interpolate oracle c with
+  | Llm.Refined check ->
+      Alcotest.(check bool) "perturbed bound" true (refined_bound check <> 2)
+  | Llm.Unsupported -> ());
+  Alcotest.(check bool) "queries counted" true (Llm.queries_made oracle > 0)
+
+let test_assess_separates () =
+  let oracle = perfect () in
+  let plausible =
+    candidate "let r:SA in r.tier == 'Premium' => r.replica != 'GZRS'"
+  in
+  let junk =
+    candidate "let r:VM in r.custom_data != null => r.user_data != null"
+  in
+  Alcotest.(check bool) "real constraint assessed true" true
+    (Llm.assess oracle { plausible with Candidate.needs_interpolation = false });
+  Alcotest.(check bool) "junk assessed false" false
+    (Llm.assess oracle { junk with Candidate.needs_interpolation = false })
+
+let test_deterministic_given_seed () =
+  let run () =
+    let oracle = Llm.create ~error_rate:0.3 5 in
+    List.map
+      (fun src ->
+        match Llm.interpolate oracle (candidate src) with
+        | Llm.Refined c -> Printer.to_string c
+        | Llm.Unsupported -> "unsupported")
+      [
+        "let r:VM in r.sku == 'Standard_B2s' => indegree(r, NIC) <= 1";
+        "let g:GW in g.sku == 'VpnGw1' => outdegree(g, TUNNEL) <= 2";
+        "let r:REDIS in r.family == 'C' => r.capacity <= 4";
+      ]
+  in
+  Alcotest.(check (list string)) "reproducible" (run ()) (run ())
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "prompt",
+        [
+          Alcotest.test_case "query extraction" `Quick test_prompt_of_check;
+          Alcotest.test_case "non-applicable" `Quick test_prompt_not_applicable;
+        ] );
+      ( "interpolation",
+        [
+          Alcotest.test_case "vm nic limit" `Quick test_interpolate_vm_nics;
+          Alcotest.test_case "gw tunnel limit" `Quick test_interpolate_gw_tunnels;
+          Alcotest.test_case "kv retention" `Quick test_interpolate_kv_retention;
+          Alcotest.test_case "undocumented rejected" `Quick test_interpolate_undocumented;
+          Alcotest.test_case "hallucination" `Quick test_hallucination_rate;
+          Alcotest.test_case "assessment" `Quick test_assess_separates;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_given_seed;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Integration tests: the whole Zodiac pipeline end to end. *)
+
+module Pipeline = Zodiac.Pipeline
+module Report = Zodiac.Report
+module Registry = Zodiac.Registry
+module Scheduler = Zodiac_validation.Scheduler
+module Check = Zodiac_spec.Check
+module Arm = Zodiac_cloud.Arm
+
+let artifacts =
+  lazy
+    (Pipeline.run
+       ~config:
+         {
+           Pipeline.quick_config with
+           Pipeline.corpus_size = 350;
+           scheduler = { Scheduler.default_config with Scheduler.max_iterations = 4 };
+         }
+       ())
+
+let test_funnel_shape () =
+  let a = Lazy.force artifacts in
+  let mined = List.length a.Pipeline.mined in
+  let kept = List.length a.Pipeline.filtered.Zodiac_mining.Filter.kept in
+  let candidates = List.length a.Pipeline.candidates in
+  let validated = List.length a.Pipeline.validation.Scheduler.validated in
+  Alcotest.(check bool) "mined >> kept" true (mined > 3 * kept);
+  Alcotest.(check bool) "candidates >= validated" true (candidates >= validated);
+  Alcotest.(check bool) "some checks validated" true (validated > 20)
+
+let test_validated_survive_deployment_testing () =
+  (* every validated check's violation must actually break deployments:
+     spot-check via the ground-truth scan of the corpus *)
+  let a = Lazy.force artifacts in
+  Alcotest.(check bool) "validation ran deployments" true
+    (a.Pipeline.validation.Scheduler.deployments > List.length a.Pipeline.candidates / 2)
+
+let test_counterexample_pass_bounded () =
+  let a = Lazy.force artifacts in
+  let v = List.length a.Pipeline.validation.Scheduler.validated in
+  let fp = List.length a.Pipeline.counterexample_fps in
+  Alcotest.(check bool) "small residual FP rate" true
+    (v = 0 || float_of_int fp /. float_of_int v < 0.2)
+
+let test_scan_finds_misconfigurations () =
+  let a = Lazy.force artifacts in
+  let reports =
+    Pipeline.scan ~checks:a.Pipeline.final_checks ~corpus:a.Pipeline.corpus
+  in
+  (* the corpus has ~4% injected violations; the validated checks
+     should catch some of them *)
+  Alcotest.(check bool) "found violations" true (reports <> []);
+  let buggy_projects =
+    List.sort_uniq compare (List.map (fun r -> r.Pipeline.project) reports)
+  in
+  let injected =
+    List.filter
+      (fun p -> p.Zodiac_corpus.Generator.injected <> [])
+      a.Pipeline.projects
+  in
+  Alcotest.(check bool) "plausible volume" true
+    (List.length buggy_projects <= 3 * List.length injected + 10)
+
+let test_report_renders () =
+  let a = Lazy.force artifacts in
+  let text = Report.full a in
+  Alcotest.(check bool) "mentions phases" true (String.length text > 500)
+
+let test_categories_present () =
+  let a = Lazy.force artifacts in
+  let breakdown = Report.category_breakdown a.Pipeline.final_checks in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 breakdown in
+  Alcotest.(check bool) "nonzero" true (total > 0);
+  Alcotest.(check bool) "intra present" true
+    (List.assoc "intra-resource" breakdown > 0);
+  Alcotest.(check bool) "inter present" true (List.assoc "inter w/o agg" breakdown > 0)
+
+let test_registry_case_study () =
+  let buggy = Registry.compile_exn Registry.appgw_assoc_buggy in
+  let fixed = Registry.compile_exn Registry.appgw_assoc_fixed in
+  Alcotest.(check bool) "buggy fails" false (Pipeline.deploy buggy);
+  Alcotest.(check bool) "fixed deploys" true (Pipeline.deploy fixed);
+  (match Arm.first_error (Arm.deploy buggy) with
+  | Some f -> Alcotest.(check string) "first violation" "APPGW-IP-STANDARD" f.Arm.rule_id
+  | None -> Alcotest.fail "expected failure")
+
+let test_mine_only_skips_validation () =
+  let a = Pipeline.mine_only ~config:{ Pipeline.quick_config with Pipeline.corpus_size = 120 } () in
+  Alcotest.(check int) "no deployments" 0 a.Pipeline.validation.Scheduler.deployments;
+  Alcotest.(check bool) "candidates exist" true (a.Pipeline.candidates <> [])
+
+let test_determinism () =
+  let config = { Pipeline.quick_config with Pipeline.corpus_size = 120 } in
+  let a = Pipeline.mine_only ~config () in
+  let b = Pipeline.mine_only ~config () in
+  let cids x =
+    List.map (fun (c : Check.t) -> c.Check.cid) x.Pipeline.candidates
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "same candidates" (cids a) (cids b)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "funnel shape" `Slow test_funnel_shape;
+          Alcotest.test_case "deployment-based validation" `Slow test_validated_survive_deployment_testing;
+          Alcotest.test_case "counterexample pass" `Slow test_counterexample_pass_bounded;
+          Alcotest.test_case "scan finds misconfigurations" `Slow test_scan_finds_misconfigurations;
+          Alcotest.test_case "report renders" `Slow test_report_renders;
+          Alcotest.test_case "categories" `Slow test_categories_present;
+          Alcotest.test_case "appgw case study" `Quick test_registry_case_study;
+          Alcotest.test_case "mine only" `Slow test_mine_only_skips_validation;
+          Alcotest.test_case "determinism" `Slow test_determinism;
+        ] );
+    ]

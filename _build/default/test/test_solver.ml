@@ -1,0 +1,203 @@
+(* Tests for the finite-domain Max-CSP solver. *)
+
+module Csp = Zodiac_solver.Csp
+module Value = Zodiac_iac.Value
+
+let s v = Value.Str v
+
+(* helper: look up inside a constraint predicate *)
+let v l x = l x
+
+let test_unsat () =
+  let p = Csp.create () in
+  let x = Csp.new_var p ~name:"x" [ s "a" ] in
+  Csp.add_hard p ~name:"impossible" [ x ] (fun l -> v l x = s "b");
+  Alcotest.(check bool) "unsat" true (Csp.solve p = None)
+
+let test_all_different_coloring () =
+  (* 3-coloring of a triangle *)
+  let p = Csp.create () in
+  let colors = [ s "r"; s "g"; s "b" ] in
+  let a = Csp.new_var p ~name:"a" colors in
+  let b = Csp.new_var p ~name:"b" colors in
+  let c = Csp.new_var p ~name:"c" colors in
+  let diff name x y = Csp.add_hard p ~name [ x; y ] (fun l -> v l x <> v l y) in
+  diff "ab" a b;
+  diff "bc" b c;
+  diff "ac" a c;
+  match Csp.solve p with
+  | Some sol ->
+      let va = Csp.value sol a and vb = Csp.value sol b and vc = Csp.value sol c in
+      Alcotest.(check bool) "all distinct" true (va <> vb && vb <> vc && va <> vc)
+  | None -> Alcotest.fail "triangle is 3-colorable"
+
+let test_pigeonhole_unsat () =
+  (* 3 pigeons, 2 holes, all-different: UNSAT *)
+  let p = Csp.create () in
+  let holes = [ Value.Int 0; Value.Int 1 ] in
+  let xs = List.init 3 (fun i -> Csp.new_var p ~name:(string_of_int i) holes) in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          if i < j then
+            Csp.add_hard p ~name:(Printf.sprintf "d%d%d" i j) [ x; y ] (fun l ->
+                v l x <> v l y))
+        xs)
+    xs;
+  Alcotest.(check bool) "unsat" true (Csp.solve p = None)
+
+let test_value_costs_minimized () =
+  let p = Csp.create () in
+  let x = Csp.new_var p ~name:"x" [ s "cheap"; s "pricey" ] in
+  Csp.set_value_cost p x (fun value -> if value = s "pricey" then 5 else 0);
+  match Csp.solve p with
+  | Some sol ->
+      Alcotest.(check bool) "picks cheap" true (Csp.value sol x = s "cheap");
+      Alcotest.(check int) "zero cost" 0 (Csp.cost sol)
+  | None -> Alcotest.fail "sat expected"
+
+let test_cost_vs_hard () =
+  (* the hard constraint forces the costly value *)
+  let p = Csp.create () in
+  let x = Csp.new_var p ~name:"x" [ s "cheap"; s "pricey" ] in
+  Csp.set_value_cost p x (fun value -> if value = s "pricey" then 5 else 0);
+  Csp.add_hard p ~name:"force" [ x ] (fun l -> v l x = s "pricey");
+  match Csp.solve p with
+  | Some sol -> Alcotest.(check int) "cost paid" 5 (Csp.cost sol)
+  | None -> Alcotest.fail "sat expected"
+
+let test_soft_constraints () =
+  let p = Csp.create () in
+  let x = Csp.new_var p ~name:"x" [ s "a"; s "b" ] in
+  let y = Csp.new_var p ~name:"y" [ s "a"; s "b" ] in
+  (* two incompatible soft constraints: satisfy the heavier *)
+  Csp.add_soft p ~name:"want-xa" ~weight:1 [ x ] (fun l -> v l x = s "a");
+  Csp.add_soft p ~name:"want-xb" ~weight:10 [ x ] (fun l -> v l x = s "b");
+  Csp.add_soft p ~name:"want-ya" ~weight:3 [ y ] (fun l -> v l y = s "a");
+  match Csp.solve p with
+  | Some sol ->
+      Alcotest.(check bool) "x=b (heavier)" true (Csp.value sol x = s "b");
+      Alcotest.(check bool) "y=a" true (Csp.value sol y = s "a");
+      Alcotest.(check (list string)) "violated light one" [ "want-xa" ]
+        (Csp.violated_soft sol);
+      Alcotest.(check int) "cost = weight 1" 1 (Csp.cost sol)
+  | None -> Alcotest.fail "sat expected"
+
+let test_soft_never_unsat () =
+  let p = Csp.create () in
+  let x = Csp.new_var p ~name:"x" [ s "a" ] in
+  Csp.add_soft p ~name:"impossible" ~weight:100 [ x ] (fun l -> v l x = s "b");
+  match Csp.solve p with
+  | Some sol -> Alcotest.(check int) "pays the weight" 100 (Csp.cost sol)
+  | None -> Alcotest.fail "soft constraints must not cause UNSAT"
+
+let test_multi_scope_constraint () =
+  let p = Csp.create () in
+  let xs = List.init 4 (fun i -> Csp.new_var p ~name:(string_of_int i) [ Value.Int 0; Value.Int 1 ]) in
+  (* sum of all four variables = 2 *)
+  Csp.add_hard p ~name:"sum2" xs (fun l ->
+      List.fold_left
+        (fun acc x -> acc + match v l x with Value.Int i -> i | _ -> 0)
+        0 xs
+      = 2);
+  match Csp.solve p with
+  | Some sol ->
+      let sum =
+        List.fold_left
+          (fun acc x -> acc + match Csp.value sol x with Value.Int i -> i | _ -> 0)
+          0 xs
+      in
+      Alcotest.(check int) "sum is 2" 2 sum
+  | None -> Alcotest.fail "sat expected"
+
+let test_good_enough_stops () =
+  let p = Csp.create () in
+  let xs =
+    List.init 10 (fun i -> Csp.new_var p ~name:(string_of_int i) [ Value.Int 0; Value.Int 1 ])
+  in
+  List.iter (fun x -> Csp.set_value_cost p x (fun value -> if value = Value.Int 1 then 1 else 0)) xs;
+  (match Csp.solve ~good_enough:0 p with
+  | Some sol -> Alcotest.(check int) "optimal immediately" 0 (Csp.cost sol)
+  | None -> Alcotest.fail "sat expected");
+  Alcotest.(check bool) "few nodes" true (Csp.stats_nodes p <= 12)
+
+let test_priority_ordering () =
+  (* the prioritized variable is decided first, so an early conflict on
+     it prunes immediately instead of after exploring the others *)
+  let p = Csp.create () in
+  let key = Csp.new_var p ~name:"key" [ s "bad"; s "good" ] in
+  let _noise =
+    List.init 8 (fun i -> Csp.new_var p ~name:(Printf.sprintf "n%d" i) [ Value.Int 0; Value.Int 1 ])
+  in
+  Csp.set_priority p key 0;
+  Csp.add_hard p ~name:"key-good" [ key ] (fun l -> v l key = s "good");
+  match Csp.solve ~good_enough:0 p with
+  | Some sol ->
+      Alcotest.(check bool) "good" true (Csp.value sol key = s "good");
+      Alcotest.(check bool) "cheap search" true (Csp.stats_nodes p < 30)
+  | None -> Alcotest.fail "sat expected"
+
+let test_node_budget_respected () =
+  let p = Csp.create () in
+  let xs =
+    List.init 20 (fun i -> Csp.new_var p ~name:(string_of_int i) [ Value.Int 0; Value.Int 1 ])
+  in
+  (* unsatisfiable parity-ish constraint over everything, forcing
+     exhaustive search beyond the budget *)
+  Csp.add_hard p ~name:"impossible" xs (fun l ->
+      List.fold_left
+        (fun acc x -> acc + match v l x with Value.Int i -> i | _ -> 0)
+        0 xs
+      = 50);
+  let _ = Csp.solve ~node_budget:500 p in
+  Alcotest.(check bool) "budget respected" true (Csp.stats_nodes p <= 501)
+
+let test_empty_domain_rejected () =
+  let p = Csp.create () in
+  match Csp.new_var p ~name:"x" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty domain must be rejected"
+
+let test_deterministic () =
+  let solve_once () =
+    let p = Csp.create () in
+    let xs =
+      List.init 6 (fun i ->
+          Csp.new_var p ~name:(string_of_int i) [ s "a"; s "b"; s "c" ])
+    in
+    List.iteri
+      (fun i x ->
+        List.iteri
+          (fun j y ->
+            if j = i + 1 then
+              Csp.add_hard p ~name:(Printf.sprintf "d%d" i) [ x; y ] (fun l ->
+                  v l x <> v l y))
+          xs)
+      xs;
+    match Csp.solve p with
+    | Some sol -> List.map (Csp.value sol) xs
+    | None -> []
+  in
+  Alcotest.(check bool) "same solution twice" true (solve_once () = solve_once ())
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "csp",
+        [
+          Alcotest.test_case "unsat" `Quick test_unsat;
+          Alcotest.test_case "triangle coloring" `Quick test_all_different_coloring;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "value costs" `Quick test_value_costs_minimized;
+          Alcotest.test_case "cost vs hard" `Quick test_cost_vs_hard;
+          Alcotest.test_case "soft constraints" `Quick test_soft_constraints;
+          Alcotest.test_case "soft never unsat" `Quick test_soft_never_unsat;
+          Alcotest.test_case "multi-var scope" `Quick test_multi_scope_constraint;
+          Alcotest.test_case "good-enough early stop" `Quick test_good_enough_stops;
+          Alcotest.test_case "priority ordering" `Quick test_priority_ordering;
+          Alcotest.test_case "node budget" `Quick test_node_budget_respected;
+          Alcotest.test_case "empty domain" `Quick test_empty_domain_rejected;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Tests for Zodiac_util: PRNG, JSON, CIDR arithmetic, table rendering. *)
+
+module Prng = Zodiac_util.Prng
+module Json = Zodiac_util.Json
+module Cidr = Zodiac_util.Cidr
+module Tablefmt = Zodiac_util.Tablefmt
+
+(* ---------------- Prng ---------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.next64 a <> Prng.next64 b)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 13 in
+    Alcotest.(check bool) "in [0,13)" true (v >= 0 && v < 13)
+  done
+
+let test_prng_int_in () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_int_coverage () =
+  (* all residues of a small bound appear *)
+  let rng = Prng.create 3 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_prng_weighted () =
+  let rng = Prng.create 5 in
+  let zero_weight_never =
+    List.init 500 (fun _ -> Prng.weighted rng [ (0, "never"); (3, "a"); (1, "b") ])
+  in
+  Alcotest.(check bool) "zero weight excluded" true
+    (not (List.mem "never" zero_weight_never));
+  let a_count = List.length (List.filter (String.equal "a") zero_weight_never) in
+  Alcotest.(check bool) "weights respected roughly" true (a_count > 250)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 11 in
+  let xs = List.init 50 Fun.id in
+  let shuffled = Prng.shuffle_list rng xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare shuffled)
+
+let test_prng_sample_distinct () =
+  let rng = Prng.create 13 in
+  let sample = Prng.sample rng 10 (List.init 30 Fun.id) in
+  Alcotest.(check int) "size" 10 (List.length sample);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare sample))
+
+let test_prng_split_independent () =
+  let rng = Prng.create 17 in
+  let child = Prng.split rng in
+  let a = Prng.next64 child in
+  let b = Prng.next64 rng in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let prng_chance_prop =
+  QCheck.Test.make ~name:"chance(1.0) always true, chance(0.0) always false"
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      Prng.chance rng 1.0 && not (Prng.chance rng 0.0))
+
+(* ---------------- Json ---------------------------------------------- *)
+
+let test_json_roundtrip_basics () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.String "hello \"world\"\n\t";
+      Json.List [ Json.Int 1; Json.Int 2 ];
+      Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Null ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "roundtrip" true (Json.equal j (Json.of_string (Json.to_string j))))
+    samples
+
+let test_json_pretty_roundtrip () =
+  let j = Json.Obj [ ("xs", Json.List [ Json.Obj [ ("k", Json.String "v") ] ]) ] in
+  Alcotest.(check bool) "pretty parses back" true
+    (Json.equal j (Json.of_string (Json.to_string ~pretty:true j)))
+
+let test_json_parse_whitespace () =
+  Alcotest.(check bool) "ws tolerated" true
+    (Json.equal (Json.List [ Json.Int 1 ]) (Json.of_string " [\n 1 ] "))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" bad)
+    [ ""; "{"; "[1,"; "nul"; "\"unterminated"; "[1] trailing" ]
+
+let test_json_unicode_escape () =
+  match Json.of_string {|"Aé"|} with
+  | Json.String s -> Alcotest.(check string) "decoded" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "expected string"
+
+let test_json_member () =
+  let j = Json.Obj [ ("a", Json.Int 1) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" j = Json.Int 1);
+  Alcotest.(check bool) "absent is null" true (Json.member "b" j = Json.Null);
+  Alcotest.(check bool) "non-object is null" true (Json.member "a" Json.Null = Json.Null)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) small_signed_int;
+               map (fun s -> Json.String s) (string_size (int_bound 8));
+             ]
+         else
+           frequency
+             [
+               (2, map (fun xs -> Json.List xs) (list_size (int_bound 4) (self (n / 2))));
+               ( 2,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 5)) (self (n / 2)))) );
+               (1, map (fun i -> Json.Int i) small_signed_int);
+             ])
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~name:"json print/parse roundtrip" ~count:300
+    (QCheck.make json_gen) (fun j ->
+      Json.equal j (Json.of_string (Json.to_string j)))
+
+(* ---------------- Cidr ---------------------------------------------- *)
+
+let cidr = Cidr.of_string_exn
+
+let test_cidr_parse_print () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Cidr.to_string (cidr s)))
+    [ "10.0.0.0/16"; "0.0.0.0/0"; "192.168.1.0/24"; "255.255.255.255/32" ]
+
+let test_cidr_normalizes_host_bits () =
+  Alcotest.(check string) "host bits cleared" "10.0.0.0/16"
+    (Cidr.to_string (cidr "10.0.123.45/16"))
+
+let test_cidr_bare_address () =
+  Alcotest.(check int) "/32 default" 32 (Cidr.prefix_len (cidr "1.2.3.4"))
+
+let test_cidr_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " invalid") true (Cidr.of_string s = None))
+    [ "10.0.0/16"; "10.0.0.0/33"; "256.0.0.0/8"; "abc"; "10.0.0.0/-1"; "" ]
+
+let test_cidr_contains () =
+  Alcotest.(check bool) "vpc contains subnet" true
+    (Cidr.contains (cidr "10.0.0.0/16") (cidr "10.0.5.0/24"));
+  Alcotest.(check bool) "subnet not contains vpc" false
+    (Cidr.contains (cidr "10.0.5.0/24") (cidr "10.0.0.0/16"));
+  Alcotest.(check bool) "disjoint" false
+    (Cidr.contains (cidr "10.1.0.0/16") (cidr "10.2.0.0/24"))
+
+let test_cidr_overlap () =
+  Alcotest.(check bool) "nested overlap" true
+    (Cidr.overlap (cidr "10.0.0.0/8") (cidr "10.200.0.0/16"));
+  Alcotest.(check bool) "disjoint no overlap" false
+    (Cidr.overlap (cidr "10.0.1.0/24") (cidr "10.0.2.0/24"))
+
+let test_cidr_adjacent () =
+  Alcotest.(check string) "sibling block" "10.0.1.0/24"
+    (Cidr.to_string (Cidr.adjacent (cidr "10.0.0.0/24")));
+  Alcotest.(check string) "sibling back" "10.0.0.0/24"
+    (Cidr.to_string (Cidr.adjacent (cidr "10.0.1.0/24")));
+  let a = cidr "10.0.4.0/24" in
+  Alcotest.(check bool) "adjacent disjoint" false (Cidr.overlap a (Cidr.adjacent a))
+
+let test_cidr_subdivide () =
+  let blocks = Cidr.subdivide (cidr "10.0.0.0/22") 24 in
+  Alcotest.(check int) "4 blocks" 4 (List.length blocks);
+  List.iteri
+    (fun i b ->
+      Alcotest.(check string) "block" (Printf.sprintf "10.0.%d.0/24" i) (Cidr.to_string b))
+    blocks
+
+let test_cidr_nth_subnet () =
+  Alcotest.(check (option string)) "nth" (Some "10.0.3.0/24")
+    (Option.map Cidr.to_string (Cidr.nth_subnet (cidr "10.0.0.0/16") 24 3));
+  Alcotest.(check bool) "out of range" true
+    (Cidr.nth_subnet (cidr "10.0.0.0/24") 24 1 = None)
+
+let test_cidr_disjoint_within () =
+  let blocks = Cidr.disjoint_within (cidr "10.0.0.0/16") 24 5 in
+  Alcotest.(check int) "count" 5 (List.length blocks);
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool) "pairwise disjoint" false (Cidr.overlap a b))
+        blocks)
+    blocks
+
+let cidr_gen =
+  QCheck.Gen.(
+    map2
+      (fun addr prefix -> Cidr.v (addr lsr 24) (addr lsr 16) (addr lsr 8) addr prefix)
+      (int_bound 0xFFFFFF) (int_range 4 30))
+
+let cidr_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:500
+    (QCheck.make (QCheck.Gen.pair cidr_gen cidr_gen))
+    (fun (a, b) -> Cidr.overlap a b = Cidr.overlap b a)
+
+let cidr_contains_implies_overlap =
+  QCheck.Test.make ~name:"contains implies overlap" ~count:500
+    (QCheck.make (QCheck.Gen.pair cidr_gen cidr_gen))
+    (fun (a, b) -> (not (Cidr.contains a b)) || Cidr.overlap a b)
+
+let cidr_roundtrip =
+  QCheck.Test.make ~name:"cidr string roundtrip" ~count:500 (QCheck.make cidr_gen)
+    (fun c ->
+      match Cidr.of_string (Cidr.to_string c) with
+      | Some c' -> Cidr.equal c c'
+      | None -> false)
+
+let cidr_adjacent_same_size =
+  QCheck.Test.make ~name:"adjacent block has same prefix and no overlap" ~count:500
+    (QCheck.make cidr_gen) (fun c ->
+      let a = Cidr.adjacent c in
+      Cidr.prefix_len a = Cidr.prefix_len c && not (Cidr.overlap a c))
+
+(* ---------------- Tablefmt ------------------------------------------ *)
+
+let test_table_render () =
+  let s = Tablefmt.render ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333" ] ] in
+  Alcotest.(check bool) "contains cells" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.length = 6
+    (* 3 rules + header + 2 rows *));
+  Alcotest.(check bool) "pads short rows" true (String.index_opt s '3' <> None)
+
+let test_bar_chart () =
+  let s = Tablefmt.bar_chart ~title:"t" [ ("x", 10.0); ("y", 5.0) ] in
+  Alcotest.(check bool) "has bars" true (String.contains s '#')
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_coverage;
+          Alcotest.test_case "weighted" `Quick test_prng_weighted;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          QCheck_alcotest.to_alcotest prng_chance_prop;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_json_roundtrip_basics;
+          Alcotest.test_case "pretty roundtrip" `Quick test_json_pretty_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_json_parse_whitespace;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "member" `Quick test_json_member;
+          QCheck_alcotest.to_alcotest json_roundtrip_prop;
+        ] );
+      ( "cidr",
+        [
+          Alcotest.test_case "parse/print" `Quick test_cidr_parse_print;
+          Alcotest.test_case "normalization" `Quick test_cidr_normalizes_host_bits;
+          Alcotest.test_case "bare address" `Quick test_cidr_bare_address;
+          Alcotest.test_case "invalid inputs" `Quick test_cidr_invalid;
+          Alcotest.test_case "contains" `Quick test_cidr_contains;
+          Alcotest.test_case "overlap" `Quick test_cidr_overlap;
+          Alcotest.test_case "adjacent" `Quick test_cidr_adjacent;
+          Alcotest.test_case "subdivide" `Quick test_cidr_subdivide;
+          Alcotest.test_case "nth_subnet" `Quick test_cidr_nth_subnet;
+          Alcotest.test_case "disjoint_within" `Quick test_cidr_disjoint_within;
+          QCheck_alcotest.to_alcotest cidr_overlap_symmetric;
+          QCheck_alcotest.to_alcotest cidr_contains_implies_overlap;
+          QCheck_alcotest.to_alcotest cidr_roundtrip;
+          QCheck_alcotest.to_alcotest cidr_adjacent_same_size;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        ] );
+    ]
