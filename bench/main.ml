@@ -9,7 +9,7 @@
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e11|micro|all]...";
+  print_endline "usage: main.exe [e1..e13|micro|smoke|all]...";
   exit 1
 
 let () =
@@ -26,6 +26,7 @@ let () =
         (fun arg ->
           match arg with
           | "micro" -> Micro.run ()
+          | "smoke" -> Experiments.smoke ()
           | name -> (
               match List.assoc_opt name Experiments.by_name with
               | Some e -> e ()

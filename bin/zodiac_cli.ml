@@ -32,12 +32,34 @@ let size_arg default =
     & opt int default
     & info [ "projects" ] ~docv:"N" ~doc:"Number of synthetic projects.")
 
-let config_of seed size =
+let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) seed size =
+  let engine =
+    if fault_rate > 0.0 then
+      Zodiac_engine.Engine.faulty_config ~fault_rate ~seed:fault_seed ()
+    else Zodiac_engine.Engine.default_config
+  in
   {
     Zodiac.Pipeline.default_config with
     Zodiac.Pipeline.corpus_seed = seed;
     corpus_size = size;
+    engine;
   }
+
+let fault_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Inject transient cloud faults (throttling, timeouts, polling \
+           flakes, quota races) with per-call probability $(docv); the \
+           resilient engine retries them away.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-injection seed.")
 
 (* ---- mine ----------------------------------------------------------- *)
 
@@ -61,9 +83,11 @@ let mine_cmd =
 (* ---- validate ------------------------------------------------------- *)
 
 let validate_cmd =
-  let run verbose seed size output =
+  let run verbose seed size output fault_rate fault_seed =
     setup_logs verbose;
-    let artifacts = Zodiac.Pipeline.run ~config:(config_of seed size) () in
+    let artifacts =
+      Zodiac.Pipeline.run ~config:(config_of ~fault_rate ~fault_seed seed size) ()
+    in
     print_endline (Zodiac.Report.full artifacts);
     match output with
     | None -> ()
@@ -85,7 +109,9 @@ wrote %d validated checks to %s
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ output)
+    Term.(
+      const run $ verbose_arg $ seed_arg $ size_arg 600 $ output $ fault_rate_arg
+      $ fault_seed_arg)
 
 (* ---- scan ----------------------------------------------------------- *)
 
@@ -176,10 +202,25 @@ let scan_cmd =
 (* ---- deploy --------------------------------------------------------- *)
 
 let deploy_cmd =
-  let run verbose path =
+  let run verbose path fault_rate fault_seed =
     setup_logs verbose;
     let prog = load_hcl path in
-    let outcome = Zodiac_cloud.Arm.deploy prog in
+    let module Engine = Zodiac_engine.Engine in
+    let engine_config =
+      if fault_rate > 0.0 then
+        Engine.faulty_config ~fault_rate ~seed:fault_seed ()
+      else Engine.default_config
+    in
+    let engine = Engine.create ~config:engine_config () in
+    let outcome =
+      match Engine.deploy engine prog with
+      | Ok outcome -> outcome
+      | Error e ->
+          prerr_endline
+            ("deployment abandoned: " ^ Zodiac_engine.Client.error_to_string e);
+          print_endline (Zodiac_engine.Stats.summary (Engine.stats engine));
+          exit 1
+    in
     List.iter
       (fun id ->
         Printf.printf "created  %s\n" (Zodiac_iac.Resource.id_to_string id))
@@ -201,12 +242,14 @@ let deploy_cmd =
           f.Zodiac_cloud.Arm.message
           (Zodiac_iac.Resource.id_to_string f.Zodiac_cloud.Arm.resource))
       outcome.Zodiac_cloud.Arm.post_sync_issues;
+    if fault_rate > 0.0 || verbose then
+      print_endline (Zodiac_engine.Stats.summary (Engine.stats engine));
     if not (Zodiac_cloud.Arm.success outcome) then exit 1
     else print_endline "deployment succeeded"
   in
   Cmd.v
     (Cmd.info "deploy" ~doc:"Simulate a cloud deployment of an HCL file")
-    Term.(const run $ verbose_arg $ file_arg)
+    Term.(const run $ verbose_arg $ file_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- graph ---------------------------------------------------------- *)
 

@@ -6,6 +6,8 @@ module Candidate = Zodiac_mining.Candidate
 module Llm = Zodiac_oracle.Llm
 module Scheduler = Zodiac_validation.Scheduler
 module Arm = Zodiac_cloud.Arm
+module Engine = Zodiac_engine.Engine
+module Engine_stats = Zodiac_engine.Stats
 module Check = Zodiac_spec.Check
 module Eval = Zodiac_spec.Eval
 module Graph = Zodiac_iac.Graph
@@ -20,6 +22,7 @@ type config = {
   mining : Miner.config;
   thresholds : Filter.thresholds;
   scheduler : Scheduler.config;
+  engine : Engine.config;
 }
 
 let default_config =
@@ -32,6 +35,7 @@ let default_config =
     mining = Miner.default_config;
     thresholds = Filter.default_thresholds;
     scheduler = Scheduler.default_config;
+    engine = Engine.default_config;
   }
 
 let quick_config = { default_config with corpus_size = 300 }
@@ -49,6 +53,7 @@ type artifacts = {
   validation : Scheduler.result;
   final_checks : Check.t list;
   counterexample_fps : Check.t list;
+  engine_stats : Engine_stats.snapshot;
 }
 
 let deploy prog = Arm.success (Arm.deploy prog)
@@ -122,6 +127,7 @@ let mine_only ?(config = default_config) () =
     validation = empty_validation;
     final_checks = [];
     counterexample_fps = [];
+    engine_stats = Engine_stats.empty;
   }
 
 let run ?(config = default_config) () =
@@ -129,6 +135,8 @@ let run ?(config = default_config) () =
   let mined, filtered, llm_refined, llm_rejected, candidates =
     mine_phase config kb programs
   in
+  let engine = Engine.create ~config:config.engine () in
+  let deploy = Engine.oracle engine in
   let validation =
     Scheduler.run ~config:config.scheduler ~kb ~corpus ~deploy candidates
   in
@@ -148,6 +156,7 @@ let run ?(config = default_config) () =
     validation;
     final_checks;
     counterexample_fps;
+    engine_stats = Engine.stats engine;
   }
 
 type violation_report = {

@@ -13,6 +13,9 @@ type config = {
   mining : Zodiac_mining.Miner.config;
   thresholds : Zodiac_mining.Filter.thresholds;
   scheduler : Zodiac_validation.Scheduler.config;
+  engine : Zodiac_engine.Engine.config;
+      (** deployment-execution engine: memo cache, retry client,
+          optional fault injection *)
 }
 
 val default_config : config
@@ -34,11 +37,16 @@ type artifacts = {
   validation : Zodiac_validation.Scheduler.result;
   final_checks : Zodiac_spec.Check.t list;  (** after counterexample pass *)
   counterexample_fps : Zodiac_spec.Check.t list;
+  engine_stats : Zodiac_engine.Stats.snapshot;
+      (** deployment-engine accounting for the validation and
+          counterexample passes ({!Zodiac_engine.Stats.empty} when
+          validation did not run) *)
 }
 
 val deploy : Zodiac_iac.Program.t -> bool
-(** The deployment oracle used throughout: success of the simulated
-    ARM deployment. *)
+(** The raw deployment oracle: success of the simulated ARM
+    deployment, no engine in between. [run] itself deploys through a
+    {!Zodiac_engine.Engine} built from [config.engine]. *)
 
 val run : ?config:config -> unit -> artifacts
 (** Execute the whole pipeline. Deterministic for a given config. *)

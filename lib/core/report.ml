@@ -72,6 +72,9 @@ let checks_listing ?(limit = 20) checks =
     Printf.sprintf "\n  ... and %d more" (List.length checks - limit)
   else ""
 
+let engine_summary (a : Pipeline.artifacts) =
+  Zodiac_engine.Stats.summary a.Pipeline.engine_stats
+
 let full a =
   String.concat "\n"
     [
@@ -79,6 +82,8 @@ let full a =
       mining_summary a;
       Tablefmt.section "Validation phase";
       validation_summary a;
+      Tablefmt.section "Deployment engine";
+      engine_summary a;
       Tablefmt.section "Validated checks by category";
       Tablefmt.render
         ~header:[ "category"; "count" ]

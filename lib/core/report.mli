@@ -12,4 +12,8 @@ val category_breakdown : Zodiac_spec.Check.t list -> (string * int) list
 val checks_listing : ?limit:int -> Zodiac_spec.Check.t list -> string
 (** Pretty-printed checks, one per line. *)
 
+val engine_summary : Pipeline.artifacts -> string
+(** Deployment-engine accounting: attempts, retries, faults seen,
+    cache hits, deployments saved. *)
+
 val full : Pipeline.artifacts -> string

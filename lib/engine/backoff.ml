@@ -1,0 +1,23 @@
+module Prng = Zodiac_util.Prng
+
+type config = {
+  base : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default = { base = 1.0; multiplier = 2.0; max_delay = 30.0; jitter = 0.5 }
+
+let raw_delay config ~attempt =
+  let d = config.base *. (config.multiplier ** float_of_int attempt) in
+  Float.min d config.max_delay
+
+let delay config ~prng ~attempt =
+  let raw = raw_delay config ~attempt in
+  let jitter = Float.max 0.0 (Float.min 1.0 config.jitter) in
+  let cut = Prng.float prng (raw *. jitter) in
+  Float.max (raw -. cut) (0.001 *. config.base)
+
+let schedule config ~attempts =
+  List.init (max 0 attempts) (fun i -> raw_delay config ~attempt:i)

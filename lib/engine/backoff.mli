@@ -1,0 +1,26 @@
+(** Exponential backoff with decorrelating jitter.
+
+    Retry pacing for the resilient deployment client: attempt [n]
+    (0-based) waits [base * multiplier^n] simulated seconds, capped at
+    [max_delay], with a uniformly drawn jitter fraction subtracted so
+    synchronized clients fan out. Deterministic given the PRNG state. *)
+
+type config = {
+  base : float;  (** first retry delay, simulated seconds *)
+  multiplier : float;  (** growth factor per attempt ([>= 1]) *)
+  max_delay : float;  (** ceiling on any single delay *)
+  jitter : float;  (** fraction of the delay randomized away, in [0,1] *)
+}
+
+val default : config
+(** 1s base, doubling, 30s cap, 0.5 jitter. *)
+
+val raw_delay : config -> attempt:int -> float
+(** The jitter-free delay for [attempt] (0-based retry index). *)
+
+val delay : config -> prng:Zodiac_util.Prng.t -> attempt:int -> float
+(** [raw_delay] with jitter applied: uniform in
+    [\[(1 - jitter) * raw, raw\]]. Always positive. *)
+
+val schedule : config -> attempts:int -> float list
+(** Jitter-free preview of the first [attempts] delays. *)

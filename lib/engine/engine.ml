@@ -1,0 +1,82 @@
+module Arm = Zodiac_cloud.Arm
+module Flaky = Zodiac_cloud.Flaky
+module Rules = Zodiac_cloud.Rules
+module Quota = Zodiac_cloud.Quota
+module Program = Zodiac_iac.Program
+
+type backend = Pure | Faulty of Flaky.config
+
+type config = {
+  client : Client.config;
+  memo : bool;
+  memo_capacity : int;
+  backend : backend;
+}
+
+let default_config =
+  {
+    client = Client.default_config;
+    memo = true;
+    memo_capacity = 8192;
+    backend = Pure;
+  }
+
+let faulty_config ?fault_rate ?seed () =
+  let base = Flaky.default_config in
+  let fault_rate = Option.value ~default:base.Flaky.fault_rate fault_rate in
+  let seed = Option.value ~default:base.Flaky.seed seed in
+  { default_config with backend = Faulty { base with Flaky.fault_rate; seed } }
+
+type t = {
+  config : config;
+  stats : Stats.t;
+  client : Client.t;
+  cache : Arm.outcome Memo.t option;
+}
+
+let create ?rules ?quota ?(config = default_config) () =
+  let stats = Stats.create () in
+  let client =
+    match config.backend with
+    | Pure -> Client.of_arm ?rules ?quota ~config:config.client ~stats ()
+    | Faulty fault_config ->
+        let flaky = Flaky.create ?rules ?quota fault_config in
+        Client.create ~config:config.client ~stats (Flaky.deploy flaky)
+  in
+  let cache =
+    if config.memo then Some (Memo.create ~capacity:config.memo_capacity ())
+    else None
+  in
+  { config; stats; client; cache }
+
+let config t = t.config
+
+let deploy t prog =
+  match t.cache with
+  | None -> Client.deploy t.client prog
+  | Some cache -> (
+      let key = Fingerprint.canonical prog in
+      match Memo.find cache key with
+      | Some outcome ->
+          (* a request answered without touching the backend *)
+          Stats.record_request t.stats;
+          Ok outcome
+      | None -> (
+          match Client.deploy t.client prog with
+          | Ok outcome ->
+              Memo.add cache key outcome;
+              Ok outcome
+          | Error _ as e -> e))
+
+let success t prog =
+  match deploy t prog with Ok outcome -> Arm.success outcome | Error _ -> false
+
+let oracle t = success t
+
+let stats t =
+  match t.cache with
+  | None -> Stats.basic_snapshot t.stats
+  | Some cache ->
+      Stats.snapshot_with ~cache_hits:(Memo.hits cache)
+        ~cache_misses:(Memo.misses cache)
+        ~cache_evictions:(Memo.evictions cache) t.stats

@@ -1,0 +1,134 @@
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+
+let rec value_repr label v =
+  match v with
+  | Value.Null -> "null"
+  | Value.Bool b -> if b then "true" else "false"
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> "\"" ^ String.escaped s ^ "\""
+  | Value.List vs ->
+      "[" ^ String.concat ";" (List.map (value_repr label) vs) ^ "]"
+  | Value.Block fields ->
+      let fields =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+      in
+      "{"
+      ^ String.concat ";"
+          (List.map (fun (k, v) -> k ^ "=" ^ value_repr label v) fields)
+      ^ "}"
+  | Value.Ref r -> "&" ^ label r ^ "." ^ r.attr
+
+let resource_repr label (r : Resource.t) =
+  let attrs =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) r.Resource.attrs
+  in
+  r.Resource.rtype ^ "{"
+  ^ String.concat ";"
+      (List.map (fun (k, v) -> k ^ "=" ^ value_repr label v) attrs)
+  ^ "}"
+
+let id_key rtype rname = rtype ^ "." ^ rname
+
+(* Colour refinement (1-WL) over the reference graph, in both
+   directions: a resource's colour is refined by the colours of the
+   resources it references AND by the colours of the resources
+   referencing it (with the attribute path of each edge). Outgoing
+   references alone cannot split, e.g., two attribute-identical VPCs of
+   which only one carries subnets — and outcome-relevant checks
+   (outdegree exclusivity, CIDR overlap among siblings) see exactly
+   that difference. *)
+let canonical prog =
+  let resources = Program.resources prog in
+  let n = List.length resources in
+  let classes : (string, int) Hashtbl.t = Hashtbl.create (max 16 n) in
+  let class_str key =
+    match Hashtbl.find_opt classes key with
+    | Some c -> string_of_int c
+    | None -> "?" (* dangling reference *)
+  in
+  let class_label (reference : Value.reference) =
+    reference.Value.rtype ^ "#"
+    ^ class_str (id_key reference.Value.rtype reference.Value.rname)
+  in
+  (* in-edges: target resource key -> (referrer key, attr path) list *)
+  let in_edges : (string, (string * string) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Resource.t) ->
+      let src = id_key r.Resource.rtype r.Resource.rname in
+      List.iter
+        (fun (path, (reference : Value.reference)) ->
+          let dst = id_key reference.Value.rtype reference.Value.rname in
+          Hashtbl.replace in_edges dst
+            ((src, path) :: Option.value ~default:[] (Hashtbl.find_opt in_edges dst)))
+        (Resource.references r))
+    resources;
+  let in_repr key =
+    let edges = Option.value ~default:[] (Hashtbl.find_opt in_edges key) in
+    String.concat ","
+      (List.sort String.compare
+         (List.map (fun (src, path) -> class_str src ^ "@" ^ path) edges))
+  in
+  let refine () =
+    (* include the previous class in the summary so refinement is
+       monotone: classes split but never merge *)
+    let reprs =
+      List.map
+        (fun (r : Resource.t) ->
+          let k = id_key r.Resource.rtype r.Resource.rname in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt classes k) in
+          ( k,
+            string_of_int prev ^ ":" ^ resource_repr class_label r ^ "|in:"
+            ^ in_repr k ))
+        resources
+    in
+    let distinct = List.sort_uniq String.compare (List.map snd reprs) in
+    let changed = ref false in
+    List.iter
+      (fun (k, repr) ->
+        let c =
+          let rec index i = function
+            | [] -> 0
+            | x :: rest -> if String.equal x repr then i else index (i + 1) rest
+          in
+          index 0 distinct
+        in
+        (match Hashtbl.find_opt classes k with
+        | Some old when old = c -> ()
+        | _ -> changed := true);
+        Hashtbl.replace classes k c)
+      reprs;
+    !changed
+  in
+  let rec loop round = if round < n && refine () then loop (round + 1) in
+  loop 0;
+  (* the final summary embeds each resource's own class (which encodes
+     its in-neighbourhood through refinement) next to its out-labelled
+     structure; α-equivalent programs agree exactly *)
+  let final =
+    List.sort String.compare
+      (List.map
+         (fun (r : Resource.t) ->
+           "c"
+           ^ class_str (id_key r.Resource.rtype r.Resource.rname)
+           ^ "|"
+           ^ resource_repr class_label r)
+         resources)
+  in
+  Printf.sprintf "n=%d|%s" n (String.concat "\n" final)
+
+(* FNV-1a, 64-bit *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let digest prog = Printf.sprintf "%016Lx" (fnv1a64 (canonical prog))
+
+let equivalent p1 p2 = String.equal (canonical p1) (canonical p2)

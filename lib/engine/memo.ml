@@ -1,0 +1,60 @@
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  table : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 8192) () =
+  {
+    table = Hashtbl.create 256;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let find t key =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+      entry.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some entry.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= entry.stamp -> acc
+        | _ -> Some (key, entry.stamp))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  t.tick <- t.tick + 1;
+  if (not (Hashtbl.mem t.table key)) && Hashtbl.length t.table >= t.capacity
+  then evict_lru t;
+  Hashtbl.replace t.table key { value; stamp = t.tick }
+
+let mem t key = Hashtbl.mem t.table key
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,128 @@
+type snapshot = {
+  requests : int;
+  attempts : int;
+  retries : int;
+  faults : int;
+  faults_by_kind : (string * int) list;
+  faults_by_phase : (string * int) list;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  deployments_saved : int;
+  breaker_opens : int;
+  giveups : int;
+  sim_seconds : float;
+}
+
+let empty =
+  {
+    requests = 0;
+    attempts = 0;
+    retries = 0;
+    faults = 0;
+    faults_by_kind = [];
+    faults_by_phase = [];
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    deployments_saved = 0;
+    breaker_opens = 0;
+    giveups = 0;
+    sim_seconds = 0.0;
+  }
+
+type t = {
+  mutable requests : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable breaker_opens : int;
+  mutable giveups : int;
+  mutable sim_seconds : float;
+  by_kind : (string, int) Hashtbl.t;
+  by_phase : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    requests = 0;
+    attempts = 0;
+    retries = 0;
+    breaker_opens = 0;
+    giveups = 0;
+    sim_seconds = 0.0;
+    by_kind = Hashtbl.create 4;
+    by_phase = Hashtbl.create 5;
+  }
+
+let reset t =
+  t.requests <- 0;
+  t.attempts <- 0;
+  t.retries <- 0;
+  t.breaker_opens <- 0;
+  t.giveups <- 0;
+  t.sim_seconds <- 0.0;
+  Hashtbl.reset t.by_kind;
+  Hashtbl.reset t.by_phase
+
+let bump table key =
+  Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+
+let record_request t = t.requests <- t.requests + 1
+
+let record_attempt t ~retry =
+  t.attempts <- t.attempts + 1;
+  if retry then t.retries <- t.retries + 1
+
+let record_fault t ~kind ~phase =
+  bump t.by_kind kind;
+  bump t.by_phase phase
+
+let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
+let record_giveup t = t.giveups <- t.giveups + 1
+let add_sim_time t dt = t.sim_seconds <- t.sim_seconds +. dt
+
+let sorted_tally table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot_with ~cache_hits ~cache_misses ~cache_evictions t =
+  let faults_by_kind = sorted_tally t.by_kind in
+  {
+    requests = t.requests;
+    attempts = t.attempts;
+    retries = t.retries;
+    faults = List.fold_left (fun acc (_, n) -> acc + n) 0 faults_by_kind;
+    faults_by_kind;
+    faults_by_phase = sorted_tally t.by_phase;
+    cache_hits;
+    cache_misses;
+    cache_evictions;
+    deployments_saved = cache_hits;
+    breaker_opens = t.breaker_opens;
+    giveups = t.giveups;
+    sim_seconds = t.sim_seconds;
+  }
+
+let basic_snapshot t =
+  snapshot_with ~cache_hits:0 ~cache_misses:0 ~cache_evictions:0 t
+
+let tally_line pairs =
+  if pairs = [] then "none"
+  else
+    String.concat ", "
+      (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) pairs)
+
+let summary (s : snapshot) =
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "engine: %d requests, %d raw deployments (%d retries), %d saved by memo cache"
+        s.requests s.attempts s.retries s.deployments_saved;
+      Printf.sprintf "  transient faults: %d (%s)" s.faults
+        (tally_line s.faults_by_kind);
+      Printf.sprintf "  faults by phase: %s" (tally_line s.faults_by_phase);
+      Printf.sprintf
+        "  cache: %d hits / %d misses / %d evictions; breaker opens: %d; giveups: %d"
+        s.cache_hits s.cache_misses s.cache_evictions s.breaker_opens s.giveups;
+      Printf.sprintf "  simulated time: %.1fs" s.sim_seconds;
+    ]

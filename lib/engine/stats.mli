@@ -1,0 +1,53 @@
+(** The engine statistics record.
+
+    One mutable accumulator threaded through the resilient client, the
+    memo cache and the engine facade, snapshotted into an immutable
+    record for reports, the CLI and the E13 bench experiment.
+
+    Terminology: a {e request} is one deployment asked of the engine;
+    an {e attempt} is one raw call on the (possibly flaky) backend; a
+    {e retry} is any attempt after the first for the same request.
+    [deployments_saved] is the number of requests answered from the
+    memo cache without touching the backend at all. *)
+
+type snapshot = {
+  requests : int;
+  attempts : int;
+  retries : int;
+  faults : int;  (** transient faults observed (sum of [faults_by_kind]) *)
+  faults_by_kind : (string * int) list;
+  faults_by_phase : (string * int) list;
+      (** per deployment phase in which faults surfaced *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  deployments_saved : int;  (** = [cache_hits] *)
+  breaker_opens : int;
+  giveups : int;  (** requests abandoned (retry budget or deadline) *)
+  sim_seconds : float;  (** simulated wall time spent on calls + waits *)
+}
+
+val empty : snapshot
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_request : t -> unit
+val record_attempt : t -> retry:bool -> unit
+val record_fault : t -> kind:string -> phase:string -> unit
+val record_breaker_open : t -> unit
+val record_giveup : t -> unit
+val add_sim_time : t -> float -> unit
+
+val snapshot_with :
+  cache_hits:int -> cache_misses:int -> cache_evictions:int -> t -> snapshot
+(** Snapshot, merging in the memo-cache counters (the cache keeps its
+    own tallies). *)
+
+val basic_snapshot : t -> snapshot
+(** Snapshot with zero cache counters. *)
+
+val summary : snapshot -> string
+(** Multi-line human-readable rendering for reports and the CLI. *)

@@ -33,10 +33,17 @@ type config = {
   use_partial_order : bool;
   max_iterations : int;
   tp_limit : int;
+  donor_pool : int;
 }
 
 let default_config =
-  { handle_indistinct = true; use_partial_order = true; max_iterations = 8; tp_limit = 2 }
+  {
+    handle_indistinct = true;
+    use_partial_order = true;
+    max_iterations = 8;
+    tp_limit = 2;
+    donor_pool = 200;
+  }
 
 (* --- evaluation partial order (O4) ---------------------------------- *)
 
@@ -89,6 +96,9 @@ let find_tps st ~corpus:_ ~limit (c : Check.t) =
 let remove_from_rc st cid =
   st.rc <- List.filter (fun (c : Check.t) -> not (String.equal c.Check.cid cid)) st.rc
 
+let in_rc st (c : Check.t) =
+  List.exists (fun (c' : Check.t) -> String.equal c'.Check.cid c.Check.cid) st.rc
+
 let mutate _st ~kb ~donors ~target ~hard ~soft tp =
   Mutation.negative ~kb ~donors ~target ~hard ~soft tp
 
@@ -105,11 +115,12 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
         | None -> []
         | Some res -> c.Check.cid :: res.Mutation.violated_soft)
   in
-  let rns = List.map (fun c -> (c, rn_of c)) st.rc in
+  let rns = List.map (fun (c : Check.t) -> (c.Check.cid, rn_of c)) st.rc in
   let mutual (c1 : Check.t) (c2 : Check.t) =
-    let rn1 = try List.assq c1 rns with Not_found -> [] in
-    let rn2 = try List.assq c2 rns with Not_found -> [] in
-    List.mem c2.Check.cid rn1 && List.mem c1.Check.cid rn2
+    let rn_for (c : Check.t) =
+      Option.value ~default:[] (List.assoc_opt c.Check.cid rns)
+    in
+    List.mem c2.Check.cid (rn_for c1) && List.mem c1.Check.cid (rn_for c2)
   in
   (* build candidate groups by transitive closure of mutuality *)
   let groups = ref [] in
@@ -126,7 +137,12 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
             else group)
           !groups;
       if not !joined then
-        let mates = List.filter (fun c' -> c' != c && mutual c c') st.rc in
+        let mates =
+          List.filter
+            (fun (c' : Check.t) ->
+              (not (String.equal c'.Check.cid c.Check.cid)) && mutual c c')
+            st.rc
+        in
         if mates <> [] then groups := (c :: mates) :: !groups)
     st.rc;
   (* refine: a member is separable if some t_p admits a t_n conforming
@@ -159,7 +175,7 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
 
 let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
   let donors =
-    List.filteri (fun i _ -> i < 200) corpus
+    List.filteri (fun i _ -> i < config.donor_pool) corpus
   in
   let st =
     {
@@ -197,7 +213,7 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
     (* ---- false positive removal pass ---- *)
     List.iter
       (fun (c : Check.t) ->
-        if List.exists (fun (c' : Check.t) -> c' == c) st.rc then begin
+        if in_rc st c then begin
           match find_tps st ~corpus ~limit:config.tp_limit c with
           | [] ->
               remove_from_rc st c.Check.cid;
@@ -261,7 +277,7 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
     (* ---- true positive validation pass ---- *)
     List.iter
       (fun (c : Check.t) ->
-        if List.exists (fun (c' : Check.t) -> c' == c) st.rc then begin
+        if in_rc st c then begin
           match find_tps st ~corpus ~limit:config.tp_limit c with
           | [] -> ()
           | tp :: _ -> (

@@ -52,6 +52,7 @@ type config = {
   use_partial_order : bool;  (** O4 *)
   max_iterations : int;
   tp_limit : int;  (** positive test cases considered per check *)
+  donor_pool : int;  (** corpus prefix used as mutation donors *)
 }
 
 val default_config : config
