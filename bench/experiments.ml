@@ -861,6 +861,95 @@ let e13 () =
      budget make verdict stability a guarantee, and α-canonical memoization \
      converts repeated mutant deployments into cache hits"
 
+(* ------------------------------------------------------------------ *)
+(* E14 — beyond the paper: multicore runtime scaling                    *)
+(* ------------------------------------------------------------------ *)
+
+module Parallel = Zodiac_util.Parallel
+module Json = Zodiac_util.Json
+
+(* Everything that must be jobs-invariant: the full check funnel, the KB
+   shape, and the deployment accounting down to individual cache hits. *)
+let e14_fingerprint (a : Pipeline.artifacts) =
+  ( List.map (fun (c : Check.t) -> c.Check.cid) a.Pipeline.final_checks,
+    List.map (fun (c : Check.t) -> c.Check.cid) a.Pipeline.candidates,
+    Kb.size a.Pipeline.kb,
+    List.length (Kb.conn_kinds a.Pipeline.kb),
+    a.Pipeline.validation.Scheduler.deployments,
+    a.Pipeline.validation.Scheduler.iterations,
+    a.Pipeline.engine_stats )
+
+let e14 () =
+  print_endline
+    (section "E14  Multicore runtime: wall-clock scaling over --jobs");
+  let corpus_size = 400 in
+  let config jobs =
+    {
+      Pipeline.default_config with
+      Pipeline.corpus_size;
+      jobs;
+      scheduler = { Scheduler.default_config with Scheduler.max_iterations = 3 };
+    }
+  in
+  let runs =
+    List.map
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let a = Pipeline.run ~config:(config jobs) () in
+        let dt = Unix.gettimeofday () -. t0 in
+        Printf.printf "  jobs=%d done in %.1fs\n%!" jobs dt;
+        (jobs, dt, e14_fingerprint a))
+      [ 1; 2; 4; 8 ]
+  in
+  let base_time, base_fp =
+    match runs with (_, dt, fp) :: _ -> (dt, fp) | [] -> assert false
+  in
+  let identical = List.for_all (fun (_, _, fp) -> fp = base_fp) runs in
+  let available = Parallel.recommended_jobs () in
+  print_endline "";
+  print_table
+    ~header:[ "jobs"; "wall (s)"; "speedup vs jobs=1"; "artifacts" ]
+    (List.map
+       (fun (jobs, dt, fp) ->
+         [
+           string_of_int jobs; f2 dt; Printf.sprintf "%.2fx" (base_time /. dt);
+           (if fp = base_fp then "identical" else "DIVERGED");
+         ])
+       runs);
+  Printf.printf
+    "available domains on this machine: %d (speedup is only expected when \
+     jobs <= available domains)\n"
+    available;
+  if not identical then begin
+    print_endline "E14: FAIL — artifacts diverged across jobs settings";
+    exit 1
+  end;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "e14-multicore-scaling");
+        ("corpus_size", Json.Int corpus_size);
+        ("available_domains", Json.Int available);
+        ("artifacts_identical", Json.Bool identical);
+        ( "runs",
+          Json.List
+            (List.map
+               (fun (jobs, dt, _) ->
+                 Json.Obj
+                   [
+                     ("jobs", Json.Int jobs);
+                     ("wall_seconds", Json.Float dt);
+                     ("speedup_vs_jobs1", Json.Float (base_time /. dt));
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_parallel.json"
+
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
 let smoke () =
@@ -885,22 +974,44 @@ let smoke () =
     verdict_sets faulty = verdict_sets memo_on
     && faulty_stats.Engine_stats.faults > 0
   in
+  (* jobs equivalence: the batched parallel scheduler path must produce
+     the same verdicts, deployment counts and engine stats as the
+     sequential one *)
+  let par_run jobs =
+    let engine = Engine.create ~config:Engine.default_config () in
+    let result =
+      Scheduler.run ~config:config.Pipeline.scheduler ~jobs
+        ~deploy_batch:(Engine.oracle_batch ~jobs engine)
+        ~kb:a.Pipeline.kb ~corpus:a.Pipeline.corpus
+        ~deploy:(Engine.oracle engine)
+        candidates
+    in
+    (result, Engine.stats engine)
+  in
+  let seq, seq_stats = par_run 1 in
+  let par, par_stats = par_run 2 in
+  let ok_jobs =
+    verdict_sets seq = verdict_sets par
+    && seq.Scheduler.deployments = par.Scheduler.deployments
+    && seq.Scheduler.iterations = par.Scheduler.iterations
+    && seq_stats = par_stats
+  in
   Printf.printf
     "memo verdicts stable: %b; deployments saved: %d (%d -> %d raw); faulted \
-     run stable with %d faults: %b\n"
+     run stable with %d faults: %b; jobs=1 vs jobs=2 identical: %b\n"
     ok_memo saved off_stats.Engine_stats.attempts on_stats.Engine_stats.attempts
-    faulty_stats.Engine_stats.faults ok_faults;
-  if ok_memo && ok_saved && ok_faults then print_endline "smoke: PASS"
+    faulty_stats.Engine_stats.faults ok_faults ok_jobs;
+  if ok_memo && ok_saved && ok_faults && ok_jobs then print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
     exit 1
   end
 
-let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13 ]
+let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ]
 
 let by_name =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13);
+    ("e13", e13); ("e14", e14);
   ]

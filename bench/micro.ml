@@ -82,14 +82,41 @@ let test_solver =
 
 let test_mining_pass =
   let corpus = Lazy.force sample_corpus in
-  let kb = Kb.build ~projects:corpus in
+  let kb = Kb.build ~projects:corpus () in
   Test.make ~name:"mining: full pass over 60 projects"
     (Staged.stage (fun () -> ignore (Miner.mine kb corpus)))
+
+let test_kb_probe =
+  (* the miner's hot path: tuple-keyed attr_info lookups plus O(1)
+     observed-value probes (formerly a string-concat key and a list
+     scan, both visible in this number) *)
+  let corpus = Lazy.force sample_corpus in
+  let kb = Kb.build ~projects:corpus () in
+  let probes =
+    List.concat_map
+      (fun ty ->
+        List.filter_map
+          (fun (info : Kb.attr_info) ->
+            match info.Kb.observed with
+            | (v, _) :: _ -> Some (ty, info.Kb.attr, v)
+            | [] -> None)
+          (Kb.attrs_of_type kb ty))
+      (Kb.types kb)
+  in
+  Test.make ~name:"kb: attr_info + observed-count probes"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun (rtype, attr, v) ->
+             match Kb.attr_info kb ~rtype ~attr with
+             | Some info ->
+                 ignore (Hashtbl.find_opt info.Kb.observed_index v)
+             | None -> ())
+           probes))
 
 let benchmarks =
   [
     test_hcl_parse; test_graph_build; test_check_eval; test_deploy; test_solver;
-    test_mining_pass;
+    test_mining_pass; test_kb_probe;
   ]
 
 let run () =

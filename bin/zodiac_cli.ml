@@ -32,7 +32,20 @@ let size_arg default =
     & opt int default
     & info [ "projects" ] ~docv:"N" ~doc:"Number of synthetic projects.")
 
-let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) seed size =
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used for the parallel phases (corpus generation, KB \
+           build, mining, validation batches). 0 means the recommended \
+           domain count. Results are bit-identical for every value.")
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Zodiac_util.Parallel.recommended_jobs () else jobs
+
+let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) seed size =
   let engine =
     if fault_rate > 0.0 then
       Zodiac_engine.Engine.faulty_config ~fault_rate ~seed:fault_seed ()
@@ -42,6 +55,7 @@ let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) seed size =
     Zodiac.Pipeline.default_config with
     Zodiac.Pipeline.corpus_seed = seed;
     corpus_size = size;
+    jobs = resolve_jobs jobs;
     engine;
   }
 
@@ -64,9 +78,11 @@ let fault_seed_arg =
 (* ---- mine ----------------------------------------------------------- *)
 
 let mine_cmd =
-  let run verbose seed size limit =
+  let run verbose seed size jobs limit =
     setup_logs verbose;
-    let artifacts = Zodiac.Pipeline.mine_only ~config:(config_of seed size) () in
+    let artifacts =
+      Zodiac.Pipeline.mine_only ~config:(config_of ~jobs seed size) ()
+    in
     print_endline (Zodiac.Report.mining_summary artifacts);
     print_endline "";
     print_endline "Top candidates by support:";
@@ -78,15 +94,17 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 800 $ limit)
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ limit)
 
 (* ---- validate ------------------------------------------------------- *)
 
 let validate_cmd =
-  let run verbose seed size output fault_rate fault_seed =
+  let run verbose seed size jobs output fault_rate fault_seed =
     setup_logs verbose;
     let artifacts =
-      Zodiac.Pipeline.run ~config:(config_of ~fault_rate ~fault_seed seed size) ()
+      Zodiac.Pipeline.run
+        ~config:(config_of ~fault_rate ~fault_seed ~jobs seed size)
+        ()
     in
     print_endline (Zodiac.Report.full artifacts);
     match output with
@@ -110,8 +128,8 @@ wrote %d validated checks to %s
     (Cmd.info "validate"
        ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 600 $ output $ fault_rate_arg
-      $ fault_seed_arg)
+      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ output
+      $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- scan ----------------------------------------------------------- *)
 
@@ -281,9 +299,11 @@ let plan_cmd =
 (* ---- export --------------------------------------------------------- *)
 
 let export_cmd =
-  let run verbose seed size format =
+  let run verbose seed size jobs format =
     setup_logs verbose;
-    let artifacts = Zodiac.Pipeline.run ~config:(config_of seed size) () in
+    let artifacts =
+      Zodiac.Pipeline.run ~config:(config_of ~jobs seed size) ()
+    in
     let checks = artifacts.Zodiac.Pipeline.final_checks in
     match format with
     | "insights" -> print_endline (Zodiac.Export.insights checks)
@@ -308,15 +328,16 @@ let export_cmd =
        ~doc:
          "Run the pipeline and export the validated checks as documentation \
           insights, a RAG knowledge base, or an ancillary-checker policy file")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ format)
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ format)
 
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run verbose seed size =
+  let run verbose seed size jobs =
     setup_logs verbose;
     let projects =
-      Zodiac_corpus.Generator.generate ~seed ~count:size ()
+      Zodiac_corpus.Generator.generate ~jobs:(resolve_jobs jobs) ~seed
+        ~count:size ()
     in
     let by_scenario = Hashtbl.create 16 in
     List.iter
@@ -334,7 +355,7 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate a synthetic corpus and print statistics")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 1000)
+    Term.(const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg)
 
 (* ---- rules ---------------------------------------------------------- *)
 

@@ -31,7 +31,7 @@ let () =
     List.map (fun p -> (p.Generator.pname, p.Generator.program)) projects
   in
   let programs = Miner.materialize (List.map snd corpus) in
-  let kb = Kb.build ~projects:programs in
+  let kb = Kb.build ~projects:programs () in
   List.iter
     (fun check ->
       Printf.printf "hypothesis: %s\n" (Printer.to_string check);

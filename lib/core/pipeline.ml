@@ -12,6 +12,7 @@ module Check = Zodiac_spec.Check
 module Eval = Zodiac_spec.Eval
 module Graph = Zodiac_iac.Graph
 module Program = Zodiac_iac.Program
+module Parallel = Zodiac_util.Parallel
 
 type config = {
   corpus_seed : int;
@@ -19,6 +20,7 @@ type config = {
   violation_rate : float;
   oracle_seed : int;
   oracle_error_rate : float;
+  jobs : int;
   mining : Miner.config;
   thresholds : Filter.thresholds;
   scheduler : Scheduler.config;
@@ -32,6 +34,7 @@ let default_config =
     violation_rate = 0.04;
     oracle_seed = 91;
     oracle_error_rate = 0.05;
+    jobs = Parallel.recommended_jobs ();
     mining = Miner.default_config;
     thresholds = Filter.default_thresholds;
     scheduler = Scheduler.default_config;
@@ -70,21 +73,22 @@ let dedup_checks checks =
     checks
 
 let prepare config =
+  let jobs = config.jobs in
   let projects =
-    Generator.generate ~violation_rate:config.violation_rate ~seed:config.corpus_seed
-      ~count:config.corpus_size ()
+    Generator.generate ~violation_rate:config.violation_rate ~jobs
+      ~seed:config.corpus_seed ~count:config.corpus_size ()
   in
   let programs =
-    Miner.materialize (List.map (fun p -> p.Generator.program) projects)
+    Miner.materialize ~jobs (List.map (fun p -> p.Generator.program) projects)
   in
   let corpus =
     List.map2 (fun p prog -> (p.Generator.pname, prog)) projects programs
   in
-  let kb = Kb.build ~projects:programs in
+  let kb = Kb.build ~jobs ~projects:programs () in
   (projects, corpus, kb, programs)
 
 let mine_phase config kb programs =
-  let mined = Miner.mine ~config:config.mining kb programs in
+  let mined = Miner.mine ~config:config.mining ~jobs:config.jobs kb programs in
   let filtered = Filter.run ~thresholds:config.thresholds mined in
   let oracle = Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed in
   let refined, rejected =
@@ -137,11 +141,14 @@ let run ?(config = default_config) () =
   in
   let engine = Engine.create ~config:config.engine () in
   let deploy = Engine.oracle engine in
+  let deploy_batch = Engine.oracle_batch ~jobs:config.jobs engine in
   let validation =
-    Scheduler.run ~config:config.scheduler ~kb ~corpus ~deploy candidates
+    Scheduler.run ~config:config.scheduler ~jobs:config.jobs ~deploy_batch ~kb
+      ~corpus ~deploy candidates
   in
   let final_checks, counterexample_fps =
-    Scheduler.counterexample_pass ~corpus ~deploy validation.Scheduler.validated
+    Scheduler.counterexample_pass ~jobs:config.jobs ~corpus ~deploy
+      validation.Scheduler.validated
   in
   {
     config;

@@ -10,6 +10,11 @@ type config = {
   violation_rate : float;
   oracle_seed : int;
   oracle_error_rate : float;
+  jobs : int;
+      (** domains used for the parallel phases (corpus generation, KB
+          build, mining, validation batches). Every artifact is
+          bit-identical for every [jobs] value; the default is
+          {!Zodiac_util.Parallel.recommended_jobs}. *)
   mining : Zodiac_mining.Miner.config;
   thresholds : Zodiac_mining.Filter.thresholds;
   scheduler : Zodiac_validation.Scheduler.config;

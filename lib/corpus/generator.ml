@@ -1412,8 +1412,13 @@ let generate_one ?(violation_rate = 0.04) rng index =
     injected;
   }
 
-let generate ?(violation_rate = 0.04) ~seed ~count () =
-  let rng = Prng.create seed in
-  List.init count (fun i -> generate_one ~violation_rate rng i)
+let generate ?(violation_rate = 0.04) ?jobs ~seed ~count () =
+  (* Each project gets its own generator derived from [(seed, index)], so
+     projects are independent work items: the corpus is identical whether
+     they are built sequentially or across domains. *)
+  Zodiac_util.Parallel.map ?jobs
+    (fun i -> generate_one ~violation_rate (Prng.derive seed i) i)
+    (List.init count Fun.id)
 
-let conforming ~seed ~count () = generate ~violation_rate:0.0 ~seed ~count ()
+let conforming ?jobs ~seed ~count () =
+  generate ~violation_rate:0.0 ?jobs ~seed ~count ()

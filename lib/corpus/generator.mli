@@ -33,8 +33,15 @@ val generate_one :
     the probability that a violation is injected. *)
 
 val generate :
-  ?violation_rate:float -> seed:int -> count:int -> unit -> project list
-(** A deterministic corpus of [count] projects. *)
+  ?violation_rate:float ->
+  ?jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  project list
+(** A deterministic corpus of [count] projects. Project [i] is generated
+    from the independent stream [Prng.derive seed i], so the corpus is
+    identical for every [jobs] value (default: recommended domain count). *)
 
-val conforming : seed:int -> count:int -> unit -> project list
+val conforming : ?jobs:int -> seed:int -> count:int -> unit -> project list
 (** A corpus with no injected violations (used for clean baselines). *)

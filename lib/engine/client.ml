@@ -60,7 +60,10 @@ let advance t dt =
   t.clock <- t.clock +. dt;
   Stats.add_sim_time t.stats dt
 
-let deploy t prog =
+(* The retry loop, generalized over how a response is obtained so that
+   [deploy] (live backend call) and [replay] (precomputed response) share
+   one request-accounting path. *)
+let run_request t backend =
   Stats.record_request t.stats;
   let start = t.clock in
   let deadline = Option.map (fun d -> start +. d) t.config.deadline in
@@ -74,7 +77,7 @@ let deploy t prog =
     | None -> ());
     advance t t.config.attempt_cost;
     Stats.record_attempt t.stats ~retry:(n > 0);
-    match t.backend prog with
+    match backend () with
     | Flaky.Outcome outcome ->
         Breaker.record_success t.breaker;
         Ok outcome
@@ -104,6 +107,12 @@ let deploy t prog =
         end
   in
   attempt 0
+
+let deploy t prog = run_request t (fun () -> t.backend prog)
+
+let raw t prog = t.backend prog
+
+let replay t response = run_request t (fun () -> response)
 
 let now t = t.clock
 let breaker t = t.breaker

@@ -59,6 +59,21 @@ val of_arm :
 
 val deploy : t -> Zodiac_iac.Program.t -> (Zodiac_cloud.Arm.outcome, error) result
 
+val raw : t -> Zodiac_iac.Program.t -> Zodiac_cloud.Flaky.response
+(** Call the backend with no bookkeeping: no stats, no clock, no
+    breaker. Safe from any domain when the backend is pure (the
+    fault-free simulator); the engine's batch path uses it to
+    precompute responses in parallel. *)
+
+val replay :
+  t -> Zodiac_cloud.Flaky.response -> (Zodiac_cloud.Arm.outcome, error) result
+(** Account for a request whose response was precomputed with {!raw}:
+    performs exactly the bookkeeping {!deploy} would (request/attempt
+    counters, breaker, simulated clock). For an [Outcome] response this
+    is bit-identical to the [deploy] call it replaces. A [Fault]
+    response would be re-served on every retry, so only replay
+    responses from fault-free backends. *)
+
 val now : t -> float
 (** The simulated clock, total seconds across all requests so far. *)
 

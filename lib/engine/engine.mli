@@ -53,12 +53,27 @@ val deploy : t -> Zodiac_iac.Program.t -> (Zodiac_cloud.Arm.outcome, Client.erro
     are cached; errors (possible only when the client budget is set
     below the fault burst cap, or a deadline is imposed) are not. *)
 
+val deploy_batch :
+  ?jobs:int ->
+  t ->
+  Zodiac_iac.Program.t list ->
+  (Zodiac_cloud.Arm.outcome, Client.error) result list
+(** Equivalent to [List.map (deploy t)] — bit-identical results and
+    stats for every [jobs] value. With the [Pure] backend, raw simulator
+    responses for memo-missing fingerprints are computed on up to [jobs]
+    domains, then committed sequentially in batch order; with a [Faulty]
+    backend (shared seeded fault stream) the batch stays sequential. *)
+
 val success : t -> Zodiac_iac.Program.t -> bool
 (** [Arm.success] of the recovered outcome; an abandoned request
     counts as a failed deployment (and in [giveups]). *)
 
 val oracle : t -> Zodiac_iac.Program.t -> bool
 (** [success] partially applied — the [Scheduler.deploy] oracle. *)
+
+val oracle_batch : ?jobs:int -> t -> Zodiac_iac.Program.t list -> bool list
+(** [success] over {!deploy_batch} — the [Scheduler.deploy_batch]
+    oracle. *)
 
 val stats : t -> Stats.snapshot
 (** Current statistics, cache counters included. *)

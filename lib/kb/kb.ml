@@ -5,6 +5,7 @@ module Graph = Zodiac_iac.Graph
 module Schema = Zodiac_iac.Schema
 module Catalog = Zodiac_azure.Catalog
 module Cidr = Zodiac_util.Cidr
+module Parallel = Zodiac_util.Parallel
 
 type attr_info = {
   rtype : string;
@@ -12,6 +13,8 @@ type attr_info = {
   requirement : Schema.requirement option;
   format : Schema.format;
   observed : (Value.t * int) list;
+  observed_index : (Value.t, int) Hashtbl.t;
+  observed_total : int;
   enum_values : Value.t list;
   default : Value.t option;
   occurrences : int;
@@ -26,13 +29,11 @@ type conn_kind = {
 }
 
 type t = {
-  entries : (string, attr_info) Hashtbl.t;  (* key: rtype ^ "/" ^ attr *)
+  entries : (string * string, attr_info) Hashtbl.t;  (* key: (rtype, attr) *)
   conns : conn_kind list;
   known_types : string list;
   populations : (string, int) Hashtbl.t;  (* resources per type *)
 }
-
-let key rtype attr = rtype ^ "/" ^ attr
 
 (* An attribute is enum-like when its observed value set is small,
    string-typed and well-supported — or when the schema declares an
@@ -45,37 +46,47 @@ let observable = function
   | Value.Str _ | Value.Int _ | Value.Bool _ -> true
   | Value.Null | Value.List _ | Value.Block _ | Value.Ref _ -> false
 
-let build ~projects =
-  let observations : (string, (Value.t, int) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 512
-  in
-  let attr_presence : (string, int) Hashtbl.t = Hashtbl.create 512 in
-  let conn_counts : (string * string * string * string, int) Hashtbl.t =
-    Hashtbl.create 128
+let bump tbl k n =
+  Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+(* One shard of corpus statistics: private tables for a contiguous slice of
+   projects, built with no shared state so shards can run on any domain. *)
+type shard = {
+  s_observations : (string * string, (Value.t, int) Hashtbl.t) Hashtbl.t;
+  s_presence : (string * string, int) Hashtbl.t;
+  s_conns : (string * string * string * string, int) Hashtbl.t;
+  s_populations : (string, int) Hashtbl.t;
+}
+
+let build_shard projects =
+  let s =
+    {
+      s_observations = Hashtbl.create 512;
+      s_presence = Hashtbl.create 512;
+      s_conns = Hashtbl.create 128;
+      s_populations = Hashtbl.create 64;
+    }
   in
   let observe_value rtype path v =
     if observable v then begin
-      let k = key rtype path in
+      let k = (rtype, path) in
       let table =
-        match Hashtbl.find_opt observations k with
+        match Hashtbl.find_opt s.s_observations k with
         | Some t -> t
         | None ->
             let t = Hashtbl.create 8 in
-            Hashtbl.replace observations k t;
+            Hashtbl.replace s.s_observations k t;
             t
       in
-      Hashtbl.replace table v (1 + Option.value ~default:0 (Hashtbl.find_opt table v))
+      bump table v 1
     end
   in
-  let populations : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let observe_resource r =
     let rtype = r.Resource.rtype in
-    Hashtbl.replace populations rtype
-      (1 + Option.value ~default:0 (Hashtbl.find_opt populations rtype));
+    bump s.s_populations rtype 1;
     List.iter
       (fun path ->
-        Hashtbl.replace attr_presence (key rtype path)
-          (1 + Option.value ~default:0 (Hashtbl.find_opt attr_presence (key rtype path)));
+        bump s.s_presence (rtype, path) 1;
         List.iter (observe_value rtype path) (Resource.get_all r path))
       (Resource.attr_paths r)
   in
@@ -85,26 +96,67 @@ let build ~projects =
       let graph = Graph.build prog in
       List.iter
         (fun (e : Graph.edge) ->
-          let k =
+          bump s.s_conns
             ( e.Graph.src.Resource.rtype,
               e.Graph.src_attr,
               e.Graph.dst.Resource.rtype,
               e.Graph.dst_attr )
-          in
-          Hashtbl.replace conn_counts k
-            (1 + Option.value ~default:0 (Hashtbl.find_opt conn_counts k)))
+            1)
         (Graph.edges graph))
     projects;
+  s
+
+(* Merge [src] into [dst], adding counts. Count merges are exact integer
+   additions, so the merged totals are independent of the chunking; any
+   residual Hashtbl iteration-order differences are erased downstream by
+   canonical sorts. *)
+let merge_shard dst src =
+  Hashtbl.iter (fun k n -> bump dst.s_presence k n) src.s_presence;
+  Hashtbl.iter (fun k n -> bump dst.s_conns k n) src.s_conns;
+  Hashtbl.iter (fun k n -> bump dst.s_populations k n) src.s_populations;
+  Hashtbl.iter
+    (fun k table ->
+      match Hashtbl.find_opt dst.s_observations k with
+      | None ->
+          let copy = Hashtbl.copy table in
+          Hashtbl.replace dst.s_observations k copy
+      | Some into -> Hashtbl.iter (fun v n -> bump into v n) table)
+    src.s_observations;
+  dst
+
+let compare_observed (v1, c1) (v2, c2) =
+  match Int.compare c2 c1 with 0 -> Value.compare v1 v2 | n -> n
+
+let compare_conns a b =
+  match Int.compare b.count a.count with
+  | 0 ->
+      Stdlib.compare
+        (a.src_type, a.src_attr, a.dst_type, a.dst_attr)
+        (b.src_type, b.src_attr, b.dst_type, b.dst_attr)
+  | n -> n
+
+let build ?jobs ~projects () =
+  let { s_observations = observations; s_presence = attr_presence;
+        s_conns = conn_counts; s_populations = populations } =
+    match Parallel.chunks ?jobs projects with
+    | [] -> build_shard []
+    | chunks ->
+        (* Shards in parallel, merge strictly in chunk order. *)
+        List.fold_left merge_shard (build_shard [])
+          (Parallel.map ?jobs build_shard chunks)
+  in
   (* Fold schema facts (Class 1 + declared Class 2) with observations. *)
   let entries = Hashtbl.create 512 in
   let add_entry rtype attr requirement declared_format default =
-    let k = key rtype attr in
-    let observed =
+    let k = (rtype, attr) in
+    let observed_index =
       match Hashtbl.find_opt observations k with
-      | None -> []
-      | Some table ->
-          Hashtbl.fold (fun v c acc -> (v, c) :: acc) table []
-          |> List.sort (fun (_, c1) (_, c2) -> Int.compare c2 c1)
+      | Some table -> table
+      | None -> Hashtbl.create 1
+    in
+    let observed =
+      Hashtbl.fold (fun v c acc -> (v, c) :: acc) observed_index []
+      |> List.sort compare_observed
     in
     let occurrences = Option.value ~default:0 (Hashtbl.find_opt attr_presence k) in
     let strings_only =
@@ -116,14 +168,14 @@ let build ~projects =
               (fun (v, _) -> match v with Value.Bool _ -> true | _ -> false)
               observed)
     in
-    let total_support = List.fold_left (fun acc (_, c) -> acc + c) 0 observed in
+    let observed_total = List.fold_left (fun acc (_, c) -> acc + c) 0 observed in
     let enum_values =
       match declared_format with
       | Schema.Enum declared -> List.map (fun s -> Value.Str s) declared
       | Schema.Free_string
         when strings_only
              && List.length observed <= max_enum_cardinality
-             && total_support >= min_enum_support ->
+             && observed_total >= min_enum_support ->
           List.map fst observed
       | Schema.Free_string | Schema.Cidr_format | Schema.Port_format | Schema.Region
       | Schema.Name_format | Schema.Id_format ->
@@ -144,7 +196,18 @@ let build ~projects =
       | f -> f
     in
     Hashtbl.replace entries k
-      { rtype; attr; requirement; format; observed; enum_values; default; occurrences }
+      {
+        rtype;
+        attr;
+        requirement;
+        format;
+        observed;
+        observed_index;
+        observed_total;
+        enum_values;
+        default;
+        occurrences;
+      }
   in
   (* Class 1: every schema attribute. *)
   List.iter
@@ -155,34 +218,27 @@ let build ~projects =
             a.Schema.default)
         (Schema.leaf_paths schema))
     Catalog.schemas;
-  (* Corpus-only attributes (unknown to schemas) still get entries. *)
-  Hashtbl.iter
-    (fun k _count ->
-      if not (Hashtbl.mem entries k) then
-        match String.index_opt k '/' with
-        | Some i ->
-            let rtype = String.sub k 0 i in
-            let attr = String.sub k (i + 1) (String.length k - i - 1) in
-            add_entry rtype attr None Schema.Free_string None
-        | None -> ())
-    attr_presence;
+  (* Corpus-only attributes (unknown to schemas) still get entries; sorted
+     so the entry table is filled in a chunking-independent order. *)
+  Hashtbl.fold (fun k _count acc -> k :: acc) attr_presence []
+  |> List.sort Stdlib.compare
+  |> List.iter (fun ((rtype, attr) as k) ->
+         if not (Hashtbl.mem entries k) then
+           add_entry rtype attr None Schema.Free_string None);
   let conns =
     Hashtbl.fold
       (fun (src_type, src_attr, dst_type, dst_attr) count acc ->
         { src_type; src_attr; dst_type; dst_attr; count } :: acc)
       conn_counts []
-    |> List.sort (fun a b -> Int.compare b.count a.count)
+    |> List.sort compare_conns
   in
   let known_types =
     let from_corpus =
       Hashtbl.fold
-        (fun k _ acc ->
-          match String.index_opt k '/' with
-          | Some i ->
-              let ty = String.sub k 0 i in
-              if List.mem ty acc then acc else ty :: acc
-          | None -> acc)
+        (fun (ty, _attr) _ acc ->
+          if List.mem ty acc then acc else ty :: acc)
         attr_presence []
+      |> List.sort String.compare
     in
     List.fold_left
       (fun acc ty -> if List.mem ty acc then acc else acc @ [ ty ])
@@ -190,7 +246,7 @@ let build ~projects =
   in
   { entries; conns; known_types; populations }
 
-let attr_info t ~rtype ~attr = Hashtbl.find_opt t.entries (key rtype attr)
+let attr_info t ~rtype ~attr = Hashtbl.find_opt t.entries (rtype, attr)
 
 let population t rtype =
   Option.value ~default:0 (Hashtbl.find_opt t.populations rtype)

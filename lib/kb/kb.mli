@@ -24,7 +24,14 @@ type attr_info = {
   requirement : Zodiac_iac.Schema.requirement option;  (** Class 1 *)
   format : Zodiac_iac.Schema.format;  (** declared or inferred *)
   observed : (Zodiac_iac.Value.t * int) list;
-      (** distinct observed values with counts, most frequent first *)
+      (** distinct observed values with counts, most frequent first
+          (ties broken by {!Zodiac_iac.Value.compare}) *)
+  observed_index : (Zodiac_iac.Value.t, int) Hashtbl.t;
+      (** the same counts as [observed], keyed for O(1) probes — the
+          miner's priors hit this in nested loops, so a list scan here
+          is quadratic. Treat as read-only. *)
+  observed_total : int;
+      (** sum of all observation counts (cached denominator) *)
   enum_values : Zodiac_iac.Value.t list;
       (** Class 2: values usable on the right of an [==] (empty when
           the attribute is not enum-like) *)
@@ -42,8 +49,12 @@ type conn_kind = {
 
 type t
 
-val build : projects:Zodiac_iac.Program.t list -> t
-(** Construct the KB from provider schemas plus a corpus. *)
+val build : ?jobs:int -> projects:Zodiac_iac.Program.t list -> unit -> t
+(** Construct the KB from provider schemas plus a corpus. The corpus is
+    split into contiguous shards, per-shard statistics are gathered on up
+    to [jobs] domains (default: recommended domain count), and shard
+    tables are merged in shard order; all derived orderings are canonical,
+    so the result is identical for every [jobs] value. *)
 
 val attr_info : t -> rtype:string -> attr:string -> attr_info option
 

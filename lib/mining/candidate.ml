@@ -14,17 +14,38 @@ let make ?(needs_interpolation = false) ~template_id ~support ~confidence ~lift 
     =
   { check; template_id; support; confidence; lift; needs_interpolation }
 
+(* Total preference order for two candidates of the same cid: higher
+   support wins, then higher confidence/lift, then template id. Total so
+   that the dedup winner (and hence the final list) does not depend on
+   emission order, which varies with counting-shard boundaries. *)
+let preferred a b =
+  match Int.compare a.support b.support with
+  | 0 -> (
+      match Float.compare a.confidence b.confidence with
+      | 0 -> (
+          match Float.compare a.lift b.lift with
+          | 0 -> (
+              match Bool.compare b.needs_interpolation a.needs_interpolation with
+              | 0 -> String.compare b.template_id a.template_id
+              | n -> n)
+          | n -> n)
+      | n -> n)
+  | n -> n
+
 let dedup candidates =
   let table = Hashtbl.create 256 in
   List.iter
     (fun c ->
       let key = c.check.Check.cid in
       match Hashtbl.find_opt table key with
-      | Some existing when existing.support >= c.support -> ()
+      | Some existing when preferred existing c >= 0 -> ()
       | Some _ | None -> Hashtbl.replace table key c)
     candidates;
   Hashtbl.fold (fun _ c acc -> c :: acc) table []
-  |> List.sort (fun a b -> Int.compare b.support a.support)
+  |> List.sort (fun a b ->
+         match Int.compare b.support a.support with
+         | 0 -> String.compare a.check.Check.cid b.check.Check.cid
+         | n -> n)
 
 let describe c =
   Printf.sprintf "%s [%s sup=%d conf=%.2f lift=%.2f%s]"

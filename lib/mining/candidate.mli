@@ -23,6 +23,8 @@ val make :
 
 val dedup : t list -> t list
 (** Keep one candidate per structurally-distinct check (the one with
-    the highest support). *)
+    the highest support; full ties broken by a fixed preference order),
+    sorted by (support desc, cid). The result is independent of the
+    input order, so mining shards cannot perturb it. *)
 
 val describe : t -> string

@@ -8,6 +8,7 @@ module Kb = Zodiac_kb.Kb
 module Defaults = Zodiac_cloud.Defaults
 module Catalog = Zodiac_azure.Catalog
 module Cidr = Zodiac_util.Cidr
+module Parallel = Zodiac_util.Parallel
 
 type config = { use_kb : bool; min_support : int }
 
@@ -22,6 +23,34 @@ let incr_tbl tbl key =
 
 let get_count tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
 
+(* ---- shard-table merges -------------------------------------------
+   Counting runs as shard-then-merge when [jobs > 1]: each chunk of the
+   corpus fills private tables, merged in chunk order. Every merge below
+   is an exact monoid on integers (addition, or (min, max, sum)), so the
+   merged counts are independent of the chunking. *)
+
+let add_count tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let merge_counts dst src = Hashtbl.iter (add_count dst) src
+
+(* (denominator, numerator) statistics *)
+let merge_stats dst src =
+  Hashtbl.iter
+    (fun k (d, s) ->
+      let d0, s0 = Option.value ~default:(0, 0) (Hashtbl.find_opt dst k) in
+      Hashtbl.replace dst k (d0 + d, s0 + s))
+    src
+
+let count_sharded ?jobs count merge programs =
+  match Parallel.chunks ?jobs programs with
+  | [] -> count []
+  | [ chunk ] -> count chunk
+  | chunks -> (
+      match Parallel.map ?jobs count chunks with
+      | first :: rest -> List.fold_left merge first rest
+      | [] -> assert false)
+
 let lift_of conf prior =
   let prior = Float.max prior 1e-6 in
   Float.min (conf /. prior) 1000.0
@@ -33,13 +62,15 @@ let eq_baseline kb (ta, xa) (tb, yb) =
     (Kb.attr_info kb ~rtype:ta ~attr:xa, Kb.attr_info kb ~rtype:tb ~attr:yb)
   with
   | Some i1, Some i2 ->
-      let total1 = List.fold_left (fun acc (_, c) -> acc + c) 0 i1.Kb.observed in
-      let total2 = List.fold_left (fun acc (_, c) -> acc + c) 0 i2.Kb.observed in
+      let total1 = i1.Kb.observed_total in
+      let total2 = i2.Kb.observed_total in
       if total1 = 0 || total2 = 0 then 0.0
       else
+        (* iterate the canonically-sorted list (stable float summation
+           order) but probe the other side's hash index: O(n) not O(n^2) *)
         List.fold_left
           (fun acc (v, c1) ->
-            match List.assoc_opt v i2.Kb.observed with
+            match Hashtbl.find_opt i2.Kb.observed_index v with
             | Some c2 ->
                 acc
                 +. (float_of_int c1 /. float_of_int total1)
@@ -56,7 +87,8 @@ let value_prior kb rtype attr v =
   | Some info ->
       let population = max (Kb.population kb rtype) 1 in
       Float.min 1.0
-        (float_of_int (Option.value ~default:0 (List.assoc_opt v info.Kb.observed))
+        (float_of_int
+           (Option.value ~default:0 (Hashtbl.find_opt info.Kb.observed_index v))
         /. float_of_int population)
 
 let presence_prior kb rtype attr =
@@ -138,14 +170,21 @@ let intra_check ty cond stmt =
 (* Intra-resource mining                                               *)
 (* ------------------------------------------------------------------ *)
 
-let mine_intra_families cfg kb programs =
+type intra_counts = {
+  n_by_type : (string, int) Hashtbl.t;
+  single : (string * fact, int) Hashtbl.t;
+  pair : (string * fact * fact, int) Hashtbl.t;
+  num_range : (string * fact * string, int * int * int) Hashtbl.t;
+      (* (type, cond fact, numeric attr) -> (min, max, count) *)
+}
+
+let count_intra cfg kb programs =
   let n_by_type : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let single : (string * fact, int) Hashtbl.t = Hashtbl.create 1024 in
   let pair : (string * fact * fact, int) Hashtbl.t = Hashtbl.create 4096 in
   let num_range : (string * fact * string, int * int * int) Hashtbl.t =
     Hashtbl.create 256
   in
-  (* (type, cond fact, numeric attr) -> (min, max, count) *)
   let observe r =
     let ty = r.Resource.rtype in
     incr_tbl n_by_type ty;
@@ -189,6 +228,27 @@ let mine_intra_families cfg kb programs =
       numeric_attrs
   in
   List.iter (fun p -> List.iter observe (Program.resources p)) programs;
+  { n_by_type; single; pair; num_range }
+
+let merge_intra dst src =
+  merge_counts dst.n_by_type src.n_by_type;
+  merge_counts dst.single src.single;
+  merge_counts dst.pair src.pair;
+  Hashtbl.iter
+    (fun k (lo, hi, c) ->
+      let merged =
+        match Hashtbl.find_opt dst.num_range k with
+        | None -> (lo, hi, c)
+        | Some (lo0, hi0, c0) -> (min lo lo0, max hi hi0, c0 + c)
+      in
+      Hashtbl.replace dst.num_range k merged)
+    src.num_range;
+  dst
+
+let mine_intra_families ?jobs cfg kb programs =
+  let { n_by_type; single; pair; num_range } =
+    count_sharded ?jobs (count_intra cfg kb) merge_intra programs
+  in
   (* Emit candidates. *)
   let out = ref [] in
   let emit c = out := c :: !out in
@@ -282,7 +342,15 @@ let mine_intra_families cfg kb programs =
 (* Indexed (repeated-block) mining                                     *)
 (* ------------------------------------------------------------------ *)
 
-let mine_indexed cfg _kb programs =
+type indexed_counts = {
+  (* (type, coll, x, y) -> (cond pairs, cond&stmt pairs) for EQ-NE;
+     (type, coll, y) -> (pairs, distinct pairs) for NE *)
+  eqne : (string * string * string * string, int * int) Hashtbl.t;
+  ne : (string * string * string, int * int) Hashtbl.t;
+  elem_values : (string * string * string, (Value.t, int) Hashtbl.t) Hashtbl.t;
+}
+
+let count_indexed programs =
   (* collection path -> per-resource element lists *)
   let collections r =
     List.filter_map
@@ -295,8 +363,6 @@ let mine_indexed cfg _kb programs =
         | _ -> None)
       r.Resource.attrs
   in
-  (* (type, coll, x, y) -> (cond pairs, cond&stmt pairs) for EQ-NE;
-     (type, coll, y) -> (pairs, distinct pairs) for NE *)
   let eqne : (string * string * string * string, int * int) Hashtbl.t =
     Hashtbl.create 128
   in
@@ -362,17 +428,40 @@ let mine_indexed cfg _kb programs =
       (collections r)
   in
   List.iter (fun p -> List.iter observe (Program.resources p)) programs;
+  { eqne; ne; elem_values }
+
+let merge_indexed dst src =
+  merge_stats dst.eqne src.eqne;
+  merge_stats dst.ne src.ne;
+  Hashtbl.iter
+    (fun k tbl ->
+      match Hashtbl.find_opt dst.elem_values k with
+      | None -> Hashtbl.replace dst.elem_values k (Hashtbl.copy tbl)
+      | Some into -> merge_counts into tbl)
+    src.elem_values;
+  dst
+
+let mine_indexed ?jobs cfg _kb programs =
+  let { eqne; ne; elem_values } =
+    count_sharded ?jobs count_indexed merge_indexed programs
+  in
   let distinct_prior tbl =
-    (* probability two random elements differ, from the value table *)
-    let total = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0 in
+    (* probability two random elements differ, from the value table;
+       summed in sorted-value order so the float result is independent
+       of the merged table's insertion order *)
+    let counts =
+      Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []
+      |> List.sort (fun (v1, _) (v2, _) -> Value.compare v1 v2)
+    in
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
     if total = 0 then 0.5
     else
       1.0
-      -. Hashtbl.fold
-           (fun _ c acc ->
+      -. List.fold_left
+           (fun acc (_, c) ->
              let p = float_of_int c /. float_of_int total in
              acc +. (p *. p))
-           tbl 0.0
+           0.0 counts
   in
   let out = ref [] in
   Hashtbl.iter
@@ -440,7 +529,32 @@ type conn_key = string * string * string * string (* src ty, src attr, dst ty, d
 let scalar_paths r =
   List.filter (fun p -> is_scalar (Resource.get r p)) (Resource.attr_paths r)
 
-let mine_inter cfg kb programs =
+type inter_counts = {
+  edgecount : (conn_key, int) Hashtbl.t;
+  paireq : (conn_key * string * string, int) Hashtbl.t;
+  dstval : (conn_key * string * Value.t, int) Hashtbl.t;
+  srcval : (conn_key * string * Value.t, int) Hashtbl.t;
+  dstnull : (conn_key * string, int) Hashtbl.t;
+  cond2 : (conn_key * string * Value.t, int) Hashtbl.t;
+  both2 : (conn_key * string * Value.t * string * Value.t, int) Hashtbl.t;
+  containc : (conn_key * string * string, int * int) Hashtbl.t;
+  sibcount : (conn_key, int) Hashtbl.t;
+  sib_nooverlap : (conn_key * string, int * int) Hashtbl.t;
+  sib_ne : (conn_key * string, int * int) Hashtbl.t;
+  assoc_eq : (conn_key * conn_key * string * string, int * int) Hashtbl.t;
+  assoc_count : (conn_key * conn_key, int) Hashtbl.t;
+  outdeg_one : (conn_key, int) Hashtbl.t;
+  outdeg_excl : (conn_key, int) Hashtbl.t;
+  copath_pairs : (string * string * string, int * int) Hashtbl.t;
+  patheq : (string * string * string * string, int * int) Hashtbl.t;
+  deg_max :
+    (string * string * Value.t * string * [ `In | `Out ], int * int) Hashtbl.t;
+  name_excl : (string * string * string, int * int) Hashtbl.t;
+}
+
+(* [reserved_names] is read-only during counting, so it is shared across
+   shards rather than merged. *)
+let count_inter cfg kb reserved_names programs =
   let edgecount : (conn_key, int) Hashtbl.t = Hashtbl.create 128 in
   let paireq : (conn_key * string * string, int) Hashtbl.t = Hashtbl.create 512 in
   let dstval : (conn_key * string * Value.t, int) Hashtbl.t = Hashtbl.create 512 in
@@ -471,21 +585,7 @@ let mine_inter cfg kb programs =
       (string * string * Value.t * string * [ `In | `Out ], int * int) Hashtbl.t =
     Hashtbl.create 256
   in
-  let reserved_names : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
   let name_excl : (string * string * string, int * int) Hashtbl.t = Hashtbl.create 32 in
-  (* First pass over types to find reserved-name candidates. *)
-  List.iter
-    (fun ty ->
-      match Kb.attr_info kb ~rtype:ty ~attr:"name" with
-      | None -> ()
-      | Some info ->
-          List.iter
-            (fun (v, c) ->
-              match v with
-              | Value.Str s when c >= 5 -> Hashtbl.replace reserved_names (ty, s) c
-              | _ -> ())
-            info.Kb.observed)
-    (Kb.types kb);
   let enum_facts r =
     let ty = r.Resource.rtype in
     List.filter_map
@@ -841,6 +941,96 @@ let mine_inter cfg kb programs =
       (Program.resources prog)
   in
   List.iter observe_program programs;
+  {
+    edgecount;
+    paireq;
+    dstval;
+    srcval;
+    dstnull;
+    cond2;
+    both2;
+    containc;
+    sibcount;
+    sib_nooverlap;
+    sib_ne;
+    assoc_eq;
+    assoc_count;
+    outdeg_one;
+    outdeg_excl;
+    copath_pairs;
+    patheq;
+    deg_max;
+    name_excl;
+  }
+
+let merge_inter dst src =
+  merge_counts dst.edgecount src.edgecount;
+  merge_counts dst.paireq src.paireq;
+  merge_counts dst.dstval src.dstval;
+  merge_counts dst.srcval src.srcval;
+  merge_counts dst.dstnull src.dstnull;
+  merge_counts dst.cond2 src.cond2;
+  merge_counts dst.both2 src.both2;
+  merge_counts dst.sibcount src.sibcount;
+  merge_counts dst.assoc_count src.assoc_count;
+  merge_counts dst.outdeg_one src.outdeg_one;
+  merge_counts dst.outdeg_excl src.outdeg_excl;
+  merge_stats dst.containc src.containc;
+  merge_stats dst.sib_nooverlap src.sib_nooverlap;
+  merge_stats dst.sib_ne src.sib_ne;
+  merge_stats dst.assoc_eq src.assoc_eq;
+  merge_stats dst.copath_pairs src.copath_pairs;
+  merge_stats dst.patheq src.patheq;
+  merge_stats dst.name_excl src.name_excl;
+  Hashtbl.iter
+    (fun k (hi, c) ->
+      let merged =
+        match Hashtbl.find_opt dst.deg_max k with
+        | None -> (hi, c)
+        | Some (hi0, c0) -> (max hi hi0, c0 + c)
+      in
+      Hashtbl.replace dst.deg_max k merged)
+    src.deg_max;
+  dst
+
+let mine_inter ?jobs cfg kb programs =
+  (* First pass over types to find reserved-name candidates. *)
+  let reserved_names : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ty ->
+      match Kb.attr_info kb ~rtype:ty ~attr:"name" with
+      | None -> ()
+      | Some info ->
+          List.iter
+            (fun (v, c) ->
+              match v with
+              | Value.Str s when c >= 5 -> Hashtbl.replace reserved_names (ty, s) c
+              | _ -> ())
+            info.Kb.observed)
+    (Kb.types kb);
+  let {
+    edgecount;
+    paireq;
+    dstval;
+    srcval;
+    dstnull;
+    cond2;
+    both2;
+    containc;
+    sibcount;
+    sib_nooverlap;
+    sib_ne;
+    assoc_eq;
+    assoc_count;
+    outdeg_one;
+    outdeg_excl;
+    copath_pairs;
+    patheq;
+    deg_max;
+    name_excl;
+  } =
+    count_sharded ?jobs (count_inter cfg kb reserved_names) merge_inter programs
+  in
   (* ---- emit ---- *)
   let out = ref [] in
   let emit c = out := c :: !out in
@@ -1141,25 +1331,27 @@ let mine_inter cfg kb programs =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let materialize programs =
-  List.map
+let materialize ?jobs programs =
+  Parallel.map ?jobs
     (fun p -> Program.of_resources (List.map Defaults.effective (Program.resources p)))
     programs
 
-let mine_intra ?(config = default_config) kb programs =
-  let programs = materialize programs in
-  Candidate.dedup (mine_intra_families config kb programs @ mine_indexed config kb programs)
-
-let mine ?(config = default_config) kb programs =
-  let programs = materialize programs in
+let mine_intra ?(config = default_config) ?jobs kb programs =
+  let programs = materialize ?jobs programs in
   Candidate.dedup
-    (mine_intra_families config kb programs
-    @ mine_indexed config kb programs
-    @ mine_inter config kb programs)
+    (mine_intra_families ?jobs config kb programs
+    @ mine_indexed ?jobs config kb programs)
 
-let intra_counts_by_type ~use_kb kb programs =
+let mine ?(config = default_config) ?jobs kb programs =
+  let programs = materialize ?jobs programs in
+  Candidate.dedup
+    (mine_intra_families ?jobs config kb programs
+    @ mine_indexed ?jobs config kb programs
+    @ mine_inter ?jobs config kb programs)
+
+let intra_counts_by_type ?jobs ~use_kb kb programs =
   let config = { default_config with use_kb } in
-  let candidates = mine_intra ~config kb programs in
+  let candidates = mine_intra ~config ?jobs kb programs in
   let by_type = Hashtbl.create 64 in
   List.iter
     (fun (c : Candidate.t) ->

@@ -21,7 +21,8 @@ type config = {
 
 val default_config : config
 
-val materialize : Zodiac_iac.Program.t list -> Zodiac_iac.Program.t list
+val materialize :
+  ?jobs:int -> Zodiac_iac.Program.t list -> Zodiac_iac.Program.t list
 (** Apply provider defaults to every resource. Mining always runs on
     materialized programs; build the KB from the same materialized
     corpus so that statement priors line up with observation (a
@@ -30,14 +31,19 @@ val materialize : Zodiac_iac.Program.t list -> Zodiac_iac.Program.t list
 
 val mine :
   ?config:config ->
+  ?jobs:int ->
   Zodiac_kb.Kb.t ->
   Zodiac_iac.Program.t list ->
   Candidate.t list
 (** Run every template family over the corpus; candidates are
-    deduplicated, keeping the highest-support instance. *)
+    deduplicated, keeping the highest-support instance, and returned in
+    the canonical (support desc, cid) order. Counting shards across up
+    to [jobs] domains (default: recommended domain count); the result
+    is identical for every [jobs] value. *)
 
 val mine_intra :
   ?config:config ->
+  ?jobs:int ->
   Zodiac_kb.Kb.t ->
   Zodiac_iac.Program.t list ->
   Candidate.t list
@@ -46,6 +52,7 @@ val mine_intra :
     KB). *)
 
 val intra_counts_by_type :
+  ?jobs:int ->
   use_kb:bool ->
   Zodiac_kb.Kb.t ->
   Zodiac_iac.Program.t list ->

@@ -1,0 +1,51 @@
+(** Deterministic domain pool over stdlib [Domain].
+
+    OCaml 5 gives us true shared-memory parallelism but no batteries-included
+    pool (the container has no domainslib), so Zodiac carries its own. The
+    design goal is stronger than "fast": every combinator here is
+    {b deterministic} — the result is bit-identical to the sequential
+    ([jobs = 1]) execution regardless of how many domains run or how the
+    scheduler interleaves them. That is what lets the pipeline expose a
+    [--jobs] knob while keeping reproducibility guarantees (same seed, same
+    artifacts) intact.
+
+    The contract is achieved by (1) splitting the input into contiguous
+    chunks with a fixed chunk boundary computation that does not depend on
+    [jobs]-relative scheduling, (2) writing each result into a preallocated
+    slot indexed by input position, and (3) merging chunk results strictly in
+    chunk-index order. Worker functions must therefore be pure up to their
+    own local state: they may allocate and mutate private structures, but
+    must not race on shared mutable state.
+
+    Exceptions raised by worker functions are re-raised in the calling
+    domain. When several chunks fail, the exception of the {e lowest-indexed}
+    failing input wins, again independent of scheduling. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. The
+    default for every [?jobs] argument in the pipeline. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains.
+    Output order always matches input order. [jobs <= 1] (or a short input)
+    runs sequentially in the calling domain with no spawns. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** [mapi ~jobs f xs] is [List.mapi f xs] with the same guarantees as
+    {!map}. The index passed to [f] is the element's position in [xs],
+    independent of chunking. *)
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> merge:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** [map_reduce ~jobs ~map ~merge ~init xs] maps every element and folds the
+    results {e in input order}: the result equals
+    [List.fold_left merge init (List.map map xs)]. Only the [map] phase runs
+    in parallel; [merge] runs sequentially in the calling domain, so it may
+    freely mutate an accumulator. *)
+
+val chunks : ?jobs:int -> 'a list -> 'a list list
+(** [chunks ~jobs xs] is the deterministic chunking {!map} uses internally:
+    contiguous slices, in order, concatenating back to [xs], with boundaries
+    that depend only on [List.length xs] and [jobs]. Exposed for shard-merge
+    callers (KB build, miner counting) that want one private accumulator per
+    chunk rather than per element. *)

@@ -9,6 +9,15 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+let derive seed index =
+  (* Jump directly to the [index]-th gamma step of the stream rooted at
+     [seed], then mix once more so adjacent indices decorrelate. Unlike
+     [split] on a shared generator this needs no sequential threading, so
+     per-index streams can be created independently on any domain. *)
+  let root = mix (Int64.of_int seed) in
+  let jump = Int64.mul golden_gamma (Int64.of_int (index + 1)) in
+  { state = mix (Int64.add root jump) }
+
 let copy t = { state = t.state }
 
 let next64 t =

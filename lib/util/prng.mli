@@ -12,6 +12,12 @@ type t
 val create : int -> t
 (** [create seed] makes a fresh generator from an integer seed. *)
 
+val derive : int -> int -> t
+(** [derive seed index] is an independent stream determined only by
+    [(seed, index)] — no sequential threading through a parent generator —
+    so work item [index] can build its own generator on any domain and the
+    result is identical to a sequential run. *)
+
 val copy : t -> t
 (** [copy t] duplicates the state; both copies evolve independently. *)
 

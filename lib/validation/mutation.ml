@@ -90,11 +90,19 @@ let write_slot prog slot v =
 (* Domains                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fresh_counter = ref 0
+(* Fresh-name source for synthesized resources/values. Domain-local, and
+   reset at every [negative] entry, so the names a mutation uses depend
+   only on that mutation's own inputs — never on how many mutations ran
+   before it or on which domain it runs. Names only need to be unique
+   within one mutant program. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_fresh () = Domain.DLS.get fresh_counter := 0
 
 let fresh_string prefix =
-  incr fresh_counter;
-  Printf.sprintf "%s-zn%d" prefix !fresh_counter
+  let r = Domain.DLS.get fresh_counter in
+  incr r;
+  Printf.sprintf "%s-zn%d" prefix !r
 
 (* Integer constants compared against [attr] anywhere in the checks. *)
 let int_constants_for checks rtype attr =
@@ -577,6 +585,7 @@ let dedup_slots slots =
   List.fold_left (fun acc s -> if List.mem s acc then acc else acc @ [ s ]) [] slots
 
 let negative ?(options = default_options) ~kb ~donors ~target ~hard ~soft tp =
+  reset_fresh ();
   match plan_additions ~kb ~donors tp target with
   | None -> None
   | Some { new_program = base; added } -> (

@@ -4,8 +4,10 @@ module Check = Zodiac_spec.Check
 module Eval = Zodiac_spec.Eval
 module Kb = Zodiac_kb.Kb
 module Arm = Zodiac_cloud.Arm
+module Parallel = Zodiac_util.Parallel
 
 type deploy = Program.t -> bool
+type deploy_batch = Program.t list -> bool list
 
 type iteration = {
   iter : int;
@@ -102,8 +104,27 @@ let in_rc st (c : Check.t) =
 let mutate _st ~kb ~donors ~target ~hard ~soft tp =
   Mutation.negative ~kb ~donors ~target ~hard ~soft tp
 
+(* Warm the t_p cache for [checks]: the misses are computed in parallel
+   (index search is pure) and committed sequentially, after which
+   [find_tps] is a read-only probe that any domain may run. *)
+let ensure_tps ?jobs st ~limit checks =
+  let missing =
+    List.filter
+      (fun (c : Check.t) -> not (Hashtbl.mem st.tp_cache c.Check.cid))
+      checks
+  in
+  let found =
+    Parallel.map ?jobs
+      (fun (c : Check.t) -> Testcase.find_indexed ~limit ~index:st.index c)
+      missing
+  in
+  List.iter2
+    (fun (c : Check.t) tps -> Hashtbl.replace st.tp_cache c.Check.cid tps)
+    missing found
+
 (* Union-find style grouping of mutually-inseparable checks. *)
-let compute_groups st ~kb ~donors ~corpus ~tp_limit =
+let compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit =
+  ensure_tps ?jobs st ~limit:tp_limit st.rc;
   let rn_of (c : Check.t) =
     match find_tps st ~corpus ~limit:tp_limit c with
     | [] -> []
@@ -115,7 +136,9 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
         | None -> []
         | Some res -> c.Check.cid :: res.Mutation.violated_soft)
   in
-  let rns = List.map (fun (c : Check.t) -> (c.Check.cid, rn_of c)) st.rc in
+  let rns =
+    Parallel.map ?jobs (fun (c : Check.t) -> (c.Check.cid, rn_of c)) st.rc
+  in
   let mutual (c1 : Check.t) (c2 : Check.t) =
     let rn_for (c : Check.t) =
       Option.value ~default:[] (List.assoc_opt c.Check.cid rns)
@@ -148,7 +171,7 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
   (* refine: a member is separable if some t_p admits a t_n conforming
      to all other group members (hard) *)
   let refined =
-    List.map
+    Parallel.map ?jobs
       (fun group ->
         List.filter
           (fun (c : Check.t) ->
@@ -173,7 +196,23 @@ let compute_groups st ~kb ~donors ~corpus ~tp_limit =
   in
   List.filter (fun g -> List.length g >= 2) refined
 
-let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
+(* Each pass is batch-synchronous: every surviving check computes its
+   mutant from the same pass-start snapshot of (R_c, R_v) — a pure
+   computation fanned out across domains — then the whole mutant batch
+   deploys in snapshot order, and verdicts are committed sequentially in
+   that same order. The result is identical for every [jobs] value; it
+   differs from a per-check-interleaved schedule only in that mutants are
+   planned against the snapshot rather than against mid-pass removals,
+   which batching (the paper's concurrent validation against Azure)
+   inherently requires. *)
+
+type 'a plan = No_instance | Unsat | Planned of 'a
+
+let run ?(config = default_config) ?jobs ?deploy_batch ~kb ~corpus ~deploy
+    candidates =
+  let deploy_batch =
+    match deploy_batch with Some f -> f | None -> List.map deploy
+  in
   let donors =
     List.filteri (fun i _ -> i < config.donor_pool) corpus
   in
@@ -196,9 +235,9 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
     else checks
   in
   st.rc <- order st.rc;
-  let deploy_count prog =
-    st.deployments <- st.deployments + 1;
-    deploy prog
+  let run_batch planned =
+    st.deployments <- st.deployments + List.length planned;
+    deploy_batch planned
   in
   let iterations = ref [] in
   let iter_no = ref 0 in
@@ -211,62 +250,87 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
     let tp_single = ref 0 in
     let tp_group = ref 0 in
     (* ---- false positive removal pass ---- *)
-    List.iter
-      (fun (c : Check.t) ->
-        if in_rc st c then begin
+    let rc0 = order st.rc in
+    let rv0 = st.rv in
+    ensure_tps ?jobs st ~limit:config.tp_limit rc0;
+    let plans =
+      Parallel.map ?jobs
+        (fun (c : Check.t) ->
           match find_tps st ~corpus ~limit:config.tp_limit c with
-          | [] ->
-              remove_from_rc st c.Check.cid;
-              st.falsified <- (c, Falsified `No_instance) :: st.falsified;
-              incr fp_no_instance
+          | [] -> No_instance
           | tps -> (
               let soft =
                 List.filter
                   (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
-                  st.rc
+                  rc0
               in
               let results =
                 List.filter_map
-                  (fun tp ->
-                    mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp)
+                  (fun tp -> mutate st ~kb ~donors ~target:c ~hard:rv0 ~soft tp)
                   tps
               in
-              match results with
-              | [] ->
-                  remove_from_rc st c.Check.cid;
-                  st.falsified <- (c, Falsified `Unsat) :: st.falsified;
-                  incr fp_unsat
-              | res :: _ ->
-                  if deploy_count res.Mutation.program then begin
-                    (* deployable: c and every violated candidate are FPs *)
-                    let victims =
-                      c.Check.cid :: res.Mutation.violated_soft
-                      |> List.filter (fun cid ->
-                             List.exists
-                               (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
-                               st.rc)
-                    in
-                    List.iter
-                      (fun cid ->
-                        match
-                          List.find_opt
-                            (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
-                            st.rc
-                        with
-                        | Some victim ->
-                            remove_from_rc st cid;
-                            st.falsified <-
-                              (victim, Falsified `Deployable) :: st.falsified;
-                            incr fp_deployable
-                        | None -> ())
-                      victims
-                  end)
-        end)
-      (order st.rc);
+              match results with [] -> Unsat | res :: _ -> Planned res))
+        rc0
+    in
+    let to_deploy =
+      List.filter_map
+        (function Planned res -> Some res.Mutation.program | _ -> None)
+        plans
+    in
+    let verdicts = ref (run_batch to_deploy) in
+    let next_verdict () =
+      match !verdicts with
+      | v :: rest ->
+          verdicts := rest;
+          v
+      | [] -> assert false
+    in
+    List.iter2
+      (fun (c : Check.t) plan ->
+        match plan with
+        | No_instance ->
+            if in_rc st c then begin
+              remove_from_rc st c.Check.cid;
+              st.falsified <- (c, Falsified `No_instance) :: st.falsified;
+              incr fp_no_instance
+            end
+        | Unsat ->
+            if in_rc st c then begin
+              remove_from_rc st c.Check.cid;
+              st.falsified <- (c, Falsified `Unsat) :: st.falsified;
+              incr fp_unsat
+            end
+        | Planned res ->
+            let deployable = next_verdict () in
+            if in_rc st c && deployable then begin
+              (* deployable: c and every violated candidate are FPs *)
+              let victims =
+                c.Check.cid :: res.Mutation.violated_soft
+                |> List.filter (fun cid ->
+                       List.exists
+                         (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                         st.rc)
+              in
+              List.iter
+                (fun cid ->
+                  match
+                    List.find_opt
+                      (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                      st.rc
+                  with
+                  | Some victim ->
+                      remove_from_rc st cid;
+                      st.falsified <-
+                        (victim, Falsified `Deployable) :: st.falsified;
+                      incr fp_deployable
+                  | None -> ())
+                victims
+            end)
+      rc0 plans;
     (* ---- indistinguishable groups (O3) ---- *)
     let groups =
       if config.handle_indistinct then
-        compute_groups st ~kb ~donors ~corpus ~tp_limit:config.tp_limit
+        compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit:config.tp_limit
       else []
     in
     let group_of (cid : string) =
@@ -275,62 +339,81 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
         groups
     in
     (* ---- true positive validation pass ---- *)
-    List.iter
-      (fun (c : Check.t) ->
-        if in_rc st c then begin
+    let rc1 = order st.rc in
+    let rv1 = st.rv in
+    ensure_tps ?jobs st ~limit:config.tp_limit rc1;
+    let plans =
+      Parallel.map ?jobs
+        (fun (c : Check.t) ->
           match find_tps st ~corpus ~limit:config.tp_limit c with
-          | [] -> ()
-          | tp :: _ -> (
+          | [] -> None
+          | tp :: _ ->
               let soft =
                 List.filter
                   (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
-                  st.rc
+                  rc1
               in
-              match mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp with
-              | None -> ()
-              | Some res ->
-                  if not (deploy_count res.Mutation.program) then begin
-                    let rn =
-                      c.Check.cid
-                      :: List.filter
-                           (fun cid ->
-                             List.exists
-                               (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
-                               st.rc)
-                           res.Mutation.violated_soft
-                    in
-                    if List.length rn = 1 then begin
-                      remove_from_rc st c.Check.cid;
-                      st.rv <- c :: st.rv;
-                      incr tp_single
-                    end
-                    else
-                      match group_of c.Check.cid with
-                      | Some group
-                        when List.for_all
-                               (fun cid ->
-                                 List.exists
-                                   (fun (g : Check.t) -> String.equal g.Check.cid cid)
-                                   group)
-                               rn ->
-                          (* validate every member of R_n together *)
-                          List.iter
-                            (fun cid ->
-                              match
-                                List.find_opt
-                                  (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
-                                  st.rc
-                              with
-                              | Some mate ->
-                                  remove_from_rc st cid;
-                                  st.rv <- mate :: st.rv;
-                                  incr tp_group
-                              | None -> ())
-                            rn
-                      | Some _ | None -> ()
-                  end)
-        end)
-      (order st.rc);
+              mutate st ~kb ~donors ~target:c ~hard:rv1 ~soft tp)
+        rc1
+    in
+    let to_deploy =
+      List.filter_map (Option.map (fun res -> res.Mutation.program)) plans
+    in
+    let verdicts = ref (run_batch to_deploy) in
+    let next_verdict () =
+      match !verdicts with
+      | v :: rest ->
+          verdicts := rest;
+          v
+      | [] -> assert false
+    in
+    List.iter2
+      (fun (c : Check.t) plan ->
+        match plan with
+        | None -> ()
+        | Some res ->
+            let deployable = next_verdict () in
+            if in_rc st c && not deployable then begin
+              let rn =
+                c.Check.cid
+                :: List.filter
+                     (fun cid ->
+                       List.exists
+                         (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                         st.rc)
+                     res.Mutation.violated_soft
+              in
+              if List.length rn = 1 then begin
+                remove_from_rc st c.Check.cid;
+                st.rv <- c :: st.rv;
+                incr tp_single
+              end
+              else
+                match group_of c.Check.cid with
+                | Some group
+                  when List.for_all
+                         (fun cid ->
+                           List.exists
+                             (fun (g : Check.t) -> String.equal g.Check.cid cid)
+                             group)
+                         rn ->
+                    (* validate every member of R_n together *)
+                    List.iter
+                      (fun cid ->
+                        match
+                          List.find_opt
+                            (fun (c' : Check.t) -> String.equal c'.Check.cid cid)
+                            st.rc
+                        with
+                        | Some mate ->
+                            remove_from_rc st cid;
+                            st.rv <- mate :: st.rv;
+                            incr tp_group
+                        | None -> ())
+                      rn
+                | Some _ | None -> ()
+            end)
+      rc1 plans;
     let made_progress =
       !fp_deployable + !fp_unsat + !fp_no_instance + !tp_single + !tp_group > 0
     in
@@ -358,28 +441,32 @@ let run ?(config = default_config) ~kb ~corpus ~deploy candidates =
     deployments = st.deployments;
   }
 
-let counterexample_pass ~corpus ~deploy validated =
+let counterexample_pass ?jobs ~corpus ~deploy validated =
   let defaults = Arm.defaults in
+  (* Pure phase, fanned out per check: collect the corpus programs whose
+     minimal deployable counterexample still violates the check. *)
+  let mdcs_of (c : Check.t) =
+    List.filter_map
+      (fun (_, prog) ->
+        let graph = Graph.build prog in
+        match Eval.violations ~defaults graph c with
+        | [] -> None
+        | violation :: _ ->
+            let mdc = Mdc.prune prog ~keep:(List.map snd violation) in
+            let mdc_graph = Graph.build mdc in
+            if Eval.holds ~defaults mdc_graph c then None else Some mdc)
+      corpus
+  in
+  let candidates = Parallel.map ?jobs mdcs_of validated in
+  (* Deploy phase, sequential with the same early exit as a fully
+     sequential scan: per check, in corpus order, stop at the first
+     deployable counterexample. *)
   let kept, exposed =
     List.partition
-      (fun (c : Check.t) ->
-        (* look for a corpus program violating c that still deploys *)
-        let counterexample =
-          List.exists
-            (fun (_, prog) ->
-              let graph = Graph.build prog in
-              match Eval.violations ~defaults graph c with
-              | [] -> false
-              | violation :: _ ->
-                  let mdc = Mdc.prune prog ~keep:(List.map snd violation) in
-                  let mdc_graph = Graph.build mdc in
-                  (not (Eval.holds ~defaults mdc_graph c)) && deploy mdc)
-            corpus
-        in
-        not counterexample)
-      validated
+      (fun ((_ : Check.t), mdcs) -> not (List.exists deploy mdcs))
+      (List.combine validated candidates)
   in
-  (kept, exposed)
+  (List.map fst kept, List.map fst exposed)
 
 (* silence unused-warning for cids helper kept for debugging *)
 let _ = cids

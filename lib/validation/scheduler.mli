@@ -24,6 +24,11 @@
 type deploy = Zodiac_iac.Program.t -> bool
 (** Deployment oracle: true iff the program deploys cleanly. *)
 
+type deploy_batch = Zodiac_iac.Program.t list -> bool list
+(** Batched oracle; must be order-faithful, i.e. observationally
+    [List.map deploy]. {!Zodiac_engine} provides one that computes pure
+    backend responses in parallel. *)
+
 type iteration = {
   iter : int;
   fp_deployable : int;  (** FPs removed because [t_n] deployed *)
@@ -59,13 +64,22 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?jobs:int ->
+  ?deploy_batch:deploy_batch ->
   kb:Zodiac_kb.Kb.t ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   deploy:deploy ->
   Zodiac_spec.Check.t list ->
   result
+(** Passes are batch-synchronous: each pass plans every mutant from the
+    pass-start snapshot of (R_c, R_v) — a pure fan-out across up to
+    [jobs] domains — deploys the batch in snapshot order (through
+    [deploy_batch] when given, else [deploy] one by one), and commits
+    verdicts sequentially in that order. The result is identical for
+    every [jobs] value. *)
 
 val counterexample_pass :
+  ?jobs:int ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   deploy:deploy ->
   Zodiac_spec.Check.t list ->

@@ -93,7 +93,7 @@ let test_prevalence_ordering () =
   let programs =
     List.map
       (fun p -> p.Generator.program)
-      (Generator.generate ~seed:202 ~count:300 ())
+      (Generator.generate ~seed:202 ~count:600 ())
   in
   let p_checkov = Checker.prevalence Baselines.checkov programs in
   let p_tfcomp = Checker.prevalence Baselines.tfcomp programs in

@@ -226,7 +226,7 @@ let corpus =
        (Generator.generate ~seed:55 ~count:200 ()))
 
 let kb =
-  lazy (Kb.build ~projects:(Miner.materialize (List.map snd (Lazy.force corpus))))
+  lazy (Kb.build ~projects:(Miner.materialize (List.map snd (Lazy.force corpus))) ())
 
 let candidates =
   lazy

@@ -26,7 +26,7 @@ let tiny_corpus =
     Program.of_resources [ sa "Premium" "b"; sa "Standard" "c" ];
   ]
 
-let kb = Kb.build ~projects:tiny_corpus
+let kb = Kb.build ~projects:tiny_corpus ()
 
 let test_class1_from_schema () =
   match Kb.attr_info kb ~rtype:"SUBNET" ~attr:"vpc_name" with
@@ -78,7 +78,7 @@ let test_types_include_catalog () =
 
 let big_kb =
   let projects = Generator.conforming ~seed:5 ~count:200 () in
-  Kb.build ~projects:(List.map (fun p -> p.Generator.program) projects)
+  Kb.build ~projects:(List.map (fun p -> p.Generator.program) projects) ()
 
 let test_enum_detection_on_corpus () =
   (* names are high-cardinality: never enum-like *)

@@ -15,7 +15,7 @@ let corpus =
     (let projects = Generator.generate ~seed:101 ~count:500 () in
      Miner.materialize (List.map (fun p -> p.Generator.program) projects))
 
-let kb = lazy (Kb.build ~projects:(Lazy.force corpus))
+let kb = lazy (Kb.build ~projects:(Lazy.force corpus) ())
 
 let mined = lazy (Miner.mine (Lazy.force kb) (Lazy.force corpus))
 

@@ -1,0 +1,169 @@
+(* The deterministic domain pool: ordering, merge order, exception
+   propagation, and the end-to-end jobs-independence contract of the
+   pipeline (parallel output bit-identical to sequential). *)
+
+module Parallel = Zodiac_util.Parallel
+module Pipeline = Zodiac.Pipeline
+module Scheduler = Zodiac_validation.Scheduler
+module Kb = Zodiac_kb.Kb
+module Check = Zodiac_spec.Check
+
+let test_recommended_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Parallel.recommended_jobs () >= 1)
+
+let test_map_ordering () =
+  let xs = List.init 257 (fun i -> i) in
+  let f x = (x * x) - (3 * x) in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map jobs=%d" jobs)
+        expected
+        (Parallel.map ~jobs f xs))
+    [ 1; 2; 3; 4; 8; 300 ];
+  Alcotest.(check (list int)) "empty input" [] (Parallel.map ~jobs:4 f [])
+
+let test_mapi_indices () =
+  let xs = List.init 100 (fun i -> 100 - i) in
+  let f i x = (i, x) in
+  Alcotest.(check (list (pair int int)))
+    "indices are positions in the input, not in the chunk"
+    (List.mapi f xs)
+    (Parallel.mapi ~jobs:4 f xs)
+
+let test_chunks_reassemble () =
+  List.iter
+    (fun (len, jobs) ->
+      let xs = List.init len (fun i -> i) in
+      let cs = Parallel.chunks ~jobs xs in
+      Alcotest.(check (list int))
+        (Printf.sprintf "concat of chunks len=%d jobs=%d" len jobs)
+        xs (List.concat cs);
+      Alcotest.(check bool) "no empty chunks" true (List.for_all (( <> ) []) cs))
+    [ (0, 4); (1, 4); (3, 8); (8, 3); (100, 4); (5, 1) ]
+
+let test_map_reduce_order () =
+  (* string concatenation is order-sensitive: any merge reordering would
+     show up immediately *)
+  let xs = List.init 64 string_of_int in
+  let expected = String.concat "," xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fold in input order, jobs=%d" jobs)
+        expected
+        (Parallel.map_reduce ~jobs ~map:Fun.id
+           ~merge:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+           ~init:"" xs))
+    [ 1; 2; 4; 7 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let xs = List.init 40 (fun i -> i) in
+  let f i = if i mod 10 = 3 then raise (Boom i) else i in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f xs with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "lowest-index exception wins, jobs=%d" jobs)
+            3 i)
+    [ 1; 2; 4 ]
+
+let test_workers_survive_after_exception () =
+  (* the pool must be usable again after a failing run *)
+  (try ignore (Parallel.map ~jobs:4 (fun _ -> raise Exit) [ 1; 2; 3 ])
+   with Exit -> ());
+  Alcotest.(check (list int)) "pool still works" [ 2; 4; 6 ]
+    (Parallel.map ~jobs:4 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* qcheck: parallel map ≡ sequential map for arbitrary inputs and jobs *)
+let prop_map_equals_sequential =
+  QCheck.Test.make ~count:100 ~name:"Parallel.map ≡ List.map"
+    QCheck.(pair (list small_int) (int_range 1 9))
+    (fun (xs, jobs) ->
+      let f x = Hashtbl.hash (x * 2654435761) in
+      Parallel.map ~jobs f xs = List.map f xs)
+
+let prop_map_reduce_equals_fold =
+  QCheck.Test.make ~count:100 ~name:"map_reduce ≡ fold_left of map"
+    QCheck.(pair (list small_int) (int_range 1 9))
+    (fun (xs, jobs) ->
+      let map x = [ x; x + 1 ] in
+      let merge acc ys = acc @ ys in
+      Parallel.map_reduce ~jobs ~map ~merge ~init:[] xs
+      = List.fold_left merge [] (List.map map xs))
+
+(* ---- end-to-end: pipeline output is independent of [jobs] ------------ *)
+
+let run_pipeline jobs =
+  Pipeline.run
+    ~config:
+      {
+        Pipeline.quick_config with
+        Pipeline.corpus_size = 150;
+        jobs;
+        scheduler =
+          { Scheduler.default_config with Scheduler.max_iterations = 3 };
+      }
+    ()
+
+let kb_summary kb =
+  ( Kb.size kb,
+    List.length (Kb.conn_kinds kb),
+    List.length (Kb.types kb),
+    List.map
+      (fun (c : Kb.conn_kind) ->
+        (c.Kb.src_type, c.Kb.src_attr, c.Kb.dst_type, c.Kb.dst_attr, c.Kb.count))
+      (Kb.conn_kinds kb) )
+
+let cids checks = List.map (fun (c : Check.t) -> c.Check.cid) checks
+
+let test_pipeline_jobs_independent () =
+  let a = run_pipeline 1 in
+  let b = run_pipeline 4 in
+  Alcotest.(check (list string))
+    "identical final checks (order included)"
+    (cids a.Pipeline.final_checks)
+    (cids b.Pipeline.final_checks);
+  Alcotest.(check (list string))
+    "identical candidates"
+    (cids a.Pipeline.candidates)
+    (cids b.Pipeline.candidates);
+  Alcotest.(check bool) "identical KB summary" true
+    (kb_summary a.Pipeline.kb = kb_summary b.Pipeline.kb);
+  Alcotest.(check int) "identical deployment counts"
+    a.Pipeline.validation.Scheduler.deployments
+    b.Pipeline.validation.Scheduler.deployments;
+  Alcotest.(check bool) "identical iteration traces" true
+    (a.Pipeline.validation.Scheduler.iterations
+    = b.Pipeline.validation.Scheduler.iterations);
+  Alcotest.(check bool) "identical engine stats" true
+    (a.Pipeline.engine_stats = b.Pipeline.engine_stats)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "mapi indices" `Quick test_mapi_indices;
+          Alcotest.test_case "chunks reassemble" `Quick test_chunks_reassemble;
+          Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "pool survives exceptions" `Quick
+            test_workers_survive_after_exception;
+          QCheck_alcotest.to_alcotest prop_map_equals_sequential;
+          QCheck_alcotest.to_alcotest prop_map_reduce_equals_fold;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "pipeline jobs=1 ≡ jobs=4" `Slow
+            test_pipeline_jobs_independent;
+        ] );
+    ]

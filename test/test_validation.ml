@@ -25,7 +25,8 @@ let corpus =
 let kb =
   lazy
     (Kb.build
-       ~projects:(Miner.materialize (List.map snd (Lazy.force corpus))))
+       ~projects:(Miner.materialize (List.map snd (Lazy.force corpus)))
+       ())
 
 let deploy prog = Arm.success (Arm.deploy prog)
 
