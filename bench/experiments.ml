@@ -924,6 +924,25 @@ let e14 () =
     print_endline "E14: FAIL — artifacts diverged across jobs settings";
     exit 1
   end;
+  (* adaptive granularity clamps effective domains to the hardware, so
+     asking for more jobs than cores must not cost anything: jobs=2 may
+     not regress below jobs=1 (beyond timing noise) *)
+  let time_at j =
+    List.find_map (fun (jobs, dt, _) -> if jobs = j then Some dt else None) runs
+  in
+  let jobs2_ratio =
+    match (time_at 2, time_at 1) with
+    | Some t2, Some t1 -> t2 /. Float.max t1 1e-9
+    | _ -> 1.0
+  in
+  let no_regression = jobs2_ratio <= 1.25 in
+  Printf.printf "jobs=2 vs jobs=1 wall-time ratio: %.2f (tolerance 1.25)\n"
+    jobs2_ratio;
+  if not no_regression then begin
+    print_endline
+      "E14: FAIL — jobs=2 regressed below jobs=1 despite adaptive granularity";
+    exit 1
+  end;
   let json =
     Json.Obj
       [
@@ -931,6 +950,8 @@ let e14 () =
         ("corpus_size", Json.Int corpus_size);
         ("available_domains", Json.Int available);
         ("artifacts_identical", Json.Bool identical);
+        ("jobs2_vs_jobs1_ratio", Json.Float jobs2_ratio);
+        ("jobs2_regression_fixed", Json.Bool no_regression);
         ( "runs",
           Json.List
             (List.map
@@ -949,6 +970,133 @@ let e14 () =
   output_string oc "\n";
   close_out oc;
   print_endline "wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
+(* E15 — beyond the paper: warm-start artifact cache                    *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = Zodiac_util.Cache
+module Codec = Zodiac_util.Codec
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* Byte-exact export of everything the mining phase produced: the full
+   corpus (programs included), the mined candidates with their IEEE-754
+   statistics bits, the deduplicated check funnel and the KB shape. Two
+   runs agree on these bytes iff their artifacts are truly identical —
+   the warm-start determinism guarantee, checked stronger than cid
+   fingerprints would. *)
+let mine_artifact_bytes (a : Pipeline.artifacts) =
+  Codec.encode ~stage:"bench-artifacts" (fun b ->
+      Codec.write_list Generator.write_project b a.Pipeline.projects;
+      Codec.write_list Candidate.write b a.Pipeline.mined;
+      Codec.write_list Check.write b a.Pipeline.candidates;
+      Codec.write_int b (Kb.size a.Pipeline.kb);
+      Codec.write_int b (List.length (Kb.conn_kinds a.Pipeline.kb));
+      Codec.write_list Codec.write_string b (Kb.types a.Pipeline.kb))
+
+let e15 () =
+  print_endline (section "E15  Warm-start cache: cold vs warm mining runs");
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "zodiac-e15-cache" in
+  rm_rf dir;
+  let corpus_size = 400 in
+  let config =
+    { Pipeline.default_config with Pipeline.corpus_size; cache_dir = Some dir }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold, cold_t = time (fun () -> Pipeline.mine_only ~config ()) in
+  let warm, warm_t = time (fun () -> Pipeline.mine_only ~config ()) in
+  let identical =
+    String.equal (mine_artifact_bytes cold) (mine_artifact_bytes warm)
+  in
+  let speedup = cold_t /. warm_t in
+  (* growing the corpus extends the cached prefix (fresh tail projects +
+     monoid KB delta) instead of rebuilding; compare against a cold run
+     at the larger size *)
+  let grown_size = corpus_size + 100 in
+  let config_grown = { config with Pipeline.corpus_size = grown_size } in
+  let inc, inc_t = time (fun () -> Pipeline.mine_only ~config:config_grown ()) in
+  let cold_grown, cold_grown_t =
+    time (fun () ->
+        Pipeline.mine_only ~config:{ config_grown with Pipeline.cache_dir = None } ())
+  in
+  let inc_identical =
+    String.equal (mine_artifact_bytes inc) (mine_artifact_bytes cold_grown)
+  in
+  let row name t (a : Pipeline.artifacts) verdict =
+    let s = a.Pipeline.cache_stats in
+    [
+      name; f2 t; string_of_int s.Cache.hits; string_of_int s.Cache.misses;
+      string_of_int s.Cache.writes; verdict;
+    ]
+  in
+  print_table
+    ~header:[ "run"; "wall (s)"; "hits"; "misses"; "writes"; "artifacts" ]
+    [
+      row (Printf.sprintf "cold n=%d" corpus_size) cold_t cold "baseline";
+      row (Printf.sprintf "warm n=%d" corpus_size) warm_t warm
+        (if identical then "identical" else "DIVERGED");
+      row (Printf.sprintf "incr n=%d" grown_size) inc_t inc
+        (if inc_identical then "identical" else "DIVERGED");
+      row (Printf.sprintf "cold n=%d" grown_size) cold_grown_t cold_grown
+        "baseline";
+    ];
+  Printf.printf
+    "warm speedup %.1fx (threshold 5x); incremental run %.1fx vs cold at the \
+     grown size\n"
+    speedup
+    (cold_grown_t /. Float.max inc_t 1e-9);
+  let ok = identical && inc_identical && speedup >= 5.0 in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "e15-warm-start-cache");
+        ("corpus_size", Json.Int corpus_size);
+        ("grown_corpus_size", Json.Int grown_size);
+        ("cold_wall_seconds", Json.Float cold_t);
+        ("warm_wall_seconds", Json.Float warm_t);
+        ("warm_speedup", Json.Float speedup);
+        ("warm_artifacts_identical", Json.Bool identical);
+        ( "warm_cache",
+          Json.Obj
+            [
+              ("hits", Json.Int warm.Pipeline.cache_stats.Cache.hits);
+              ("misses", Json.Int warm.Pipeline.cache_stats.Cache.misses);
+            ] );
+        ("incremental_wall_seconds", Json.Float inc_t);
+        ("cold_grown_wall_seconds", Json.Float cold_grown_t);
+        ("incremental_artifacts_identical", Json.Bool inc_identical);
+        ( "incremental_cache",
+          Json.Obj
+            [
+              ("hits", Json.Int inc.Pipeline.cache_stats.Cache.hits);
+              ("misses", Json.Int inc.Pipeline.cache_stats.Cache.misses);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_cache.json";
+  rm_rf dir;
+  if not ok then begin
+    print_endline
+      "E15: FAIL — warm run diverged or fell short of the 5x speedup threshold";
+    exit 1
+  end
 
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
@@ -996,22 +1144,66 @@ let smoke () =
     && seq.Scheduler.iterations = par.Scheduler.iterations
     && seq_stats = par_stats
   in
+  (* warm-start cache: a warm run must reproduce the cold run's artifacts
+     byte-for-byte with cache hits and no misses, and a corrupted cache
+     must fall back to a cold rebuild of the same artifacts *)
+  let cdir =
+    Filename.concat (Filename.get_temp_dir_name ()) "zodiac-smoke-cache"
+  in
+  rm_rf cdir;
+  let cconfig =
+    {
+      Pipeline.default_config with
+      Pipeline.corpus_size = 120;
+      cache_dir = Some cdir;
+    }
+  in
+  let cache_cold = Pipeline.mine_only ~config:cconfig () in
+  let cache_warm = Pipeline.mine_only ~config:cconfig () in
+  let cold_bytes = mine_artifact_bytes cache_cold in
+  let ok_cache =
+    String.equal cold_bytes (mine_artifact_bytes cache_warm)
+    && cache_warm.Pipeline.cache_stats.Cache.hits > 0
+    && cache_warm.Pipeline.cache_stats.Cache.misses = 0
+  in
+  (* flip a byte in the middle of every stored entry *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat cdir f in
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let data = Bytes.of_string (really_input_string ic n) in
+      close_in ic;
+      let mid = n / 2 in
+      Bytes.set data mid (Char.chr (Char.code (Bytes.get data mid) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc data;
+      close_out oc)
+    (Sys.readdir cdir);
+  let cache_corrupt = Pipeline.mine_only ~config:cconfig () in
+  let ok_corrupt =
+    String.equal cold_bytes (mine_artifact_bytes cache_corrupt)
+    && cache_corrupt.Pipeline.cache_stats.Cache.hits = 0
+  in
+  rm_rf cdir;
   Printf.printf
     "memo verdicts stable: %b; deployments saved: %d (%d -> %d raw); faulted \
-     run stable with %d faults: %b; jobs=1 vs jobs=2 identical: %b\n"
+     run stable with %d faults: %b; jobs=1 vs jobs=2 identical: %b; warm \
+     cache identical: %b; corrupted cache falls back cold: %b\n"
     ok_memo saved off_stats.Engine_stats.attempts on_stats.Engine_stats.attempts
-    faulty_stats.Engine_stats.faults ok_faults ok_jobs;
-  if ok_memo && ok_saved && ok_faults && ok_jobs then print_endline "smoke: PASS"
+    faulty_stats.Engine_stats.faults ok_faults ok_jobs ok_cache ok_corrupt;
+  if ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt then
+    print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
     exit 1
   end
 
-let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ]
+let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15 ]
 
 let by_name =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14);
+    ("e13", e13); ("e14", e14); ("e15", e15);
   ]

@@ -9,7 +9,7 @@
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e14|micro|smoke|all]...";
+  print_endline "usage: main.exe [e1..e15|micro|smoke|all]...";
   exit 1
 
 let () =

@@ -45,7 +45,32 @@ let jobs_arg =
 let resolve_jobs jobs =
   if jobs <= 0 then Zodiac_util.Parallel.recommended_jobs () else jobs
 
-let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) seed size =
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Zodiac_util.Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Warm-start cache directory. Cold runs write corpus, \
+           knowledge-base and mined-candidate artifacts there; warm runs \
+           with the same parameters load them (byte-identical results), \
+           and growing --projects extends the cached corpus \
+           incrementally.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Disable the warm-start cache: always rebuild from scratch.")
+
+(* --cache-dir DIR + --no-cache combined into the config's cache_dir *)
+let cache_term =
+  Term.(
+    const (fun dir no_cache -> if no_cache then None else Some dir)
+    $ cache_dir_arg $ no_cache_arg)
+
+let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) ?cache_dir seed
+    size =
   let engine =
     if fault_rate > 0.0 then
       Zodiac_engine.Engine.faulty_config ~fault_rate ~seed:fault_seed ()
@@ -56,6 +81,7 @@ let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) seed size =
     Zodiac.Pipeline.corpus_seed = seed;
     corpus_size = size;
     jobs = resolve_jobs jobs;
+    cache_dir;
     engine;
   }
 
@@ -77,12 +103,20 @@ let fault_seed_arg =
 
 (* ---- mine ----------------------------------------------------------- *)
 
+let report_cache verbose (artifacts : Zodiac.Pipeline.artifacts) =
+  if verbose then
+    let s = artifacts.Zodiac.Pipeline.cache_stats in
+    Logs.debug (fun m ->
+        m "cache: %d hits, %d misses, %d writes" s.Zodiac_util.Cache.hits
+          s.Zodiac_util.Cache.misses s.Zodiac_util.Cache.writes)
+
 let mine_cmd =
-  let run verbose seed size jobs limit =
+  let run verbose seed size jobs cache limit =
     setup_logs verbose;
     let artifacts =
-      Zodiac.Pipeline.mine_only ~config:(config_of ~jobs seed size) ()
+      Zodiac.Pipeline.mine_only ~config:(config_of ~jobs ?cache_dir:cache seed size) ()
     in
+    report_cache verbose artifacts;
     print_endline (Zodiac.Report.mining_summary artifacts);
     print_endline "";
     print_endline "Top candidates by support:";
@@ -94,18 +128,21 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ limit)
+    Term.(
+      const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ cache_term
+      $ limit)
 
 (* ---- validate ------------------------------------------------------- *)
 
 let validate_cmd =
-  let run verbose seed size jobs output fault_rate fault_seed =
+  let run verbose seed size jobs cache output fault_rate fault_seed =
     setup_logs verbose;
     let artifacts =
       Zodiac.Pipeline.run
-        ~config:(config_of ~fault_rate ~fault_seed ~jobs seed size)
+        ~config:(config_of ~fault_rate ~fault_seed ~jobs ?cache_dir:cache seed size)
         ()
     in
+    report_cache verbose artifacts;
     print_endline (Zodiac.Report.full artifacts);
     match output with
     | None -> ()
@@ -128,8 +165,8 @@ wrote %d validated checks to %s
     (Cmd.info "validate"
        ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ output
-      $ fault_rate_arg $ fault_seed_arg)
+      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
+      $ output $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- scan ----------------------------------------------------------- *)
 
@@ -299,11 +336,12 @@ let plan_cmd =
 (* ---- export --------------------------------------------------------- *)
 
 let export_cmd =
-  let run verbose seed size jobs format =
+  let run verbose seed size jobs cache format =
     setup_logs verbose;
     let artifacts =
-      Zodiac.Pipeline.run ~config:(config_of ~jobs seed size) ()
+      Zodiac.Pipeline.run ~config:(config_of ~jobs ?cache_dir:cache seed size) ()
     in
+    report_cache verbose artifacts;
     let checks = artifacts.Zodiac.Pipeline.final_checks in
     match format with
     | "insights" -> print_endline (Zodiac.Export.insights checks)
@@ -328,17 +366,22 @@ let export_cmd =
        ~doc:
          "Run the pipeline and export the validated checks as documentation \
           insights, a RAG knowledge base, or an ancillary-checker policy file")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ format)
+    Term.(
+      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
+      $ format)
 
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run verbose seed size jobs =
+  let run verbose seed size jobs cache =
     setup_logs verbose;
-    let projects =
-      Zodiac_corpus.Generator.generate ~jobs:(resolve_jobs jobs) ~seed
-        ~count:size ()
+    let config = config_of ~jobs ?cache_dir:cache seed size in
+    let cache_store =
+      Option.map
+        (fun dir -> Zodiac_util.Cache.create ~dir ())
+        config.Zodiac.Pipeline.cache_dir
     in
+    let projects = Zodiac.Pipeline.cached_corpus ?cache:cache_store config in
     let by_scenario = Hashtbl.create 16 in
     List.iter
       (fun p ->
@@ -355,7 +398,8 @@ let corpus_cmd =
   in
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate a synthetic corpus and print statistics")
-    Term.(const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg)
+    Term.(
+      const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg $ cache_term)
 
 (* ---- rules ---------------------------------------------------------- *)
 

@@ -13,6 +13,8 @@ module Eval = Zodiac_spec.Eval
 module Graph = Zodiac_iac.Graph
 module Program = Zodiac_iac.Program
 module Parallel = Zodiac_util.Parallel
+module Cache = Zodiac_util.Cache
+module Codec = Zodiac_util.Codec
 
 type config = {
   corpus_seed : int;
@@ -21,6 +23,7 @@ type config = {
   oracle_seed : int;
   oracle_error_rate : float;
   jobs : int;
+  cache_dir : string option;
   mining : Miner.config;
   thresholds : Filter.thresholds;
   scheduler : Scheduler.config;
@@ -35,6 +38,7 @@ let default_config =
     oracle_seed = 91;
     oracle_error_rate = 0.05;
     jobs = Parallel.recommended_jobs ();
+    cache_dir = None;
     mining = Miner.default_config;
     thresholds = Filter.default_thresholds;
     scheduler = Scheduler.default_config;
@@ -57,6 +61,7 @@ type artifacts = {
   final_checks : Check.t list;
   counterexample_fps : Check.t list;
   engine_stats : Engine_stats.snapshot;
+  cache_stats : Cache.stats;
 }
 
 let deploy prog = Arm.success (Arm.deploy prog)
@@ -72,23 +77,153 @@ let dedup_checks checks =
       end)
     checks
 
-let prepare config =
-  let jobs = config.jobs in
-  let projects =
-    Generator.generate ~violation_rate:config.violation_rate ~jobs
-      ~seed:config.corpus_seed ~count:config.corpus_size ()
+(* ---- warm-start cache ----------------------------------------------
+   Stage outputs are keyed by a fingerprint of everything they depend
+   on; sized entries (corpus, KB stats) additionally record the corpus
+   size so a warm run can load the largest cached prefix and extend it
+   incrementally (projects are generated from independent per-index PRNG
+   streams and the KB count tables merge as exact monoids, so the
+   extended artifacts are byte-identical to a cold rebuild). Stale codec
+   versions and corrupted entries decode as misses, falling back to the
+   cold path. *)
+
+let cache_of config = Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir
+
+let zero_cache_stats = { Cache.hits = 0; misses = 0; writes = 0 }
+
+let cache_stats_of = function
+  | Some c -> Cache.stats c
+  | None -> zero_cache_stats
+
+let float_bits f = Int64.to_string (Int64.bits_of_float f)
+
+(* Everything the corpus content depends on except its size ([jobs] is
+   artifact-invariant by the Parallel contract). *)
+let corpus_key config =
+  Codec.fingerprint
+    [ "corpus"; string_of_int config.corpus_seed; float_bits config.violation_rate ]
+
+let write_projects b ps = Codec.write_list Generator.write_project b ps
+let read_projects s = Codec.read_list Generator.read_project s
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let cached_corpus ?cache config =
+  let generate ~lo ~hi =
+    Generator.generate_range ~violation_rate:config.violation_rate
+      ~jobs:config.jobs ~seed:config.corpus_seed ~lo ~hi ()
   in
+  let n = config.corpus_size in
+  match cache with
+  | None -> generate ~lo:0 ~hi:n
+  | Some c -> (
+      let stage = "corpus" in
+      let key = corpus_key config in
+      match Cache.find c ~stage ~key ~size:n read_projects with
+      | Some ps -> ps
+      | None -> (
+          let sizes = Cache.sizes c ~stage ~key in
+          (* a larger cached corpus contains this one as its prefix;
+             no point storing what is derivable from an existing entry *)
+          let from_larger =
+            List.filter (fun m -> m > n) sizes
+            |> List.find_map (fun m ->
+                   Cache.find c ~stage ~key ~size:m read_projects)
+          in
+          match from_larger with
+          | Some ps -> take n ps
+          | None ->
+              (* otherwise extend the largest cached prefix *)
+              let base =
+                List.filter (fun m -> m < n) sizes
+                |> List.rev
+                |> List.find_map (fun m ->
+                       Option.map
+                         (fun ps -> (m, ps))
+                         (Cache.find c ~stage ~key ~size:m read_projects))
+              in
+              let ps =
+                match base with
+                | Some (m, prefix) -> prefix @ generate ~lo:m ~hi:n
+                | None -> generate ~lo:0 ~hi:n
+              in
+              Cache.store c ~stage ~key ~size:n (fun b -> write_projects b ps);
+              ps))
+
+(* KB statistics over the materialized corpus: load exact size, or merge
+   a monoid count delta over the tail programs into the largest cached
+   prefix instead of rebuilding. *)
+let cached_kb ?cache config programs =
+  let jobs = config.jobs in
+  match cache with
+  | None -> Kb.build ~jobs ~projects:programs ()
+  | Some c -> (
+      let stage = "kb-stats" in
+      let key = corpus_key config in
+      let n = List.length programs in
+      match Cache.find c ~stage ~key ~size:n Kb.read_stats with
+      | Some stats -> Kb.finalize stats
+      | None ->
+          let base =
+            List.filter (fun m -> m < n) (Cache.sizes c ~stage ~key)
+            |> List.rev
+            |> List.find_map (fun m ->
+                   Option.map
+                     (fun stats -> (m, stats))
+                     (Cache.find c ~stage ~key ~size:m Kb.read_stats))
+          in
+          let stats =
+            match base with
+            | Some (m, stats) ->
+                Kb.merge_stats stats (Kb.stats_of_projects ~jobs (drop m programs))
+            | None -> Kb.stats_of_projects ~jobs programs
+          in
+          Cache.store c ~stage ~key ~size:n (fun b -> Kb.write_stats b stats);
+          Kb.finalize stats)
+
+let prepare ?cache config =
+  let jobs = config.jobs in
+  let projects = cached_corpus ?cache config in
   let programs =
     Miner.materialize ~jobs (List.map (fun p -> p.Generator.program) projects)
   in
   let corpus =
     List.map2 (fun p prog -> (p.Generator.pname, prog)) projects programs
   in
-  let kb = Kb.build ~jobs ~projects:programs () in
+  let kb = cached_kb ?cache config programs in
   (projects, corpus, kb, programs)
 
-let mine_phase config kb programs =
-  let mined = Miner.mine ~config:config.mining ~jobs:config.jobs kb programs in
+let mine_phase ?cache config kb programs =
+  let tables_key config =
+    Codec.fingerprint [ corpus_key config; string_of_int config.corpus_size ]
+  in
+  let mine () =
+    Miner.mine ~config:config.mining ~jobs:config.jobs
+      ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
+      kb programs
+  in
+  let mined =
+    match cache with
+    | None -> mine ()
+    | Some c -> (
+        let stage = "mined" in
+        let key =
+          Codec.fingerprint
+            [
+              tables_key config;
+              string_of_bool config.mining.Miner.use_kb;
+              string_of_int config.mining.Miner.min_support;
+            ]
+        in
+        match Cache.find c ~stage ~key (Codec.read_list Candidate.read) with
+        | Some cs -> cs
+        | None ->
+            let cs = mine () in
+            Cache.store c ~stage ~key (fun b ->
+                Codec.write_list Candidate.write b cs);
+            cs)
+  in
   let filtered = Filter.run ~thresholds:config.thresholds mined in
   let oracle = Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed in
   let refined, rejected =
@@ -114,9 +249,10 @@ let empty_validation =
   }
 
 let mine_only ?(config = default_config) () =
-  let projects, corpus, kb, programs = prepare config in
+  let cache = cache_of config in
+  let projects, corpus, kb, programs = prepare ?cache config in
   let mined, filtered, llm_refined, llm_rejected, candidates =
-    mine_phase config kb programs
+    mine_phase ?cache config kb programs
   in
   {
     config;
@@ -132,12 +268,14 @@ let mine_only ?(config = default_config) () =
     final_checks = [];
     counterexample_fps = [];
     engine_stats = Engine_stats.empty;
+    cache_stats = cache_stats_of cache;
   }
 
 let run ?(config = default_config) () =
-  let projects, corpus, kb, programs = prepare config in
+  let cache = cache_of config in
+  let projects, corpus, kb, programs = prepare ?cache config in
   let mined, filtered, llm_refined, llm_rejected, candidates =
-    mine_phase config kb programs
+    mine_phase ?cache config kb programs
   in
   let engine = Engine.create ~config:config.engine () in
   let deploy = Engine.oracle engine in
@@ -164,6 +302,7 @@ let run ?(config = default_config) () =
     final_checks;
     counterexample_fps;
     engine_stats = Engine.stats engine;
+    cache_stats = cache_stats_of cache;
   }
 
 type violation_report = {

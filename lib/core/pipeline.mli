@@ -15,6 +15,15 @@ type config = {
           build, mining, validation batches). Every artifact is
           bit-identical for every [jobs] value; the default is
           {!Zodiac_util.Parallel.recommended_jobs}. *)
+  cache_dir : string option;
+      (** warm-start cache directory ([None] = caching off, the
+          default). Cold runs write corpus, KB-statistics and
+          mined-candidate entries there; warm runs load them — or, when
+          only [corpus_size] grew, extend the largest cached prefix
+          incrementally — with byte-identical artifacts. Keys cover the
+          stage inputs (seed, violation-rate bits, corpus size, mining
+          config) and the {!Zodiac_util.Codec.version}; anything stale
+          or corrupt decodes as a miss and the stage rebuilds cold. *)
   mining : Zodiac_mining.Miner.config;
   thresholds : Zodiac_mining.Filter.thresholds;
   scheduler : Zodiac_validation.Scheduler.config;
@@ -46,6 +55,9 @@ type artifacts = {
       (** deployment-engine accounting for the validation and
           counterexample passes ({!Zodiac_engine.Stats.empty} when
           validation did not run) *)
+  cache_stats : Zodiac_util.Cache.stats;
+      (** warm-start cache accounting for this run (all zero when
+          [config.cache_dir] is [None]) *)
 }
 
 val deploy : Zodiac_iac.Program.t -> bool
@@ -59,6 +71,14 @@ val run : ?config:config -> unit -> artifacts
 val mine_only : ?config:config -> unit -> artifacts
 (** Stop after filtering and interpolation (validation left empty);
     much faster, used by mining-phase experiments. *)
+
+val cached_corpus :
+  ?cache:Zodiac_util.Cache.t -> config -> Zodiac_corpus.Generator.project list
+(** The corpus-generation stage on its own: load the exact cached
+    corpus, take a prefix of a larger one, or extend the largest cached
+    prefix with freshly generated tail projects (per-index PRNG streams
+    make the result identical to a cold generation either way). Used by
+    the CLI [corpus] command; [cache = None] just generates. *)
 
 type violation_report = {
   project : string;

@@ -1412,13 +1412,35 @@ let generate_one ?(violation_rate = 0.04) rng index =
     injected;
   }
 
-let generate ?(violation_rate = 0.04) ?jobs ~seed ~count () =
+let generate_range ?(violation_rate = 0.04) ?jobs ~seed ~lo ~hi () =
   (* Each project gets its own generator derived from [(seed, index)], so
      projects are independent work items: the corpus is identical whether
-     they are built sequentially or across domains. *)
+     they are built sequentially, across domains, or — because indices
+     below [lo] are never touched — as an extension of a shorter corpus
+     under the same seed. corpus(seed, n) is a strict prefix of
+     corpus(seed, m) for n < m, which is what the warm-start cache's
+     incremental path relies on. *)
   Zodiac_util.Parallel.map ?jobs
     (fun i -> generate_one ~violation_rate (Prng.derive seed i) i)
-    (List.init count Fun.id)
+    (List.init (max 0 (hi - lo)) (fun k -> lo + k))
+
+let generate ?(violation_rate = 0.04) ?jobs ~seed ~count () =
+  generate_range ~violation_rate ?jobs ~seed ~lo:0 ~hi:count ()
 
 let conforming ?jobs ~seed ~count () =
   generate ~violation_rate:0.0 ?jobs ~seed ~count ()
+
+module Codec = Zodiac_util.Codec
+
+let write_project b p =
+  Codec.write_string b p.pname;
+  Codec.write_string b p.scenario;
+  Program.write b p.program;
+  Codec.write_list Codec.write_string b p.injected
+
+let read_project s =
+  let pname = Codec.read_string s in
+  let scenario = Codec.read_string s in
+  let program = Program.read s in
+  let injected = Codec.read_list Codec.read_string s in
+  { pname; scenario; program; injected }

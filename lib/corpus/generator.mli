@@ -43,5 +43,25 @@ val generate :
     from the independent stream [Prng.derive seed i], so the corpus is
     identical for every [jobs] value (default: recommended domain count). *)
 
+val generate_range :
+  ?violation_rate:float ->
+  ?jobs:int ->
+  seed:int ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  project list
+(** Projects [lo, hi) of the corpus [generate ~seed ~count:hi ()] — per-
+    index PRNG streams make [generate ~count:n] a strict prefix of
+    [generate ~count:m] for [n < m], so a cached corpus extends
+    incrementally: [cached_prefix @ generate_range ~lo:n ~hi:m ()]. *)
+
+val write_project : Zodiac_util.Codec.sink -> project -> unit
+(** Binary codec for the warm-start cache; exact inverse of
+    {!read_project}. *)
+
+val read_project : Zodiac_util.Codec.src -> project
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val conforming : ?jobs:int -> seed:int -> count:int -> unit -> project list
 (** A corpus with no injected violations (used for clean baselines). *)

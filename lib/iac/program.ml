@@ -53,6 +53,12 @@ let dangling_refs t =
         (Resource.references r))
     t.items
 
+let write b t = Zodiac_util.Codec.write_list Resource.write b t.items
+
+(* Items were a valid program when written, so rebuild the record
+   directly instead of re-running [of_resources]'s quadratic dedup. *)
+let read s = { items = Zodiac_util.Codec.read_list Resource.read s }
+
 let to_json t =
   Json.Obj
     [

@@ -34,6 +34,12 @@ val fresh_name : t -> string -> string
 val dangling_refs : t -> (Resource.id * Value.reference) list
 (** References whose target resource does not exist in the program. *)
 
+val write : Zodiac_util.Codec.sink -> t -> unit
+(** Binary codec for the warm-start cache; exact inverse of {!read}. *)
+
+val read : Zodiac_util.Codec.src -> t
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val to_json : t -> Zodiac_util.Json.t
 (** The JSON deployment-plan encoding (shared with {!Zodiac_hcl}). *)
 

@@ -139,6 +139,30 @@ let attr_paths r =
   List.iter (fun (k, v) -> walk k v) r.attrs;
   List.rev !acc
 
+let write b r =
+  let module Codec = Zodiac_util.Codec in
+  Codec.write_string b r.rtype;
+  Codec.write_string b r.rname;
+  Codec.write_list
+    (fun b (k, v) ->
+      Codec.write_string b k;
+      Value.write b v)
+    b r.attrs
+
+let read s =
+  let module Codec = Zodiac_util.Codec in
+  let rtype = Codec.read_string s in
+  let rname = Codec.read_string s in
+  let attrs =
+    Codec.read_list
+      (fun s ->
+        let k = Codec.read_string s in
+        let v = Value.read s in
+        (k, v))
+      s
+  in
+  make rtype rname attrs
+
 let to_json r =
   Json.Obj
     [

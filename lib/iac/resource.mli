@@ -53,6 +53,12 @@ val attr_paths : t -> string list
 (** All dotted paths to leaf values present in the resource (lists fan
     out; each path is reported once). *)
 
+val write : Zodiac_util.Codec.sink -> t -> unit
+(** Binary codec for the warm-start cache; exact inverse of {!read}. *)
+
+val read : Zodiac_util.Codec.src -> t
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val to_json : t -> Zodiac_util.Json.t
 val of_json : Zodiac_util.Json.t -> t option
 val pp : Format.formatter -> t -> unit

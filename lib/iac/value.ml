@@ -1,5 +1,6 @@
 module Json = Zodiac_util.Json
 module Cidr = Zodiac_util.Cidr
+module Codec = Zodiac_util.Codec
 
 type reference = { rtype : string; rname : string; attr : string }
 
@@ -77,6 +78,55 @@ let rec map_refs f = function
   | Block fields -> Block (List.map (fun (k, v) -> (k, map_refs f v)) fields)
 
 let cidr = function Str s -> Cidr.of_string s | _ -> None
+
+let rec write b = function
+  | Null -> Codec.write_byte b 0
+  | Bool x ->
+      Codec.write_byte b 1;
+      Codec.write_bool b x
+  | Int i ->
+      Codec.write_byte b 2;
+      Codec.write_int b i
+  | Str s ->
+      Codec.write_byte b 3;
+      Codec.write_string b s
+  | List items ->
+      Codec.write_byte b 4;
+      Codec.write_list write b items
+  | Block fields ->
+      Codec.write_byte b 5;
+      Codec.write_list
+        (fun b (k, v) ->
+          Codec.write_string b k;
+          write b v)
+        b fields
+  | Ref r ->
+      Codec.write_byte b 6;
+      Codec.write_string b r.rtype;
+      Codec.write_string b r.rname;
+      Codec.write_string b r.attr
+
+let rec read s =
+  match Codec.read_byte s with
+  | 0 -> Null
+  | 1 -> Bool (Codec.read_bool s)
+  | 2 -> Int (Codec.read_int s)
+  | 3 -> Str (Codec.read_string s)
+  | 4 -> List (Codec.read_list read s)
+  | 5 ->
+      Block
+        (Codec.read_list
+           (fun s ->
+             let k = Codec.read_string s in
+             let v = read s in
+             (k, v))
+           s)
+  | 6 ->
+      let rtype = Codec.read_string s in
+      let rname = Codec.read_string s in
+      let attr = Codec.read_string s in
+      Ref { rtype; rname; attr }
+  | n -> Codec.corrupt "bad value tag %d" n
 
 let rec to_json = function
   | Null -> Json.Null

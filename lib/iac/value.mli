@@ -52,6 +52,12 @@ val map_refs : (reference -> t) -> t -> t
 val cidr : t -> Zodiac_util.Cidr.t option
 (** Parse a [Str] value as an IPv4 CIDR block. *)
 
+val write : Zodiac_util.Codec.sink -> t -> unit
+(** Binary codec for the warm-start cache; exact inverse of {!read}. *)
+
+val read : Zodiac_util.Codec.src -> t
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val to_json : t -> Zodiac_util.Json.t
 (** References encode as [{"__ref__": "TYPE.name.attr"}]. *)
 

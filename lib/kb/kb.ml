@@ -124,6 +124,71 @@ let merge_shard dst src =
     src.s_observations;
   dst
 
+(* The public face of [shard]: raw monoid count tables, the unit of
+   incremental KB construction. [stats_of_projects] builds them,
+   [merge_stats] adds them (exact integer addition, associative over any
+   contiguous grouping of the corpus), [finalize] derives the canonical
+   KB — so stats(prefix) + stats(delta) finalizes identically to
+   stats(prefix @ delta), which is what lets a warm run extend a cached
+   prefix instead of rebuilding. *)
+type stats = shard
+
+let stats_of_projects ?jobs projects =
+  match Parallel.chunks ?jobs projects with
+  | [] -> build_shard []
+  | chunks ->
+      (* Shards in parallel, merge strictly in chunk order. *)
+      List.fold_left merge_shard (build_shard [])
+        (Parallel.map ?jobs build_shard chunks)
+
+let merge_stats = merge_shard
+
+module Codec = Zodiac_util.Codec
+
+let write_stats b (s : stats) =
+  let ws = Codec.write_string in
+  Codec.write_table
+    (fun b (ty, attr) ->
+      ws b ty;
+      ws b attr)
+    (Codec.write_table Value.write Codec.write_int)
+    b s.s_observations;
+  Codec.write_table
+    (fun b (ty, attr) ->
+      ws b ty;
+      ws b attr)
+    Codec.write_int b s.s_presence;
+  Codec.write_table
+    (fun b (st, sa, dt, da) ->
+      ws b st;
+      ws b sa;
+      ws b dt;
+      ws b da)
+    Codec.write_int b s.s_conns;
+  Codec.write_table ws Codec.write_int b s.s_populations
+
+let read_stats s =
+  let rs = Codec.read_string in
+  let pair s =
+    let ty = rs s in
+    let attr = rs s in
+    (ty, attr)
+  in
+  let s_observations = Codec.read_table pair (Codec.read_table Value.read Codec.read_int) s in
+  let s_presence = Codec.read_table pair Codec.read_int s in
+  let s_conns =
+    Codec.read_table
+      (fun s ->
+        let st = rs s in
+        let sa = rs s in
+        let dt = rs s in
+        let da = rs s in
+        (st, sa, dt, da))
+      Codec.read_int s
+  in
+  let s_populations = Codec.read_table rs Codec.read_int s in
+  { s_observations; s_presence; s_conns; s_populations }
+
 let compare_observed (v1, c1) (v2, c2) =
   match Int.compare c2 c1 with 0 -> Value.compare v1 v2 | n -> n
 
@@ -135,15 +200,10 @@ let compare_conns a b =
         (b.src_type, b.src_attr, b.dst_type, b.dst_attr)
   | n -> n
 
-let build ?jobs ~projects () =
+let finalize (stats : stats) =
   let { s_observations = observations; s_presence = attr_presence;
         s_conns = conn_counts; s_populations = populations } =
-    match Parallel.chunks ?jobs projects with
-    | [] -> build_shard []
-    | chunks ->
-        (* Shards in parallel, merge strictly in chunk order. *)
-        List.fold_left merge_shard (build_shard [])
-          (Parallel.map ?jobs build_shard chunks)
+    stats
   in
   (* Fold schema facts (Class 1 + declared Class 2) with observations. *)
   let entries = Hashtbl.create 512 in
@@ -245,6 +305,8 @@ let build ?jobs ~projects () =
       Catalog.type_names from_corpus
   in
   { entries; conns; known_types; populations }
+
+let build ?jobs ~projects () = finalize (stats_of_projects ?jobs projects)
 
 let attr_info t ~rtype ~attr = Hashtbl.find_opt t.entries (rtype, attr)
 

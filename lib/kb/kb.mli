@@ -54,7 +54,36 @@ val build : ?jobs:int -> projects:Zodiac_iac.Program.t list -> unit -> t
     split into contiguous shards, per-shard statistics are gathered on up
     to [jobs] domains (default: recommended domain count), and shard
     tables are merged in shard order; all derived orderings are canonical,
-    so the result is identical for every [jobs] value. *)
+    so the result is identical for every [jobs] value.
+    [build ~projects () = finalize (stats_of_projects projects)]. *)
+
+type stats
+(** Raw monoid count tables over a corpus slice — the unit of
+    incremental KB construction. Merging is exact integer addition and
+    associative over any contiguous grouping, so
+    [finalize (merge_stats (stats_of_projects prefix) (stats_of_projects delta))]
+    is identical to [finalize (stats_of_projects (prefix @ delta))] —
+    the property the warm-start cache relies on to extend a cached
+    corpus prefix instead of rebuilding. *)
+
+val stats_of_projects : ?jobs:int -> Zodiac_iac.Program.t list -> stats
+
+val merge_stats : stats -> stats -> stats
+(** [merge_stats dst src] adds [src]'s counts into [dst] (mutating it)
+    and returns [dst]. [src] is unchanged. *)
+
+val finalize : stats -> t
+(** Fold schema facts with the counted observations and derive the
+    canonical KB (sorted observation lists, enum/CIDR inference,
+    connection kinds). The stats tables are captured by the result —
+    do not merge into them afterwards. *)
+
+val write_stats : Zodiac_util.Codec.sink -> stats -> unit
+(** Binary codec for the warm-start cache. Rows are written in sorted
+    key order, so equal stats serialize to equal bytes. *)
+
+val read_stats : Zodiac_util.Codec.src -> stats
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
 
 val attr_info : t -> rtype:string -> attr:string -> attr_info option
 

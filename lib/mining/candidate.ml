@@ -47,6 +47,25 @@ let dedup candidates =
          | 0 -> String.compare a.check.Check.cid b.check.Check.cid
          | n -> n)
 
+module Codec = Zodiac_util.Codec
+
+let write b c =
+  Check.write b c.check;
+  Codec.write_string b c.template_id;
+  Codec.write_int b c.support;
+  Codec.write_float b c.confidence;
+  Codec.write_float b c.lift;
+  Codec.write_bool b c.needs_interpolation
+
+let read s =
+  let check = Check.read s in
+  let template_id = Codec.read_string s in
+  let support = Codec.read_int s in
+  let confidence = Codec.read_float s in
+  let lift = Codec.read_float s in
+  let needs_interpolation = Codec.read_bool s in
+  { check; template_id; support; confidence; lift; needs_interpolation }
+
 let describe c =
   Printf.sprintf "%s [%s sup=%d conf=%.2f lift=%.2f%s]"
     (Spec_printer.to_string c.check)

@@ -27,4 +27,12 @@ val dedup : t list -> t list
     sorted by (support desc, cid). The result is independent of the
     input order, so mining shards cannot perturb it. *)
 
+val write : Zodiac_util.Codec.sink -> t -> unit
+(** Binary codec for the warm-start cache. Confidence and lift are
+    stored as IEEE-754 bits, so a decoded candidate is field-identical
+    to the encoded one. *)
+
+val read : Zodiac_util.Codec.src -> t
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val describe : t -> string

@@ -9,6 +9,8 @@ module Defaults = Zodiac_cloud.Defaults
 module Catalog = Zodiac_azure.Catalog
 module Cidr = Zodiac_util.Cidr
 module Parallel = Zodiac_util.Parallel
+module Codec = Zodiac_util.Codec
+module Cache = Zodiac_util.Cache
 
 type config = { use_kb : bool; min_support : int }
 
@@ -230,6 +232,101 @@ let count_intra cfg kb programs =
   List.iter (fun p -> List.iter observe (Program.resources p)) programs;
   { n_by_type; single; pair; num_range }
 
+(* Codec for the intra counting tables. [min_support] only gates
+   emission, never counting, so a cached table serves every support
+   threshold; the key must cover corpus identity and [use_kb] (which
+   changes which facts are counted). *)
+let write_fact b = function
+  | F_val (attr, v) ->
+      Codec.write_byte b 0;
+      Codec.write_string b attr;
+      Value.write b v
+  | F_present attr ->
+      Codec.write_byte b 1;
+      Codec.write_string b attr
+
+let read_fact s =
+  match Codec.read_byte s with
+  | 0 ->
+      let attr = Codec.read_string s in
+      F_val (attr, Value.read s)
+  | 1 -> F_present (Codec.read_string s)
+  | n -> Codec.corrupt "bad fact tag %d" n
+
+let write_intra b (c : intra_counts) =
+  Codec.write_table Codec.write_string Codec.write_int b c.n_by_type;
+  Codec.write_table
+    (fun b (ty, f) ->
+      Codec.write_string b ty;
+      write_fact b f)
+    Codec.write_int b c.single;
+  Codec.write_table
+    (fun b (ty, f1, f2) ->
+      Codec.write_string b ty;
+      write_fact b f1;
+      write_fact b f2)
+    Codec.write_int b c.pair;
+  Codec.write_table
+    (fun b (ty, f, attr) ->
+      Codec.write_string b ty;
+      write_fact b f;
+      Codec.write_string b attr)
+    (fun b (lo, hi, n) ->
+      Codec.write_int b lo;
+      Codec.write_int b hi;
+      Codec.write_int b n)
+    b c.num_range
+
+let read_intra s =
+  let n_by_type = Codec.read_table Codec.read_string Codec.read_int s in
+  let single =
+    Codec.read_table
+      (fun s ->
+        let ty = Codec.read_string s in
+        let f = read_fact s in
+        (ty, f))
+      Codec.read_int s
+  in
+  let pair =
+    Codec.read_table
+      (fun s ->
+        let ty = Codec.read_string s in
+        let f1 = read_fact s in
+        let f2 = read_fact s in
+        (ty, f1, f2))
+      Codec.read_int s
+  in
+  let num_range =
+    Codec.read_table
+      (fun s ->
+        let ty = Codec.read_string s in
+        let f = read_fact s in
+        let attr = Codec.read_string s in
+        (ty, f, attr))
+      (fun s ->
+        let lo = Codec.read_int s in
+        let hi = Codec.read_int s in
+        let n = Codec.read_int s in
+        (lo, hi, n))
+      s
+  in
+  { n_by_type; single; pair; num_range }
+
+(* Run [compute] through the per-shard table cache when one is wired
+   in. [tables] is (store, key of the materialized corpus); [extra]
+   distinguishes table families sharing that corpus. *)
+let cached_tables tables ~stage ~extra ~write ~read compute =
+  match tables with
+  | None -> compute ()
+  | Some (store, corpus_key) -> (
+      let key = Codec.fingerprint (corpus_key :: extra) in
+      match Cache.find store ~stage ~key read with
+      | Some t -> t
+      | None ->
+          let t = compute () in
+          Cache.store store ~stage ~key (fun b -> write b t);
+          t)
+
 let merge_intra dst src =
   merge_counts dst.n_by_type src.n_by_type;
   merge_counts dst.single src.single;
@@ -245,9 +342,12 @@ let merge_intra dst src =
     src.num_range;
   dst
 
-let mine_intra_families ?jobs cfg kb programs =
+let mine_intra_families ?jobs ?tables cfg kb programs =
   let { n_by_type; single; pair; num_range } =
-    count_sharded ?jobs (count_intra cfg kb) merge_intra programs
+    cached_tables tables ~stage:"miner-intra"
+      ~extra:[ "intra"; string_of_bool cfg.use_kb ]
+      ~write:write_intra ~read:read_intra
+      (fun () -> count_sharded ?jobs (count_intra cfg kb) merge_intra programs)
   in
   (* Emit candidates. *)
   let out = ref [] in
@@ -441,9 +541,69 @@ let merge_indexed dst src =
     src.elem_values;
   dst
 
-let mine_indexed ?jobs cfg _kb programs =
+(* Codec for the indexed counting tables — a pure function of the
+   materialized corpus, so the cache key is the corpus key alone. *)
+let write_indexed b (c : indexed_counts) =
+  Codec.write_table
+    (fun b (ty, coll, x, y) ->
+      Codec.write_string b ty;
+      Codec.write_string b coll;
+      Codec.write_string b x;
+      Codec.write_string b y)
+    (fun b (p, d) ->
+      Codec.write_int b p;
+      Codec.write_int b d)
+    b c.eqne;
+  Codec.write_table
+    (fun b (ty, coll, y) ->
+      Codec.write_string b ty;
+      Codec.write_string b coll;
+      Codec.write_string b y)
+    (fun b (p, d) ->
+      Codec.write_int b p;
+      Codec.write_int b d)
+    b c.ne;
+  Codec.write_table
+    (fun b (ty, coll, sub) ->
+      Codec.write_string b ty;
+      Codec.write_string b coll;
+      Codec.write_string b sub)
+    (Codec.write_table Value.write Codec.write_int)
+    b c.elem_values
+
+let read_indexed s =
+  let int_pair s =
+    let p = Codec.read_int s in
+    let d = Codec.read_int s in
+    (p, d)
+  in
+  let eqne =
+    Codec.read_table
+      (fun s ->
+        let ty = Codec.read_string s in
+        let coll = Codec.read_string s in
+        let x = Codec.read_string s in
+        let y = Codec.read_string s in
+        (ty, coll, x, y))
+      int_pair s
+  in
+  let triple s =
+    let ty = Codec.read_string s in
+    let coll = Codec.read_string s in
+    let y = Codec.read_string s in
+    (ty, coll, y)
+  in
+  let ne = Codec.read_table triple int_pair s in
+  let elem_values =
+    Codec.read_table triple (Codec.read_table Value.read Codec.read_int) s
+  in
+  { eqne; ne; elem_values }
+
+let mine_indexed ?jobs ?tables cfg _kb programs =
   let { eqne; ne; elem_values } =
-    count_sharded ?jobs count_indexed merge_indexed programs
+    cached_tables tables ~stage:"miner-idx" ~extra:[ "indexed" ]
+      ~write:write_indexed ~read:read_indexed
+      (fun () -> count_sharded ?jobs count_indexed merge_indexed programs)
   in
   let distinct_prior tbl =
     (* probability two random elements differ, from the value table;
@@ -1336,17 +1496,19 @@ let materialize ?jobs programs =
     (fun p -> Program.of_resources (List.map Defaults.effective (Program.resources p)))
     programs
 
-let mine_intra ?(config = default_config) ?jobs kb programs =
+let mine_intra ?(config = default_config) ?jobs ?tables kb programs =
   let programs = materialize ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?jobs config kb programs
-    @ mine_indexed ?jobs config kb programs)
+    (mine_intra_families ?jobs ?tables config kb programs
+    @ mine_indexed ?jobs ?tables config kb programs)
 
-let mine ?(config = default_config) ?jobs kb programs =
+let mine ?(config = default_config) ?jobs ?tables kb programs =
   let programs = materialize ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?jobs config kb programs
-    @ mine_indexed ?jobs config kb programs
+    (mine_intra_families ?jobs ?tables config kb programs
+    @ mine_indexed ?jobs ?tables config kb programs
+    (* the inter tables depend on KB-derived reserved names, so they are
+       cached one level up, at the mined-candidate-set granularity *)
     @ mine_inter ?jobs config kb programs)
 
 let intra_counts_by_type ?jobs ~use_kb kb programs =

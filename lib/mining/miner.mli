@@ -32,6 +32,7 @@ val materialize :
 val mine :
   ?config:config ->
   ?jobs:int ->
+  ?tables:Zodiac_util.Cache.t * string ->
   Zodiac_kb.Kb.t ->
   Zodiac_iac.Program.t list ->
   Candidate.t list
@@ -39,11 +40,21 @@ val mine :
     deduplicated, keeping the highest-support instance, and returned in
     the canonical (support desc, cid) order. Counting shards across up
     to [jobs] domains (default: recommended domain count); the result
-    is identical for every [jobs] value. *)
+    is identical for every [jobs] value.
+
+    [tables] is [(cache, corpus_key)]: when given, the intra and
+    indexed counting tables are loaded from / stored into the cache
+    under a key derived from [corpus_key] (which must identify the
+    materialized corpus, including its size) — re-mining the same
+    corpus under a different [min_support] then skips the counting
+    passes entirely. The inter-family tables depend on KB-derived
+    reserved names and are only cached one level up, as part of the
+    mined candidate set. *)
 
 val mine_intra :
   ?config:config ->
   ?jobs:int ->
+  ?tables:Zodiac_util.Cache.t * string ->
   Zodiac_kb.Kb.t ->
   Zodiac_iac.Program.t list ->
   Candidate.t list

@@ -95,6 +95,188 @@ let make ?cid ?(source = Authored) bindings cond stmt =
   let cid = match cid with Some id -> id | None -> digest (render proto) in
   { proto with cid }
 
+(* Binary codec for the warm-start cache. The cid is stored verbatim so
+   a decoded check is field-identical to the encoded one (no re-digest). *)
+module Codec = Zodiac_util.Codec
+
+let write_endpoint b (e : endpoint) =
+  Codec.write_string b e.var;
+  Codec.write_string b e.attr
+
+let read_endpoint s =
+  let var = Codec.read_string s in
+  let attr = Codec.read_string s in
+  { var; attr }
+
+let write_tyspec b = function
+  | Graph.Type ty ->
+      Codec.write_byte b 0;
+      Codec.write_string b ty
+  | Graph.Not_type ty ->
+      Codec.write_byte b 1;
+      Codec.write_string b ty
+
+let read_tyspec s =
+  match Codec.read_byte s with
+  | 0 -> Graph.Type (Codec.read_string s)
+  | 1 -> Graph.Not_type (Codec.read_string s)
+  | n -> Codec.corrupt "bad type_spec tag %d" n
+
+let cmp_code = function Eq -> 0 | Ne -> 1 | Le -> 2 | Ge -> 3 | Lt -> 4 | Gt -> 5
+
+let cmp_of_code = function
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Le
+  | 3 -> Ge
+  | 4 -> Lt
+  | 5 -> Gt
+  | n -> Codec.corrupt "bad cmp_op tag %d" n
+
+let func_code = function Overlap -> 0 | Contain -> 1 | Length -> 2
+
+let func_of_code = function
+  | 0 -> Overlap
+  | 1 -> Contain
+  | 2 -> Length
+  | n -> Codec.corrupt "bad func tag %d" n
+
+let write_term b = function
+  | Const v ->
+      Codec.write_byte b 0;
+      Value.write b v
+  | Attr e ->
+      Codec.write_byte b 1;
+      write_endpoint b e
+  | Indeg (v, ty) ->
+      Codec.write_byte b 2;
+      Codec.write_string b v;
+      write_tyspec b ty
+  | Outdeg (v, ty) ->
+      Codec.write_byte b 3;
+      Codec.write_string b v;
+      write_tyspec b ty
+
+let read_term s =
+  match Codec.read_byte s with
+  | 0 -> Const (Value.read s)
+  | 1 -> Attr (read_endpoint s)
+  | 2 ->
+      let v = Codec.read_string s in
+      Indeg (v, read_tyspec s)
+  | 3 ->
+      let v = Codec.read_string s in
+      Outdeg (v, read_tyspec s)
+  | n -> Codec.corrupt "bad term tag %d" n
+
+let rec write_expr b = function
+  | Conn (a, e) ->
+      Codec.write_byte b 0;
+      write_endpoint b a;
+      write_endpoint b e
+  | Path (a, e) ->
+      Codec.write_byte b 1;
+      Codec.write_string b a;
+      Codec.write_string b e
+  | Coconn ((a, e), (c, d)) ->
+      Codec.write_byte b 2;
+      write_endpoint b a;
+      write_endpoint b e;
+      write_endpoint b c;
+      write_endpoint b d
+  | Copath ((a, e), (c, d)) ->
+      Codec.write_byte b 3;
+      Codec.write_string b a;
+      Codec.write_string b e;
+      Codec.write_string b c;
+      Codec.write_string b d
+  | Cmp (op, t1, t2) ->
+      Codec.write_byte b 4;
+      Codec.write_byte b (cmp_code op);
+      write_term b t1;
+      write_term b t2
+  | Func (f, t1, t2) ->
+      Codec.write_byte b 5;
+      Codec.write_byte b (func_code f);
+      write_term b t1;
+      write_term b t2
+  | Not e ->
+      Codec.write_byte b 6;
+      write_expr b e
+  | And es ->
+      Codec.write_byte b 7;
+      Codec.write_list write_expr b es
+
+let rec read_expr s =
+  match Codec.read_byte s with
+  | 0 ->
+      let a = read_endpoint s in
+      let e = read_endpoint s in
+      Conn (a, e)
+  | 1 ->
+      let a = Codec.read_string s in
+      let e = Codec.read_string s in
+      Path (a, e)
+  | 2 ->
+      let a = read_endpoint s in
+      let e = read_endpoint s in
+      let c = read_endpoint s in
+      let d = read_endpoint s in
+      Coconn ((a, e), (c, d))
+  | 3 ->
+      let a = Codec.read_string s in
+      let e = Codec.read_string s in
+      let c = Codec.read_string s in
+      let d = Codec.read_string s in
+      Copath ((a, e), (c, d))
+  | 4 ->
+      let op = cmp_of_code (Codec.read_byte s) in
+      let t1 = read_term s in
+      let t2 = read_term s in
+      Cmp (op, t1, t2)
+  | 5 ->
+      let f = func_of_code (Codec.read_byte s) in
+      let t1 = read_term s in
+      let t2 = read_term s in
+      Func (f, t1, t2)
+  | 6 -> Not (read_expr s)
+  | 7 -> And (Codec.read_list read_expr s)
+  | n -> Codec.corrupt "bad expr tag %d" n
+
+let source_code = function Mined -> 0 | Llm_interpolated -> 1 | Authored -> 2
+
+let source_of_code = function
+  | 0 -> Mined
+  | 1 -> Llm_interpolated
+  | 2 -> Authored
+  | n -> Codec.corrupt "bad source tag %d" n
+
+let write b c =
+  Codec.write_string b c.cid;
+  Codec.write_list
+    (fun b (bd : binding) ->
+      Codec.write_string b bd.var;
+      Codec.write_string b bd.btype)
+    b c.bindings;
+  write_expr b c.cond;
+  write_expr b c.stmt;
+  Codec.write_byte b (source_code c.source)
+
+let read s =
+  let cid = Codec.read_string s in
+  let bindings =
+    Codec.read_list
+      (fun s ->
+        let var = Codec.read_string s in
+        let btype = Codec.read_string s in
+        { var; btype })
+      s
+  in
+  let cond = read_expr s in
+  let stmt = read_expr s in
+  let source = source_of_code (Codec.read_byte s) in
+  { cid; bindings; cond; stmt; source }
+
 let rec vars_of_expr_acc acc = function
   | Conn (a, b) -> add a.var (add b.var acc)
   | Path (a, b) -> add a (add b acc)

@@ -76,6 +76,13 @@ val index_vars : t -> string list
 val strip_indices : string -> string
 (** Remove ["\[i\]"] markers from an attribute path. *)
 
+val write : Zodiac_util.Codec.sink -> t -> unit
+(** Binary codec for the warm-start cache. The cid is stored verbatim,
+    so {!read} returns a field-identical check. *)
+
+val read : Zodiac_util.Codec.src -> t
+(** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
+
 val equal : t -> t -> bool
 (** Structural equality of bindings/cond/stmt (ignores id and source). *)
 

@@ -1,0 +1,45 @@
+(** Persistent content-addressed artifact store for warm-start runs.
+
+    One directory, one file per entry. An entry is addressed by a
+    [stage] name plus a [key] — a {!Codec.fingerprint} of everything
+    the stage's output depends on — and optionally a [size] for stages
+    whose output grows monotonically with corpus size (the corpus
+    itself, KB statistics). Sized entries let a warm run find the
+    largest cached prefix and extend it incrementally instead of
+    rebuilding from scratch.
+
+    Entries are sealed {!Codec} envelopes: a corrupted file, a stale
+    codec version or a stage mismatch simply reads back as [None]
+    (counted as a miss), so the caller always falls back to a cold
+    rebuild. Writes go through a temp file and [Sys.rename], so a
+    crashed run never leaves a half-written entry behind. All failures
+    to write (read-only dir, disk full) are swallowed: the cache is an
+    accelerator, never a correctness dependency. *)
+
+type t
+
+type stats = { hits : int; misses : int; writes : int }
+
+val default_dir : string
+(** [".zodiac-cache"] — the CLI default, kept out of version control. *)
+
+val create : dir:string -> unit -> t
+(** Open (creating directories as needed, best-effort) a cache rooted
+    at [dir]. *)
+
+val dir : t -> string
+
+val find : ?size:int -> t -> stage:string -> key:string -> (Codec.src -> 'a) -> 'a option
+(** Decode the entry for [(stage, key, size?)], or [None] (missing,
+    corrupt, stale version — all count as misses). *)
+
+val store : ?size:int -> t -> stage:string -> key:string -> (Codec.sink -> unit) -> unit
+(** Atomically (re)write the entry for [(stage, key, size?)]. *)
+
+val sizes : t -> stage:string -> key:string -> int list
+(** Recorded sizes of the sized entries under [(stage, key)], sorted
+    ascending. Decoding may still fail for any of them; callers must
+    treat each size as a hint. *)
+
+val stats : t -> stats
+(** Hit/miss/write counters accumulated on this handle. *)

@@ -11,6 +11,17 @@ let resolve_jobs = function
   | None -> recommended_jobs ()
   | Some j -> max 1 j
 
+let sequential_cutoff = 8
+
+(* Domains actually worth spawning for [len] items when the caller asked
+   for [jobs]: never more than the hardware has (oversubscribing a box
+   only adds spawn/contention overhead — the determinism contract makes
+   the clamp invisible in results), never more than [len], and none at
+   all below the small-input cutoff, where spawn cost dominates. *)
+let effective_jobs ~len jobs =
+  if len < sequential_cutoff then 1
+  else max 1 (min len (min jobs (recommended_jobs ())))
+
 (* Contiguous chunk boundaries: chunk [i] of [n] over [len] elements covers
    [\lfloor i*len/n \rfloor, \lfloor (i+1)*len/n \rfloor). Depends only on
    [len] and [n]. *)
@@ -25,7 +36,7 @@ let chunks ?jobs xs =
   let len = Array.length arr in
   if len = 0 then []
   else
-    let n = max 1 (min len jobs) in
+    let n = effective_jobs ~len jobs in
     List.init n (fun i ->
         let lo, hi = bounds ~len ~n i in
         Array.to_list (Array.sub arr lo (hi - lo)))
@@ -37,6 +48,7 @@ let chunks ?jobs xs =
    order and stops at the first failure, this is the lowest-indexed failing
    input among those evaluated — matching what a sequential run raises. *)
 let run_chunks ~jobs ~n f_chunk =
+  let jobs = min jobs (recommended_jobs ()) in
   if n <= 0 then ()
   else if jobs <= 1 || n = 1 then
     for i = 0 to n - 1 do
@@ -82,6 +94,9 @@ let mapi ?jobs f xs =
   | _ ->
       let arr = Array.of_list xs in
       let len = Array.length arr in
+      let jobs = effective_jobs ~len jobs in
+      if jobs <= 1 then List.mapi f xs
+      else begin
       let out = Array.make len None in
       let n = chunk_count ~len ~jobs in
       run_chunks ~jobs ~n (fun ci ->
@@ -95,6 +110,7 @@ let mapi ?jobs f xs =
              | Some y -> y
              | None -> assert false (* every slot written or we raised *))
            out)
+      end
 
 let map ?jobs f xs = mapi ?jobs (fun _ x -> f x) xs
 

@@ -25,6 +25,15 @@ val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. The
     default for every [?jobs] argument in the pipeline. *)
 
+val sequential_cutoff : int
+(** Inputs shorter than this run sequentially in the calling domain
+    regardless of [jobs]: below it, [Domain.spawn] cost dominates any
+    parallel win. Combined with the hardware clamp (never more domains
+    than [recommended_jobs ()]), this makes the combinators adaptive —
+    asking for [jobs=8] on a small input or a small machine costs
+    nothing over [jobs=1]. Purely a scheduling decision; results are
+    unchanged by the determinism contract. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains.
     Output order always matches input order. [jobs <= 1] (or a short input)
