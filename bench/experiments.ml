@@ -894,9 +894,11 @@ let e14 () =
   let runs =
     List.map
       (fun jobs ->
-        let t0 = Unix.gettimeofday () in
-        let a = Pipeline.run ~config:(config jobs) () in
-        let dt = Unix.gettimeofday () -. t0 in
+        let a, dt =
+          timed
+            (Printf.sprintf "e14.jobs%d" jobs)
+            (fun () -> Pipeline.run ~config:(config jobs) ())
+        in
         Printf.printf "  jobs=%d done in %.1fs\n%!" jobs dt;
         (jobs, dt, e14_fingerprint a))
       [ 1; 2; 4; 8 ]
@@ -1011,11 +1013,7 @@ let e15 () =
   let config =
     { Pipeline.default_config with Pipeline.corpus_size; cache_dir = Some dir }
   in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let time f = timed "e15.run" f in
   let cold, cold_t = time (fun () -> Pipeline.mine_only ~config ()) in
   let warm, warm_t = time (fun () -> Pipeline.mine_only ~config ()) in
   let identical =
@@ -1095,6 +1093,93 @@ let e15 () =
   if not ok then begin
     print_endline
       "E15: FAIL — warm run diverged or fell short of the 5x speedup threshold";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E16 — beyond the paper: stage-runner overhead + trace validity       *)
+(* ------------------------------------------------------------------ *)
+
+(* The staged refactor routes every pipeline phase through [Stage.run]
+   and a telemetry span. This experiment pins down what that uniformity
+   costs: a fully traced run (clocked recorder + sink on every event)
+   against an untraced one on the E15 workload, min-of-3 wall times,
+   asserting <= 5% overhead, byte-identical artifacts, and that the
+   emitted trace is valid JSON covering every mining stage. *)
+let e16 () =
+  print_endline
+    (section "E16  Staged pipeline: telemetry overhead and trace validity");
+  let corpus_size = 400 in
+  let config = { Pipeline.default_config with Pipeline.corpus_size } in
+  let min_of_3 f =
+    List.fold_left
+      (fun acc _ -> Float.min acc (snd (timed "e16.run" f)))
+      infinity [ (); (); () ]
+  in
+  (* one warm-up run keeps allocator effects out of both measurements *)
+  let baseline = Pipeline.mine_only ~config () in
+  let baseline_bytes = mine_artifact_bytes baseline in
+  let plain_t = min_of_3 (fun () -> ignore (Pipeline.mine_only ~config ())) in
+  let events = ref 0 in
+  let traced_run () =
+    let telemetry =
+      Telemetry.create ~clock:Unix.gettimeofday
+        ~sinks:[ (fun _ -> incr events) ]
+        ()
+    in
+    (Pipeline.mine_only ~config ~telemetry (), telemetry)
+  in
+  let traced_t = min_of_3 (fun () -> ignore (traced_run ())) in
+  let traced, telemetry = traced_run () in
+  let ratio = traced_t /. Float.max plain_t 1e-9 in
+  let ok_overhead = ratio <= 1.05 in
+  let ok_artifacts = String.equal baseline_bytes (mine_artifact_bytes traced) in
+  let trace_text = Json.to_string ~pretty:true (Telemetry.to_json telemetry) in
+  let required_spans = [ "corpus"; "materialize"; "kb"; "mine"; "filter"; "oracle" ] in
+  let ok_json =
+    match Json.of_string trace_text with
+    | exception Json.Parse_error _ -> false
+    | json ->
+        let names =
+          List.filter_map
+            (fun s -> Json.string_value (Json.member "name" s))
+            (Json.to_list (Json.member "spans" json))
+        in
+        List.for_all (fun n -> List.mem n names) required_spans
+  in
+  print_table
+    ~header:[ "run"; "wall (s, min of 3)" ]
+    [
+      [ "untraced"; f2 plain_t ];
+      [ "traced (clocked recorder + sink)"; f2 traced_t ];
+    ];
+  Printf.printf
+    "overhead ratio %.3f (threshold 1.05); artifacts identical: %b; trace \
+     valid JSON with all mining spans: %b; sink events observed: %d\n"
+    ratio ok_artifacts ok_json !events;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "e16-stage-telemetry");
+        ("corpus_size", Json.Int corpus_size);
+        ("untraced_wall_seconds", Json.Float plain_t);
+        ("traced_wall_seconds", Json.Float traced_t);
+        ("overhead_ratio", Json.Float ratio);
+        ("overhead_within_5pct", Json.Bool ok_overhead);
+        ("artifacts_identical", Json.Bool ok_artifacts);
+        ("trace_valid", Json.Bool ok_json);
+        ("sink_events", Json.Int !events);
+      ]
+  in
+  let oc = open_out "BENCH_stage.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_stage.json";
+  if not (ok_overhead && ok_artifacts && ok_json) then begin
+    print_endline
+      "E16: FAIL — stage-runner overhead above 5%, diverged artifacts, or \
+       invalid trace";
     exit 1
   end
 
@@ -1186,24 +1271,56 @@ let smoke () =
     && cache_corrupt.Pipeline.cache_stats.Cache.hits = 0
   in
   rm_rf cdir;
+  (* staged-pipeline trace: a deterministic (clockless) recorder must
+     observe every Figure-2 mining stage without perturbing artifacts,
+     never record a wall-clock value, and serialize to valid JSON *)
+  let telemetry = Telemetry.create () in
+  let traced =
+    Pipeline.mine_only
+      ~config:{ cconfig with Pipeline.cache_dir = None }
+      ~telemetry ()
+  in
+  let ok_trace =
+    String.equal cold_bytes (mine_artifact_bytes traced)
+    && (match Json.of_string (Json.to_string (Telemetry.to_json telemetry)) with
+       | exception Json.Parse_error _ -> false
+       | json ->
+           let spans = Json.to_list (Json.member "spans" json) in
+           let names =
+             List.filter_map
+               (fun s -> Json.string_value (Json.member "name" s))
+               spans
+           in
+           List.for_all
+             (fun n -> List.mem n names)
+             [ "corpus"; "kb"; "mine"; "filter"; "oracle" ]
+           && List.for_all
+                (fun s -> Json.member "wall_seconds" s = Json.Null)
+                spans)
+  in
   Printf.printf
     "memo verdicts stable: %b; deployments saved: %d (%d -> %d raw); faulted \
      run stable with %d faults: %b; jobs=1 vs jobs=2 identical: %b; warm \
-     cache identical: %b; corrupted cache falls back cold: %b\n"
+     cache identical: %b; corrupted cache falls back cold: %b; deterministic \
+     trace valid: %b\n"
     ok_memo saved off_stats.Engine_stats.attempts on_stats.Engine_stats.attempts
-    faulty_stats.Engine_stats.faults ok_faults ok_jobs ok_cache ok_corrupt;
-  if ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt then
-    print_endline "smoke: PASS"
+    faulty_stats.Engine_stats.faults ok_faults ok_jobs ok_cache ok_corrupt
+    ok_trace;
+  if
+    ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt
+    && ok_trace
+  then print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
     exit 1
   end
 
-let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15 ]
+let all =
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16 ]
 
 let by_name =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
   ]

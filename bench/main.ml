@@ -9,27 +9,29 @@
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e15|micro|smoke|all]...";
+  print_endline "usage: main.exe [e1..e16|micro|smoke|all]...";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let t0 = Unix.gettimeofday () in
   let run_all () =
     List.iter (fun e -> e ()) Experiments.all;
     Micro.run ()
   in
-  (match args with
-  | [] | [ "all" ] -> run_all ()
-  | args ->
-      List.iter
-        (fun arg ->
-          match arg with
-          | "micro" -> Micro.run ()
-          | "smoke" -> Experiments.smoke ()
-          | name -> (
-              match List.assoc_opt name Experiments.by_name with
-              | Some e -> e ()
-              | None -> usage ()))
-        args);
-  Printf.printf "\n[bench] total wall time %.1fs\n" (Unix.gettimeofday () -. t0)
+  let (), total =
+    Harness.timed "bench.total" (fun () ->
+        match args with
+        | [] | [ "all" ] -> run_all ()
+        | args ->
+            List.iter
+              (fun arg ->
+                match arg with
+                | "micro" -> Micro.run ()
+                | "smoke" -> Experiments.smoke ()
+                | name -> (
+                    match List.assoc_opt name Experiments.by_name with
+                    | Some e -> e ()
+                    | None -> usage ()))
+              args)
+  in
+  Printf.printf "\n[bench] total wall time %.1fs\n" total

@@ -101,23 +101,59 @@ let fault_seed_arg =
     & opt int 7
     & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-injection seed.")
 
+(* ---- telemetry / tracing -------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON trace to $(docv): one span per \
+           pipeline stage with cache hit/miss, deployment/retry and \
+           parallel chunk counters, plus wall-clock timings. Timings live \
+           only in the trace — pipeline artifacts and cache entries never \
+           contain wall-clock values.")
+
+(* Without [--trace] the recorder is clockless (purely deterministic);
+   with it, spans also measure wall time for the trace file. Either way
+   the report gets a per-stage table. *)
+let telemetry_of trace =
+  match trace with
+  | None -> Zodiac_util.Telemetry.create ()
+  | Some _ -> Zodiac_util.Telemetry.create ~clock:Unix.gettimeofday ()
+
+let write_trace trace telemetry =
+  match trace with
+  | None -> ()
+  | Some path -> (
+      let json =
+        Zodiac_util.Json.to_string ~pretty:true
+          (Zodiac_util.Telemetry.to_json telemetry)
+      in
+      match open_out path with
+      | exception Sys_error e ->
+          prerr_endline ("error writing trace: " ^ e);
+          exit 2
+      | oc ->
+          output_string oc json;
+          output_char oc '\n';
+          close_out oc)
+
 (* ---- mine ----------------------------------------------------------- *)
 
-let report_cache verbose (artifacts : Zodiac.Pipeline.artifacts) =
-  if verbose then
-    let s = artifacts.Zodiac.Pipeline.cache_stats in
-    Logs.debug (fun m ->
-        m "cache: %d hits, %d misses, %d writes" s.Zodiac_util.Cache.hits
-          s.Zodiac_util.Cache.misses s.Zodiac_util.Cache.writes)
-
 let mine_cmd =
-  let run verbose seed size jobs cache limit =
+  let run verbose seed size jobs cache trace limit =
     setup_logs verbose;
+    let telemetry = telemetry_of trace in
     let artifacts =
-      Zodiac.Pipeline.mine_only ~config:(config_of ~jobs ?cache_dir:cache seed size) ()
+      Zodiac.Pipeline.mine_only
+        ~config:(config_of ~jobs ?cache_dir:cache seed size)
+        ~telemetry ()
     in
-    report_cache verbose artifacts;
+    write_trace trace telemetry;
     print_endline (Zodiac.Report.mining_summary artifacts);
+    print_endline (Zodiac.Report.stats_section ~telemetry artifacts);
     print_endline "";
     print_endline "Top candidates by support:";
     print_endline
@@ -130,29 +166,34 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
     Term.(
       const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ cache_term
-      $ limit)
+      $ trace_arg $ limit)
 
 (* ---- validate ------------------------------------------------------- *)
 
 let validate_cmd =
-  let run verbose seed size jobs cache output fault_rate fault_seed =
+  let run verbose seed size jobs cache trace output fault_rate fault_seed =
     setup_logs verbose;
+    let telemetry = telemetry_of trace in
     let artifacts =
       Zodiac.Pipeline.run
         ~config:(config_of ~fault_rate ~fault_seed ~jobs ?cache_dir:cache seed size)
-        ()
+        ~telemetry ()
     in
-    report_cache verbose artifacts;
-    print_endline (Zodiac.Report.full artifacts);
+    write_trace trace telemetry;
+    print_endline (Zodiac.Report.full ~telemetry artifacts);
     match output with
     | None -> ()
-    | Some path ->
-        Zodiac.Checkset.save path artifacts.Zodiac.Pipeline.final_checks;
-        Printf.printf "
-wrote %d validated checks to %s
-"
-          (List.length artifacts.Zodiac.Pipeline.final_checks)
-          path
+    | Some path -> (
+        match
+          Zodiac.Checkset.save path artifacts.Zodiac.Pipeline.final_checks
+        with
+        | Error e ->
+            prerr_endline ("error writing checks: " ^ e);
+            exit 2
+        | Ok () ->
+            Printf.printf "\nwrote %d validated checks to %s\n"
+              (List.length artifacts.Zodiac.Pipeline.final_checks)
+              path)
   in
   let output =
     Arg.(
@@ -166,7 +207,7 @@ wrote %d validated checks to %s
        ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
     Term.(
       const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
-      $ output $ fault_rate_arg $ fault_seed_arg)
+      $ trace_arg $ output $ fault_rate_arg $ fault_seed_arg)
 
 (* ---- scan ----------------------------------------------------------- *)
 
@@ -177,11 +218,7 @@ let file_arg =
     & info [] ~docv:"FILE" ~doc:"A Terraform (HCL) configuration file.")
 
 let load_hcl path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  match Zodiac.Registry.compile src with
+  match Zodiac.Registry.compile_file path with
   | Ok prog -> prog
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -336,12 +373,15 @@ let plan_cmd =
 (* ---- export --------------------------------------------------------- *)
 
 let export_cmd =
-  let run verbose seed size jobs cache format =
+  let run verbose seed size jobs cache trace format =
     setup_logs verbose;
+    let telemetry = telemetry_of trace in
     let artifacts =
-      Zodiac.Pipeline.run ~config:(config_of ~jobs ?cache_dir:cache seed size) ()
+      Zodiac.Pipeline.run
+        ~config:(config_of ~jobs ?cache_dir:cache seed size)
+        ~telemetry ()
     in
-    report_cache verbose artifacts;
+    write_trace trace telemetry;
     let checks = artifacts.Zodiac.Pipeline.final_checks in
     match format with
     | "insights" -> print_endline (Zodiac.Export.insights checks)
@@ -368,20 +408,24 @@ let export_cmd =
           insights, a RAG knowledge base, or an ancillary-checker policy file")
     Term.(
       const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
-      $ format)
+      $ trace_arg $ format)
 
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run verbose seed size jobs cache =
+  let run verbose seed size jobs cache trace =
     setup_logs verbose;
     let config = config_of ~jobs ?cache_dir:cache seed size in
+    let telemetry = telemetry_of trace in
     let cache_store =
       Option.map
         (fun dir -> Zodiac_util.Cache.create ~dir ())
         config.Zodiac.Pipeline.cache_dir
     in
-    let projects = Zodiac.Pipeline.cached_corpus ?cache:cache_store config in
+    let projects =
+      Zodiac.Pipeline.cached_corpus ?cache:cache_store ~telemetry config
+    in
+    write_trace trace telemetry;
     let by_scenario = Hashtbl.create 16 in
     List.iter
       (fun p ->
@@ -399,7 +443,8 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate a synthetic corpus and print statistics")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg $ cache_term)
+      const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg $ cache_term
+      $ trace_arg)
 
 (* ---- rules ---------------------------------------------------------- *)
 

@@ -57,10 +57,23 @@ let of_json json =
   | _ -> Error "missing \"checks\" list"
 
 let save path checks =
-  let oc = open_out path in
-  output_string oc (Json.to_string ~pretty:true (to_json checks));
-  output_char oc '\n';
-  close_out oc
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          match
+            output_string oc (Json.to_string ~pretty:true (to_json checks));
+            output_char oc '\n'
+          with
+          | () -> Ok ()
+          | exception Sys_error e -> Error e)
+
+let save_exn path checks =
+  match save path checks with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Checkset: " ^ e)
 
 let load path =
   match open_in_bin path with

@@ -9,8 +9,12 @@
 val to_json : Zodiac_spec.Check.t list -> Zodiac_util.Json.t
 val of_json : Zodiac_util.Json.t -> (Zodiac_spec.Check.t list, string) result
 
-val save : string -> Zodiac_spec.Check.t list -> unit
-(** Write a check set to a file (pretty JSON). *)
+val save : string -> Zodiac_spec.Check.t list -> (unit, string) result
+(** Write a check set to a file (pretty JSON). An unwritable path is
+    an [Error] with the OS message, never an abort. *)
+
+val save_exn : string -> Zodiac_spec.Check.t list -> unit
+(** {!save}, raising [Invalid_argument] on failure (test helper). *)
 
 val load : string -> (Zodiac_spec.Check.t list, string) result
 (** Read a check set back; reports the first malformed entry. *)

@@ -15,6 +15,8 @@ module Program = Zodiac_iac.Program
 module Parallel = Zodiac_util.Parallel
 module Cache = Zodiac_util.Cache
 module Codec = Zodiac_util.Codec
+module Stage = Zodiac_util.Stage
+module Telemetry = Zodiac_util.Telemetry
 
 type config = {
   corpus_seed : int;
@@ -77,15 +79,15 @@ let dedup_checks checks =
       end)
     checks
 
-(* ---- warm-start cache ----------------------------------------------
-   Stage outputs are keyed by a fingerprint of everything they depend
-   on; sized entries (corpus, KB stats) additionally record the corpus
-   size so a warm run can load the largest cached prefix and extend it
-   incrementally (projects are generated from independent per-index PRNG
-   streams and the KB count tables merge as exact monoids, so the
-   extended artifacts are byte-identical to a cold rebuild). Stale codec
-   versions and corrupted entries decode as misses, falling back to the
-   cold path. *)
+(* ---- staged execution ----------------------------------------------
+   Every Figure-2 phase is either a [Stage.t] run through [Stage.run]
+   (corpus, KB stats, mined candidates — the cacheable artifacts, keyed
+   by a fingerprint of everything they depend on, with the incremental
+   shrink/extend hooks from the warm-start design) or a plain telemetry
+   span (materialize, filter, oracle, validate, counterexample — pure
+   compute). The runner applies warm-cache lookup/write, job plumbing
+   and per-stage counters uniformly; artifacts stay byte-identical to
+   the hand-wired paths for every [jobs] value and cold ≡ warm. *)
 
 let cache_of config = Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir
 
@@ -103,142 +105,142 @@ let corpus_key config =
   Codec.fingerprint
     [ "corpus"; string_of_int config.corpus_seed; float_bits config.violation_rate ]
 
-let write_projects b ps = Codec.write_list Generator.write_project b ps
-let read_projects s = Codec.read_list Generator.read_project s
-
 let take n xs = List.filteri (fun i _ -> i < n) xs
 let drop n xs = List.filteri (fun i _ -> i >= n) xs
 
-let cached_corpus ?cache config =
+(* A span that also accounts the Parallel chunks scheduled inside it,
+   mirroring what [Stage.run] records for cached stages. *)
+let spanned telemetry name f =
+  Telemetry.with_span telemetry name (fun () ->
+      let c0 = Parallel.chunks_scheduled () in
+      let v = f () in
+      Telemetry.count telemetry "parallel.chunks"
+        (Parallel.chunks_scheduled () - c0);
+      v)
+
+(* Corpus generation: per-index PRNG streams make [generate ~count:n] a
+   strict prefix of [generate ~count:m] for n < m, so a cached corpus
+   shrinks from a larger entry or extends incrementally. *)
+let corpus_stage config =
+  let n = config.corpus_size in
   let generate ~lo ~hi =
     Generator.generate_range ~violation_rate:config.violation_rate
       ~jobs:config.jobs ~seed:config.corpus_seed ~lo ~hi ()
   in
-  let n = config.corpus_size in
-  match cache with
-  | None -> generate ~lo:0 ~hi:n
-  | Some c -> (
-      let stage = "corpus" in
-      let key = corpus_key config in
-      match Cache.find c ~stage ~key ~size:n read_projects with
-      | Some ps -> ps
-      | None -> (
-          let sizes = Cache.sizes c ~stage ~key in
-          (* a larger cached corpus contains this one as its prefix;
-             no point storing what is derivable from an existing entry *)
-          let from_larger =
-            List.filter (fun m -> m > n) sizes
-            |> List.find_map (fun m ->
-                   Cache.find c ~stage ~key ~size:m read_projects)
-          in
-          match from_larger with
-          | Some ps -> take n ps
-          | None ->
-              (* otherwise extend the largest cached prefix *)
-              let base =
-                List.filter (fun m -> m < n) sizes
-                |> List.rev
-                |> List.find_map (fun m ->
-                       Option.map
-                         (fun ps -> (m, ps))
-                         (Cache.find c ~stage ~key ~size:m read_projects))
-              in
-              let ps =
-                match base with
-                | Some (m, prefix) -> prefix @ generate ~lo:m ~hi:n
-                | None -> generate ~lo:0 ~hi:n
-              in
-              Cache.store c ~stage ~key ~size:n (fun b -> write_projects b ps);
-              ps))
+  Stage.sized ~name:"corpus" ~key:(corpus_key config) ~size:n
+    ~artifact:Generator.projects_artifact
+    ~shrink:(fun ~larger:_ ps -> take n ps)
+    ~extend:(fun ~cached prefix -> prefix @ generate ~lo:cached ~hi:n)
+    (fun ~jobs:_ -> generate ~lo:0 ~hi:n)
 
-(* KB statistics over the materialized corpus: load exact size, or merge
-   a monoid count delta over the tail programs into the largest cached
-   prefix instead of rebuilding. *)
-let cached_kb ?cache config programs =
-  let jobs = config.jobs in
-  match cache with
-  | None -> Kb.build ~jobs ~projects:programs ()
-  | Some c -> (
-      let stage = "kb-stats" in
-      let key = corpus_key config in
-      let n = List.length programs in
-      match Cache.find c ~stage ~key ~size:n Kb.read_stats with
-      | Some stats -> Kb.finalize stats
-      | None ->
-          let base =
-            List.filter (fun m -> m < n) (Cache.sizes c ~stage ~key)
-            |> List.rev
-            |> List.find_map (fun m ->
-                   Option.map
-                     (fun stats -> (m, stats))
-                     (Cache.find c ~stage ~key ~size:m Kb.read_stats))
-          in
-          let stats =
-            match base with
-            | Some (m, stats) ->
-                Kb.merge_stats stats (Kb.stats_of_projects ~jobs (drop m programs))
-            | None -> Kb.stats_of_projects ~jobs programs
-          in
-          Cache.store c ~stage ~key ~size:n (fun b -> Kb.write_stats b stats);
-          Kb.finalize stats)
+let cached_corpus ?cache ?telemetry config =
+  Stage.run ?cache ?telemetry ~jobs:config.jobs (corpus_stage config)
 
-let prepare ?cache config =
+(* KB statistics over the materialized corpus: the raw monoid counts
+   are the cached artifact (load exact size, or merge a count delta
+   over the tail programs into the largest cached prefix); [finalize]
+   derives the canonical KB from whatever the runner returns. *)
+let kb_stage config programs =
   let jobs = config.jobs in
-  let projects = cached_corpus ?cache config in
+  let n = List.length programs in
+  Stage.sized ~name:"kb" ~key:(corpus_key config) ~size:n
+    ~artifact:Kb.stats_artifact
+    ~extend:(fun ~cached stats ->
+      Kb.merge_stats stats (Kb.stats_of_projects ~jobs (drop cached programs)))
+    (fun ~jobs:_ -> Kb.stats_of_projects ~jobs programs)
+
+let cached_kb ?cache ?telemetry config programs =
+  Kb.finalize
+    (Stage.run ?cache ?telemetry ~jobs:config.jobs (kb_stage config programs))
+
+let prepare ?cache ?(telemetry = Telemetry.null) config =
+  let jobs = config.jobs in
+  let projects = cached_corpus ?cache ~telemetry config in
   let programs =
-    Miner.materialize ~jobs (List.map (fun p -> p.Generator.program) projects)
+    spanned telemetry "materialize" (fun () ->
+        let programs =
+          Miner.materialize ~jobs (List.map (fun p -> p.Generator.program) projects)
+        in
+        Telemetry.count telemetry "materialize.programs" (List.length programs);
+        programs)
   in
   let corpus =
     List.map2 (fun p prog -> (p.Generator.pname, prog)) projects programs
   in
-  let kb = cached_kb ?cache config programs in
+  let kb = cached_kb ?cache ~telemetry config programs in
   (projects, corpus, kb, programs)
 
-let mine_phase ?cache config kb programs =
+let mine_phase ?cache ?(telemetry = Telemetry.null) config kb programs =
   let tables_key config =
     Codec.fingerprint [ corpus_key config; string_of_int config.corpus_size ]
   in
-  let mine () =
-    Miner.mine ~config:config.mining ~jobs:config.jobs
-      ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
-      kb programs
+  let mined_stage =
+    Stage.keyed ~name:"mine"
+      ~key:
+        (Codec.fingerprint
+           [
+             tables_key config;
+             string_of_bool config.mining.Miner.use_kb;
+             string_of_int config.mining.Miner.min_support;
+           ])
+      ~artifact:Candidate.list_artifact
+      (fun ~jobs:_ ->
+        Miner.mine ~config:config.mining ~telemetry ~jobs:config.jobs
+          ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
+          kb programs)
   in
-  let mined =
-    match cache with
-    | None -> mine ()
-    | Some c -> (
-        let stage = "mined" in
-        let key =
-          Codec.fingerprint
-            [
-              tables_key config;
-              string_of_bool config.mining.Miner.use_kb;
-              string_of_int config.mining.Miner.min_support;
-            ]
+  let mined = Stage.run ?cache ~telemetry ~jobs:config.jobs mined_stage in
+  let filtered =
+    spanned telemetry "filter" (fun () ->
+        let f = Filter.run ~thresholds:config.thresholds mined in
+        Telemetry.count telemetry "filter.kept" (List.length f.Filter.kept);
+        Telemetry.count telemetry "filter.removed"
+          (List.length f.Filter.removed_confidence
+          + List.length f.Filter.removed_lift);
+        Telemetry.count telemetry "filter.interpolation_queue"
+          (List.length f.Filter.interpolation_queue);
+        f)
+  in
+  let refined, rejected, candidates =
+    spanned telemetry "oracle" (fun () ->
+        let oracle =
+          Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed
         in
-        match Cache.find c ~stage ~key (Codec.read_list Candidate.read) with
-        | Some cs -> cs
-        | None ->
-            let cs = mine () in
-            Cache.store c ~stage ~key (fun b ->
-                Codec.write_list Candidate.write b cs);
-            cs)
+        let refined, rejected =
+          List.fold_left
+            (fun (refined, rejected) candidate ->
+              match Llm.interpolate oracle candidate with
+              | Llm.Refined check -> (check :: refined, rejected)
+              | Llm.Unsupported -> (refined, rejected + 1))
+            ([], 0) filtered.Filter.interpolation_queue
+        in
+        let candidates =
+          dedup_checks
+            (List.map
+               (fun c -> c.Candidate.check)
+               filtered.Filter.kept
+            @ List.rev refined)
+        in
+        Telemetry.count telemetry "oracle.refined" (List.length refined);
+        Telemetry.count telemetry "oracle.rejected" rejected;
+        Telemetry.count telemetry "oracle.candidates" (List.length candidates);
+        (List.rev refined, rejected, candidates))
   in
-  let filtered = Filter.run ~thresholds:config.thresholds mined in
-  let oracle = Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed in
-  let refined, rejected =
-    List.fold_left
-      (fun (refined, rejected) candidate ->
-        match Llm.interpolate oracle candidate with
-        | Llm.Refined check -> (check :: refined, rejected)
-        | Llm.Unsupported -> (refined, rejected + 1))
-      ([], 0) filtered.Filter.interpolation_queue
-  in
-  let candidates =
-    dedup_checks
-      (List.map (fun c -> c.Candidate.check) filtered.Filter.kept @ List.rev refined)
-  in
-  (mined, filtered, List.rev refined, rejected, candidates)
+  (mined, filtered, refined, rejected, candidates)
+
+(* Engine accounting attributed to the enclosing span as counter
+   deltas, so validate and counterexample each report their own
+   deployments/retries/faults in the trace. *)
+let engine_delta telemetry engine f =
+  let before = Engine_stats.counters (Engine.stats engine) in
+  let v = f () in
+  let after = Engine_stats.counters (Engine.stats engine) in
+  List.iter2
+    (fun (k, b) (k', a) ->
+      assert (String.equal k k');
+      Telemetry.count telemetry k (a - b))
+    before after;
+  v
 
 let empty_validation =
   {
@@ -248,11 +250,11 @@ let empty_validation =
     deployments = 0;
   }
 
-let mine_only ?(config = default_config) () =
+let mine_only ?(config = default_config) ?telemetry () =
   let cache = cache_of config in
-  let projects, corpus, kb, programs = prepare ?cache config in
+  let projects, corpus, kb, programs = prepare ?cache ?telemetry config in
   let mined, filtered, llm_refined, llm_rejected, candidates =
-    mine_phase ?cache config kb programs
+    mine_phase ?cache ?telemetry config kb programs
   in
   {
     config;
@@ -271,22 +273,33 @@ let mine_only ?(config = default_config) () =
     cache_stats = cache_stats_of cache;
   }
 
-let run ?(config = default_config) () =
+let run ?(config = default_config) ?telemetry () =
   let cache = cache_of config in
-  let projects, corpus, kb, programs = prepare ?cache config in
+  let telemetry = Option.value telemetry ~default:Telemetry.null in
+  let projects, corpus, kb, programs = prepare ?cache ~telemetry config in
   let mined, filtered, llm_refined, llm_rejected, candidates =
-    mine_phase ?cache config kb programs
+    mine_phase ?cache ~telemetry config kb programs
   in
   let engine = Engine.create ~config:config.engine () in
   let deploy = Engine.oracle engine in
   let deploy_batch = Engine.oracle_batch ~jobs:config.jobs engine in
   let validation =
-    Scheduler.run ~config:config.scheduler ~jobs:config.jobs ~deploy_batch ~kb
-      ~corpus ~deploy candidates
+    spanned telemetry "validate" (fun () ->
+        engine_delta telemetry engine (fun () ->
+            Scheduler.run ~config:config.scheduler ~telemetry ~jobs:config.jobs
+              ~deploy_batch ~kb ~corpus ~deploy candidates))
   in
   let final_checks, counterexample_fps =
-    Scheduler.counterexample_pass ~jobs:config.jobs ~corpus ~deploy
-      validation.Scheduler.validated
+    spanned telemetry "counterexample" (fun () ->
+        engine_delta telemetry engine (fun () ->
+            let kept, exposed =
+              Scheduler.counterexample_pass ~jobs:config.jobs ~corpus ~deploy
+                validation.Scheduler.validated
+            in
+            Telemetry.count telemetry "counterexample.kept" (List.length kept);
+            Telemetry.count telemetry "counterexample.exposed_fps"
+              (List.length exposed);
+            (kept, exposed)))
   in
   {
     config;

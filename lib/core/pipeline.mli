@@ -65,15 +65,29 @@ val deploy : Zodiac_iac.Program.t -> bool
     deployment, no engine in between. [run] itself deploys through a
     {!Zodiac_engine.Engine} built from [config.engine]. *)
 
-val run : ?config:config -> unit -> artifacts
-(** Execute the whole pipeline. Deterministic for a given config. *)
+val run :
+  ?config:config -> ?telemetry:Zodiac_util.Telemetry.t -> unit -> artifacts
+(** Execute the whole pipeline. Deterministic for a given config.
 
-val mine_only : ?config:config -> unit -> artifacts
+    [telemetry] (default {!Zodiac_util.Telemetry.null}) records one
+    span per Figure-2 stage — [corpus], [materialize], [kb], [mine],
+    [filter], [oracle], [validate], [counterexample] — each carrying
+    its cache hit/miss/write deltas, parallel chunk counts and, for
+    the deployment passes, the engine's request/retry/fault/memo
+    counters. Telemetry observes only: artifacts are byte-identical
+    with or without it, and no wall-clock value can enter them (a
+    clockless recorder never reads a clock at all). *)
+
+val mine_only :
+  ?config:config -> ?telemetry:Zodiac_util.Telemetry.t -> unit -> artifacts
 (** Stop after filtering and interpolation (validation left empty);
     much faster, used by mining-phase experiments. *)
 
 val cached_corpus :
-  ?cache:Zodiac_util.Cache.t -> config -> Zodiac_corpus.Generator.project list
+  ?cache:Zodiac_util.Cache.t ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
+  config ->
+  Zodiac_corpus.Generator.project list
 (** The corpus-generation stage on its own: load the exact cached
     corpus, take a prefix of a larger one, or extend the largest cached
     prefix with freshly generated tail projects (per-index PRNG streams

@@ -222,3 +222,18 @@ let compile src =
 
 let compile_exn src =
   match compile src with Ok p -> p | Error e -> invalid_arg ("Registry: " ^ e)
+
+let compile_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> Error e
+      | src -> (
+          match compile src with
+          | Ok p -> Ok p
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)))

@@ -22,4 +22,10 @@ val quickstart_vm : string
 val compile : string -> (Zodiac_iac.Program.t, string) result
 (** Parse + compile with the Azure type mapping; fails on diagnostics. *)
 
+val compile_file : string -> (Zodiac_iac.Program.t, string) result
+(** {!compile} the contents of a file; unreadable files and compile
+    diagnostics both surface as [Error] with the path in the message,
+    so CLI callers report malformed input cleanly instead of aborting
+    with a backtrace. *)
+
 val compile_exn : string -> Zodiac_iac.Program.t

@@ -3,6 +3,8 @@ module Spec_printer = Zodiac_spec.Spec_printer
 module Filter = Zodiac_mining.Filter
 module Scheduler = Zodiac_validation.Scheduler
 module Tablefmt = Zodiac_util.Tablefmt
+module Telemetry = Zodiac_util.Telemetry
+module Cache = Zodiac_util.Cache
 
 let mining_summary (a : Pipeline.artifacts) =
   let f = a.Pipeline.filtered in
@@ -75,15 +77,34 @@ let checks_listing ?(limit = 20) checks =
 let engine_summary (a : Pipeline.artifacts) =
   Zodiac_engine.Stats.summary a.Pipeline.engine_stats
 
-let full a =
+let cache_summary (a : Pipeline.artifacts) =
+  let s = a.Pipeline.cache_stats in
+  match a.Pipeline.config.Pipeline.cache_dir with
+  | None -> "warm-start cache: off (--cache-dir to enable)"
+  | Some dir ->
+      Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes"
+        dir s.Cache.hits s.Cache.misses s.Cache.writes
+
+let stage_summary telemetry =
+  if Telemetry.spans telemetry = [] then None
+  else Some (Telemetry.summary_table telemetry)
+
+let stats_section ?telemetry (a : Pipeline.artifacts) =
+  String.concat "\n"
+    ([ Tablefmt.section "Run statistics"; cache_summary a ]
+    @ (match Option.bind telemetry stage_summary with
+      | Some table -> [ table ]
+      | None -> [])
+    @ [ engine_summary a ])
+
+let full ?telemetry a =
   String.concat "\n"
     [
       Tablefmt.section "Mining phase";
       mining_summary a;
       Tablefmt.section "Validation phase";
       validation_summary a;
-      Tablefmt.section "Deployment engine";
-      engine_summary a;
+      stats_section ?telemetry a;
       Tablefmt.section "Validated checks by category";
       Tablefmt.render
         ~header:[ "category"; "count" ]

@@ -16,4 +16,14 @@ val engine_summary : Pipeline.artifacts -> string
 (** Deployment-engine accounting: attempts, retries, faults seen,
     cache hits, deployments saved. *)
 
-val full : Pipeline.artifacts -> string
+val cache_summary : Pipeline.artifacts -> string
+(** One line of warm-start cache accounting (or a hint that caching is
+    off). *)
+
+val stats_section : ?telemetry:Zodiac_util.Telemetry.t -> Pipeline.artifacts -> string
+(** The "Run statistics" section: cache accounting, the per-stage
+    telemetry table (when a recorder with spans is given) and the
+    engine summary. Always rendered by {!full} — statistics are no
+    longer gated behind [--verbose]. *)
+
+val full : ?telemetry:Zodiac_util.Telemetry.t -> Pipeline.artifacts -> string

@@ -1444,3 +1444,9 @@ let read_project s =
   let program = Program.read s in
   let injected = Codec.read_list Codec.read_string s in
   { pname; scenario; program; injected }
+
+let projects_artifact =
+  {
+    Zodiac_util.Stage.write = (fun b ps -> Codec.write_list write_project b ps);
+    read = Codec.read_list read_project;
+  }

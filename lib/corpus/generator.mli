@@ -63,5 +63,9 @@ val write_project : Zodiac_util.Codec.sink -> project -> unit
 val read_project : Zodiac_util.Codec.src -> project
 (** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
 
+val projects_artifact : project list Zodiac_util.Stage.artifact
+(** The corpus stage's cache binding: a length-prefixed project list
+    ({!write_project}/{!read_project}) for {!Zodiac_util.Stage.run}. *)
+
 val conforming : ?jobs:int -> seed:int -> count:int -> unit -> project list
 (** A corpus with no injected violations (used for clean baselines). *)

@@ -106,6 +106,23 @@ let snapshot_with ~cache_hits ~cache_misses ~cache_evictions t =
 let basic_snapshot t =
   snapshot_with ~cache_hits:0 ~cache_misses:0 ~cache_evictions:0 t
 
+(* Flat integer view for telemetry spans; [sim_seconds] is simulated
+   (not wall-clock) time, so rounding it to whole seconds keeps the
+   counter list deterministic. *)
+let counters (s : snapshot) =
+  [
+    ("engine.requests", s.requests);
+    ("engine.deployments", s.attempts);
+    ("engine.retries", s.retries);
+    ("engine.faults", s.faults);
+    ("engine.memo_hits", s.cache_hits);
+    ("engine.memo_misses", s.cache_misses);
+    ("engine.memo_evictions", s.cache_evictions);
+    ("engine.breaker_opens", s.breaker_opens);
+    ("engine.giveups", s.giveups);
+    ("engine.sim_seconds", int_of_float s.sim_seconds);
+  ]
+
 let tally_line pairs =
   if pairs = [] then "none"
   else

@@ -49,5 +49,10 @@ val snapshot_with :
 val basic_snapshot : t -> snapshot
 (** Snapshot with zero cache counters. *)
 
+val counters : snapshot -> (string * int) list
+(** Flat ["engine.*"]-prefixed integer counters for telemetry spans.
+    Deterministic: simulated time is rounded to whole (simulated)
+    seconds; no wall-clock value is involved. *)
+
 val summary : snapshot -> string
 (** Multi-line human-readable rendering for reports and the CLI. *)

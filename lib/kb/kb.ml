@@ -189,6 +189,9 @@ let read_stats s =
   let s_populations = Codec.read_table rs Codec.read_int s in
   { s_observations; s_presence; s_conns; s_populations }
 
+let stats_artifact =
+  { Zodiac_util.Stage.write = write_stats; read = read_stats }
+
 let compare_observed (v1, c1) (v2, c2) =
   match Int.compare c2 c1 with 0 -> Value.compare v1 v2 | n -> n
 

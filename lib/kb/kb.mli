@@ -85,6 +85,11 @@ val write_stats : Zodiac_util.Codec.sink -> stats -> unit
 val read_stats : Zodiac_util.Codec.src -> stats
 (** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
 
+val stats_artifact : stats Zodiac_util.Stage.artifact
+(** The KB stage's cache binding ({!write_stats}/{!read_stats}) for
+    {!Zodiac_util.Stage.run}; the runner caches raw monoid stats and
+    the pipeline applies {!finalize} to whatever comes back. *)
+
 val attr_info : t -> rtype:string -> attr:string -> attr_info option
 
 val population : t -> string -> int

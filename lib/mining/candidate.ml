@@ -66,6 +66,12 @@ let read s =
   let needs_interpolation = Codec.read_bool s in
   { check; template_id; support; confidence; lift; needs_interpolation }
 
+let list_artifact =
+  {
+    Zodiac_util.Stage.write = (fun b cs -> Codec.write_list write b cs);
+    read = Codec.read_list read;
+  }
+
 let describe c =
   Printf.sprintf "%s [%s sup=%d conf=%.2f lift=%.2f%s]"
     (Spec_printer.to_string c.check)

@@ -35,4 +35,8 @@ val write : Zodiac_util.Codec.sink -> t -> unit
 val read : Zodiac_util.Codec.src -> t
 (** @raise Zodiac_util.Codec.Corrupt on malformed input. *)
 
+val list_artifact : t list Zodiac_util.Stage.artifact
+(** The mined stage's cache binding: a length-prefixed candidate list
+    ({!write}/{!read}) for {!Zodiac_util.Stage.run}. *)
+
 val describe : t -> string

@@ -11,6 +11,7 @@ module Cidr = Zodiac_util.Cidr
 module Parallel = Zodiac_util.Parallel
 module Codec = Zodiac_util.Codec
 module Cache = Zodiac_util.Cache
+module Telemetry = Zodiac_util.Telemetry
 
 type config = { use_kb : bool; min_support : int }
 
@@ -315,14 +316,18 @@ let read_intra s =
 (* Run [compute] through the per-shard table cache when one is wired
    in. [tables] is (store, key of the materialized corpus); [extra]
    distinguishes table families sharing that corpus. *)
-let cached_tables tables ~stage ~extra ~write ~read compute =
+let cached_tables ?(telemetry = Telemetry.null) tables ~stage ~extra ~write
+    ~read compute =
   match tables with
   | None -> compute ()
   | Some (store, corpus_key) -> (
       let key = Codec.fingerprint (corpus_key :: extra) in
       match Cache.find store ~stage ~key read with
-      | Some t -> t
+      | Some t ->
+          Telemetry.count telemetry "miner.table_hits" 1;
+          t
       | None ->
+          Telemetry.count telemetry "miner.table_misses" 1;
           let t = compute () in
           Cache.store store ~stage ~key (fun b -> write b t);
           t)
@@ -342,9 +347,9 @@ let merge_intra dst src =
     src.num_range;
   dst
 
-let mine_intra_families ?jobs ?tables cfg kb programs =
+let mine_intra_families ?telemetry ?jobs ?tables cfg kb programs =
   let { n_by_type; single; pair; num_range } =
-    cached_tables tables ~stage:"miner-intra"
+    cached_tables ?telemetry tables ~stage:"miner-intra"
       ~extra:[ "intra"; string_of_bool cfg.use_kb ]
       ~write:write_intra ~read:read_intra
       (fun () -> count_sharded ?jobs (count_intra cfg kb) merge_intra programs)
@@ -599,9 +604,9 @@ let read_indexed s =
   in
   { eqne; ne; elem_values }
 
-let mine_indexed ?jobs ?tables cfg _kb programs =
+let mine_indexed ?telemetry ?jobs ?tables cfg _kb programs =
   let { eqne; ne; elem_values } =
-    cached_tables tables ~stage:"miner-idx" ~extra:[ "indexed" ]
+    cached_tables ?telemetry tables ~stage:"miner-idx" ~extra:[ "indexed" ]
       ~write:write_indexed ~read:read_indexed
       (fun () -> count_sharded ?jobs count_indexed merge_indexed programs)
   in
@@ -1496,17 +1501,17 @@ let materialize ?jobs programs =
     (fun p -> Program.of_resources (List.map Defaults.effective (Program.resources p)))
     programs
 
-let mine_intra ?(config = default_config) ?jobs ?tables kb programs =
+let mine_intra ?(config = default_config) ?telemetry ?jobs ?tables kb programs =
   let programs = materialize ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?jobs ?tables config kb programs
-    @ mine_indexed ?jobs ?tables config kb programs)
+    (mine_intra_families ?telemetry ?jobs ?tables config kb programs
+    @ mine_indexed ?telemetry ?jobs ?tables config kb programs)
 
-let mine ?(config = default_config) ?jobs ?tables kb programs =
+let mine ?(config = default_config) ?telemetry ?jobs ?tables kb programs =
   let programs = materialize ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?jobs ?tables config kb programs
-    @ mine_indexed ?jobs ?tables config kb programs
+    (mine_intra_families ?telemetry ?jobs ?tables config kb programs
+    @ mine_indexed ?telemetry ?jobs ?tables config kb programs
     (* the inter tables depend on KB-derived reserved names, so they are
        cached one level up, at the mined-candidate-set granularity *)
     @ mine_inter ?jobs config kb programs)

@@ -31,6 +31,7 @@ val materialize :
 
 val mine :
   ?config:config ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
   ?tables:Zodiac_util.Cache.t * string ->
   Zodiac_kb.Kb.t ->
@@ -49,10 +50,15 @@ val mine :
     corpus under a different [min_support] then skips the counting
     passes entirely. The inter-family tables depend on KB-derived
     reserved names and are only cached one level up, as part of the
-    mined candidate set. *)
+    mined candidate set.
+
+    [telemetry] (default {!Zodiac_util.Telemetry.null}) receives
+    [miner.table_hits]/[miner.table_misses] counters, one per counting
+    table family probed through [tables]. *)
 
 val mine_intra :
   ?config:config ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
   ?tables:Zodiac_util.Cache.t * string ->
   Zodiac_kb.Kb.t ->

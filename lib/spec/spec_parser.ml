@@ -274,11 +274,11 @@ let parse_exn src =
   match parse src with Ok c -> c | Error e -> invalid_arg ("Spec_parser: " ^ e)
 
 let parse_many srcs =
-  let rec loop acc = function
+  let rec loop i acc = function
     | [] -> Ok (List.rev acc)
     | src :: rest -> (
         match parse src with
-        | Ok c -> loop (c :: acc) rest
-        | Error e -> Error e)
+        | Ok c -> loop (i + 1) (c :: acc) rest
+        | Error e -> Error (Printf.sprintf "check %d: %s" i e))
   in
-  loop [] srcs
+  loop 1 [] srcs

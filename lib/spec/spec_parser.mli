@@ -23,4 +23,5 @@ val parse_exn : string -> Check.t
 (** @raise Invalid_argument on syntax errors. *)
 
 val parse_many : string list -> (Check.t list, string) result
-(** Parse a batch, reporting the first failing input. *)
+(** Parse a batch, reporting the first failing input with its
+    1-based position ("check N: ..."). *)

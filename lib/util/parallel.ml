@@ -13,6 +13,15 @@ let resolve_jobs = function
 
 let sequential_cutoff = 8
 
+(* Monotone count of chunks handed to workers since program start.
+   Telemetry reads it before/after a stage to report scheduling
+   granularity (the [parallel.chunks] counter). Scheduling metadata
+   only: the value varies with [jobs] and the host's domain count and
+   never influences results. *)
+let scheduled = Atomic.make 0
+
+let chunks_scheduled () = Atomic.get scheduled
+
 (* Domains actually worth spawning for [len] items when the caller asked
    for [jobs]: never more than the hardware has (oversubscribing a box
    only adds spawn/contention overhead — the determinism contract makes
@@ -37,6 +46,7 @@ let chunks ?jobs xs =
   if len = 0 then []
   else
     let n = effective_jobs ~len jobs in
+    ignore (Atomic.fetch_and_add scheduled n);
     List.init n (fun i ->
         let lo, hi = bounds ~len ~n i in
         Array.to_list (Array.sub arr lo (hi - lo)))
@@ -50,7 +60,9 @@ let chunks ?jobs xs =
 let run_chunks ~jobs ~n f_chunk =
   let jobs = min jobs (recommended_jobs ()) in
   if n <= 0 then ()
-  else if jobs <= 1 || n = 1 then
+  else begin
+  ignore (Atomic.fetch_and_add scheduled n);
+  if jobs <= 1 || n = 1 then
     for i = 0 to n - 1 do
       f_chunk i
     done
@@ -78,6 +90,7 @@ let run_chunks ~jobs ~n f_chunk =
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
         | None -> ())
       errors
+  end
   end
 
 (* Finer-grained than [chunks]: a few chunks per domain so a slow element

@@ -34,6 +34,13 @@ val sequential_cutoff : int
     nothing over [jobs=1]. Purely a scheduling decision; results are
     unchanged by the determinism contract. *)
 
+val chunks_scheduled : unit -> int
+(** Monotone count of chunks handed to workers since program start,
+    across every combinator. Telemetry snapshots it around a stage to
+    report the stage's scheduling granularity. {b Scheduling metadata
+    only}: the value depends on [jobs] and the host's domain count, so
+    it must never feed into artifacts or determinism checks. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains.
     Output order always matches input order. [jobs <= 1] (or a short input)

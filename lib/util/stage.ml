@@ -1,0 +1,126 @@
+(* First-class pipeline stages. See stage.mli. *)
+
+type 'a artifact = {
+  write : Codec.sink -> 'a -> unit;
+  read : Codec.src -> 'a;
+}
+
+type 'a store =
+  | Uncached
+  | Keyed of { key : string; artifact : 'a artifact }
+  | Sized of {
+      key : string;
+      size : int;
+      artifact : 'a artifact;
+      shrink : (larger:int -> 'a -> 'a) option;
+      extend : (cached:int -> 'a -> 'a) option;
+    }
+
+type 'a t = {
+  name : string;
+  store : 'a store;
+  build : jobs:int -> 'a;
+}
+
+let uncached ~name build = { name; store = Uncached; build }
+
+let keyed ~name ~key ~artifact build =
+  { name; store = Keyed { key; artifact }; build }
+
+let sized ~name ~key ~size ~artifact ?shrink ?extend build =
+  { name; store = Sized { key; size; artifact; shrink; extend }; build }
+
+(* The three lookup ladders below reproduce the hand-wired PR-3 paths
+   byte for byte (including which probes count as cache misses): exact
+   size, then shrink-from-larger (derivable, so not re-stored), then
+   extend-largest-smaller (stored at the new size), then cold. *)
+
+let run_keyed c ~name ~jobs ~key ~artifact build set_source =
+  match Cache.find c ~stage:name ~key artifact.read with
+  | Some v ->
+      set_source "warm";
+      v
+  | None ->
+      let v = build ~jobs in
+      Cache.store c ~stage:name ~key (fun b -> artifact.write b v);
+      set_source "cold";
+      v
+
+let run_sized c ~name ~jobs ~key ~size:n ~artifact ~shrink ~extend build
+    set_source =
+  match Cache.find c ~stage:name ~key ~size:n artifact.read with
+  | Some v ->
+      set_source "warm";
+      v
+  | None -> (
+      let sizes = Cache.sizes c ~stage:name ~key in
+      let from_larger =
+        match shrink with
+        | None -> None
+        | Some shrink ->
+            List.filter (fun m -> m > n) sizes
+            |> List.find_map (fun m ->
+                   Option.map
+                     (fun v -> shrink ~larger:m v)
+                     (Cache.find c ~stage:name ~key ~size:m artifact.read))
+      in
+      match from_larger with
+      | Some v ->
+          set_source "prefix";
+          v
+      | None ->
+          let base =
+            match extend with
+            | None -> None
+            | Some extend ->
+                List.filter (fun m -> m < n) sizes
+                |> List.rev
+                |> List.find_map (fun m ->
+                       Option.map
+                         (fun v -> (fun () -> extend ~cached:m v))
+                         (Cache.find c ~stage:name ~key ~size:m artifact.read))
+          in
+          let v =
+            match base with
+            | Some grow ->
+                set_source "extended";
+                grow ()
+            | None ->
+                set_source "cold";
+                build ~jobs
+          in
+          Cache.store c ~stage:name ~key ~size:n (fun b -> artifact.write b v);
+          v)
+
+let run ?cache ?(telemetry = Telemetry.null) ?jobs t =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.recommended_jobs ()
+  in
+  Telemetry.with_span telemetry t.name (fun () ->
+      Telemetry.note telemetry "jobs" (string_of_int jobs);
+      let set_source s = Telemetry.note telemetry "source" s in
+      let stats0 = Option.map Cache.stats cache in
+      let chunks0 = Parallel.chunks_scheduled () in
+      let v =
+        match (t.store, cache) with
+        | Uncached, _ | _, None ->
+            set_source "uncached";
+            t.build ~jobs
+        | Keyed { key; artifact }, Some c ->
+            run_keyed c ~name:t.name ~jobs ~key ~artifact t.build set_source
+        | Sized { key; size; artifact; shrink; extend }, Some c ->
+            run_sized c ~name:t.name ~jobs ~key ~size ~artifact ~shrink ~extend
+              t.build set_source
+      in
+      (match (cache, stats0) with
+      | Some c, Some s0 ->
+          let s1 = Cache.stats c in
+          Telemetry.count telemetry "cache.hits" (s1.Cache.hits - s0.Cache.hits);
+          Telemetry.count telemetry "cache.misses"
+            (s1.Cache.misses - s0.Cache.misses);
+          Telemetry.count telemetry "cache.writes"
+            (s1.Cache.writes - s0.Cache.writes)
+      | _ -> ());
+      Telemetry.count telemetry "parallel.chunks"
+        (Parallel.chunks_scheduled () - chunks0);
+      v)

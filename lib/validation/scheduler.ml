@@ -5,6 +5,7 @@ module Eval = Zodiac_spec.Eval
 module Kb = Zodiac_kb.Kb
 module Arm = Zodiac_cloud.Arm
 module Parallel = Zodiac_util.Parallel
+module Telemetry = Zodiac_util.Telemetry
 
 type deploy = Program.t -> bool
 type deploy_batch = Program.t list -> bool list
@@ -208,8 +209,8 @@ let compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit =
 
 type 'a plan = No_instance | Unsat | Planned of 'a
 
-let run ?(config = default_config) ?jobs ?deploy_batch ~kb ~corpus ~deploy
-    candidates =
+let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
+    ?deploy_batch ~kb ~corpus ~deploy candidates =
   let deploy_batch =
     match deploy_batch with Some f -> f | None -> List.map deploy
   in
@@ -237,6 +238,8 @@ let run ?(config = default_config) ?jobs ?deploy_batch ~kb ~corpus ~deploy
   st.rc <- order st.rc;
   let run_batch planned =
     st.deployments <- st.deployments + List.length planned;
+    Telemetry.count telemetry "scheduler.batches" 1;
+    Telemetry.count telemetry "scheduler.batch_programs" (List.length planned);
     deploy_batch planned
   in
   let iterations = ref [] in
@@ -434,6 +437,8 @@ let run ?(config = default_config) ?jobs ?deploy_batch ~kb ~corpus ~deploy
   List.iter
     (fun (c : Check.t) -> st.falsified <- (c, Falsified `Stalled) :: st.falsified)
     st.rc;
+  Telemetry.count telemetry "scheduler.iterations" (List.length !iterations);
+  Telemetry.count telemetry "scheduler.deployments" st.deployments;
   {
     validated = List.rev st.rv;
     falsified = List.rev st.falsified;

@@ -64,6 +64,7 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
   ?deploy_batch:deploy_batch ->
   kb:Zodiac_kb.Kb.t ->
@@ -76,7 +77,12 @@ val run :
     [jobs] domains — deploys the batch in snapshot order (through
     [deploy_batch] when given, else [deploy] one by one), and commits
     verdicts sequentially in that order. The result is identical for
-    every [jobs] value. *)
+    every [jobs] value.
+
+    [telemetry] (default {!Zodiac_util.Telemetry.null}) receives
+    [scheduler.batches] / [scheduler.batch_programs] per deployed
+    batch and [scheduler.iterations] / [scheduler.deployments] totals;
+    pure observation, never part of the result. *)
 
 val counterexample_pass :
   ?jobs:int ->

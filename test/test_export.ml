@@ -91,7 +91,7 @@ let test_checkset_roundtrip () =
 
 let test_checkset_file_roundtrip () =
   let path = Filename.temp_file "zodiac_checks" ".json" in
-  Checkset.save path checks;
+  Checkset.save_exn path checks;
   (match Checkset.load path with
   | Ok loaded -> Alcotest.(check int) "count" (List.length checks) (List.length loaded)
   | Error e -> Alcotest.failf "load failed: %s" e);
