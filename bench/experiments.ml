@@ -1183,6 +1183,331 @@ let e16 () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* E17 — check-as-a-service: resident daemon vs cold process-per-scan  *)
+(* ------------------------------------------------------------------ *)
+
+module Serve_scan = Zodiac_serve.Scan
+module Sarif = Zodiac_serve.Sarif
+module Session = Zodiac_serve.Session
+module Server = Zodiac_serve.Server
+
+(* The real CLI binary, when we can find it: cwd is _build/default under
+   the @check rule, the workspace root under `dune exec`. *)
+let zodiac_bin () =
+  let candidates =
+    (match Sys.getenv_opt "ZODIAC_BIN" with Some p -> [ p ] | None -> [])
+    @ [ "bin/zodiac_cli.exe"; "_build/default/bin/zodiac_cli.exe" ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let write_bad_tf () =
+  let path = Filename.temp_file "zodiac-serve" ".tf" in
+  let oc = open_out path in
+  output_string oc Registry.mssql_db_buggy;
+  close_out oc;
+  path
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_request ?(id = 1) path =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("method", Json.String "scan_file");
+         ("params", Json.Obj [ ("path", Json.String path) ]);
+       ])
+
+let shutdown_request = {|{"id":0,"method":"shutdown"}|}
+
+(* Run the in-process daemon loop over real channels: requests from a
+   file, responses to a file — sequential, no domains, fully
+   deterministic. Returns the response lines. *)
+let serve_round_trip session requests =
+  let req_path = Filename.temp_file "zodiac-serve" ".req" in
+  let resp_path = Filename.temp_file "zodiac-serve" ".resp" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove req_path with Sys_error _ -> ());
+      try Sys.remove resp_path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out req_path in
+      List.iter
+        (fun r ->
+          output_string oc r;
+          output_char oc '\n')
+        requests;
+      close_out oc;
+      let ic = open_in req_path in
+      let oc = open_out resp_path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          close_out_noerr oc)
+        (fun () -> Server.serve_channels session ic oc);
+      String.split_on_char '\n' (String.trim (read_all resp_path)))
+
+(* Extract the SARIF result of a scan_file response line and re-render
+   it exactly as the one-shot CLI prints it (pretty + newline). *)
+let sarif_bytes_of_response line =
+  match Json.of_string_result line with
+  | Error e -> Error ("unparsable response: " ^ e)
+  | Ok json -> (
+      match (Json.member "ok" json, Json.member "result" json) with
+      | Json.Bool true, result ->
+          Ok (Json.to_string ~pretty:true result ^ "\n")
+      | _ -> Error ("request failed: " ^ line))
+
+(* The daemon round-trip the smoke gate runs: resident SARIF must be
+   byte-identical to the one-shot path, through the real binary when
+   available and the in-process loop either way. *)
+let serve_equivalence () =
+  let tf = write_bad_tf () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let oneshot =
+        match Serve_scan.load_checks None with
+        | Error e -> failwith e
+        | Ok checks -> (
+            match Serve_scan.scan_file ~checks tf with
+            | Error e -> failwith e
+            | Ok findings -> (findings, Sarif.to_string findings))
+      in
+      let findings, oneshot_bytes = oneshot in
+      let session =
+        match Session.create Session.default_config with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let resident_bytes =
+        match serve_round_trip session [ scan_request tf; shutdown_request ] with
+        | [ scan_line; _shutdown_line ] -> sarif_bytes_of_response scan_line
+        | lines ->
+            Error
+              (Printf.sprintf "expected 2 response lines, got %d"
+                 (List.length lines))
+      in
+      let ok_resident =
+        match resident_bytes with
+        | Ok bytes -> String.equal bytes oneshot_bytes
+        | Error _ -> false
+      in
+      let ok_findings = findings <> [] in
+      (* end-to-end through the spawned binary: one-shot stdout vs the
+         daemon's response over its own stdin/stdout *)
+      let ok_process, process_checked =
+        match zodiac_bin () with
+        | None -> (true, false)
+        | Some bin ->
+            let out = Filename.temp_file "zodiac-serve" ".out" in
+            let resp = Filename.temp_file "zodiac-serve" ".dresp" in
+            let req = Filename.temp_file "zodiac-serve" ".dreq" in
+            Fun.protect
+              ~finally:(fun () ->
+                List.iter
+                  (fun f -> try Sys.remove f with Sys_error _ -> ())
+                  [ out; resp; req ])
+              (fun () ->
+                let scan_cmd =
+                  Printf.sprintf
+                    "%s scan --format sarif --exit-zero %s > %s 2>/dev/null"
+                    (Filename.quote bin) (Filename.quote tf)
+                    (Filename.quote out)
+                in
+                let oc = open_out req in
+                output_string oc (scan_request tf);
+                output_char oc '\n';
+                output_string oc shutdown_request;
+                output_char oc '\n';
+                close_out oc;
+                let serve_cmd =
+                  Printf.sprintf "%s serve < %s > %s 2>/dev/null"
+                    (Filename.quote bin) (Filename.quote req)
+                    (Filename.quote resp)
+                in
+                if Sys.command scan_cmd <> 0 || Sys.command serve_cmd <> 0 then
+                  (false, true)
+                else
+                  let cli_bytes = read_all out in
+                  let daemon_bytes =
+                    match
+                      String.split_on_char '\n' (String.trim (read_all resp))
+                    with
+                    | scan_line :: _ -> sarif_bytes_of_response scan_line
+                    | [] -> Error "no daemon response"
+                  in
+                  ( String.equal cli_bytes oneshot_bytes
+                    && (match daemon_bytes with
+                       | Ok b -> String.equal b cli_bytes
+                       | Error _ -> false),
+                    true ))
+      in
+      (ok_findings, ok_resident, ok_process, process_checked))
+
+let smoke_serve () =
+  let ok_findings, ok_resident, ok_process, process_checked =
+    serve_equivalence ()
+  in
+  Printf.printf
+    "serve round-trip: known-bad file flagged: %b; resident SARIF ≡ one-shot \
+     (in-process): %b; spawned daemon ≡ spawned CLI: %b%s\n"
+    ok_findings ok_resident ok_process
+    (if process_checked then "" else " (binary not found, skipped)");
+  ok_findings && ok_resident && ok_process
+
+let smoke_serve_only () =
+  print_endline (section "smoke --serve-only  daemon round-trip gate");
+  if smoke_serve () then print_endline "smoke: PASS"
+  else begin
+    print_endline "smoke: FAIL";
+    exit 1
+  end
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (n * p / 100))
+
+let e17 () =
+  print_endline
+    (section "E17  Check-as-a-service: resident daemon vs process-per-scan");
+  let tf = write_bad_tf () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let bin = zodiac_bin () in
+      let mode = match bin with Some _ -> "process" | None -> "in-process" in
+      let n_cold = 25 and n_resident = 200 in
+      let cold_ms =
+        match bin with
+        | Some bin ->
+            let cmd =
+              Printf.sprintf
+                "%s scan --format sarif --exit-zero %s >/dev/null 2>&1"
+                (Filename.quote bin) (Filename.quote tf)
+            in
+            Array.init n_cold (fun _ ->
+                let status, dt = timed "e17.cold" (fun () -> Sys.command cmd) in
+                if status <> 0 then failwith "e17: cold scan failed";
+                dt *. 1000.)
+        | None ->
+            (* no binary to spawn: a cold request is a fresh session
+               (registry reload, engine rebuild) per scan *)
+            Array.init n_cold (fun _ ->
+                let (), dt =
+                  timed "e17.cold" (fun () ->
+                      match Session.create Session.default_config with
+                      | Error e -> failwith e
+                      | Ok session ->
+                          ignore
+                            (Server.handle_line session (scan_request tf)))
+                in
+                dt *. 1000.)
+      in
+      let resident_ms =
+        match bin with
+        | Some bin ->
+            let cmd =
+              Printf.sprintf "%s serve 2>/dev/null" (Filename.quote bin)
+            in
+            let ic, oc = Unix.open_process cmd in
+            let request i =
+              let (), dt =
+                timed "e17.resident" (fun () ->
+                    output_string oc (scan_request ~id:i tf);
+                    output_char oc '\n';
+                    flush oc;
+                    ignore (input_line ic))
+              in
+              dt *. 1000.
+            in
+            (* one warm-up request keeps session construction out of the
+               per-request latencies, mirroring the cold side which
+               excludes nothing *)
+            ignore (request 0);
+            let times = Array.init n_resident (fun i -> request (i + 1)) in
+            output_string oc (shutdown_request ^ "\n");
+            (try flush oc with Sys_error _ -> ());
+            ignore (Unix.close_process (ic, oc));
+            times
+        | None ->
+            let session =
+              match Session.create Session.default_config with
+              | Error e -> failwith e
+              | Ok s -> s
+            in
+            ignore (Server.handle_line session (scan_request tf));
+            Array.init n_resident (fun i ->
+                let (), dt =
+                  timed "e17.resident" (fun () ->
+                      ignore (Server.handle_line session (scan_request ~id:i tf)))
+                in
+                dt *. 1000.)
+      in
+      let stats times =
+        let sorted = Array.copy times in
+        Array.sort compare sorted;
+        let mean =
+          Array.fold_left ( +. ) 0. sorted /. float_of_int (Array.length sorted)
+        in
+        (mean, percentile sorted 50, percentile sorted 99)
+      in
+      let cold_mean, cold_p50, cold_p99 = stats cold_ms in
+      let res_mean, res_p50, res_p99 = stats resident_ms in
+      let speedup = cold_p50 /. Float.max res_p50 1e-6 in
+      let rps = 1000. /. Float.max res_mean 1e-6 in
+      let ok_speedup = speedup >= 5. in
+      print_table
+        ~header:[ "mode"; "n"; "mean ms"; "p50 ms"; "p99 ms" ]
+        [
+          [
+            "cold process-per-scan"; string_of_int n_cold; f2 cold_mean;
+            f2 cold_p50; f2 cold_p99;
+          ];
+          [
+            "resident daemon"; string_of_int n_resident; f2 res_mean;
+            f2 res_p50; f2 res_p99;
+          ];
+        ];
+      Printf.printf
+        "measurement mode: %s; resident throughput %.0f req/s; p50 speedup \
+         %.1fx (threshold 5x)\n"
+        mode rps speedup;
+      let json =
+        Json.Obj
+          [
+            ("experiment", Json.String "e17-serve-latency");
+            ("mode", Json.String mode);
+            ("n_cold", Json.Int n_cold);
+            ("n_resident", Json.Int n_resident);
+            ("cold_mean_ms", Json.Float cold_mean);
+            ("cold_p50_ms", Json.Float cold_p50);
+            ("cold_p99_ms", Json.Float cold_p99);
+            ("resident_mean_ms", Json.Float res_mean);
+            ("resident_p50_ms", Json.Float res_p50);
+            ("resident_p99_ms", Json.Float res_p99);
+            ("requests_per_sec", Json.Float rps);
+            ("p50_speedup", Json.Float speedup);
+            ("speedup_at_least_5x", Json.Bool ok_speedup);
+          ]
+      in
+      let oc = open_out "BENCH_serve.json" in
+      output_string oc (Json.to_string ~pretty:true json);
+      output_string oc "\n";
+      close_out oc;
+      print_endline "wrote BENCH_serve.json";
+      if not ok_speedup then begin
+        print_endline
+          "E17: FAIL — resident daemon under 5x faster than cold \
+           process-per-scan";
+        exit 1
+      end)
+
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
 let smoke () =
@@ -1306,9 +1631,11 @@ let smoke () =
     ok_memo saved off_stats.Engine_stats.attempts on_stats.Engine_stats.attempts
     faulty_stats.Engine_stats.faults ok_faults ok_jobs ok_cache ok_corrupt
     ok_trace;
+  (* daemon round-trip: resident SARIF ≡ one-shot CLI, byte for byte *)
+  let ok_serve = smoke_serve () in
   if
     ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt
-    && ok_trace
+    && ok_trace && ok_serve
   then print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
@@ -1316,11 +1643,11 @@ let smoke () =
   end
 
 let all =
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16 ]
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17 ]
 
 let by_name =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
-    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
   ]

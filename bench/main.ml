@@ -1,19 +1,23 @@
 (* The Zodiac benchmark harness.
 
-     dune exec bench/main.exe             # all experiments + micro-benchmarks
-     dune exec bench/main.exe -- e4 e8    # selected experiments
-     dune exec bench/main.exe -- micro    # micro-benchmarks only
+     dune exec bench/main.exe                    # all experiments + micro-benchmarks
+     dune exec bench/main.exe -- e4 e8           # selected experiments
+     dune exec bench/main.exe -- micro           # micro-benchmarks only
+     dune exec bench/main.exe -- smoke           # tier-1 gate (engine + daemon)
+     dune exec bench/main.exe -- smoke --serve-only  # just the daemon round-trip
 
    Each experiment regenerates one table or figure from the paper's
    evaluation section (see DESIGN.md for the index) and prints the
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e16|micro|smoke|all]...";
+  print_endline "usage: main.exe [e1..e17|micro|smoke [--serve-only]|all]...";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let serve_only = List.mem "--serve-only" args in
+  let args = List.filter (fun a -> a <> "--serve-only") args in
   let run_all () =
     List.iter (fun e -> e ()) Experiments.all;
     Micro.run ()
@@ -27,7 +31,9 @@ let () =
               (fun arg ->
                 match arg with
                 | "micro" -> Micro.run ()
-                | "smoke" -> Experiments.smoke ()
+                | "smoke" ->
+                    if serve_only then Experiments.smoke_serve_only ()
+                    else Experiments.smoke ()
                 | name -> (
                     match List.assoc_opt name Experiments.by_name with
                     | Some e -> e ()

@@ -9,7 +9,8 @@
      zodiac graph FILE — resource graph in Graphviz DOT
      zodiac corpus    — generate a synthetic corpus and print statistics
      zodiac rules     — list the simulated cloud's ground-truth rules
-     zodiac export    — render validated checks as insights / RAG KB / policies *)
+     zodiac export    — render validated checks as insights / RAG KB / policies
+     zodiac serve     — resident check-as-a-service daemon (JSON-line protocol) *)
 
 open Cmdliner
 
@@ -224,61 +225,59 @@ let load_hcl path =
       prerr_endline ("error: " ^ e);
       exit 2
 
+let load_scan_checks checks_file =
+  match Zodiac_serve.Scan.load_checks checks_file with
+  | Ok checks -> checks
+  | Error e ->
+      prerr_endline ("error loading checks: " ^ e);
+      exit 2
+
+(* Exit codes are CI currency: 0 = clean, 1 = findings, 2 = error.
+   [--exit-zero] collapses 1 into 0 for advisory runs. *)
+let scan_exit ~exit_zero findings =
+  if findings <> [] && not exit_zero then exit 1
+
+let render_scan_text findings =
+  if findings = [] then print_endline "no semantic check violations found"
+  else begin
+    Printf.printf "%d semantic check violation(s):\n" (List.length findings);
+    List.iter
+      (fun (f : Zodiac_serve.Sarif.finding) ->
+        Printf.printf "  [%s] %s\n    where %s\n    because %s\n"
+          f.Zodiac_serve.Sarif.rule_id f.Zodiac_serve.Sarif.message
+          (String.concat ", "
+             (List.map
+                (fun (var, id) -> Printf.sprintf "%s = %s" var id)
+                f.Zodiac_serve.Sarif.bindings))
+          f.Zodiac_serve.Sarif.explanation)
+      findings
+  end
+
 let scan_cmd =
-  let run verbose path checks_file =
+  let run verbose path checks_file format timestamps exit_zero =
     setup_logs verbose;
-    let prog = load_hcl path in
-    let graph = Zodiac_iac.Graph.build prog in
-    let defaults = Zodiac_cloud.Arm.defaults in
-    (* lint against a saved validated check set when given one,
-       otherwise against the built-in semantic rules *)
-    let checks =
-      match checks_file with
-      | Some file -> (
-          match Zodiac.Checkset.load file with
-          | Ok checks ->
-              List.map
-                (fun (c : Zodiac_spec.Check.t) ->
-                  (c.Zodiac_spec.Check.cid, Zodiac_spec.Spec_printer.to_string c, c))
-                checks
-          | Error e ->
-              prerr_endline ("error loading checks: " ^ e);
-              exit 2)
-      | None ->
-          List.map
-            (fun (rule : Zodiac_cloud.Rules.t) ->
-              ( rule.Zodiac_cloud.Rules.rule_id,
-                rule.Zodiac_cloud.Rules.message,
-                rule.Zodiac_cloud.Rules.check ))
-            (Zodiac_cloud.Rules.ground_truth ())
-    in
-    let violations =
-      List.concat_map
-        (fun (id, message, check) ->
-          List.map
-            (fun assignment -> (id, message, check, assignment))
-            (Zodiac_spec.Eval.violations ~defaults graph check))
-        checks
-    in
-    if violations = [] then print_endline "no semantic check violations found"
-    else begin
-      Printf.printf "%d semantic check violation(s):\n" (List.length violations);
-      List.iter
-        (fun (id, message, check, assignment) ->
-          let diagnosis =
-            Zodiac_spec.Diagnose.violation ~defaults graph check assignment
-          in
-          Printf.printf "  [%s] %s\n    where %s\n    because %s\n" id message
-            (String.concat ", "
-               (List.map
-                  (fun (var, rid) ->
-                    Printf.sprintf "%s = %s" var
-                      (Zodiac_iac.Resource.id_to_string rid))
-                  assignment))
-            diagnosis.Zodiac_spec.Diagnose.explanation)
-        violations;
-      exit 1
-    end
+    (* shared with the daemon's scan_file: same findings, same SARIF
+       bytes (the smoke gate holds us to that) *)
+    let checks = load_scan_checks checks_file in
+    match Zodiac_serve.Scan.scan_file ~checks path with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 2
+    | Ok findings -> (
+        match format with
+        | "text" ->
+            render_scan_text findings;
+            scan_exit ~exit_zero findings
+        | "sarif" ->
+            let timestamp =
+              if timestamps then Some (Zodiac_serve.Session.utc_now ())
+              else None
+            in
+            print_string (Zodiac_serve.Sarif.to_string ?timestamp findings);
+            scan_exit ~exit_zero findings
+        | other ->
+            prerr_endline ("unknown format: " ^ other);
+            exit 2)
   in
   let checks_file =
     Arg.(
@@ -287,32 +286,79 @@ let scan_cmd =
       & info [ "checks" ] ~docv:"FILE"
           ~doc:"Lint against a validated check set saved by 'zodiac validate -o'.")
   in
+  let format =
+    Arg.(
+      value
+      & opt string "text"
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: text (human), sarif (SARIF 2.1.0 JSON, \
+             byte-identical to the daemon's scan_file result).")
+  in
+  let timestamps =
+    Arg.(
+      value & flag
+      & info [ "timestamps" ]
+          ~doc:
+            "Stamp SARIF output with the wall-clock UTC end time. Off by \
+             default so output is byte-stable.")
+  in
+  let exit_zero =
+    Arg.(
+      value & flag
+      & info [ "exit-zero" ]
+          ~doc:
+            "Exit 0 even when violations are found (default: findings exit \
+             1, errors exit 2).")
+  in
   Cmd.v
     (Cmd.info "scan" ~doc:"Scan an HCL file for semantic check violations")
-    Term.(const run $ verbose_arg $ file_arg $ checks_file)
+    Term.(
+      const run $ verbose_arg $ file_arg $ checks_file $ format $ timestamps
+      $ exit_zero)
 
 (* ---- deploy --------------------------------------------------------- *)
 
 let deploy_cmd =
-  let run verbose path fault_rate fault_seed =
+  let run verbose path fault_rate fault_seed trace =
     setup_logs verbose;
-    let prog = load_hcl path in
     let module Engine = Zodiac_engine.Engine in
+    let telemetry = telemetry_of trace in
+    let module Telemetry = Zodiac_util.Telemetry in
+    let prog =
+      Telemetry.with_span telemetry "compile" (fun () -> load_hcl path)
+    in
     let engine_config =
       if fault_rate > 0.0 then
         Engine.faulty_config ~fault_rate ~seed:fault_seed ()
       else Engine.default_config
     in
     let engine = Engine.create ~config:engine_config () in
+    (* one span per engine deployment, mirroring the pipeline's
+       engine.* counters so daemon and one-shot traces line up *)
+    let record_engine_counters () =
+      let s = Engine.stats engine in
+      Telemetry.count telemetry "engine.requests" s.Zodiac_engine.Stats.requests;
+      Telemetry.count telemetry "engine.attempts" s.Zodiac_engine.Stats.attempts;
+      Telemetry.count telemetry "engine.retries" s.Zodiac_engine.Stats.retries;
+      Telemetry.count telemetry "engine.faults" s.Zodiac_engine.Stats.faults
+    in
     let outcome =
-      match Engine.deploy engine prog with
+      match
+        Telemetry.with_span telemetry "deploy" (fun () ->
+            let r = Engine.deploy engine prog in
+            record_engine_counters ();
+            r)
+      with
       | Ok outcome -> outcome
       | Error e ->
+          write_trace trace telemetry;
           prerr_endline
             ("deployment abandoned: " ^ Zodiac_engine.Client.error_to_string e);
           print_endline (Zodiac_engine.Stats.summary (Engine.stats engine));
           exit 1
     in
+    write_trace trace telemetry;
     List.iter
       (fun id ->
         Printf.printf "created  %s\n" (Zodiac_iac.Resource.id_to_string id))
@@ -341,7 +387,9 @@ let deploy_cmd =
   in
   Cmd.v
     (Cmd.info "deploy" ~doc:"Simulate a cloud deployment of an HCL file")
-    Term.(const run $ verbose_arg $ file_arg $ fault_rate_arg $ fault_seed_arg)
+    Term.(
+      const run $ verbose_arg $ file_arg $ fault_rate_arg $ fault_seed_arg
+      $ trace_arg)
 
 (* ---- graph ---------------------------------------------------------- *)
 
@@ -446,6 +494,106 @@ let corpus_cmd =
       const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg $ cache_term
       $ trace_arg)
 
+(* ---- serve ---------------------------------------------------------- *)
+
+let serve_cmd =
+  let run verbose checks_file socket jobs cache trace timestamps
+      max_request_bytes deadline_ms =
+    setup_logs verbose;
+    let telemetry = telemetry_of trace in
+    let session_config =
+      {
+        Zodiac_serve.Session.checks_file;
+        cache_dir = cache;
+        jobs = resolve_jobs jobs;
+        timestamps;
+        engine = Zodiac_engine.Engine.default_config;
+      }
+    in
+    match Zodiac_serve.Session.create ~telemetry session_config with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 2
+    | Ok session ->
+        let server_config =
+          {
+            Zodiac_serve.Server.max_request_bytes;
+            deadline_ms = (if deadline_ms <= 0 then None else Some deadline_ms);
+          }
+        in
+        (* the banner goes to stderr: stdout is the protocol channel *)
+        Printf.eprintf
+          "zodiac serve: %d checks resident (%s), %s transport; send \
+           {\"method\":\"shutdown\"} or EOF to stop\n%!"
+          (List.length (Zodiac_serve.Session.checks session))
+          (match checks_file with
+          | None -> "ground truth"
+          | Some f -> "check set " ^ f)
+          (match socket with
+          | None -> "stdio"
+          | Some path -> "unix socket " ^ path);
+        (match socket with
+        | None ->
+            Zodiac_serve.Server.serve_stdio ~config:server_config session
+        | Some path ->
+            Zodiac_serve.Server.serve_socket ~config:server_config session
+              ~path);
+        write_trace trace telemetry
+  in
+  let checks_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "checks" ] ~docv:"FILE"
+          ~doc:
+            "Serve a validated check set saved by 'zodiac validate -o' \
+             instead of the built-in ground-truth rules.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of \
+             stdin/stdout; connections are served sequentially.")
+  in
+  let timestamps =
+    Arg.(
+      value & flag
+      & info [ "timestamps" ]
+          ~doc:
+            "Stamp SARIF results with wall-clock UTC time. Off by default \
+             so responses are byte-stable.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:
+            "Reject (with a structured error) request lines longer than \
+             $(docv) bytes; oversized lines are drained, never buffered.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Answer deadline_exceeded when handling a request takes longer \
+             than $(docv) milliseconds (0 = no deadline).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident check-as-a-service daemon: registry, engine memo \
+          and warm cache loaded once, requests answered over a \
+          line-delimited JSON protocol with SARIF results")
+    Term.(
+      const run $ verbose_arg $ checks_file $ socket $ jobs_arg $ cache_term
+      $ trace_arg $ timestamps $ max_request_bytes $ deadline_ms)
+
 (* ---- rules ---------------------------------------------------------- *)
 
 let rules_cmd =
@@ -468,7 +616,7 @@ let main =
        ~doc:"Unearthing semantic checks for cloud IaC programs")
     [
       mine_cmd; validate_cmd; scan_cmd; deploy_cmd; plan_cmd; graph_cmd; corpus_cmd;
-      rules_cmd; export_cmd;
+      rules_cmd; export_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,99 @@
+module Json = Zodiac_util.Json
+
+type verb =
+  | Scan_file of { path : string; source : string option }
+  | Scan_directory of { dir : string }
+  | List_checks
+  | Validate of { path : string; source : string option }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Json.t; verb : verb }
+
+type error = { code : string; message : string }
+
+let verb_name = function
+  | Scan_file _ -> "scan_file"
+  | Scan_directory _ -> "scan_directory"
+  | List_checks -> "list_checks"
+  | Validate _ -> "validate"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let err code message = { code; message }
+
+let string_param params name =
+  match Json.string_value (Json.member name params) with
+  | Some s -> Ok s
+  | None ->
+      Error (err "missing_param" (Printf.sprintf "missing string param %S" name))
+
+let opt_string_param params name =
+  match Json.member name params with
+  | Json.Null -> Ok None
+  | v -> (
+      match Json.string_value v with
+      | Some s -> Ok (Some s)
+      | None ->
+          Error
+            (err "invalid_request" (Printf.sprintf "param %S must be a string" name)))
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let parse_verb meth params =
+  match meth with
+  | "scan_file" ->
+      let* path = string_param params "path" in
+      let* source = opt_string_param params "source" in
+      Ok (Scan_file { path; source })
+  | "scan_directory" ->
+      let* dir = string_param params "dir" in
+      Ok (Scan_directory { dir })
+  | "list_checks" -> Ok List_checks
+  | "validate" ->
+      let* path = string_param params "path" in
+      let* source = opt_string_param params "source" in
+      Ok (Validate { path; source })
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (err "unknown_method" (Printf.sprintf "unknown method %S" other))
+
+let parse ~max_bytes line =
+  if String.length line > max_bytes then
+    Error
+      ( Json.Null,
+        err "request_too_large"
+          (Printf.sprintf "request of %d bytes exceeds the %d-byte limit"
+             (String.length line) max_bytes) )
+  else
+    match Json.of_string_result ~max_bytes line with
+    | Error msg -> Error (Json.Null, err "parse_error" msg)
+    | Ok json -> (
+        match json with
+        | Json.Obj _ -> (
+            let id = Json.member "id" json in
+            match Json.string_value (Json.member "method" json) with
+            | None ->
+                Error (id, err "invalid_request" "request needs a string \"method\"")
+            | Some meth -> (
+                let params = Json.member "params" json in
+                match parse_verb meth params with
+                | Ok verb -> Ok { id; verb }
+                | Error e -> Error (id, e)))
+        | _ -> Error (Json.Null, err "invalid_request" "request must be a JSON object"))
+
+let ok_response ~id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error_response ~id { code; message } =
+  Json.Obj
+    [
+      ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.String code); ("message", Json.String message) ]
+      );
+    ]

@@ -1,0 +1,43 @@
+(** The [zodiac serve] line-delimited JSON protocol.
+
+    One request per line, one response line per request, in order.
+    Requests are [{"id": <any>, "method": <string>, "params": {...}}];
+    the method surface mirrors the Checkov MCP tool
+    ([scan_file]/[scan_directory]/[list_checks]) plus Zodiac's
+    deployability oracle ([validate]) and the control verbs
+    [ping]/[stats]/[shutdown]. Responses echo the request id:
+    [{"id": ..., "ok": true, "result": ...}] on success,
+    [{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}]
+    on failure. Malformed input of any shape yields a structured error
+    response — parsing never raises past this module. *)
+
+type verb =
+  | Scan_file of { path : string; source : string option }
+      (** [source], when present, is scanned in place of the file's
+          contents — the path then only labels the SARIF artifact. *)
+  | Scan_directory of { dir : string }
+  | List_checks
+  | Validate of { path : string; source : string option }
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Zodiac_util.Json.t; verb : verb }
+(** [id] is echoed verbatim ([Null] when the client sent none). *)
+
+type error = { code : string; message : string }
+(** Codes: [parse_error], [request_too_large], [invalid_request],
+    [unknown_method], [missing_param], [scan_error], [validate_error],
+    [deadline_exceeded], [internal_error]. *)
+
+val parse : max_bytes:int -> string -> (request, Zodiac_util.Json.t * error) result
+(** Parse one request line. On failure the returned [Json.t] is the
+    best-effort request id to echo (often [Null]). *)
+
+val ok_response : id:Zodiac_util.Json.t -> Zodiac_util.Json.t -> Zodiac_util.Json.t
+
+val error_response : id:Zodiac_util.Json.t -> error -> Zodiac_util.Json.t
+
+val verb_name : verb -> string
+(** The wire method name ("scan_file", ...), used for telemetry span
+    names and the stats table. *)

@@ -1,0 +1,128 @@
+module Check = Zodiac_spec.Check
+module Eval = Zodiac_spec.Eval
+module Diagnose = Zodiac_spec.Diagnose
+module Graph = Zodiac_iac.Graph
+
+type check_entry = { id : string; message : string; check : Check.t }
+
+let ground_truth_entries () =
+  List.map
+    (fun (rule : Zodiac_cloud.Rules.t) ->
+      {
+        id = rule.Zodiac_cloud.Rules.rule_id;
+        message = rule.Zodiac_cloud.Rules.message;
+        check = rule.Zodiac_cloud.Rules.check;
+      })
+    (Zodiac_cloud.Rules.ground_truth ())
+
+let checkset_entries checks =
+  List.map
+    (fun (c : Check.t) ->
+      {
+        id = c.Check.cid;
+        message = Zodiac_spec.Spec_printer.to_string c;
+        check = c;
+      })
+    checks
+
+let load_checks = function
+  | None -> Ok (ground_truth_entries ())
+  | Some file -> (
+      match Zodiac.Checkset.load file with
+      | Ok checks -> Ok (checkset_entries checks)
+      | Error e -> Error e)
+
+let scan_source ~checks ~file src =
+  match
+    Zodiac_hcl.Compile.compile_string
+      ~type_map:Zodiac_azure.Catalog.of_terraform src
+  with
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+  | Ok (prog, _diags) ->
+      let graph = Graph.build prog in
+      let defaults = Zodiac_cloud.Arm.defaults in
+      let index = Sarif.index_source src in
+      let findings =
+        List.concat_map
+          (fun entry ->
+            List.map
+              (fun assignment ->
+                let diagnosis =
+                  Diagnose.violation ~defaults graph entry.check assignment
+                in
+                let line =
+                  match assignment with
+                  | [] -> 1
+                  | (_, rid) :: _ -> Sarif.resource_line index rid
+                in
+                {
+                  Sarif.rule_id = entry.id;
+                  message = entry.message;
+                  bindings = diagnosis.Diagnose.bindings;
+                  explanation = diagnosis.Diagnose.explanation;
+                  file;
+                  line;
+                })
+              (Eval.violations ~defaults graph entry.check))
+          checks
+      in
+      Ok findings
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> Error e
+      | src -> Ok src)
+
+let scan_file ~checks path =
+  match read_file path with
+  | Error e -> Error e
+  | Ok src -> scan_source ~checks ~file:path src
+
+let is_hcl path =
+  Filename.check_suffix path ".tf" || Filename.check_suffix path ".hcl"
+
+let hcl_files dir =
+  let rec walk acc path =
+    match Sys.is_directory path with
+    | exception Sys_error _ -> acc
+    | true ->
+        let entries =
+          match Sys.readdir path with
+          | exception Sys_error _ -> [||]
+          | entries ->
+              Array.sort compare entries;
+              entries
+        in
+        Array.fold_left
+          (fun acc entry -> walk acc (Filename.concat path entry))
+          acc entries
+    | false -> if is_hcl path then path :: acc else acc
+  in
+  List.rev (walk [] dir)
+
+let scan_directory ?jobs ~checks dir =
+  if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
+  else if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
+  else
+    let files = hcl_files dir in
+    let scanned =
+      Zodiac_util.Parallel.map ?jobs
+        (fun file -> (file, scan_file ~checks file))
+        files
+    in
+    let findings, errors =
+      List.fold_left
+        (fun (findings, errors) (file, result) ->
+          match result with
+          | Ok fs -> (findings @ fs, errors)
+          | Error e -> (findings, errors @ [ (file, e) ]))
+        ([], []) scanned
+    in
+    Ok (findings, errors)

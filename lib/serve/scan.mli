@@ -1,0 +1,50 @@
+(** Scanning logic shared by the one-shot CLI and the resident daemon.
+
+    Both front ends funnel through this module, which is how the
+    acceptance property — resident-daemon SARIF byte-identical to the
+    one-shot CLI — holds by construction rather than by test luck. *)
+
+type check_entry = {
+  id : string;
+  message : string;
+  check : Zodiac_spec.Check.t;
+}
+(** One check to evaluate: stable id, human message, spec. *)
+
+val ground_truth_entries : unit -> check_entry list
+(** The simulated cloud's ground-truth rule set (the [scan] default). *)
+
+val checkset_entries : Zodiac_spec.Check.t list -> check_entry list
+(** Entries for a validated check set loaded from [zodiac validate -o]
+    output; the message is the check's printed spec. *)
+
+val load_checks : string option -> (check_entry list, string) result
+(** [None] -> ground truth; [Some file] -> {!Zodiac.Checkset.load}. *)
+
+val scan_source :
+  checks:check_entry list ->
+  file:string ->
+  string ->
+  (Sarif.finding list, string) result
+(** Compile HCL source and evaluate every check, diagnosing each
+    violating assignment. [file] is only metadata (the SARIF artifact
+    URI and line-index scope). Compile failures come back as [Error]. *)
+
+val scan_file :
+  checks:check_entry list -> string -> (Sarif.finding list, string) result
+(** {!scan_source} on a file's contents. *)
+
+val hcl_files : string -> string list
+(** [.tf]/[.hcl] files under a directory, recursive, sorted by path —
+    the deterministic work list for [scan_directory]. *)
+
+val scan_directory :
+  ?jobs:int ->
+  checks:check_entry list ->
+  string ->
+  (Sarif.finding list * (string * string) list, string) result
+(** Scan every {!hcl_files} member, fanning the per-file scans onto the
+    {!Zodiac_util.Parallel} domain pool. Findings aggregate across
+    files; per-file compile failures are collected as [(file, error)]
+    pairs rather than failing the batch. [Error] only when the
+    directory itself is unreadable. *)

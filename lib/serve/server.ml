@@ -1,0 +1,120 @@
+module Json = Zodiac_util.Json
+
+type config = { max_request_bytes : int; deadline_ms : int option }
+
+let default_config = { max_request_bytes = 1 lsl 20; deadline_ms = None }
+
+(* Bounded line reader: an oversized line is drained, never buffered,
+   so a hostile client cannot balloon the daemon's memory. *)
+let read_line_bounded ic limit =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception End_of_file -> `Oversized
+    | '\n' -> `Oversized
+    | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if Buffer.length buf > limit then drain ()
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
+let respond oc json =
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  flush oc
+
+let handle_line ?(config = default_config) session line =
+  match Protocol.parse ~max_bytes:config.max_request_bytes line with
+  | Error (id, e) -> Protocol.error_response ~id e
+  | Ok { Protocol.id; verb } -> (
+      let started =
+        match config.deadline_ms with
+        | None -> 0.
+        | Some _ -> Unix.gettimeofday ()
+      in
+      let result = Session.handle session verb in
+      let overdue =
+        match config.deadline_ms with
+        | None -> false
+        | Some ms -> (Unix.gettimeofday () -. started) *. 1000. > float_of_int ms
+      in
+      if overdue then
+        Protocol.error_response ~id
+          {
+            Protocol.code = "deadline_exceeded";
+            message =
+              Printf.sprintf "request exceeded the %dms deadline"
+                (Option.get config.deadline_ms);
+          }
+      else
+        match result with
+        | Ok payload -> Protocol.ok_response ~id payload
+        | Error e -> Protocol.error_response ~id e)
+
+let serve_channels ?(config = default_config) session ic oc =
+  let rec loop () =
+    if Session.stopping session then ()
+    else
+      match read_line_bounded ic config.max_request_bytes with
+      | `Eof -> ()
+      | `Oversized ->
+          respond oc
+            (Protocol.error_response ~id:Json.Null
+               {
+                 Protocol.code = "request_too_large";
+                 message =
+                   Printf.sprintf "request line exceeds the %d-byte limit"
+                     config.max_request_bytes;
+               });
+          loop ()
+      | `Line line when String.trim line = "" -> loop ()
+      | `Line line ->
+          respond oc (handle_line ~config session line);
+          loop ()
+  in
+  loop ()
+
+let serve_stdio ?config session = serve_channels ?config session stdin stdout
+
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink path with _ -> ())
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "serve: %s exists and is not a socket" path)
+
+let serve_socket ?config session ~path =
+  remove_stale_socket path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with _ -> ());
+      try Unix.unlink path with _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        if Session.stopping session then ()
+        else begin
+          let conn, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr conn in
+          let oc = Unix.out_channel_of_descr conn in
+          (try serve_channels ?config session ic oc
+           with End_of_file | Sys_error _ -> ());
+          (try flush oc with _ -> ());
+          (try Unix.close conn with _ -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

@@ -1,0 +1,43 @@
+(** The daemon's transport loop: read request lines, answer response
+    lines, never crash.
+
+    Two transports share one loop: stdin/stdout (the default — the
+    shape MCP-style plugin hosts expect) and a Unix-domain socket
+    ([--socket PATH]) accepting one connection after another. A
+    [shutdown] request stops the loop after its response is written;
+    on the socket transport it also ends the accept loop.
+
+    Guard rails, per request: lines longer than [max_request_bytes]
+    are answered with [request_too_large] (and skipped, not buffered);
+    malformed JSON with [parse_error]; a request whose handling
+    exceeds [deadline_ms] has its result replaced by a
+    [deadline_exceeded] error (pure OCaml has no preemption, so the
+    deadline is checked when the handler returns — it bounds what the
+    client waits for in good faith, not a runaway computation). *)
+
+type config = {
+  max_request_bytes : int;  (** default 1 MiB *)
+  deadline_ms : int option;  (** default [None]: no deadline *)
+}
+
+val default_config : config
+
+val handle_line :
+  ?config:config -> Session.t -> string -> Zodiac_util.Json.t
+(** Parse-guard-dispatch for one request line; the response value the
+    transports serialize. Exposed for the in-process round-trip tests
+    and the E17 latency bench. *)
+
+val serve_channels :
+  ?config:config -> Session.t -> in_channel -> out_channel -> unit
+(** Serve until EOF or a [shutdown] request. Responses are flushed
+    after every line. *)
+
+val serve_stdio : ?config:config -> Session.t -> unit
+(** {!serve_channels} over stdin/stdout. *)
+
+val serve_socket : ?config:config -> Session.t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale socket
+    file), then accept and serve connections sequentially until a
+    [shutdown] request arrives. The socket file is removed on exit.
+    @raise Unix.Unix_error when binding fails. *)

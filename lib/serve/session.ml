@@ -1,0 +1,268 @@
+module Json = Zodiac_util.Json
+module Telemetry = Zodiac_util.Telemetry
+module Cache = Zodiac_util.Cache
+module Engine = Zodiac_engine.Engine
+
+type config = {
+  checks_file : string option;
+  cache_dir : string option;
+  jobs : int;
+  timestamps : bool;
+  engine : Engine.config;
+}
+
+let default_config =
+  {
+    checks_file = None;
+    cache_dir = None;
+    jobs = 1;
+    timestamps = false;
+    engine = Engine.default_config;
+  }
+
+type t = {
+  config : config;
+  checks : Scan.check_entry list;
+  engine : Engine.t;
+  cache : Cache.t option;
+  telemetry : Telemetry.t;
+  requests : (string, int) Hashtbl.t;  (** method -> count *)
+  mutable findings_total : int;
+  mutable files_scanned : int;
+  mutable errors_total : int;
+  mutable stop : bool;
+}
+
+let create ?(telemetry = Telemetry.null) config =
+  match Scan.load_checks config.checks_file with
+  | Error e -> Error e
+  | Ok checks ->
+      Ok
+        {
+          config;
+          checks;
+          engine = Engine.create ~config:config.engine ();
+          cache =
+            Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir;
+          telemetry;
+          requests = Hashtbl.create 8;
+          findings_total = 0;
+          files_scanned = 0;
+          errors_total = 0;
+          stop = false;
+        }
+
+let checks t = t.checks
+
+let stopping t = t.stop
+
+(* RFC-3339 UTC from the wall clock; only reachable when the operator
+   opted into [timestamps]. *)
+let utc_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let timestamp t = if t.config.timestamps then Some (utc_now ()) else None
+
+let sarif_of_findings t findings =
+  match timestamp t with
+  | None -> Sarif.document findings
+  | Some ts -> Sarif.document ~timestamp:ts findings
+
+let scan_error e = { Protocol.code = "scan_error"; message = e }
+
+let do_scan_file t ~path ~source =
+  let result =
+    match source with
+    | Some src -> Scan.scan_source ~checks:t.checks ~file:path src
+    | None -> Scan.scan_file ~checks:t.checks path
+  in
+  match result with
+  | Error e ->
+      t.errors_total <- t.errors_total + 1;
+      Error (scan_error e)
+  | Ok findings ->
+      t.files_scanned <- t.files_scanned + 1;
+      t.findings_total <- t.findings_total + List.length findings;
+      Telemetry.count t.telemetry "serve.findings" (List.length findings);
+      Ok (sarif_of_findings t findings)
+
+let do_scan_directory t ~dir =
+  match Scan.scan_directory ~jobs:t.config.jobs ~checks:t.checks dir with
+  | Error e ->
+      t.errors_total <- t.errors_total + 1;
+      Error (scan_error e)
+  | Ok (findings, errors) ->
+      let files = Scan.hcl_files dir in
+      t.files_scanned <- t.files_scanned + List.length files;
+      t.findings_total <- t.findings_total + List.length findings;
+      t.errors_total <- t.errors_total + List.length errors;
+      Telemetry.count t.telemetry "serve.findings" (List.length findings);
+      Telemetry.count t.telemetry "serve.files" (List.length files);
+      Ok
+        (Json.Obj
+           [
+             ("sarif", sarif_of_findings t findings);
+             ("files_scanned", Json.Int (List.length files));
+             ( "errors",
+               Json.List
+                 (List.map
+                    (fun (file, e) ->
+                      Json.Obj
+                        [
+                          ("file", Json.String file);
+                          ("message", Json.String e);
+                        ])
+                    errors) );
+           ])
+
+let do_list_checks t =
+  let kind =
+    match t.config.checks_file with None -> "ground-truth" | Some _ -> "validated"
+  in
+  Ok
+    (Json.Obj
+       [
+         ("kind", Json.String kind);
+         ("count", Json.Int (List.length t.checks));
+         ( "checks",
+           Json.List
+             (List.map
+                (fun (e : Scan.check_entry) ->
+                  Json.Obj
+                    [
+                      ("id", Json.String e.Scan.id);
+                      ("message", Json.String e.Scan.message);
+                      ( "spec",
+                        Json.String
+                          (Zodiac_spec.Spec_printer.to_string e.Scan.check) );
+                    ])
+                t.checks) );
+       ])
+
+let id_json rid = Json.String (Zodiac_iac.Resource.id_to_string rid)
+
+let failure_json (f : Zodiac_cloud.Arm.failure) =
+  Json.Obj
+    [
+      ("resource", id_json f.Zodiac_cloud.Arm.resource);
+      ( "phase",
+        Json.String (Zodiac_cloud.Rules.phase_to_string f.Zodiac_cloud.Arm.phase)
+      );
+      ("rule_id", Json.String f.Zodiac_cloud.Arm.rule_id);
+      ("message", Json.String f.Zodiac_cloud.Arm.message);
+    ]
+
+let do_validate t ~path ~source =
+  let compiled =
+    match source with
+    | Some src -> (
+        match
+          Zodiac_hcl.Compile.compile_string
+            ~type_map:Zodiac_azure.Catalog.of_terraform src
+        with
+        | Ok (prog, _) -> Ok prog
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+    | None -> Zodiac.Registry.compile_file path
+  in
+  match compiled with
+  | Error e ->
+      t.errors_total <- t.errors_total + 1;
+      Error { Protocol.code = "validate_error"; message = e }
+  | Ok prog -> (
+      match Engine.deploy t.engine prog with
+      | Error e ->
+          Ok
+            (Json.Obj
+               [
+                 ("deployable", Json.Bool false);
+                 ( "abandoned",
+                   Json.String (Zodiac_engine.Client.error_to_string e) );
+               ])
+      | Ok outcome ->
+          let open Zodiac_cloud.Arm in
+          Telemetry.count t.telemetry "serve.deployments" 1;
+          Ok
+            (Json.Obj
+               [
+                 ("deployable", Json.Bool (success outcome));
+                 ( "deployed",
+                   Json.List (List.map id_json outcome.deployed) );
+                 ( "failure",
+                   match outcome.failure with
+                   | None -> Json.Null
+                   | Some f -> failure_json f );
+                 ("halted", Json.List (List.map id_json outcome.halted));
+                 ( "post_sync_issues",
+                   Json.List (List.map failure_json outcome.post_sync_issues) );
+               ]))
+
+let do_stats t =
+  let requests =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.requests [])
+  in
+  let cache =
+    match t.cache with
+    | None -> Json.Null
+    | Some cache ->
+        let s = Cache.stats cache in
+        Json.Obj
+          [
+            ("dir", Json.String (Cache.dir cache));
+            ("hits", Json.Int s.Cache.hits);
+            ("misses", Json.Int s.Cache.misses);
+            ("writes", Json.Int s.Cache.writes);
+          ]
+  in
+  let engine =
+    let s = Engine.stats t.engine in
+    Json.Obj
+      [
+        ("requests", Json.Int s.Zodiac_engine.Stats.requests);
+        ("attempts", Json.Int s.Zodiac_engine.Stats.attempts);
+        ("retries", Json.Int s.Zodiac_engine.Stats.retries);
+        ("memo_hits", Json.Int s.Zodiac_engine.Stats.cache_hits);
+      ]
+  in
+  Ok
+    (Json.Obj
+       [
+         ("requests", Json.Obj requests);
+         ("files_scanned", Json.Int t.files_scanned);
+         ("findings", Json.Int t.findings_total);
+         ("errors", Json.Int t.errors_total);
+         ("checks_loaded", Json.Int (List.length t.checks));
+         ("jobs", Json.Int t.config.jobs);
+         ("engine", engine);
+         ("cache", cache);
+       ])
+
+let dispatch t verb =
+  match verb with
+  | Protocol.Scan_file { path; source } -> do_scan_file t ~path ~source
+  | Protocol.Scan_directory { dir } -> do_scan_directory t ~dir
+  | Protocol.List_checks -> do_list_checks t
+  | Protocol.Validate { path; source } -> do_validate t ~path ~source
+  | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | Protocol.Stats -> do_stats t
+  | Protocol.Shutdown ->
+      t.stop <- true;
+      Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+
+let handle t verb =
+  let name = Protocol.verb_name verb in
+  Hashtbl.replace t.requests name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.requests name));
+  Telemetry.with_span t.telemetry ("serve." ^ name) (fun () ->
+      match dispatch t verb with
+      | result -> result
+      | exception exn ->
+          t.errors_total <- t.errors_total + 1;
+          Error
+            {
+              Protocol.code = "internal_error";
+              message = Printexc.to_string exn;
+            })

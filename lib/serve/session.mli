@@ -1,0 +1,49 @@
+(** The resident daemon state: everything a one-shot scan pays for on
+    every invocation — the compiled check registry (ground truth or a
+    validated check set), the deployment engine with its α-canonical
+    memo cache, and a warm-start {!Zodiac_util.Cache} handle — loaded
+    once at [create] and reused by every request.
+
+    Request handling is purely functional over that state plus the
+    filesystem: the same request sequence against the same files
+    produces the same response bytes, which is what makes the daemon
+    byte-equivalent to the one-shot CLI. Directory scans batch their
+    per-file work onto the {!Zodiac_util.Parallel} domain pool; every
+    request runs inside a [serve.<method>] {!Zodiac_util.Telemetry}
+    span carrying finding/file counters. *)
+
+type config = {
+  checks_file : string option;
+      (** validated check set to scan with; [None] = ground truth *)
+  cache_dir : string option;  (** warm-start cache to keep resident *)
+  jobs : int;  (** domain-pool width for batched directory scans *)
+  timestamps : bool;
+      (** stamp SARIF invocations with wall-clock UTC time; off by
+          default so responses are byte-stable *)
+  engine : Zodiac_engine.Engine.config;  (** [validate]'s engine *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?telemetry:Zodiac_util.Telemetry.t -> config -> (t, string) result
+(** Load checks, open the cache, build the engine. [Error] when the
+    check-set file is missing or malformed. *)
+
+val checks : t -> Scan.check_entry list
+
+val utc_now : unit -> string
+(** RFC-3339 UTC wall-clock time — the [--timestamps] stamp. Shared
+    with the CLI so both front ends format timestamps identically. *)
+
+val stopping : t -> bool
+(** Set once a [shutdown] request has been handled. *)
+
+val handle :
+  t -> Protocol.verb -> (Zodiac_util.Json.t, Protocol.error) result
+(** Execute one request against the resident state. Never raises:
+    handler exceptions surface as [internal_error]. [scan_file]'s
+    result is the SARIF document itself — the same JSON value the
+    one-shot CLI prints. *)

@@ -40,7 +40,16 @@ let to_string ?(pretty = false) json =
     | Float f ->
         if Float.is_integer f && Float.abs f < 1e15 then
           Buffer.add_string buf (Printf.sprintf "%.1f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else begin
+          (* %.17g of a large integral float has no '.' or exponent
+             ("1e15" -> "1000000000000000"), which would read back as an
+             Int; keep the constructor by forcing a decimal point. *)
+          let text = Printf.sprintf "%.17g" f in
+          Buffer.add_string buf
+            (if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
+             then text
+             else text ^ ".0")
+        end
     | String s -> escape_string buf s
     | List [] -> Buffer.add_string buf "[]"
     | List items ->
@@ -124,9 +133,15 @@ let parse_string_body cur =
             (* Decode \uXXXX; non-ASCII code points are emitted as UTF-8. *)
             if cur.pos + 4 >= String.length cur.src then fail cur "bad unicode escape";
             let hex = String.sub cur.src (cur.pos + 1) 4 in
+            let hex_digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail cur "bad unicode escape"
+            in
             let code =
-              try int_of_string ("0x" ^ hex)
-              with Failure _ -> fail cur "bad unicode escape"
+              String.fold_left (fun acc c -> (acc * 16) + hex_digit c) 0 hex
             in
             cur.pos <- cur.pos + 4;
             if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -237,6 +252,18 @@ let of_string s =
   if cur.pos <> String.length s then fail cur "trailing garbage";
   v
 
+let of_string_result ?max_bytes s =
+  match max_bytes with
+  | Some limit when String.length s > limit ->
+      Error
+        (Printf.sprintf "payload of %d bytes exceeds the %d-byte limit"
+           (String.length s) limit)
+  | _ -> (
+      match of_string s with
+      | v -> Ok v
+      | exception Parse_error msg -> Error msg
+      | exception Stack_overflow -> Error "nesting too deep")
+
 let member key = function
   | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
   | _ -> Null
@@ -246,5 +273,12 @@ let to_list = function List items -> items | _ -> []
 let string_value = function String s -> Some s | _ -> None
 
 let int_value = function Int i -> Some i | _ -> None
+
+let bool_value = function Bool b -> Some b | _ -> None
+
+let float_value = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
 
 let equal a b = a = b

@@ -22,6 +22,12 @@ val to_string : ?pretty:bool -> t -> string
 val of_string : string -> t
 (** Parse a JSON document. @raise Parse_error on malformed input. *)
 
+val of_string_result : ?max_bytes:int -> string -> (t, string) result
+(** Exception-free {!of_string} for untrusted input (the [serve]
+    protocol): malformed documents, truncated input, invalid escapes
+    and — when [max_bytes] is given — oversized payloads all come back
+    as [Error] with a human message, never an exception. *)
+
 val member : string -> t -> t
 (** [member key json] is the value bound to [key] in an object, or [Null]
     when absent or when [json] is not an object. *)
@@ -34,6 +40,12 @@ val string_value : t -> string option
 
 val int_value : t -> int option
 (** [Some i] when the value is an [Int]. *)
+
+val bool_value : t -> bool option
+(** [Some b] when the value is a [Bool]. *)
+
+val float_value : t -> float option
+(** [Some f] for a [Float], [Some (float_of_int i)] for an [Int]. *)
 
 val equal : t -> t -> bool
 (** Structural equality with object keys order-sensitive. *)

@@ -1,0 +1,470 @@
+(* Check-as-a-service tests: the JSON layer's parse/print round-trip
+   (qcheck) and malformed-input behavior, the request protocol, the
+   resident session's verbs, SARIF determinism, and an in-process
+   daemon round-trip asserting byte-equality with the one-shot scan
+   path. *)
+
+module Json = Zodiac_util.Json
+module Sarif = Zodiac_serve.Sarif
+module Scan = Zodiac_serve.Scan
+module Protocol = Zodiac_serve.Protocol
+module Session = Zodiac_serve.Session
+module Server = Zodiac_serve.Server
+module Registry = Zodiac.Registry
+
+(* ------------- JSON round-trip (qcheck) ------------------------------ *)
+
+let json_gen : Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let finite f =
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then 0.
+    else f
+  in
+  sized
+  @@ fix (fun self n ->
+         let scalar =
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) int;
+               map (fun f -> Json.Float (finite f)) float;
+               map (fun s -> Json.String s) (string_size (int_bound 16));
+             ]
+         in
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)))
+               );
+               ( 1,
+                 map
+                   (fun ps -> Json.Obj ps)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 8)) (self (n / 2)))) );
+             ])
+
+let json_arbitrary =
+  QCheck.make ~print:(fun j -> Json.to_string ~pretty:true j) json_gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print j) = j" ~count:500 json_arbitrary
+    (fun j -> Json.of_string_result (Json.to_string j) = Ok j)
+
+let prop_roundtrip_pretty =
+  QCheck.Test.make ~name:"parse (pretty-print j) = j" ~count:500 json_arbitrary
+    (fun j -> Json.of_string_result (Json.to_string ~pretty:true j) = Ok j)
+
+(* ------------- malformed-input fuzz ---------------------------------- *)
+
+let malformed_inputs =
+  [
+    "";
+    "   ";
+    "{";
+    "[1,2";
+    "\"abc";
+    "{\"a\":}";
+    "{\"a\" 1}";
+    "[1 2]";
+    "nul";
+    "tru";
+    "falsy";
+    "-";
+    "--1";
+    "01x";
+    "{}garbage";
+    "\"\\q\"";
+    "\"\\u12\"";
+    "\"\\u12G4\"";
+    "\"\\u1_34\"";
+    "\"\\";
+    "{\"a\": [1, {\"b\": }]}";
+    String.make 4 '[';
+  ]
+
+let test_malformed_returns_error () =
+  List.iter
+    (fun input ->
+      match Json.of_string_result input with
+      | Error _ -> ()
+      | Ok v ->
+          Alcotest.failf "input %S parsed to %s" input (Json.to_string v))
+    malformed_inputs
+
+let test_oversized_payload () =
+  let big = Json.to_string (Json.String (String.make 100 'x')) in
+  (match Json.of_string_result ~max_bytes:10 big with
+  | Error msg ->
+      Alcotest.(check bool) "mentions limit" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "oversized payload accepted");
+  match Json.of_string_result ~max_bytes:(String.length big) big with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "at-limit payload rejected: %s" e
+
+let test_deep_nesting_no_crash () =
+  (* a malicious depth bomb must come back Error, never Stack_overflow *)
+  let depth = 2_000_000 in
+  let bomb = String.make depth '[' in
+  match Json.of_string_result bomb with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth bomb parsed"
+
+(* ------------- protocol ---------------------------------------------- *)
+
+let parse_ok line =
+  match Protocol.parse ~max_bytes:4096 line with
+  | Ok r -> r
+  | Error (_, e) -> Alcotest.failf "parse failed: %s" e.Protocol.message
+
+let parse_err line =
+  match Protocol.parse ~max_bytes:4096 line with
+  | Ok _ -> Alcotest.failf "parse of %S succeeded" line
+  | Error (id, e) -> (id, e.Protocol.code)
+
+let test_protocol_parse () =
+  let r = parse_ok {|{"id":7,"method":"scan_file","params":{"path":"a.tf"}}|} in
+  Alcotest.(check bool) "id echoed" true (r.Protocol.id = Json.Int 7);
+  (match r.Protocol.verb with
+  | Protocol.Scan_file { path; source } ->
+      Alcotest.(check string) "path" "a.tf" path;
+      Alcotest.(check bool) "no source" true (source = None)
+  | _ -> Alcotest.fail "wrong verb");
+  let r = parse_ok {|{"method":"ping"}|} in
+  Alcotest.(check bool) "absent id is Null" true (r.Protocol.id = Json.Null);
+  List.iter
+    (fun (line, want) ->
+      let _, code = parse_err line in
+      Alcotest.(check string) line want code)
+    [
+      ({|[1,2]|}, "invalid_request");
+      ({|{"id":1}|}, "invalid_request");
+      ({|{"method":"frobnicate"}|}, "unknown_method");
+      ({|{"method":"scan_file"}|}, "missing_param");
+      ({|{"method":"scan_file","params":{"path":3}}|}, "missing_param");
+      ({|{"method":"validate","params":{"path":"x","source":5}}|},
+       "invalid_request");
+      ("not json at all", "parse_error");
+    ];
+  (* the id still echoes on post-parse failures *)
+  let id, _ = parse_err {|{"id":"abc","method":"nope"}|} in
+  Alcotest.(check bool) "id echoed on error" true (id = Json.String "abc")
+
+let test_protocol_too_large () =
+  let line = String.make 64 ' ' ^ {|{"method":"ping"}|} in
+  match Protocol.parse ~max_bytes:32 line with
+  | Error (_, e) ->
+      Alcotest.(check string) "code" "request_too_large" e.Protocol.code
+  | Ok _ -> Alcotest.fail "oversized request accepted"
+
+(* ------------- session + server ------------------------------------- *)
+
+let write_temp name contents =
+  let path = Filename.temp_file "zodiac-test-serve" name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let make_session () =
+  match Session.create Session.default_config with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "session: %s" e
+
+(* Drive the real channel loop: requests from a file, responses to a
+   file — the same transport the stdio daemon uses, minus the pipes. *)
+let round_trip ?config session requests =
+  let req = write_temp ".req" (String.concat "\n" requests ^ "\n") in
+  let resp = Filename.temp_file "zodiac-test-serve" ".resp" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove req with Sys_error _ -> ());
+      try Sys.remove resp with Sys_error _ -> ())
+    (fun () ->
+      let ic = open_in req in
+      let oc = open_out resp in
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          close_out_noerr oc)
+        (fun () -> Server.serve_channels ?config session ic oc);
+      let ic = open_in resp in
+      let n = in_channel_length ic in
+      let all =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic n)
+      in
+      match String.trim all with
+      | "" -> []
+      | trimmed -> String.split_on_char '\n' trimmed)
+
+let scan_request ?(id = 1) path =
+  Printf.sprintf {|{"id":%d,"method":"scan_file","params":{"path":%s}}|} id
+    (Json.to_string (Json.String path))
+
+let response_field line name =
+  match Json.of_string_result line with
+  | Error e -> Alcotest.failf "bad response line %S: %s" line e
+  | Ok json -> Json.member name json
+
+let test_server_round_trip () =
+  let tf = write_temp ".tf" Registry.mssql_db_buggy in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let session = make_session () in
+      let responses =
+        round_trip session
+          [
+            {|{"id":1,"method":"ping"}|};
+            scan_request ~id:2 tf;
+            "utter { garbage";
+            {|{"id":4,"method":"list_checks"}|};
+            {|{"id":5,"method":"stats"}|};
+            {|{"id":6,"method":"shutdown"}|};
+            {|{"id":7,"method":"ping"}|};
+          ]
+      in
+      (* the post-shutdown ping is never answered *)
+      Alcotest.(check int) "six responses" 6 (List.length responses);
+      let nth = List.nth responses in
+      Alcotest.(check bool) "ping ok" true
+        (response_field (nth 0) "ok" = Json.Bool true);
+      (* the daemon's SARIF equals the one-shot scan path, byte for byte *)
+      let checks = Session.checks session in
+      let findings =
+        match Scan.scan_file ~checks tf with
+        | Ok fs -> fs
+        | Error e -> Alcotest.failf "one-shot scan: %s" e
+      in
+      Alcotest.(check bool) "known-bad file flagged" true (findings <> []);
+      let oneshot = Sarif.to_string findings in
+      let daemon =
+        Json.to_string ~pretty:true (response_field (nth 1) "result") ^ "\n"
+      in
+      Alcotest.(check string) "resident ≡ one-shot SARIF" oneshot daemon;
+      (* the malformed line got a structured error, and serving went on *)
+      Alcotest.(check bool) "garbage answered not-ok" true
+        (response_field (nth 2) "ok" = Json.Bool false);
+      Alcotest.(check bool) "parse_error code" true
+        (Json.member "code" (response_field (nth 2) "error")
+        = Json.String "parse_error");
+      Alcotest.(check bool) "list_checks ok" true
+        (response_field (nth 3) "ok" = Json.Bool true);
+      Alcotest.(check bool) "stats counted the scan" true
+        (Json.member "files_scanned" (response_field (nth 4) "result")
+        = Json.Int 1);
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (response_field (nth 5) "result" = Json.Obj [ ("stopping", Json.Bool true) ]);
+      Alcotest.(check bool) "session stopping" true (Session.stopping session))
+
+let test_server_deadline () =
+  let session = make_session () in
+  (* a negative deadline is already exceeded when the handler returns:
+     deterministic without sleeping *)
+  let config = { Server.default_config with Server.deadline_ms = Some (-1) } in
+  let resp = Server.handle_line ~config session {|{"id":1,"method":"ping"}|} in
+  Alcotest.(check bool) "deadline_exceeded" true
+    (Json.member "code" (Json.member "error" resp)
+    = Json.String "deadline_exceeded")
+
+let test_server_oversized_line () =
+  let session = make_session () in
+  let config = { Server.default_config with Server.max_request_bytes = 64 } in
+  let long =
+    Printf.sprintf {|{"id":1,"method":"scan_file","params":{"path":"%s"}}|}
+      (String.make 256 'a')
+  in
+  (* the channel loop drains the oversized line, answers a structured
+     error, and keeps serving the next request *)
+  let responses = round_trip ~config session [ long; {|{"id":2,"method":"ping"}|} ] in
+  Alcotest.(check int) "both lines answered" 2 (List.length responses);
+  Alcotest.(check bool) "request_too_large" true
+    (Json.member "code" (response_field (List.nth responses 0) "error")
+    = Json.String "request_too_large");
+  Alcotest.(check bool) "ping after oversized line still served" true
+    (response_field (List.nth responses 1) "ok" = Json.Bool true);
+  let resp = Server.handle_line ~config session long in
+  Alcotest.(check bool) "handle_line guards too" true
+    (Json.member "code" (Json.member "error" resp)
+    = Json.String "request_too_large")
+
+let test_validate_verbs () =
+  let good = write_temp ".tf" Registry.mssql_db_fixed in
+  let bad = write_temp ".tf" Registry.mssql_db_buggy in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove good with Sys_error _ -> ());
+      try Sys.remove bad with Sys_error _ -> ())
+    (fun () ->
+      let session = make_session () in
+      let validate path =
+        match
+          Session.handle session
+            (Protocol.Validate { path; source = None })
+        with
+        | Ok json -> Json.member "deployable" json
+        | Error e -> Alcotest.failf "validate: %s" e.Protocol.message
+      in
+      Alcotest.(check bool) "fixed program deploys" true
+        (validate good = Json.Bool true);
+      Alcotest.(check bool) "buggy program fails" true
+        (validate bad = Json.Bool false);
+      match
+        Session.handle session
+          (Protocol.Validate { path = "/nonexistent.tf"; source = None })
+      with
+      | Error e ->
+          Alcotest.(check string) "validate_error" "validate_error"
+            e.Protocol.code
+      | Ok _ -> Alcotest.fail "missing file validated")
+
+(* ------------- SARIF ------------------------------------------------- *)
+
+let finding ~file ~line ~rule =
+  {
+    Sarif.rule_id = rule;
+    message = "m:" ^ rule;
+    bindings = [ ("r", "T." ^ rule) ];
+    explanation = "because";
+    file;
+    line;
+  }
+
+let test_sarif_deterministic () =
+  let shuffled =
+    [
+      finding ~file:"b.tf" ~line:9 ~rule:"R2";
+      finding ~file:"a.tf" ~line:5 ~rule:"R3";
+      finding ~file:"a.tf" ~line:2 ~rule:"R1";
+      finding ~file:"a.tf" ~line:2 ~rule:"R1";  (* duplicate collapses *)
+      finding ~file:"a.tf" ~line:5 ~rule:"R2";
+    ]
+  in
+  let doc = Sarif.document shuffled in
+  let results = Json.to_list (Json.member "results" (List.hd (Json.to_list (Json.member "runs" doc)))) in
+  let keys =
+    List.map
+      (fun r ->
+        let loc = List.hd (Json.to_list (Json.member "locations" r)) in
+        let phys = Json.member "physicalLocation" loc in
+        ( Option.get
+            (Json.string_value
+               (Json.member "uri" (Json.member "artifactLocation" phys))),
+          Option.get
+            (Json.int_value
+               (Json.member "startLine" (Json.member "region" phys))),
+          Option.get (Json.string_value (Json.member "ruleId" r)) ))
+      results
+  in
+  Alcotest.(check bool) "sorted by (file, line, rule) and deduped" true
+    (keys
+    = [
+        ("a.tf", 2, "R1"); ("a.tf", 5, "R2"); ("a.tf", 5, "R3");
+        ("b.tf", 9, "R2");
+      ]);
+  (* permutation-invariant and byte-stable *)
+  Alcotest.(check string) "order-insensitive bytes"
+    (Sarif.to_string shuffled)
+    (Sarif.to_string (List.rev shuffled));
+  (* no wall-clock unless asked *)
+  Alcotest.(check bool) "no invocations by default" true
+    (Json.member "invocations" (List.hd (Json.to_list (Json.member "runs" doc)))
+    = Json.Null);
+  let stamped = Sarif.document ~timestamp:"2026-08-08T00:00:00Z" shuffled in
+  Alcotest.(check bool) "timestamp present when requested" true
+    (Json.member "invocations"
+       (List.hd (Json.to_list (Json.member "runs" stamped)))
+    <> Json.Null)
+
+let test_line_index () =
+  let idx = Sarif.index_source Registry.mssql_db_buggy in
+  let server_line =
+    Sarif.resource_line idx
+      { Zodiac_iac.Resource.rtype = "SQLSERVER"; rname = "s" }
+  in
+  let db_line =
+    Sarif.resource_line idx { Zodiac_iac.Resource.rtype = "SQLDB"; rname = "d" }
+  in
+  Alcotest.(check bool) "server block located" true (server_line > 1);
+  Alcotest.(check bool) "db block after server" true (db_line > server_line);
+  Alcotest.(check int) "unknown resource falls back to 1" 1
+    (Sarif.resource_line idx
+       { Zodiac_iac.Resource.rtype = "NOPE"; rname = "x" })
+
+let test_scan_directory () =
+  let dir = Filename.temp_file "zodiac-test-serve" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sub = Filename.concat dir "sub" in
+  Unix.mkdir sub 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "bad.tf" Registry.mssql_db_buggy;
+  write "good.tf" Registry.mssql_db_fixed;
+  write "notes.txt" "not hcl";
+  let oc = open_out (Filename.concat sub "broken.hcl") in
+  output_string oc "resource \"x\" {";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [
+          Filename.concat dir "bad.tf"; Filename.concat dir "good.tf";
+          Filename.concat dir "notes.txt"; Filename.concat sub "broken.hcl";
+        ];
+      (try Unix.rmdir sub with Unix.Unix_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let files = Scan.hcl_files dir in
+      Alcotest.(check int) "two .tf + one .hcl" 3 (List.length files);
+      let checks = Scan.ground_truth_entries () in
+      match Scan.scan_directory ~jobs:2 ~checks dir with
+      | Error e -> Alcotest.failf "scan_directory: %s" e
+      | Ok (findings, errors) ->
+          Alcotest.(check bool) "findings from bad.tf" true (findings <> []);
+          Alcotest.(check int) "one unparsable file" 1 (List.length errors);
+          Alcotest.(check bool) "error names the file" true
+            (String.length (fst (List.hd errors)) > 0))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip_pretty;
+          Alcotest.test_case "malformed inputs return Error" `Quick
+            test_malformed_returns_error;
+          Alcotest.test_case "oversized payload" `Quick test_oversized_payload;
+          Alcotest.test_case "depth bomb" `Quick test_deep_nesting_no_crash;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request parsing" `Quick test_protocol_parse;
+          Alcotest.test_case "request too large" `Quick test_protocol_too_large;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "round trip" `Quick test_server_round_trip;
+          Alcotest.test_case "deadline" `Quick test_server_deadline;
+          Alcotest.test_case "oversized line" `Quick test_server_oversized_line;
+          Alcotest.test_case "validate" `Quick test_validate_verbs;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "deterministic document" `Quick
+            test_sarif_deterministic;
+          Alcotest.test_case "line index" `Quick test_line_index;
+          Alcotest.test_case "directory scan" `Quick test_scan_directory;
+        ] );
+    ]
