@@ -11,7 +11,7 @@
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e17|micro|smoke [--serve-only]|all]...";
+  print_endline "usage: main.exe [e1..e18|micro|smoke [--serve-only]|all]...";
   exit 1
 
 let () =
@@ -40,4 +40,8 @@ let () =
                     | None -> usage ()))
               args)
   in
-  Printf.printf "\n[bench] total wall time %.1fs\n" total
+  match Zodiac_util.Rss.peak_rss_kb () with
+  | Some kb ->
+      Printf.printf "\n[bench] total wall time %.1fs, peak RSS %.1f MB\n" total
+        (float_of_int kb /. 1024.)
+  | None -> Printf.printf "\n[bench] total wall time %.1fs\n" total

@@ -143,22 +143,46 @@ let write_trace trace telemetry =
 
 (* ---- mine ----------------------------------------------------------- *)
 
+let shard_size_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "shard-size" ] ~docv:"N"
+        ~doc:
+          "Stream the corpus in shards of $(docv) projects instead of \
+           materializing it whole: bounded memory for very large \
+           --projects counts, with each completed shard checkpointed \
+           through the warm-start cache so a killed run resumes. 0 \
+           (default) runs the monolithic path. Results are \
+           byte-identical for every value.")
+
 let mine_cmd =
-  let run verbose seed size jobs cache trace limit =
+  let run verbose seed size jobs cache trace limit shard_size =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
-    let artifacts =
-      Zodiac.Pipeline.mine_only
-        ~config:(config_of ~jobs ?cache_dir:cache seed size)
-        ~telemetry ()
-    in
-    write_trace trace telemetry;
-    print_endline (Zodiac.Report.mining_summary artifacts);
-    print_endline (Zodiac.Report.stats_section ~telemetry artifacts);
-    print_endline "";
-    print_endline "Top candidates by support:";
-    print_endline
-      (Zodiac.Report.checks_listing ~limit artifacts.Zodiac.Pipeline.candidates)
+    let config = config_of ~jobs ?cache_dir:cache seed size in
+    if shard_size > 0 then begin
+      let streamed =
+        Zodiac.Pipeline.mine_streamed ~config ~telemetry ~shard_size ()
+      in
+      write_trace trace telemetry;
+      print_endline (Zodiac.Report.streamed_summary streamed);
+      print_endline "";
+      print_endline "Top candidates by support:";
+      print_endline
+        (Zodiac.Report.checks_listing ~limit
+           streamed.Zodiac.Pipeline.s_candidates)
+    end
+    else begin
+      let artifacts = Zodiac.Pipeline.mine_only ~config ~telemetry () in
+      write_trace trace telemetry;
+      print_endline (Zodiac.Report.mining_summary artifacts);
+      print_endline (Zodiac.Report.stats_section ~telemetry artifacts);
+      print_endline "";
+      print_endline "Top candidates by support:";
+      print_endline
+        (Zodiac.Report.checks_listing ~limit artifacts.Zodiac.Pipeline.candidates)
+    end
   in
   let limit =
     Arg.(value & opt int 25 & info [ "limit" ] ~docv:"N" ~doc:"Checks to list.")
@@ -167,7 +191,7 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
     Term.(
       const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ cache_term
-      $ trace_arg $ limit)
+      $ trace_arg $ limit $ shard_size_arg)
 
 (* ---- validate ------------------------------------------------------- *)
 

@@ -16,6 +16,7 @@ module Parallel = Zodiac_util.Parallel
 module Cache = Zodiac_util.Cache
 module Codec = Zodiac_util.Codec
 module Stage = Zodiac_util.Stage
+module Shard_stream = Zodiac_util.Shard_stream
 module Telemetry = Zodiac_util.Telemetry
 
 type config = {
@@ -170,26 +171,23 @@ let prepare ?cache ?(telemetry = Telemetry.null) config =
   let kb = cached_kb ?cache ~telemetry config programs in
   (projects, corpus, kb, programs)
 
-let mine_phase ?cache ?(telemetry = Telemetry.null) config kb programs =
-  let tables_key config =
-    Codec.fingerprint [ corpus_key config; string_of_int config.corpus_size ]
-  in
-  let mined_stage =
-    Stage.keyed ~name:"mine"
-      ~key:
-        (Codec.fingerprint
-           [
-             tables_key config;
-             string_of_bool config.mining.Miner.use_kb;
-             string_of_int config.mining.Miner.min_support;
-           ])
-      ~artifact:Candidate.list_artifact
-      (fun ~jobs:_ ->
-        Miner.mine ~config:config.mining ~telemetry ~jobs:config.jobs
-          ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
-          kb programs)
-  in
-  let mined = Stage.run ?cache ~telemetry ~jobs:config.jobs mined_stage in
+(* The materialized-corpus identity: corpus content key plus size. *)
+let tables_key config =
+  Codec.fingerprint [ corpus_key config; string_of_int config.corpus_size ]
+
+(* The mined-candidate-set address — shared verbatim by the monolithic
+   and streamed paths so their final artifacts interoperate. *)
+let mine_key config =
+  Codec.fingerprint
+    [
+      tables_key config;
+      string_of_bool config.mining.Miner.use_kb;
+      string_of_int config.mining.Miner.min_support;
+    ]
+
+(* Filter + oracle over mined candidates — pure compute shared by the
+   monolithic and streamed paths. *)
+let refine ?(telemetry = Telemetry.null) config mined =
   let filtered =
     spanned telemetry "filter" (fun () ->
         let f = Filter.run ~thresholds:config.thresholds mined in
@@ -226,6 +224,19 @@ let mine_phase ?cache ?(telemetry = Telemetry.null) config kb programs =
         Telemetry.count telemetry "oracle.candidates" (List.length candidates);
         (List.rev refined, rejected, candidates))
   in
+  (filtered, refined, rejected, candidates)
+
+let mine_phase ?cache ?(telemetry = Telemetry.null) config kb programs =
+  let mined_stage =
+    Stage.keyed ~name:"mine" ~key:(mine_key config)
+      ~artifact:Candidate.list_artifact
+      (fun ~jobs:_ ->
+        Miner.mine ~config:config.mining ~telemetry ~jobs:config.jobs
+          ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
+          kb programs)
+  in
+  let mined = Stage.run ?cache ~telemetry ~jobs:config.jobs mined_stage in
+  let filtered, refined, rejected, candidates = refine ~telemetry config mined in
   (mined, filtered, refined, rejected, candidates)
 
 (* Engine accounting attributed to the enclosing span as counter
@@ -271,6 +282,128 @@ let mine_only ?(config = default_config) ?telemetry () =
     counterexample_fps = [];
     engine_stats = Engine_stats.empty;
     cache_stats = cache_stats_of cache;
+  }
+
+(* ---- streaming shard pipeline --------------------------------------
+   The bounded-memory counterpart of [mine_only]: projects are
+   generated, materialized and counted shard by shard, never held whole
+   in memory. Two passes over the same shard stream:
+
+     pass 1 ("kb")    fold per-shard KB stats; finalize once at the end.
+     pass 2 ("mine")  fold per-shard miner tables (intra + indexed +
+                      inter) with the finalized KB fixed — the inter
+                      family's reserved names are a pure function of
+                      that KB, so they cannot be derived mid-stream.
+
+   Both passes run as [Stage.streamed] at the SAME cache addresses as
+   the monolithic "kb" and "mine" stages (the artifacts are
+   byte-identical by the monoid contract), so a monolithic cache warms
+   a streamed run and vice versa. Per-shard checkpoints live under
+   their own stage namespaces ("shard-kb"/"shard-mine"): a killed run
+   resumes by re-counting only unfinished shards. Peak memory is one
+   shard of materialized programs plus the accumulated tables,
+   independent of [corpus_size]. *)
+
+type streamed = {
+  s_config : config;
+  s_shard_size : int;
+  s_kb : Kb.t;
+  s_mined : Candidate.t list;
+  s_filtered : Filter.outcome;
+  s_llm_refined : Check.t list;
+  s_llm_rejected : int;
+  s_candidates : Check.t list;
+  s_kb_fold : Shard_stream.outcome;
+  s_mine_fold : Shard_stream.outcome;
+  s_cache_stats : Cache.stats;
+}
+
+let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
+  let telemetry = Option.value telemetry ~default:Telemetry.null in
+  let cache = cache_of config in
+  let jobs = config.jobs in
+  let n = config.corpus_size in
+  (* Bounded-memory mode trades a little GC CPU for a flat footprint:
+     shard churn under the default pacing (space_overhead 120) lets the
+     heap balloon to several times the live set, which is exactly the
+     slack streaming exists to avoid. Pacing never affects results,
+     only when collections happen. Restored on exit. *)
+  let gc_before = Gc.get () in
+  Gc.set { gc_before with Gc.space_overhead = 40 };
+  Fun.protect ~finally:(fun () -> Gc.set gc_before) @@ fun () ->
+  (* One shard of projects, generated and materialized on demand. The
+     per-index PRNG streams make a shard's content independent of every
+     other shard, so a checkpointed shard stays valid as the corpus
+     grows. [Defaults.effective] is idempotent, so this single
+     materialization equals the monolithic path's. *)
+  let load ~lo ~hi =
+    Miner.materialize ~jobs
+      (List.map
+         (fun p -> p.Generator.program)
+         (Generator.generate_range ~violation_rate:config.violation_rate ~jobs
+            ~seed:config.corpus_seed ~lo ~hi ()))
+  in
+  let kb_fold = ref Shard_stream.no_shards in
+  let kb_stats_stage =
+    (* Shard checkpoints key on corpus identity + range only (no total
+       size): a shard counted during a 10k-project run resumes a later
+       100k-project run unchanged. *)
+    Stage.streamed ~name:"kb" ~key:(corpus_key config) ~size:n
+      ~artifact:Kb.stats_artifact
+      (fun ~cache ~telemetry ~jobs ->
+        let stats, outcome =
+          Shard_stream.fold ?cache ~telemetry ~stage:"shard-kb"
+            ~key:(corpus_key config) ~write:Kb.write_stats
+            ~read:Kb.read_stats ~load
+            ~count:(Kb.stats_of_projects ~jobs)
+            ~merge:Kb.merge_stats
+            ~init:(Kb.stats_of_projects ~jobs [])
+            ~total:n ~shard_size ()
+        in
+        kb_fold := outcome;
+        stats)
+  in
+  let kb = Kb.finalize (Stage.run ?cache ~telemetry ~jobs kb_stats_stage) in
+  let mine_fold = ref Shard_stream.no_shards in
+  let mined_stage =
+    (* Miner-table checkpoints additionally key on the whole-corpus
+       identity (the KB the counts consult) and [use_kb] — but not
+       [min_support], which only gates emission. *)
+    let shard_mine_key =
+      Codec.fingerprint
+        [ tables_key config; string_of_bool config.mining.Miner.use_kb ]
+    in
+    Stage.streamed ~name:"mine" ~key:(mine_key config)
+      ~artifact:Candidate.list_artifact
+      (fun ~cache ~telemetry ~jobs ->
+        let tables, outcome =
+          Shard_stream.fold ?cache ~telemetry ~stage:"shard-mine"
+            ~key:shard_mine_key ~write:Miner.write_tables
+            ~read:Miner.read_tables ~load
+            ~count:(Miner.count_tables ~jobs config.mining kb)
+            ~merge:Miner.merge_tables
+            ~init:(Miner.count_tables ~jobs config.mining kb [])
+            ~total:n ~shard_size ()
+        in
+        mine_fold := outcome;
+        Miner.emit_tables config.mining kb tables)
+  in
+  let mined = Stage.run ?cache ~telemetry ~jobs mined_stage in
+  let filtered, llm_refined, llm_rejected, candidates =
+    refine ~telemetry config mined
+  in
+  {
+    s_config = config;
+    s_shard_size = shard_size;
+    s_kb = kb;
+    s_mined = mined;
+    s_filtered = filtered;
+    s_llm_refined = llm_refined;
+    s_llm_rejected = llm_rejected;
+    s_candidates = candidates;
+    s_kb_fold = !kb_fold;
+    s_mine_fold = !mine_fold;
+    s_cache_stats = cache_stats_of cache;
   }
 
 let run ?(config = default_config) ?telemetry () =

@@ -83,6 +83,52 @@ val mine_only :
 (** Stop after filtering and interpolation (validation left empty);
     much faster, used by mining-phase experiments. *)
 
+(** {2 Streaming shard pipeline}
+
+    The bounded-memory counterpart of {!mine_only} for corpora too
+    large to materialize: projects are generated, default-materialized
+    and counted shard by shard ({!Zodiac_util.Shard_stream}), and only
+    the mergeable count tables accumulate — peak memory is one shard of
+    programs plus the tables, independent of [corpus_size]. Two passes
+    over the same shard stream: first the KB-statistics fold (finalized
+    once complete), then the miner-table fold with the finalized KB
+    fixed. Each completed shard checkpoints through the warm-start
+    cache (stages ["shard-kb"]/["shard-mine"]), so a killed run resumes
+    by re-counting only unfinished shards; the final artifacts land at
+    the {e same} cache addresses as the monolithic ["kb"]/["mine"]
+    stages and are byte-identical to them for every shard size and
+    [jobs] value. *)
+
+type streamed = {
+  s_config : config;
+  s_shard_size : int;
+  s_kb : Zodiac_kb.Kb.t;
+  s_mined : Zodiac_mining.Candidate.t list;
+  s_filtered : Zodiac_mining.Filter.outcome;
+  s_llm_refined : Zodiac_spec.Check.t list;
+  s_llm_rejected : int;
+  s_candidates : Zodiac_spec.Check.t list;
+  s_kb_fold : Zodiac_util.Shard_stream.outcome;
+      (** KB-statistics pass accounting ({!Zodiac_util.Shard_stream.no_shards}
+          when the final KB artifact was already cached) *)
+  s_mine_fold : Zodiac_util.Shard_stream.outcome;
+      (** miner-table pass accounting, same convention *)
+  s_cache_stats : Zodiac_util.Cache.stats;
+}
+
+val mine_streamed :
+  ?config:config ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
+  shard_size:int ->
+  unit ->
+  streamed
+(** Mine in bounded memory: [mined]/[filtered]/[candidates] equal
+    {!mine_only}'s for the same config, byte for byte ([shard_size <= 0]
+    counts everything as one shard). Telemetry records the same
+    [kb]/[mine]/[filter]/[oracle] spans, with [shard.*] counters inside
+    the streamed stages. Without [config.cache_dir] the run still
+    streams, but nothing checkpoints. *)
+
 val cached_corpus :
   ?cache:Zodiac_util.Cache.t ->
   ?telemetry:Zodiac_util.Telemetry.t ->

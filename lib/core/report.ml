@@ -5,6 +5,8 @@ module Scheduler = Zodiac_validation.Scheduler
 module Tablefmt = Zodiac_util.Tablefmt
 module Telemetry = Zodiac_util.Telemetry
 module Cache = Zodiac_util.Cache
+module Rss = Zodiac_util.Rss
+module Shard_stream = Zodiac_util.Shard_stream
 
 let mining_summary (a : Pipeline.artifacts) =
   let f = a.Pipeline.filtered in
@@ -89,13 +91,62 @@ let stage_summary telemetry =
   if Telemetry.spans telemetry = [] then None
   else Some (Telemetry.summary_table telemetry)
 
+(* Read at render time only: memory accounting never enters telemetry
+   counters (which are compared for determinism) or any artifact. *)
+let rss_summary () =
+  match Rss.peak_rss_kb () with
+  | None -> []
+  | Some kb -> [ Printf.sprintf "peak RSS: %.1f MB" (float_of_int kb /. 1024.) ]
+
 let stats_section ?telemetry (a : Pipeline.artifacts) =
   String.concat "\n"
     ([ Tablefmt.section "Run statistics"; cache_summary a ]
     @ (match Option.bind telemetry stage_summary with
       | Some table -> [ table ]
       | None -> [])
-    @ [ engine_summary a ])
+    @ [ engine_summary a ]
+    @ rss_summary ())
+
+let streamed_summary (s : Pipeline.streamed) =
+  let f = s.Pipeline.s_filtered in
+  let fold_line name (o : Shard_stream.outcome) =
+    if o.Shard_stream.shards = 0 then
+      Printf.sprintf "  %s pass: final artifact cached (no shards folded)" name
+    else
+      Printf.sprintf "  %s pass: %d shards (%d resumed from checkpoints, %d built)"
+        name o.Shard_stream.shards o.Shard_stream.resumed o.Shard_stream.built
+  in
+  String.concat "\n"
+    ([
+       Printf.sprintf "streamed corpus: %d projects in shards of %d"
+         s.Pipeline.s_config.Pipeline.corpus_size
+         (let k = s.Pipeline.s_shard_size in
+          if k <= 0 then s.Pipeline.s_config.Pipeline.corpus_size else k);
+       fold_line "kb" s.Pipeline.s_kb_fold;
+       fold_line "mine" s.Pipeline.s_mine_fold;
+       Printf.sprintf "knowledge base: %d attribute entries, %d connection kinds"
+         (Zodiac_kb.Kb.size s.Pipeline.s_kb)
+         (List.length (Zodiac_kb.Kb.conn_kinds s.Pipeline.s_kb));
+       Printf.sprintf "hypothesized checks: %d" (List.length s.Pipeline.s_mined);
+       Printf.sprintf "  removed by confidence: %d"
+         (List.length f.Filter.removed_confidence);
+       Printf.sprintf "  removed by lift:       %d" (List.length f.Filter.removed_lift);
+       Printf.sprintf "  kept after filtering:  %d" (List.length f.Filter.kept);
+       Printf.sprintf "  interpolation queue:   %d (LLM refined %d, rejected %d)"
+         (List.length f.Filter.interpolation_queue)
+         (List.length s.Pipeline.s_llm_refined)
+         s.Pipeline.s_llm_rejected;
+       Printf.sprintf "candidates entering validation: %d"
+         (List.length s.Pipeline.s_candidates);
+       (match s.Pipeline.s_config.Pipeline.cache_dir with
+       | None -> "warm-start cache: off (--cache-dir to enable checkpointed resume)"
+       | Some dir ->
+           Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes"
+             dir s.Pipeline.s_cache_stats.Cache.hits
+             s.Pipeline.s_cache_stats.Cache.misses
+             s.Pipeline.s_cache_stats.Cache.writes);
+     ]
+    @ rss_summary ())
 
 let full ?telemetry a =
   String.concat "\n"

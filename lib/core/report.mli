@@ -22,8 +22,14 @@ val cache_summary : Pipeline.artifacts -> string
 
 val stats_section : ?telemetry:Zodiac_util.Telemetry.t -> Pipeline.artifacts -> string
 (** The "Run statistics" section: cache accounting, the per-stage
-    telemetry table (when a recorder with spans is given) and the
-    engine summary. Always rendered by {!full} — statistics are no
-    longer gated behind [--verbose]. *)
+    telemetry table (when a recorder with spans is given), the engine
+    summary and — on Linux — the process's peak RSS. Always rendered by
+    {!full} — statistics are no longer gated behind [--verbose]. The
+    RSS probe runs at render time only; it never enters telemetry
+    counters or artifacts. *)
+
+val streamed_summary : Pipeline.streamed -> string
+(** The streamed-mining funnel: shard/resume accounting per pass, the
+    mining funnel counts, cache accounting and peak RSS. *)
 
 val full : ?telemetry:Zodiac_util.Telemetry.t -> Pipeline.artifacts -> string

@@ -152,3 +152,6 @@ let stats t =
       Stats.snapshot_with ~cache_hits:(Memo.hits cache)
         ~cache_misses:(Memo.misses cache)
         ~cache_evictions:(Memo.evictions cache) t.stats
+
+let memo_entries t =
+  match t.cache with None -> 0 | Some cache -> Memo.length cache

@@ -77,3 +77,8 @@ val oracle_batch : ?jobs:int -> t -> Zodiac_iac.Program.t list -> bool list
 
 val stats : t -> Stats.snapshot
 (** Current statistics, cache counters included. *)
+
+val memo_entries : t -> int
+(** Outcomes currently resident in the memoization cache (0 when
+    memoization is off) — a live-occupancy gauge, distinct from the
+    cumulative hit/miss counters in {!stats}. *)

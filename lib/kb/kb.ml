@@ -49,10 +49,55 @@ let observable = function
 let bump tbl k n =
   Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
 
+(* Observation tables are bounded: each (rtype, attr) tracks at most
+   [max_observed_values] distinct values, keeping the canonically
+   smallest ones. Attributes whose values are instance-unique (generated
+   names, secrets, per-resource prefixes) would otherwise grow the KB
+   linearly with the corpus and defeat bounded-memory streaming; real
+   vocabularies saturate far below the cap, and every corpus small
+   enough that no attribute crosses it produces byte-identical stats —
+   with the generator's densest attribute (subnet names) that holds
+   through ~2000-project corpora, comfortably past the 1200 default. *)
+let max_observed_values = 2048
+
+let value_is_cidr = function
+  | Value.Str s -> Cidr.of_string s <> None
+  | _ -> false
+
+(* Per-attribute value counts plus an exact residue for evicted mass.
+   [evicted_all_cidr] is the AND over evicted values' CIDR-ness
+   (vacuously true while nothing is evicted), so CIDR-format inference
+   stays faithful past the cap. *)
+type obs = {
+  values : (Value.t, int) Hashtbl.t;
+  mutable evicted : int;
+  mutable evicted_all_cidr : bool;
+}
+
+let new_obs () =
+  { values = Hashtbl.create 8; evicted = 0; evicted_all_cidr = true }
+
+(* Evict down to [max_observed_values], dropping the canonically largest
+   values. Keeping the K smallest is what makes the cap grouping
+   invariant: a value among the K smallest of the whole corpus is among
+   the K smallest of every sub-table containing it, so no intermediate
+   eviction ever loses one of its occurrences — kept counts are exact
+   sums and the evicted mass is conserved, whatever the shard size. *)
+let cap_obs o =
+  if Hashtbl.length o.values > max_observed_values then begin
+    let keys = Hashtbl.fold (fun v _ acc -> v :: acc) o.values [] in
+    List.sort Value.compare keys
+    |> List.filteri (fun i _ -> i >= max_observed_values)
+    |> List.iter (fun v ->
+           o.evicted <- o.evicted + Hashtbl.find o.values v;
+           o.evicted_all_cidr <- o.evicted_all_cidr && value_is_cidr v;
+           Hashtbl.remove o.values v)
+  end
+
 (* One shard of corpus statistics: private tables for a contiguous slice of
    projects, built with no shared state so shards can run on any domain. *)
 type shard = {
-  s_observations : (string * string, (Value.t, int) Hashtbl.t) Hashtbl.t;
+  s_observations : (string * string, obs) Hashtbl.t;
   s_presence : (string * string, int) Hashtbl.t;
   s_conns : (string * string * string * string, int) Hashtbl.t;
   s_populations : (string, int) Hashtbl.t;
@@ -70,15 +115,18 @@ let build_shard projects =
   let observe_value rtype path v =
     if observable v then begin
       let k = (rtype, path) in
-      let table =
+      let o =
         match Hashtbl.find_opt s.s_observations k with
-        | Some t -> t
+        | Some o -> o
         | None ->
-            let t = Hashtbl.create 8 in
-            Hashtbl.replace s.s_observations k t;
-            t
+            let o = new_obs () in
+            Hashtbl.replace s.s_observations k o;
+            o
       in
-      bump table v 1
+      bump o.values v 1;
+      (* Amortized: let the table overshoot to 2x the cap before the
+         O(n log n) eviction pass; the exact cap is restored below. *)
+      if Hashtbl.length o.values > 2 * max_observed_values then cap_obs o
     end
   in
   let observe_resource r =
@@ -104,6 +152,7 @@ let build_shard projects =
             1)
         (Graph.edges graph))
     projects;
+  Hashtbl.iter (fun _ o -> cap_obs o) s.s_observations;
   s
 
 (* Merge [src] into [dst], adding counts. Count merges are exact integer
@@ -115,12 +164,20 @@ let merge_shard dst src =
   Hashtbl.iter (fun k n -> bump dst.s_conns k n) src.s_conns;
   Hashtbl.iter (fun k n -> bump dst.s_populations k n) src.s_populations;
   Hashtbl.iter
-    (fun k table ->
+    (fun k o ->
       match Hashtbl.find_opt dst.s_observations k with
       | None ->
-          let copy = Hashtbl.copy table in
-          Hashtbl.replace dst.s_observations k copy
-      | Some into -> Hashtbl.iter (fun v n -> bump into v n) table)
+          Hashtbl.replace dst.s_observations k
+            {
+              values = Hashtbl.copy o.values;
+              evicted = o.evicted;
+              evicted_all_cidr = o.evicted_all_cidr;
+            }
+      | Some into ->
+          Hashtbl.iter (fun v n -> bump into.values v n) o.values;
+          into.evicted <- into.evicted + o.evicted;
+          into.evicted_all_cidr <- into.evicted_all_cidr && o.evicted_all_cidr;
+          cap_obs into)
     src.s_observations;
   dst
 
@@ -151,7 +208,10 @@ let write_stats b (s : stats) =
     (fun b (ty, attr) ->
       ws b ty;
       ws b attr)
-    (Codec.write_table Value.write Codec.write_int)
+    (fun b o ->
+      Codec.write_table Value.write Codec.write_int b o.values;
+      Codec.write_int b o.evicted;
+      Codec.write_bool b o.evicted_all_cidr)
     b s.s_observations;
   Codec.write_table
     (fun b (ty, attr) ->
@@ -174,7 +234,15 @@ let read_stats s =
     let attr = rs s in
     (ty, attr)
   in
-  let s_observations = Codec.read_table pair (Codec.read_table Value.read Codec.read_int) s in
+  let s_observations =
+    Codec.read_table pair
+      (fun s ->
+        let values = Codec.read_table Value.read Codec.read_int s in
+        let evicted = Codec.read_int s in
+        let evicted_all_cidr = Codec.read_bool s in
+        { values; evicted; evicted_all_cidr })
+      s
+  in
   let s_presence = Codec.read_table pair Codec.read_int s in
   let s_conns =
     Codec.read_table
@@ -212,11 +280,12 @@ let finalize (stats : stats) =
   let entries = Hashtbl.create 512 in
   let add_entry rtype attr requirement declared_format default =
     let k = (rtype, attr) in
-    let observed_index =
+    let o =
       match Hashtbl.find_opt observations k with
-      | Some table -> table
-      | None -> Hashtbl.create 1
+      | Some o -> o
+      | None -> new_obs ()
     in
+    let observed_index = o.values in
     let observed =
       Hashtbl.fold (fun v c acc -> (v, c) :: acc) observed_index []
       |> List.sort compare_observed
@@ -231,12 +300,17 @@ let finalize (stats : stats) =
               (fun (v, _) -> match v with Value.Bool _ -> true | _ -> false)
               observed)
     in
-    let observed_total = List.fold_left (fun acc (_, c) -> acc + c) 0 observed in
+    (* True corpus total: kept counts plus the evicted residue, so
+       priors and support thresholds see the whole corpus even past the
+       observation cap. *)
+    let observed_total =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 observed + o.evicted
+    in
     let enum_values =
       match declared_format with
       | Schema.Enum declared -> List.map (fun s -> Value.Str s) declared
       | Schema.Free_string
-        when strings_only
+        when strings_only && o.evicted = 0
              && List.length observed <= max_enum_cardinality
              && observed_total >= min_enum_support ->
           List.map fst observed
@@ -249,12 +323,8 @@ let finalize (stats : stats) =
       match declared_format with
       | Schema.Free_string
         when observed <> []
-             && List.for_all
-                  (fun (v, _) ->
-                    match v with
-                    | Value.Str s -> Cidr.of_string s <> None
-                    | _ -> false)
-                  observed ->
+             && List.for_all (fun (v, _) -> value_is_cidr v) observed
+             && o.evicted_all_cidr ->
           Schema.Cidr_format
       | f -> f
     in

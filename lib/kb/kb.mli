@@ -25,7 +25,9 @@ type attr_info = {
   format : Zodiac_iac.Schema.format;  (** declared or inferred *)
   observed : (Zodiac_iac.Value.t * int) list;
       (** distinct observed values with counts, most frequent first
-          (ties broken by {!Zodiac_iac.Value.compare}) *)
+          (ties broken by {!Zodiac_iac.Value.compare}). At most
+          {!max_observed_values} entries — see the bounded-table note
+          there. *)
   observed_index : (Zodiac_iac.Value.t, int) Hashtbl.t;
       (** the same counts as [observed], keyed for O(1) probes — the
           miner's priors hit this in nested loops, so a list scan here
@@ -56,6 +58,20 @@ val build : ?jobs:int -> projects:Zodiac_iac.Program.t list -> unit -> t
     tables are merged in shard order; all derived orderings are canonical,
     so the result is identical for every [jobs] value.
     [build ~projects () = finalize (stats_of_projects projects)]. *)
+
+val max_observed_values : int
+(** Observation tables are bounded: each (type, attribute) tracks at
+    most this many distinct values — the canonically smallest by
+    {!Zodiac_iac.Value.compare} — plus an exact residue (evicted count
+    mass and its CIDR-ness), so the KB's footprint stays flat however
+    large the corpus grows. The cap is grouping-invariant: a value in
+    the cap-smallest of the whole corpus is in the cap-smallest of
+    every sub-table containing it, so kept counts are exact sums under
+    any sharding and [stats] keeps its monoid contract. Attributes
+    whose distinct-value count stays under the cap (every real
+    vocabulary, and every generated corpus up to ~2000 projects) are
+    byte-identical to the unbounded semantics; [observed_total],
+    presence and connection counts are exact always. *)
 
 type stats
 (** Raw monoid count tables over a corpus slice — the unit of

@@ -347,14 +347,14 @@ let merge_intra dst src =
     src.num_range;
   dst
 
-let mine_intra_families ?telemetry ?jobs ?tables cfg kb programs =
-  let { n_by_type; single; pair; num_range } =
-    cached_tables ?telemetry tables ~stage:"miner-intra"
-      ~extra:[ "intra"; string_of_bool cfg.use_kb ]
-      ~write:write_intra ~read:read_intra
-      (fun () -> count_sharded ?jobs (count_intra cfg kb) merge_intra programs)
-  in
-  (* Emit candidates. *)
+(* Candidate emission from final merged tables. Emission is a pure
+   function of (config, KB, counts): iteration order over the hash
+   tables may vary with how the counts were sharded and merged, but the
+   emitted multiset does not, and [Candidate.dedup]'s total preference
+   order makes the downstream artifact independent of it — the same
+   argument that already covers [jobs]-invariance covers shard-boundary
+   invariance. *)
+let emit_intra cfg kb { n_by_type; single; pair; num_range } =
   let out = ref [] in
   let emit c = out := c :: !out in
   let fact_stmt_prior ty = function
@@ -442,6 +442,13 @@ let mine_intra_families ?telemetry ?jobs ?tables cfg kb programs =
       end)
     num_range;
   !out
+
+let mine_intra_families ?telemetry ?jobs ?tables cfg kb programs =
+  emit_intra cfg kb
+    (cached_tables ?telemetry tables ~stage:"miner-intra"
+       ~extra:[ "intra"; string_of_bool cfg.use_kb ]
+       ~write:write_intra ~read:read_intra (fun () ->
+         count_sharded ?jobs (count_intra cfg kb) merge_intra programs))
 
 (* ------------------------------------------------------------------ *)
 (* Indexed (repeated-block) mining                                     *)
@@ -604,12 +611,7 @@ let read_indexed s =
   in
   { eqne; ne; elem_values }
 
-let mine_indexed ?telemetry ?jobs ?tables cfg _kb programs =
-  let { eqne; ne; elem_values } =
-    cached_tables ?telemetry tables ~stage:"miner-idx" ~extra:[ "indexed" ]
-      ~write:write_indexed ~read:read_indexed
-      (fun () -> count_sharded ?jobs count_indexed merge_indexed programs)
-  in
+let emit_indexed cfg { eqne; ne; elem_values } =
   let distinct_prior tbl =
     (* probability two random elements differ, from the value table;
        summed in sorted-value order so the float result is independent
@@ -684,6 +686,12 @@ let mine_indexed ?telemetry ?jobs ?tables cfg _kb programs =
       end)
     ne;
   !out
+
+let mine_indexed ?telemetry ?jobs ?tables cfg _kb programs =
+  emit_indexed cfg
+    (cached_tables ?telemetry tables ~stage:"miner-idx" ~extra:[ "indexed" ]
+       ~write:write_indexed ~read:read_indexed (fun () ->
+         count_sharded ?jobs count_indexed merge_indexed programs))
 
 (* ------------------------------------------------------------------ *)
 (* Inter-resource mining                                               *)
@@ -1158,22 +1166,183 @@ let merge_inter dst src =
     src.deg_max;
   dst
 
-let mine_inter ?jobs cfg kb programs =
-  (* First pass over types to find reserved-name candidates. *)
-  let reserved_names : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
-  List.iter
-    (fun ty ->
-      match Kb.attr_info kb ~rtype:ty ~attr:"name" with
-      | None -> ()
-      | Some info ->
-          List.iter
-            (fun (v, c) ->
-              match v with
-              | Value.Str s when c >= 5 -> Hashtbl.replace reserved_names (ty, s) c
-              | _ -> ())
-            info.Kb.observed)
-    (Kb.types kb);
-  let {
+(* Codec for the inter counting tables. [deg_max]'s direction is a byte
+   tag so decoding round-trips; Codec.write_table's canonical key sort
+   keeps equal tables byte-equal regardless of merge history. *)
+let write_conn b (src_ty, src_attr, dst_ty, dst_attr) =
+  Codec.write_string b src_ty;
+  Codec.write_string b src_attr;
+  Codec.write_string b dst_ty;
+  Codec.write_string b dst_attr
+
+let read_conn s =
+  let src_ty = Codec.read_string s in
+  let src_attr = Codec.read_string s in
+  let dst_ty = Codec.read_string s in
+  let dst_attr = Codec.read_string s in
+  (src_ty, src_attr, dst_ty, dst_attr)
+
+let write_int_pair b (d, n) =
+  Codec.write_int b d;
+  Codec.write_int b n
+
+let read_int_pair s =
+  let d = Codec.read_int s in
+  let n = Codec.read_int s in
+  (d, n)
+
+let write_inter b (c : inter_counts) =
+  let conn_str b (k, x) =
+    write_conn b k;
+    Codec.write_string b x
+  in
+  let conn_str2 b (k, x, y) =
+    conn_str b (k, x);
+    Codec.write_string b y
+  in
+  let conn_str_val b (k, x, v) =
+    conn_str b (k, x);
+    Value.write b v
+  in
+  let str3 b (x, y, z) =
+    Codec.write_string b x;
+    Codec.write_string b y;
+    Codec.write_string b z
+  in
+  Codec.write_table write_conn Codec.write_int b c.edgecount;
+  Codec.write_table conn_str2 Codec.write_int b c.paireq;
+  Codec.write_table conn_str_val Codec.write_int b c.dstval;
+  Codec.write_table conn_str_val Codec.write_int b c.srcval;
+  Codec.write_table conn_str Codec.write_int b c.dstnull;
+  Codec.write_table conn_str_val Codec.write_int b c.cond2;
+  Codec.write_table
+    (fun b (k, x, v, y, w) ->
+      conn_str_val b (k, x, v);
+      Codec.write_string b y;
+      Value.write b w)
+    Codec.write_int b c.both2;
+  Codec.write_table conn_str2 write_int_pair b c.containc;
+  Codec.write_table write_conn Codec.write_int b c.sibcount;
+  Codec.write_table conn_str write_int_pair b c.sib_nooverlap;
+  Codec.write_table conn_str write_int_pair b c.sib_ne;
+  Codec.write_table
+    (fun b (k1, k2, x, y) ->
+      write_conn b k1;
+      write_conn b k2;
+      Codec.write_string b x;
+      Codec.write_string b y)
+    write_int_pair b c.assoc_eq;
+  Codec.write_table
+    (fun b (k1, k2) ->
+      write_conn b k1;
+      write_conn b k2)
+    Codec.write_int b c.assoc_count;
+  Codec.write_table write_conn Codec.write_int b c.outdeg_one;
+  Codec.write_table write_conn Codec.write_int b c.outdeg_excl;
+  Codec.write_table str3 write_int_pair b c.copath_pairs;
+  Codec.write_table
+    (fun b (x, y, z, w) ->
+      str3 b (x, y, z);
+      Codec.write_string b w)
+    write_int_pair b c.patheq;
+  Codec.write_table
+    (fun b (ty, p, v, tau, dir) ->
+      Codec.write_string b ty;
+      Codec.write_string b p;
+      Value.write b v;
+      Codec.write_string b tau;
+      Codec.write_byte b (match dir with `In -> 0 | `Out -> 1))
+    write_int_pair b c.deg_max;
+  Codec.write_table str3 write_int_pair b c.name_excl
+
+let read_inter s =
+  let conn_str s =
+    let k = read_conn s in
+    let x = Codec.read_string s in
+    (k, x)
+  in
+  let conn_str2 s =
+    let k, x = conn_str s in
+    let y = Codec.read_string s in
+    (k, x, y)
+  in
+  let conn_str_val s =
+    let k, x = conn_str s in
+    let v = Value.read s in
+    (k, x, v)
+  in
+  let str3 s =
+    let x = Codec.read_string s in
+    let y = Codec.read_string s in
+    let z = Codec.read_string s in
+    (x, y, z)
+  in
+  let edgecount = Codec.read_table read_conn Codec.read_int s in
+  let paireq = Codec.read_table conn_str2 Codec.read_int s in
+  let dstval = Codec.read_table conn_str_val Codec.read_int s in
+  let srcval = Codec.read_table conn_str_val Codec.read_int s in
+  let dstnull = Codec.read_table conn_str Codec.read_int s in
+  let cond2 = Codec.read_table conn_str_val Codec.read_int s in
+  let both2 =
+    Codec.read_table
+      (fun s ->
+        let k, x, v = conn_str_val s in
+        let y = Codec.read_string s in
+        let w = Value.read s in
+        (k, x, v, y, w))
+      Codec.read_int s
+  in
+  let containc = Codec.read_table conn_str2 read_int_pair s in
+  let sibcount = Codec.read_table read_conn Codec.read_int s in
+  let sib_nooverlap = Codec.read_table conn_str read_int_pair s in
+  let sib_ne = Codec.read_table conn_str read_int_pair s in
+  let assoc_eq =
+    Codec.read_table
+      (fun s ->
+        let k1 = read_conn s in
+        let k2 = read_conn s in
+        let x = Codec.read_string s in
+        let y = Codec.read_string s in
+        (k1, k2, x, y))
+      read_int_pair s
+  in
+  let assoc_count =
+    Codec.read_table
+      (fun s ->
+        let k1 = read_conn s in
+        let k2 = read_conn s in
+        (k1, k2))
+      Codec.read_int s
+  in
+  let outdeg_one = Codec.read_table read_conn Codec.read_int s in
+  let outdeg_excl = Codec.read_table read_conn Codec.read_int s in
+  let copath_pairs = Codec.read_table str3 read_int_pair s in
+  let patheq =
+    Codec.read_table
+      (fun s ->
+        let x, y, z = str3 s in
+        let w = Codec.read_string s in
+        (x, y, z, w))
+      read_int_pair s
+  in
+  let deg_max =
+    Codec.read_table
+      (fun s ->
+        let ty = Codec.read_string s in
+        let p = Codec.read_string s in
+        let v = Value.read s in
+        let tau = Codec.read_string s in
+        let dir =
+          match Codec.read_byte s with
+          | 0 -> `In
+          | 1 -> `Out
+          | n -> Codec.corrupt "bad degree direction tag %d" n
+        in
+        (ty, p, v, tau, dir))
+      read_int_pair s
+  in
+  let name_excl = Codec.read_table str3 read_int_pair s in
+  {
     edgecount;
     paireq;
     dstval;
@@ -1193,9 +1362,49 @@ let mine_inter ?jobs cfg kb programs =
     patheq;
     deg_max;
     name_excl;
-  } =
-    count_sharded ?jobs (count_inter cfg kb reserved_names) merge_inter programs
-  in
+  }
+
+(* Reserved-name candidates are a pure function of the finalized KB —
+   fixed before any inter counting starts, and shared read-only across
+   shards (streamed or parallel). *)
+let reserved_names_of kb =
+  let reserved_names : (string * string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun ty ->
+      match Kb.attr_info kb ~rtype:ty ~attr:"name" with
+      | None -> ()
+      | Some info ->
+          List.iter
+            (fun (v, c) ->
+              match v with
+              | Value.Str s when c >= 5 -> Hashtbl.replace reserved_names (ty, s) c
+              | _ -> ())
+            info.Kb.observed)
+    (Kb.types kb);
+  reserved_names
+
+let emit_inter cfg kb
+    {
+      edgecount;
+      paireq;
+      dstval;
+      srcval;
+      dstnull;
+      cond2;
+      both2;
+      containc;
+      sibcount;
+      sib_nooverlap;
+      sib_ne;
+      assoc_eq;
+      assoc_count;
+      outdeg_one;
+      outdeg_excl;
+      copath_pairs;
+      patheq;
+      deg_max;
+      name_excl;
+    } =
   (* ---- emit ---- *)
   let out = ref [] in
   let emit c = out := c :: !out in
@@ -1491,6 +1700,59 @@ let mine_inter ?jobs cfg kb programs =
       end)
     deg_max;
   !out
+
+let mine_inter ?jobs cfg kb programs =
+  emit_inter cfg kb
+    (count_sharded ?jobs
+       (count_inter cfg kb (reserved_names_of kb))
+       merge_inter programs)
+
+(* ------------------------------------------------------------------ *)
+(* The tables monoid                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* All three counting families bundled as one mergeable value: the unit
+   of work a streamed shard produces, checkpoints and folds. The inter
+   family's reserved names come from the finalized KB, so a stream must
+   finish its KB fold before the first [count_tables] call. *)
+type tables = {
+  t_intra : intra_counts;
+  t_indexed : indexed_counts;
+  t_inter : inter_counts;
+}
+
+let count_tables ?jobs config kb programs =
+  {
+    t_intra = count_sharded ?jobs (count_intra config kb) merge_intra programs;
+    t_indexed = count_sharded ?jobs count_indexed merge_indexed programs;
+    t_inter =
+      count_sharded ?jobs
+        (count_inter config kb (reserved_names_of kb))
+        merge_inter programs;
+  }
+
+let merge_tables dst src =
+  let _ = merge_intra dst.t_intra src.t_intra in
+  let _ = merge_indexed dst.t_indexed src.t_indexed in
+  let _ = merge_inter dst.t_inter src.t_inter in
+  dst
+
+let write_tables b t =
+  write_intra b t.t_intra;
+  write_indexed b t.t_indexed;
+  write_inter b t.t_inter
+
+let read_tables s =
+  let t_intra = read_intra s in
+  let t_indexed = read_indexed s in
+  let t_inter = read_inter s in
+  { t_intra; t_indexed; t_inter }
+
+let emit_tables config kb t =
+  Candidate.dedup
+    (emit_intra config kb t.t_intra
+    @ emit_indexed config t.t_indexed
+    @ emit_inter config kb t.t_inter)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)

@@ -56,6 +56,53 @@ val mine :
     [miner.table_hits]/[miner.table_misses] counters, one per counting
     table family probed through [tables]. *)
 
+(** {2 The tables monoid}
+
+    The streamed counterpart of {!mine}: a {!tables} value bundles
+    every counting family's tables as one mergeable unit, so a shard
+    stream can count each shard independently ({!count_tables}), fold
+    the per-shard values in shard order ({!merge_tables}), checkpoint
+    them through the {!Zodiac_util.Cache} codec pair
+    ({!write_tables}/{!read_tables}) and emit candidates once from the
+    final merged value ({!emit_tables}). Every merge is an exact monoid
+    over contiguous groupings — addition, (min, max, sum) or
+    (max, sum) — so for any shard size (and any mix of resumed and
+    rebuilt shards) [emit_tables config kb (fold of count_tables)]
+    equals [mine ~config kb corpus]. *)
+
+type tables
+(** Intra + indexed + inter counting tables, merged by mutation. *)
+
+val count_tables :
+  ?jobs:int ->
+  config ->
+  Zodiac_kb.Kb.t ->
+  Zodiac_iac.Program.t list ->
+  tables
+(** Count one shard of {e materialized} programs. [kb] must be the
+    finalized KB of the {e whole} corpus (the inter family derives its
+    reserved names from it), so a stream runs its KB fold to completion
+    before the first [count_tables] call. Within the shard, counting
+    shards again across up to [jobs] domains. *)
+
+val merge_tables : tables -> tables -> tables
+(** [merge_tables dst src] folds [src] into [dst] (mutating [dst]) and
+    returns [dst]; [src] is unchanged. *)
+
+val write_tables : Zodiac_util.Codec.sink -> tables -> unit
+
+val read_tables : Zodiac_util.Codec.src -> tables
+(** Codec pair for shard checkpoints. Rows are written in canonical
+    key order, so equal tables encode to equal bytes regardless of
+    merge history. [read_tables] may raise
+    {!Zodiac_util.Codec.Corrupt}. *)
+
+val emit_tables : config -> Zodiac_kb.Kb.t -> tables -> Candidate.t list
+(** Emit candidates from final merged tables — a pure function of
+    (config, KB, tables): [emit_tables config kb (count_tables config
+    kb corpus)] is exactly [mine ~config kb corpus] on a materialized
+    corpus, including dedup and canonical order. *)
+
 val mine_intra :
   ?config:config ->
   ?telemetry:Zodiac_util.Telemetry.t ->

@@ -225,7 +225,15 @@ let do_stats t =
         ("attempts", Json.Int s.Zodiac_engine.Stats.attempts);
         ("retries", Json.Int s.Zodiac_engine.Stats.retries);
         ("memo_hits", Json.Int s.Zodiac_engine.Stats.cache_hits);
+        ("memo_entries", Json.Int (Engine.memo_entries t.engine));
       ]
+  in
+  (* Peak RSS is a render-time probe: a gauge of this process, never
+     part of telemetry counters or cached artifacts. Null off-Linux. *)
+  let peak_rss =
+    match Zodiac_util.Rss.peak_rss_kb () with
+    | None -> Json.Null
+    | Some kb -> Json.Int kb
   in
   Ok
     (Json.Obj
@@ -236,6 +244,7 @@ let do_stats t =
          ("errors", Json.Int t.errors_total);
          ("checks_loaded", Json.Int (List.length t.checks));
          ("jobs", Json.Int t.config.jobs);
+         ("peak_rss_kb", peak_rss);
          ("engine", engine);
          ("cache", cache);
        ])

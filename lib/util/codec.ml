@@ -2,7 +2,10 @@ exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let version = 1
+(* v2: KB observation rows carry the bounded-table residue
+   (evicted mass + CIDR flag); stale v1 cache entries decode as
+   [Corrupt] and are rebuilt. *)
+let version = 2
 
 type sink = Buffer.t
 

@@ -1,0 +1,45 @@
+(* Peak-RSS probe over /proc/self/status. See rss.mli. *)
+
+let status_path = "/proc/self/status"
+let clear_refs_path = "/proc/self/clear_refs"
+
+(* "VmHWM:     12345 kB" -> 12345 *)
+let parse_vmhwm line =
+  let prefix = "VmHWM:" in
+  if String.length line <= String.length prefix then None
+  else if not (String.equal (String.sub line 0 (String.length prefix)) prefix)
+  then None
+  else
+    String.sub line (String.length prefix)
+      (String.length line - String.length prefix)
+    |> String.split_on_char ' '
+    |> List.find_map (fun tok ->
+           match String.trim tok with
+           | "" -> None
+           | tok -> int_of_string_opt tok)
+
+let peak_rss_kb () =
+  match open_in status_path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line -> (
+            match parse_vmhwm line with Some kb -> Some kb | None -> scan ())
+      in
+      let result = scan () in
+      close_in_noerr ic;
+      result
+
+let reset_peak () =
+  match open_out clear_refs_path with
+  | exception Sys_error _ -> false
+  | oc -> (
+      try
+        output_string oc "5\n";
+        close_out oc;
+        true
+      with Sys_error _ ->
+        close_out_noerr oc;
+        false)

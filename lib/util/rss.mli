@@ -1,0 +1,18 @@
+(** Peak-resident-set-size probe.
+
+    Reads the process's high-water RSS mark ([VmHWM]) from
+    [/proc/self/status]. Linux-only by construction: on any platform
+    (or sandbox) without procfs every probe returns [None] and the
+    callers degrade to not reporting memory. The probe is a read-only
+    observation — it never appears in cached artifacts or deterministic
+    telemetry counters, only in human-facing reports and bench JSON. *)
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kilobytes ([VmHWM]), or
+    [None] when [/proc/self/status] is unavailable or unparsable. *)
+
+val reset_peak : unit -> bool
+(** Reset the kernel's high-water mark to the current RSS by writing
+    ["5"] to [/proc/self/clear_refs], so a subsequent workload measures
+    its own peak rather than the process lifetime maximum. Returns
+    [false] (and changes nothing) where unsupported. *)

@@ -1,0 +1,71 @@
+(** Checkpointed folds over fixed-size shards of an indexed corpus.
+
+    The streaming counterpart of the warm-start cache: instead of
+    materializing all [total] items and counting them in one pass, a
+    stream loads items shard by shard ([load ~lo ~hi]), counts each
+    shard into a mergeable monoid value ([count]), folds the per-shard
+    values in shard order ([merge]) and drops the shard before loading
+    the next one — peak memory is one shard of items plus the
+    accumulated tables, independent of [total].
+
+    Every completed shard's counted value checkpoints through {!Cache}
+    under a key derived from [(key, lo, hi)], so a killed run resumes
+    from the last finished shard: on the next run, checkpointed shards
+    are loaded (never re-generated, never re-counted) and only the
+    unfinished ones are rebuilt. A corrupted or stale checkpoint reads
+    back as a miss and that shard is rebuilt — the PR-3 corruption
+    guarantee, per shard.
+
+    Correctness contract: [merge] must be an exact monoid over
+    contiguous groupings — [fold] with any [shard_size] (and any mix of
+    resumed and rebuilt shards) produces a result equal to counting all
+    items at once. All the Zodiac counting tables (KB stats, miner
+    intra/indexed/pair/num-range/inter families) satisfy this by
+    integer addition, (min, max, sum) or (max, sum) merges. *)
+
+type outcome = {
+  shards : int;  (** shards in the plan *)
+  resumed : int;  (** loaded from a checkpoint, not re-counted *)
+  built : int;  (** loaded, counted and checkpointed this run *)
+}
+
+val no_shards : outcome
+(** [{ shards = 0; resumed = 0; built = 0 }] — the outcome of a fold
+    that never ran (e.g. its downstream artifact was already cached). *)
+
+val plan : total:int -> shard_size:int -> (int * int * int) list
+(** [(index, lo, hi)] triples covering [0, total) in order, each
+    spanning at most [shard_size] items ([shard_size <= 0] is treated
+    as one single shard; [total <= 0] yields an empty plan). *)
+
+val shard_key : key:string -> lo:int -> hi:int -> string
+(** The checkpoint cache key of the shard [\[lo, hi)] under the
+    stream-wide [key] — exposed so tests and benches can address
+    individual checkpoint entries. *)
+
+val fold :
+  ?cache:Cache.t ->
+  ?telemetry:Telemetry.t ->
+  stage:string ->
+  key:string ->
+  write:(Codec.sink -> 'b -> unit) ->
+  read:(Codec.src -> 'b) ->
+  load:(lo:int -> hi:int -> 'a) ->
+  count:('a -> 'b) ->
+  merge:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  total:int ->
+  shard_size:int ->
+  unit ->
+  'acc * outcome
+(** Fold the shard plan. Per shard: probe the checkpoint
+    [(stage, shard_key ~key ~lo ~hi)] — on a hit merge the stored
+    value, otherwise [load], [count], checkpoint and merge. [key] must
+    fingerprint everything a shard's counted value depends on besides
+    its own [\[lo, hi)] range (corpus identity, counting configuration,
+    any whole-corpus context such as a finalized KB).
+
+    [telemetry] receives the [shard.*] counters ([shard.total],
+    [shard.resumed], [shard.built], [shard.items] — items loaded for
+    rebuilt shards) inside a [shard.fold] span. Without a [cache] the
+    fold still streams (bounded memory) but nothing checkpoints. *)

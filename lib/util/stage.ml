@@ -15,6 +15,12 @@ type 'a store =
       shrink : (larger:int -> 'a -> 'a) option;
       extend : (cached:int -> 'a -> 'a) option;
     }
+  | Streamed of {
+      key : string;
+      size : int option;
+      artifact : 'a artifact;
+      stream : cache:Cache.t option -> telemetry:Telemetry.t -> jobs:int -> 'a;
+    }
 
 type 'a t = {
   name : string;
@@ -29,6 +35,13 @@ let keyed ~name ~key ~artifact build =
 
 let sized ~name ~key ~size ~artifact ?shrink ?extend build =
   { name; store = Sized { key; size; artifact; shrink; extend }; build }
+
+let streamed ~name ~key ?size ~artifact stream =
+  {
+    name;
+    store = Streamed { key; size; artifact; stream };
+    build = (fun ~jobs -> stream ~cache:None ~telemetry:Telemetry.null ~jobs);
+  }
 
 (* The three lookup ladders below reproduce the hand-wired PR-3 paths
    byte for byte (including which probes count as cache misses): exact
@@ -103,6 +116,24 @@ let run ?cache ?(telemetry = Telemetry.null) ?jobs t =
       let chunks0 = Parallel.chunks_scheduled () in
       let v =
         match (t.store, cache) with
+        (* The streamed ladder: exact hit → resume from per-shard
+           checkpoints (inside [stream]) → cold. Threads cache and
+           telemetry into the fold even when the final artifact store
+           is absent, so a cacheless run still streams. *)
+        | Streamed { stream; _ }, None ->
+            set_source "uncached";
+            stream ~cache:None ~telemetry ~jobs
+        | Streamed { key; size; artifact; stream }, Some c -> (
+            match Cache.find ?size c ~stage:t.name ~key artifact.read with
+            | Some v ->
+                set_source "warm";
+                v
+            | None ->
+                let v = stream ~cache ~telemetry ~jobs in
+                Cache.store ?size c ~stage:t.name ~key (fun b ->
+                    artifact.write b v);
+                set_source "streamed";
+                v)
         | Uncached, _ | _, None ->
             set_source "uncached";
             t.build ~jobs

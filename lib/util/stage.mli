@@ -46,6 +46,23 @@ type 'a store =
           prefix up to [size] (stored at [size]). Either hook may be
           [None] to disable that path — the KB stats stage extends but
           never shrinks, matching its hand-wired predecessor. *)
+  | Streamed of {
+      key : string;
+      size : int option;
+      artifact : 'a artifact;
+      stream : cache:Cache.t option -> telemetry:Telemetry.t -> jobs:int -> 'a;
+    }
+      (** The streaming arm of the ladder: an output folded shard by
+          shard (typically a {!Shard_stream.fold}) rather than built
+          from a materialized whole. The lookup order is exact-hit →
+          resume-from-shard-checkpoints → cold: an exact entry at
+          [(key, size?)] loads directly; otherwise [stream] runs with
+          the cache and telemetry threaded through so its per-shard
+          checkpoints (stored under their own stage namespace) let it
+          re-count only unfinished shards, and the merged result is
+          stored at [(key, size?)]. [stream] receives [cache = None]
+          when the runner has no cache — it must still stream, just
+          without checkpoints. *)
 
 type 'a t = {
   name : string;
@@ -68,6 +85,19 @@ val sized :
   (jobs:int -> 'a) ->
   'a t
 
+val streamed :
+  name:string ->
+  key:string ->
+  ?size:int ->
+  artifact:'a artifact ->
+  (cache:Cache.t option -> telemetry:Telemetry.t -> jobs:int -> 'a) ->
+  'a t
+(** A {!Streamed} stage. When [name], [key], [size] and [artifact]
+    match an existing {!Keyed}/{!Sized} stage's address, the exact-hit
+    paths interoperate: a monolithic run warms the streamed one and
+    vice versa (their artifacts are byte-identical by the monoid
+    contract). *)
+
 val run : ?cache:Cache.t -> ?telemetry:Telemetry.t -> ?jobs:int -> 'a t -> 'a
 (** Execute the stage. Inside a telemetry span named [t.name] the
     runner records:
@@ -75,7 +105,9 @@ val run : ?cache:Cache.t -> ?telemetry:Telemetry.t -> ?jobs:int -> 'a t -> 'a
     - note ["source"]: where the artifact came from — ["uncached"]
       (no cache or [Uncached] store), ["warm"] (exact cache hit),
       ["prefix"] (shrunk from a larger entry), ["extended"]
-      (incremental growth of a smaller entry), ["cold"] (fresh build);
+      (incremental growth of a smaller entry), ["streamed"] (folded
+      over shards, resuming from whatever checkpoints existed),
+      ["cold"] (fresh build);
     - counters [cache.hits]/[cache.misses]/[cache.writes]: this
       stage's {!Cache.stats} delta;
     - counter [parallel.chunks]: the {!Parallel.chunks_scheduled}
