@@ -1367,16 +1367,137 @@ let serve_equivalence () =
       in
       (ok_findings, ok_resident, ok_process, process_checked))
 
+(* Socket-side client helpers shared by the concurrent smoke gate and
+   E19: connect (retrying while the daemon binds), one line out, one
+   line back. *)
+type sock_client = {
+  cfd : Unix.file_descr;
+  cic : in_channel;
+  coc : out_channel;
+}
+
+let sock_connect path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.01;
+        go (tries - 1)
+  in
+  let fd = go 300 in
+  { cfd = fd; cic = Unix.in_channel_of_descr fd; coc = Unix.out_channel_of_descr fd }
+
+let sock_send c line =
+  output_string c.coc line;
+  output_char c.coc '\n';
+  flush c.coc
+
+let sock_recv c = input_line c.cic
+
+let sock_close c = try Unix.close c.cfd with Unix.Unix_error _ -> ()
+
+let bench_socket_path tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "zodiac-%s-%d.sock" tag (Unix.getpid ()))
+
+let stats_request ~id =
+  Printf.sprintf {|{"id":%d,"method":"stats"}|} id
+
+(* Two clients on one daemon, interleaved: both scans must come back
+   byte-identical to the one-shot path, and a repeat scan must be a
+   byte-identical content-fingerprint cache hit. Returns
+   (concurrent ≡ one-shot, cache hit ok). *)
+let smoke_serve_concurrent () =
+  let tf = write_bad_tf () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let oneshot_bytes =
+        match Serve_scan.load_checks None with
+        | Error e -> failwith e
+        | Ok checks -> (
+            match Serve_scan.scan_file ~checks tf with
+            | Error e -> failwith e
+            | Ok findings -> Sarif.to_string findings)
+      in
+      let session =
+        match Session.create Session.default_config with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let path = bench_socket_path "smoke-serve" in
+      (try Sys.remove path with Sys_error _ -> ());
+      let config = { Server.default_config with Server.max_clients = 2 } in
+      let srv =
+        Domain.spawn (fun () -> Server.serve_socket ~config session ~path)
+      in
+      let a = sock_connect path in
+      let b = sock_connect path in
+      (* no exception may escape past this point before the shutdown
+         below, or the worker domains stay parked and the join hangs *)
+      let verdict =
+        try
+          sock_send a (scan_request ~id:1 tf);
+          sock_send b (scan_request ~id:2 tf);
+          let ra = sock_recv a in
+          let rb = sock_recv b in
+          sock_send a (scan_request ~id:3 tf);
+          let ra2 = sock_recv a in
+          sock_send a (stats_request ~id:4);
+          let rs = sock_recv a in
+          let ok_bytes r =
+            match sarif_bytes_of_response r with
+            | Ok bytes -> String.equal bytes oneshot_bytes
+            | Error _ -> false
+          in
+          let hits =
+            match Json.of_string_result rs with
+            | Error _ -> 0
+            | Ok json ->
+                Option.value ~default:0
+                  (Json.int_value
+                     (Json.member "hits"
+                        (Json.member "scan_cache" (Json.member "result" json))))
+          in
+          Some (ok_bytes ra && ok_bytes rb, ok_bytes ra2 && hits >= 1)
+        with _ -> None
+      in
+      sock_close b;
+      let shutdown_sent =
+        try
+          sock_send a shutdown_request;
+          ignore (sock_recv a);
+          true
+        with _ -> false
+      in
+      sock_close a;
+      if not shutdown_sent then
+        (try
+           let c = sock_connect path in
+           sock_send c shutdown_request;
+           (try ignore (sock_recv c) with _ -> ());
+           sock_close c
+         with _ -> ());
+      Domain.join srv;
+      match verdict with Some v -> v | None -> (false, false))
+
 let smoke_serve () =
   let ok_findings, ok_resident, ok_process, process_checked =
     serve_equivalence ()
   in
+  let ok_concurrent, ok_cache_hit = smoke_serve_concurrent () in
   Printf.printf
     "serve round-trip: known-bad file flagged: %b; resident SARIF ≡ one-shot \
-     (in-process): %b; spawned daemon ≡ spawned CLI: %b%s\n"
+     (in-process): %b; spawned daemon ≡ spawned CLI: %b%s; two concurrent \
+     clients ≡ one-shot: %b; repeat scan is a byte-identical cache hit: %b\n"
     ok_findings ok_resident ok_process
-    (if process_checked then "" else " (binary not found, skipped)");
-  ok_findings && ok_resident && ok_process
+    (if process_checked then "" else " (binary not found, skipped)")
+    ok_concurrent ok_cache_hit;
+  ok_findings && ok_resident && ok_process && ok_concurrent && ok_cache_hit
 
 let smoke_serve_only () =
   print_endline (section "smoke --serve-only  daemon round-trip gate");
@@ -1855,6 +1976,292 @@ let e18 () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* E19 — concurrent serve: multi-client scheduling + scan cache        *)
+(* ------------------------------------------------------------------ *)
+
+(* A workload big enough that a real scan visibly out-costs a
+   content-fingerprint cache hit: [copies] SQL server/database pairs,
+   each tripping the Basic-sku size check. [salt] makes
+   distinct-content variants of the same shape, so each file carries
+   its own content fingerprint. *)
+let workload_tf ~salt copies =
+  let buf = Buffer.create (copies * 512) in
+  Buffer.add_string buf
+    (Printf.sprintf "# synthetic serve workload, variant %d\n" salt);
+  for i = 0 to copies - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|
+resource "azurerm_mssql_server" "s%d_%d" {
+  name                   = "bench-sql-%d-%d"
+  location               = "westeurope"
+  version                = "12.0"
+  administrator_login    = "sqladmin"
+  administrator_password = "Sup3rSecret!"
+}
+
+resource "azurerm_mssql_database" "d%d_%d" {
+  name        = "bench-db-%d-%d"
+  server_id   = azurerm_mssql_server.s%d_%d.id
+  sku         = "Basic"
+  max_size_gb = 250
+}
+|}
+         salt i salt i salt i salt i salt i)
+  done;
+  Buffer.contents buf
+
+let write_workload ~salt copies =
+  let path = Filename.temp_file "zodiac-e19" ".tf" in
+  let oc = open_out path in
+  output_string oc (workload_tf ~salt copies);
+  close_out oc;
+  path
+
+(* One client's conversation at a given concurrency level: [requests]
+   scan requests round-robin over the workload files, answered in
+   order. Returns (request lines, response lines, latencies in ms). *)
+let e19_client ~files ~requests path c =
+  let nfiles = Array.length files in
+  let client = sock_connect path in
+  Fun.protect
+    ~finally:(fun () -> sock_close client)
+    (fun () ->
+      let reqs =
+        List.init requests (fun j ->
+            scan_request ~id:((c * 1000) + j) files.((c + j) mod nfiles))
+      in
+      let answered =
+        List.map
+          (fun line ->
+            let resp, dt =
+              timed "e19.request" (fun () ->
+                  sock_send client line;
+                  sock_recv client)
+            in
+            (resp, dt *. 1000.))
+          reqs
+      in
+      (reqs, List.map fst answered, List.map snd answered))
+
+type e19_level_result = {
+  l_clients : int;
+  l_requests : int;
+  l_wall : float;
+  l_rps : float;
+  l_mean_ms : float;
+  l_p50_ms : float;
+  l_p99_ms : float;
+  l_rss_mb : float option;
+  l_identical : bool;
+  l_scan_cache : Json.t;
+}
+
+(* One concurrency level end to end on a fresh daemon: spawn the socket
+   server with [n] worker domains, drive [n] client domains, join, shut
+   down — then replay every client's requests sequentially on a fresh
+   session and demand byte-identical responses. *)
+let e19_level ~files ~requests n =
+  Gc.compact ();
+  ignore (Rss.reset_peak ());
+  let session =
+    match Session.create Session.default_config with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let path = bench_socket_path (Printf.sprintf "e19-%d" n) in
+  (try Sys.remove path with Sys_error _ -> ());
+  let config = { Server.default_config with Server.max_clients = n } in
+  let srv =
+    Domain.spawn (fun () -> Server.serve_socket ~config session ~path)
+  in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init n (fun c ->
+        Domain.spawn (fun () -> e19_client ~files ~requests path c))
+  in
+  let logs = List.map Domain.join clients in
+  let wall = Unix.gettimeofday () -. t0 in
+  let ctl = sock_connect path in
+  sock_send ctl (stats_request ~id:0);
+  let stats_line = sock_recv ctl in
+  sock_send ctl shutdown_request;
+  ignore (sock_recv ctl);
+  sock_close ctl;
+  Domain.join srv;
+  let replay =
+    match Session.create Session.default_config with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let identical =
+    List.for_all
+      (fun (reqs, resps, _) ->
+        List.for_all2
+          (fun req resp ->
+            String.equal (Json.to_string (Server.handle_line replay req)) resp)
+          reqs resps)
+      logs
+  in
+  let lat = Array.of_list (List.concat_map (fun (_, _, l) -> l) logs) in
+  Array.sort compare lat;
+  let count = Array.length lat in
+  let total = Array.fold_left ( +. ) 0. lat in
+  let scan_cache =
+    match Json.of_string_result stats_line with
+    | Error _ -> Json.Null
+    | Ok json -> Json.member "scan_cache" (Json.member "result" json)
+  in
+  {
+    l_clients = n;
+    l_requests = count;
+    l_wall = wall;
+    l_rps = float_of_int count /. Float.max wall 1e-9;
+    l_mean_ms = total /. float_of_int (max 1 count);
+    l_p50_ms = percentile lat 50;
+    l_p99_ms = percentile lat 99;
+    l_rss_mb = rss_mb ();
+    l_identical = identical;
+    l_scan_cache = scan_cache;
+  }
+
+(* Warm-scan-cache speedup on one big file: the first scan pays
+   parse + graph + check evaluation, repeats are content-fingerprint
+   hits that must still serve byte-identical SARIF. *)
+let e19_warm_cache () =
+  let big = write_workload ~salt:999 60 in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove big with Sys_error _ -> ())
+    (fun () ->
+      let session =
+        match Session.create Session.default_config with
+        | Ok s -> s
+        | Error e -> failwith e
+      in
+      let req = scan_request ~id:1 big in
+      let cold_resp, cold_dt =
+        timed "e19.cold" (fun () -> Server.handle_line session req)
+      in
+      let cold_ms = cold_dt *. 1000. in
+      let n_warm = 30 in
+      let identical = ref true in
+      let warm =
+        Array.init n_warm (fun _ ->
+            let resp, dt =
+              timed "e19.warm" (fun () -> Server.handle_line session req)
+            in
+            if not (Json.equal resp cold_resp) then identical := false;
+            dt *. 1000.)
+      in
+      Array.sort compare warm;
+      let warm_p50 = percentile warm 50 in
+      (cold_ms, warm_p50, cold_ms /. Float.max warm_p50 1e-6, !identical, n_warm))
+
+let e19 () =
+  print_endline
+    (section "E19  Concurrent serve: multi-client scheduling and scan cache");
+  let nfiles = 4 and copies = 12 and requests = 25 in
+  let files = Array.init nfiles (fun i -> write_workload ~salt:i copies) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files)
+    (fun () ->
+      let levels = [ 1; 2; 4; 8 ] in
+      let results = List.map (e19_level ~files ~requests) levels in
+      let available = Parallel.recommended_jobs () in
+      let parallelism_unavailable = available <= 1 in
+      let mb = function
+        | Some v -> Printf.sprintf "%.1f MB" v
+        | None -> "n/a"
+      in
+      print_table
+        ~header:
+          [
+            "clients"; "requests"; "wall (s)"; "req/s"; "p50 ms"; "p99 ms";
+            "peak RSS"; "vs sequential";
+          ]
+        (List.map
+           (fun r ->
+             [
+               string_of_int r.l_clients; string_of_int r.l_requests;
+               f2 r.l_wall; Printf.sprintf "%.0f" r.l_rps; f2 r.l_p50_ms;
+               f2 r.l_p99_ms; mb r.l_rss_mb;
+               (if r.l_identical then "identical" else "DIVERGED");
+             ])
+           results);
+      Printf.printf
+        "available domains on this machine: %d (throughput scaling is only \
+         expected when clients <= available domains)\n"
+        available;
+      if parallelism_unavailable then
+        print_endline
+          "NOTE: only one domain available — byte-identity is the meaningful \
+           result here; throughput ratios are not";
+      let cold_ms, warm_p50, speedup, warm_identical, n_warm =
+        e19_warm_cache ()
+      in
+      let ok_identical = List.for_all (fun r -> r.l_identical) results in
+      let ok_speedup = speedup >= 5. in
+      Printf.printf
+        "warm scan cache: cold %.2f ms, warm p50 %.2f ms over %d repeats — \
+         %.1fx speedup (threshold 5x); hit bytes identical: %b\n"
+        cold_ms warm_p50 n_warm speedup warm_identical;
+      let json =
+        Json.Obj
+          [
+            ("experiment", Json.String "e19-concurrent-serve");
+            ("available_domains", Json.Int available);
+            ("parallelism_unavailable", Json.Bool parallelism_unavailable);
+            ("workload_files", Json.Int nfiles);
+            ("requests_per_client", Json.Int requests);
+            ( "levels",
+              Json.List
+                (List.map
+                   (fun r ->
+                     Json.Obj
+                       [
+                         ("clients", Json.Int r.l_clients);
+                         ("requests", Json.Int r.l_requests);
+                         ("wall_seconds", Json.Float r.l_wall);
+                         ("throughput_rps", Json.Float r.l_rps);
+                         ("mean_ms", Json.Float r.l_mean_ms);
+                         ("p50_ms", Json.Float r.l_p50_ms);
+                         ("p99_ms", Json.Float r.l_p99_ms);
+                         ( "peak_rss_mb",
+                           match r.l_rss_mb with
+                           | Some v -> Json.Float v
+                           | None -> Json.Null );
+                         ( "identical_to_sequential_replay",
+                           Json.Bool r.l_identical );
+                         ("scan_cache", r.l_scan_cache);
+                       ])
+                   results) );
+            ( "warm_cache",
+              Json.Obj
+                [
+                  ("cold_ms", Json.Float cold_ms);
+                  ("warm_p50_ms", Json.Float warm_p50);
+                  ("n_warm", Json.Int n_warm);
+                  ("speedup", Json.Float speedup);
+                  ("speedup_at_least_5x", Json.Bool ok_speedup);
+                  ("hit_byte_identical", Json.Bool warm_identical);
+                ] );
+          ]
+      in
+      let oc = open_out "BENCH_concurrency.json" in
+      output_string oc (Json.to_string ~pretty:true json);
+      output_string oc "\n";
+      close_out oc;
+      print_endline "wrote BENCH_concurrency.json";
+      if not (ok_identical && ok_speedup && warm_identical) then begin
+        Printf.printf
+          "E19: FAIL — concurrent ≡ sequential: %b; warm-cache speedup ≥ 5x: \
+           %b; hit bytes identical: %b\n"
+          ok_identical ok_speedup warm_identical;
+        exit 1
+      end)
+
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
 let smoke () =
@@ -2051,7 +2458,7 @@ let smoke () =
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18;
+    e18; e19;
   ]
 
 let by_name =
@@ -2059,5 +2466,5 @@ let by_name =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18);
+    ("e18", e18); ("e19", e19);
   ]

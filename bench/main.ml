@@ -11,7 +11,7 @@
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e18|micro|smoke [--serve-only]|all]...";
+  print_endline "usage: main.exe [e1..e19|micro|smoke [--serve-only]|all]...";
   exit 1
 
 let () =

@@ -522,7 +522,7 @@ let corpus_cmd =
 
 let serve_cmd =
   let run verbose checks_file socket jobs cache trace timestamps
-      max_request_bytes deadline_ms =
+      max_request_bytes deadline_ms max_clients =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
     let session_config =
@@ -543,6 +543,7 @@ let serve_cmd =
           {
             Zodiac_serve.Server.max_request_bytes;
             deadline_ms = (if deadline_ms <= 0 then None else Some deadline_ms);
+            max_clients;
           }
         in
         (* the banner goes to stderr: stdout is the protocol channel *)
@@ -580,7 +581,8 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix-domain socket at $(docv) instead of \
-             stdin/stdout; connections are served sequentially.")
+             stdin/stdout; up to --max-clients connections are served \
+             concurrently.")
   in
   let timestamps =
     Arg.(
@@ -608,6 +610,17 @@ let serve_cmd =
             "Answer deadline_exceeded when handling a request takes longer \
              than $(docv) milliseconds (0 = no deadline).")
   in
+  let max_clients =
+    Arg.(
+      value
+      & opt int Zodiac_serve.Server.default_config.max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Serve up to $(docv) socket connections concurrently (one \
+             domain each); up to $(docv) more may wait in the admission \
+             queue, and past that new connections are answered with a \
+             structured 'busy' error and closed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -616,7 +629,7 @@ let serve_cmd =
           line-delimited JSON protocol with SARIF results")
     Term.(
       const run $ verbose_arg $ checks_file $ socket $ jobs_arg $ cache_term
-      $ trace_arg $ timestamps $ max_request_bytes $ deadline_ms)
+      $ trace_arg $ timestamps $ max_request_bytes $ deadline_ms $ max_clients)
 
 (* ---- rules ---------------------------------------------------------- *)
 

@@ -3,6 +3,8 @@ module Json = Zodiac_util.Json
 type verb =
   | Scan_file of { path : string; source : string option }
   | Scan_directory of { dir : string }
+  | Scan_batch of { files : (string * string option) list }
+  | Scan_plan of { path : string; source : string option }
   | List_checks
   | Validate of { path : string; source : string option }
   | Ping
@@ -16,6 +18,8 @@ type error = { code : string; message : string }
 let verb_name = function
   | Scan_file _ -> "scan_file"
   | Scan_directory _ -> "scan_directory"
+  | Scan_batch _ -> "scan_batch"
+  | Scan_plan _ -> "scan_terraform_plan"
   | List_checks -> "list_checks"
   | Validate _ -> "validate"
   | Ping -> "ping"
@@ -42,6 +46,28 @@ let opt_string_param params name =
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
+(* [scan_batch] files: a non-empty list of {"path": ..., "source"?: ...}
+   objects, validated up front so a malformed entry fails the whole
+   request before any scanning starts. *)
+let batch_files params =
+  match Json.member "files" params with
+  | Json.List [] -> Error (err "invalid_request" "\"files\" must not be empty")
+  | Json.List entries ->
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | (Json.Obj _ as entry) :: rest ->
+            let* path = string_param entry "path" in
+            let* source = opt_string_param entry "source" in
+            collect ((path, source) :: acc) rest
+        | _ ->
+            Error
+              (err "invalid_request"
+                 "each \"files\" entry must be an object with a \"path\"")
+      in
+      collect [] entries
+  | _ ->
+      Error (err "missing_param" "missing list param \"files\"")
+
 let parse_verb meth params =
   match meth with
   | "scan_file" ->
@@ -51,6 +77,13 @@ let parse_verb meth params =
   | "scan_directory" ->
       let* dir = string_param params "dir" in
       Ok (Scan_directory { dir })
+  | "scan_batch" ->
+      let* files = batch_files params in
+      Ok (Scan_batch { files })
+  | "scan_terraform_plan" ->
+      let* path = string_param params "path" in
+      let* source = opt_string_param params "source" in
+      Ok (Scan_plan { path; source })
   | "list_checks" -> Ok List_checks
   | "validate" ->
       let* path = string_param params "path" in

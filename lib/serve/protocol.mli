@@ -16,6 +16,15 @@ type verb =
       (** [source], when present, is scanned in place of the file's
           contents — the path then only labels the SARIF artifact. *)
   | Scan_directory of { dir : string }
+  | Scan_batch of { files : (string * string option) list }
+      (** Wire method [scan_batch]: params
+          [{"files": [{"path": ..., "source"?: ...}, ...]}] — N files,
+          one SARIF run per file in request order, answered as a single
+          response. The list must be non-empty. *)
+  | Scan_plan of { path : string; source : string option }
+      (** Wire method [scan_terraform_plan]: the input is Terraform
+          plan JSON ([terraform show -json] output), scanned through
+          {!Zodiac_hcl.Plan}. *)
   | List_checks
   | Validate of { path : string; source : string option }
   | Ping
@@ -28,7 +37,7 @@ type request = { id : Zodiac_util.Json.t; verb : verb }
 type error = { code : string; message : string }
 (** Codes: [parse_error], [request_too_large], [invalid_request],
     [unknown_method], [missing_param], [scan_error], [validate_error],
-    [deadline_exceeded], [internal_error]. *)
+    [deadline_exceeded], [busy], [shutting_down], [internal_error]. *)
 
 val parse : max_bytes:int -> string -> (request, Zodiac_util.Json.t * error) result
 (** Parse one request line. On failure the returned [Json.t] is the

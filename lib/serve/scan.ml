@@ -32,7 +32,32 @@ let load_checks = function
       | Ok checks -> Ok (checkset_entries checks)
       | Error e -> Error e)
 
-let scan_source ~checks ~file src =
+(* Evaluate every check over a built graph. [checkpoint] runs between
+   check entries — the cooperative deadline probe; it may raise to
+   abandon the scan (partial findings are discarded by the caller). *)
+let findings_of_graph ?checkpoint ~checks ~file ~line_of graph =
+  let probe = match checkpoint with None -> ignore | Some f -> f in
+  let defaults = Zodiac_cloud.Arm.defaults in
+  List.concat_map
+    (fun entry ->
+      probe ();
+      List.map
+        (fun assignment ->
+          let diagnosis =
+            Diagnose.violation ~defaults graph entry.check assignment
+          in
+          {
+            Sarif.rule_id = entry.id;
+            message = entry.message;
+            bindings = diagnosis.Diagnose.bindings;
+            explanation = diagnosis.Diagnose.explanation;
+            file;
+            line = line_of assignment;
+          })
+        (Eval.violations ~defaults graph entry.check))
+    checks
+
+let scan_source ?checkpoint ~checks ~file src =
   match
     Zodiac_hcl.Compile.compile_string
       ~type_map:Zodiac_azure.Catalog.of_terraform src
@@ -40,33 +65,31 @@ let scan_source ~checks ~file src =
   | Error e -> Error (Printf.sprintf "%s: %s" file e)
   | Ok (prog, _diags) ->
       let graph = Graph.build prog in
-      let defaults = Zodiac_cloud.Arm.defaults in
       let index = Sarif.index_source src in
-      let findings =
-        List.concat_map
-          (fun entry ->
-            List.map
-              (fun assignment ->
-                let diagnosis =
-                  Diagnose.violation ~defaults graph entry.check assignment
-                in
-                let line =
-                  match assignment with
-                  | [] -> 1
-                  | (_, rid) :: _ -> Sarif.resource_line index rid
-                in
-                {
-                  Sarif.rule_id = entry.id;
-                  message = entry.message;
-                  bindings = diagnosis.Diagnose.bindings;
-                  explanation = diagnosis.Diagnose.explanation;
-                  file;
-                  line;
-                })
-              (Eval.violations ~defaults graph entry.check))
-          checks
+      let line_of = function
+        | [] -> 1
+        | (_, rid) :: _ -> Sarif.resource_line index rid
       in
-      Ok findings
+      Ok (findings_of_graph ?checkpoint ~checks ~file ~line_of graph)
+
+(* Terraform-plan scanning: the same check evaluation over a program
+   reconstructed from `terraform show -json` output. Plan JSON carries
+   no HCL source positions, so every finding anchors at line 1. *)
+let scan_plan_source ?checkpoint ~checks ~file src =
+  match Zodiac_util.Json.of_string_result src with
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+  | Ok json -> (
+      match
+        Zodiac_hcl.Plan.of_json ~type_map:Zodiac_azure.Catalog.of_terraform
+          json
+      with
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok prog ->
+          let graph = Graph.build prog in
+          Ok
+            (findings_of_graph ?checkpoint ~checks ~file
+               ~line_of:(fun _ -> 1)
+               graph))
 
 let read_file path =
   match open_in_bin path with
@@ -80,10 +103,10 @@ let read_file path =
       | exception Sys_error e -> Error e
       | src -> Ok src)
 
-let scan_file ~checks path =
+let scan_file ?checkpoint ~checks path =
   match read_file path with
   | Error e -> Error e
-  | Ok src -> scan_source ~checks ~file:path src
+  | Ok src -> scan_source ?checkpoint ~checks ~file:path src
 
 let is_hcl path =
   Filename.check_suffix path ".tf" || Filename.check_suffix path ".hcl"
@@ -107,15 +130,18 @@ let hcl_files dir =
   in
   List.rev (walk [] dir)
 
-let scan_directory ?jobs ~checks dir =
+let scan_directory ?jobs ?checkpoint ?scan ~checks dir =
   if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
   else if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
   else
+    let scan_one =
+      match scan with
+      | Some f -> f
+      | None -> fun file -> scan_file ?checkpoint ~checks file
+    in
     let files = hcl_files dir in
     let scanned =
-      Zodiac_util.Parallel.map ?jobs
-        (fun file -> (file, scan_file ~checks file))
-        files
+      Zodiac_util.Parallel.map ?jobs (fun file -> (file, scan_one file)) files
     in
     let findings, errors =
       List.fold_left

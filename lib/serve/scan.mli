@@ -22,17 +22,37 @@ val load_checks : string option -> (check_entry list, string) result
 (** [None] -> ground truth; [Some file] -> {!Zodiac.Checkset.load}. *)
 
 val scan_source :
+  ?checkpoint:(unit -> unit) ->
   checks:check_entry list ->
   file:string ->
   string ->
   (Sarif.finding list, string) result
 (** Compile HCL source and evaluate every check, diagnosing each
     violating assignment. [file] is only metadata (the SARIF artifact
-    URI and line-index scope). Compile failures come back as [Error]. *)
+    URI and line-index scope). Compile failures come back as [Error].
+    [checkpoint] is called between check evaluations; it may raise to
+    abandon the scan (the cooperative deadline probe). *)
+
+val scan_plan_source :
+  ?checkpoint:(unit -> unit) ->
+  checks:check_entry list ->
+  file:string ->
+  string ->
+  (Sarif.finding list, string) result
+(** Like {!scan_source} but the input is Terraform plan JSON
+    ([terraform show -json] output) decoded via {!Zodiac_hcl.Plan}.
+    Plan JSON has no source positions, so findings anchor at line 1. *)
 
 val scan_file :
-  checks:check_entry list -> string -> (Sarif.finding list, string) result
+  ?checkpoint:(unit -> unit) ->
+  checks:check_entry list ->
+  string ->
+  (Sarif.finding list, string) result
 (** {!scan_source} on a file's contents. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read, [Error] on I/O failure — exposed so callers that
+    cache by content fingerprint can read once and scan from source. *)
 
 val hcl_files : string -> string list
 (** [.tf]/[.hcl] files under a directory, recursive, sorted by path —
@@ -40,6 +60,8 @@ val hcl_files : string -> string list
 
 val scan_directory :
   ?jobs:int ->
+  ?checkpoint:(unit -> unit) ->
+  ?scan:(string -> (Sarif.finding list, string) result) ->
   checks:check_entry list ->
   string ->
   (Sarif.finding list * (string * string) list, string) result
@@ -47,4 +69,6 @@ val scan_directory :
     {!Zodiac_util.Parallel} domain pool. Findings aggregate across
     files; per-file compile failures are collected as [(file, error)]
     pairs rather than failing the batch. [Error] only when the
-    directory itself is unreadable. *)
+    directory itself is unreadable. [scan] overrides the per-file
+    scanner (the daemon routes through its content-fingerprint cache);
+    ordering and aggregation stay here either way. *)

@@ -1,8 +1,13 @@
 module Json = Zodiac_util.Json
 
-type config = { max_request_bytes : int; deadline_ms : int option }
+type config = {
+  max_request_bytes : int;
+  deadline_ms : int option;
+  max_clients : int;
+}
 
-let default_config = { max_request_bytes = 1 lsl 20; deadline_ms = None }
+let default_config =
+  { max_request_bytes = 1 lsl 20; deadline_ms = None; max_clients = 4 }
 
 (* Bounded line reader: an oversized line is drained, never buffered,
    so a hostile client cannot balloon the daemon's memory. *)
@@ -37,29 +42,9 @@ let handle_line ?(config = default_config) session line =
   match Protocol.parse ~max_bytes:config.max_request_bytes line with
   | Error (id, e) -> Protocol.error_response ~id e
   | Ok { Protocol.id; verb } -> (
-      let started =
-        match config.deadline_ms with
-        | None -> 0.
-        | Some _ -> Unix.gettimeofday ()
-      in
-      let result = Session.handle session verb in
-      let overdue =
-        match config.deadline_ms with
-        | None -> false
-        | Some ms -> (Unix.gettimeofday () -. started) *. 1000. > float_of_int ms
-      in
-      if overdue then
-        Protocol.error_response ~id
-          {
-            Protocol.code = "deadline_exceeded";
-            message =
-              Printf.sprintf "request exceeded the %dms deadline"
-                (Option.get config.deadline_ms);
-          }
-      else
-        match result with
-        | Ok payload -> Protocol.ok_response ~id payload
-        | Error e -> Protocol.error_response ~id e)
+      match Session.handle ?deadline_ms:config.deadline_ms session verb with
+      | Ok payload -> Protocol.ok_response ~id payload
+      | Error e -> Protocol.error_response ~id e)
 
 let serve_channels ?(config = default_config) session ic oc =
   let rec loop () =
@@ -84,7 +69,11 @@ let serve_channels ?(config = default_config) session ic oc =
   in
   loop ()
 
-let serve_stdio ?config session = serve_channels ?config session stdin stdout
+let serve_stdio ?config session =
+  Session.connection_opened session;
+  Fun.protect
+    ~finally:(fun () -> Session.connection_closed session)
+    (fun () -> serve_channels ?config session stdin stdout)
 
 let remove_stale_socket path =
   match Unix.lstat path with
@@ -94,7 +83,102 @@ let remove_stale_socket path =
       invalid_arg
         (Printf.sprintf "serve: %s exists and is not a socket" path)
 
-let serve_socket ?config session ~path =
+(* Admission queue between the accept loop and the worker domains.
+   Bounded at [max_clients] *pending* connections (on top of the
+   [max_clients] being served): past the bound the accept loop answers
+   a structured [busy] error and closes — an explicit backpressure
+   signal, never an accept-queue stall the client can't see. *)
+type admission = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  pending : Unix.file_descr Queue.t;
+  mutable closed : bool;
+}
+
+let make_admission () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    pending = Queue.create ();
+    closed = false;
+  }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* [Some conn] if admitted, [None] past the bound. *)
+let admit session adm ~bound conn =
+  with_lock adm.lock (fun () ->
+      if adm.closed || Queue.length adm.pending >= bound then None
+      else begin
+        Queue.push conn adm.pending;
+        Session.set_queue_depth session (Queue.length adm.pending);
+        Condition.signal adm.nonempty;
+        Some conn
+      end)
+
+(* Blocks until a connection is pending or the queue is closed. *)
+let take session adm =
+  with_lock adm.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty adm.pending) then begin
+          let conn = Queue.pop adm.pending in
+          Session.set_queue_depth session (Queue.length adm.pending);
+          Some conn
+        end
+        else if adm.closed then None
+        else begin
+          Condition.wait adm.nonempty adm.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close_admission adm =
+  with_lock adm.lock (fun () ->
+      adm.closed <- true;
+      Condition.broadcast adm.nonempty;
+      Queue.fold (fun acc conn -> conn :: acc) [] adm.pending)
+
+let refuse conn code message =
+  let oc = Unix.out_channel_of_descr conn in
+  (try
+     respond oc
+       (Protocol.error_response ~id:Json.Null { Protocol.code; message })
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close conn with _ -> ()
+
+(* Connections currently being served, so shutdown can unblock worker
+   domains parked in [input_char] on an idle client. *)
+type active = { alock : Mutex.t; mutable fds : Unix.file_descr list }
+
+let worker session config adm active =
+  let rec loop () =
+    match take session adm with
+    | None -> ()
+    | Some conn ->
+        with_lock active.alock (fun () -> active.fds <- conn :: active.fds);
+        Session.connection_opened session;
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        (try serve_channels ~config session ic oc
+         with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+        (try flush oc with _ -> ());
+        (try Unix.close conn with _ -> ());
+        Session.connection_closed session;
+        with_lock active.alock (fun () ->
+            active.fds <- List.filter (fun fd -> fd != conn) active.fds);
+        loop ()
+  in
+  loop ()
+
+let serve_socket ?(config = default_config) session ~path =
+  (* A client that hangs up before its response would otherwise turn
+     the write into a process-killing SIGPIPE; with it ignored the
+     write fails with EPIPE, which the workers already swallow. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   remove_stale_socket path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -103,18 +187,46 @@ let serve_socket ?config session ~path =
       try Unix.unlink path with _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
+      let max_clients = max 1 config.max_clients in
+      Unix.listen sock (2 * max_clients);
+      let adm = make_admission () in
+      let active = { alock = Mutex.create (); fds = [] } in
+      let workers =
+        List.init max_clients (fun _ ->
+            Domain.spawn (fun () -> worker session config adm active))
+      in
+      (* The accept loop polls so a [shutdown] handled by a worker is
+         noticed within one select tick even with no new clients. *)
       let rec accept_loop () =
         if Session.stopping session then ()
         else begin
-          let conn, _ = Unix.accept sock in
-          let ic = Unix.in_channel_of_descr conn in
-          let oc = Unix.out_channel_of_descr conn in
-          (try serve_channels ?config session ic oc
-           with End_of_file | Sys_error _ -> ());
-          (try flush oc with _ -> ());
-          (try Unix.close conn with _ -> ());
+          (match Unix.select [ sock ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | exception Unix.Unix_error _ -> ()
+              | conn, _ -> (
+                  match admit session adm ~bound:max_clients conn with
+                  | Some _ -> ()
+                  | None ->
+                      refuse conn "busy"
+                        (Printf.sprintf
+                           "server at capacity (%d clients + %d queued); retry"
+                           max_clients max_clients))));
           accept_loop ()
         end
       in
-      accept_loop ())
+      accept_loop ();
+      (* Shutdown: stop admitting, answer the still-queued connections
+         with a structured error, then unblock workers parked on idle
+         clients and join them. *)
+      let leftover = close_admission adm in
+      List.iter
+        (fun conn -> refuse conn "shutting_down" "server is shutting down")
+        leftover;
+      Session.set_queue_depth session 0;
+      with_lock active.alock (fun () ->
+          List.iter
+            (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+            active.fds);
+      List.iter Domain.join workers)

@@ -20,41 +20,77 @@ let default_config =
     engine = Engine.default_config;
   }
 
+(* One session is shared by every connection the server accepts, so
+   the mutable surface splits into three independently-locked parts:
+   [state_lock] guards the request/connection counters, [engine_lock]
+   serializes the deployment engine (its memo table is not
+   thread-safe), and the scan cache locks internally. Handlers hold at
+   most one lock at a time — no ordering to get wrong. *)
 type t = {
   config : config;
   checks : Scan.check_entry list;
   engine : Engine.t;
+  engine_lock : Mutex.t;
   cache : Cache.t option;
+  scan_cache : Scan_cache.t;
   telemetry : Telemetry.t;
+  state_lock : Mutex.t;
   requests : (string, int) Hashtbl.t;  (** method -> count *)
   mutable findings_total : int;
   mutable files_scanned : int;
   mutable errors_total : int;
-  mutable stop : bool;
+  mutable connections_active : int;
+  mutable connections_total : int;
+  mutable queue_depth : int;
+  stop : bool Atomic.t;
 }
 
 let create ?(telemetry = Telemetry.null) config =
   match Scan.load_checks config.checks_file with
   | Error e -> Error e
   | Ok checks ->
+      let cache =
+        Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir
+      in
       Ok
         {
           config;
           checks;
           engine = Engine.create ~config:config.engine ();
-          cache =
-            Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir;
+          engine_lock = Mutex.create ();
+          cache;
+          scan_cache = Scan_cache.create ?disk:cache ~checks ();
           telemetry;
+          state_lock = Mutex.create ();
           requests = Hashtbl.create 8;
           findings_total = 0;
           files_scanned = 0;
           errors_total = 0;
-          stop = false;
+          connections_active = 0;
+          connections_total = 0;
+          queue_depth = 0;
+          stop = Atomic.make false;
         }
 
 let checks t = t.checks
 
-let stopping t = t.stop
+let stopping t = Atomic.get t.stop
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let with_state t f = with_lock t.state_lock f
+
+let connection_opened t =
+  with_state t (fun () ->
+      t.connections_active <- t.connections_active + 1;
+      t.connections_total <- t.connections_total + 1)
+
+let connection_closed t =
+  with_state t (fun () -> t.connections_active <- t.connections_active - 1)
+
+let set_queue_depth t depth = with_state t (fun () -> t.queue_depth <- depth)
 
 (* RFC-3339 UTC from the wall clock; only reachable when the operator
    opted into [timestamps]. *)
@@ -73,32 +109,59 @@ let sarif_of_findings t findings =
 
 let scan_error e = { Protocol.code = "scan_error"; message = e }
 
-let do_scan_file t ~path ~source =
-  let result =
-    match source with
-    | Some src -> Scan.scan_source ~checks:t.checks ~file:path src
-    | None -> Scan.scan_file ~checks:t.checks path
-  in
-  match result with
+let bump_errors ?(n = 1) t =
+  with_state t (fun () -> t.errors_total <- t.errors_total + n)
+
+let record_scanned t ~files ~findings =
+  with_state t (fun () ->
+      t.files_scanned <- t.files_scanned + files;
+      t.findings_total <- t.findings_total + findings)
+
+(* Every scan funnels through the content-fingerprint cache: same
+   bytes + same registry = cached findings, path reattached. The
+   underlying scanner still sees the deadline checkpoint. *)
+let cached_scan ?checkpoint t ~mode ~file src =
+  Scan_cache.scan t.scan_cache ~mode ~file src (fun () ->
+      match mode with
+      | "plan" -> Scan.scan_plan_source ?checkpoint ~checks:t.checks ~file src
+      | _ -> Scan.scan_source ?checkpoint ~checks:t.checks ~file src)
+
+let scan_path ?checkpoint t ~mode ~path ~source =
+  match source with
+  | Some src -> cached_scan ?checkpoint t ~mode ~file:path src
+  | None -> (
+      match Scan.read_file path with
+      | Error e -> Error e
+      | Ok src -> cached_scan ?checkpoint t ~mode ~file:path src)
+
+let do_scan_one ?checkpoint t ~mode ~path ~source =
+  match scan_path ?checkpoint t ~mode ~path ~source with
   | Error e ->
-      t.errors_total <- t.errors_total + 1;
+      bump_errors t;
       Error (scan_error e)
   | Ok findings ->
-      t.files_scanned <- t.files_scanned + 1;
-      t.findings_total <- t.findings_total + List.length findings;
+      record_scanned t ~files:1 ~findings:(List.length findings);
       Telemetry.count t.telemetry "serve.findings" (List.length findings);
       Ok (sarif_of_findings t findings)
 
-let do_scan_directory t ~dir =
-  match Scan.scan_directory ~jobs:t.config.jobs ~checks:t.checks dir with
+let do_scan_directory ?checkpoint t ~dir =
+  let scan file =
+    match Scan.read_file file with
+    | Error e -> Error e
+    | Ok src -> cached_scan ?checkpoint t ~mode:"hcl" ~file src
+  in
+  match
+    Scan.scan_directory ~jobs:t.config.jobs ?checkpoint ~scan ~checks:t.checks
+      dir
+  with
   | Error e ->
-      t.errors_total <- t.errors_total + 1;
+      bump_errors t;
       Error (scan_error e)
   | Ok (findings, errors) ->
       let files = Scan.hcl_files dir in
-      t.files_scanned <- t.files_scanned + List.length files;
-      t.findings_total <- t.findings_total + List.length findings;
-      t.errors_total <- t.errors_total + List.length errors;
+      record_scanned t ~files:(List.length files)
+        ~findings:(List.length findings);
+      bump_errors ~n:(List.length errors) t;
       Telemetry.count t.telemetry "serve.findings" (List.length findings);
       Telemetry.count t.telemetry "serve.files" (List.length files);
       Ok
@@ -117,6 +180,46 @@ let do_scan_directory t ~dir =
                         ])
                     errors) );
            ])
+
+(* N files, one SARIF run per file, answered as one response in
+   request order (deterministic regardless of which pool domain
+   finished first). Per-file failures don't fail the batch. *)
+let do_scan_batch ?checkpoint t ~files =
+  let results =
+    Zodiac_util.Parallel.map ~jobs:t.config.jobs
+      (fun (path, source) ->
+        (path, scan_path ?checkpoint t ~mode:"hcl" ~path ~source))
+      files
+  in
+  let scanned, errors, findings =
+    List.fold_left
+      (fun (scanned, errors, findings) (_, result) ->
+        match result with
+        | Ok fs -> (scanned + 1, errors, findings + List.length fs)
+        | Error _ -> (scanned, errors + 1, findings))
+      (0, 0, 0) results
+  in
+  record_scanned t ~files:scanned ~findings;
+  bump_errors ~n:errors t;
+  Telemetry.count t.telemetry "serve.findings" findings;
+  Telemetry.count t.telemetry "serve.files" scanned;
+  Ok
+    (Json.Obj
+       [
+         ( "results",
+           Json.List
+             (List.map
+                (fun (path, result) ->
+                  Json.Obj
+                    (("path", Json.String path)
+                    ::
+                    (match result with
+                    | Ok fs -> [ ("sarif", sarif_of_findings t fs) ]
+                    | Error e -> [ ("error", Json.String e) ])))
+                results) );
+         ("files_scanned", Json.Int scanned);
+         ("errors", Json.Int errors);
+       ])
 
 let do_list_checks t =
   let kind =
@@ -155,7 +258,7 @@ let failure_json (f : Zodiac_cloud.Arm.failure) =
       ("message", Json.String f.Zodiac_cloud.Arm.message);
     ]
 
-let do_validate t ~path ~source =
+let do_validate ?checkpoint t ~path ~source =
   let compiled =
     match source with
     | Some src -> (
@@ -169,10 +272,11 @@ let do_validate t ~path ~source =
   in
   match compiled with
   | Error e ->
-      t.errors_total <- t.errors_total + 1;
+      bump_errors t;
       Error { Protocol.code = "validate_error"; message = e }
   | Ok prog -> (
-      match Engine.deploy t.engine prog with
+      (match checkpoint with None -> () | Some probe -> probe ());
+      match with_lock t.engine_lock (fun () -> Engine.deploy t.engine prog) with
       | Error e ->
           Ok
             (Json.Obj
@@ -200,9 +304,17 @@ let do_validate t ~path ~source =
                ]))
 
 let do_stats t =
-  let requests =
-    List.sort compare
-      (Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.requests [])
+  let requests, files_scanned, findings_total, errors_total, conn_active,
+      conn_total, queue_depth =
+    with_state t (fun () ->
+        ( List.sort compare
+            (Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.requests []),
+          t.files_scanned,
+          t.findings_total,
+          t.errors_total,
+          t.connections_active,
+          t.connections_total,
+          t.queue_depth ))
   in
   let cache =
     match t.cache with
@@ -217,16 +329,25 @@ let do_stats t =
             ("writes", Json.Int s.Cache.writes);
           ]
   in
-  let engine =
-    let s = Engine.stats t.engine in
+  let scan_cache =
     Json.Obj
       [
-        ("requests", Json.Int s.Zodiac_engine.Stats.requests);
-        ("attempts", Json.Int s.Zodiac_engine.Stats.attempts);
-        ("retries", Json.Int s.Zodiac_engine.Stats.retries);
-        ("memo_hits", Json.Int s.Zodiac_engine.Stats.cache_hits);
-        ("memo_entries", Json.Int (Engine.memo_entries t.engine));
+        ("hits", Json.Int (Scan_cache.hits t.scan_cache));
+        ("misses", Json.Int (Scan_cache.misses t.scan_cache));
+        ("entries", Json.Int (Scan_cache.entries t.scan_cache));
       ]
+  in
+  let engine =
+    with_lock t.engine_lock (fun () ->
+        let s = Engine.stats t.engine in
+        Json.Obj
+          [
+            ("requests", Json.Int s.Zodiac_engine.Stats.requests);
+            ("attempts", Json.Int s.Zodiac_engine.Stats.attempts);
+            ("retries", Json.Int s.Zodiac_engine.Stats.retries);
+            ("memo_hits", Json.Int s.Zodiac_engine.Stats.cache_hits);
+            ("memo_entries", Json.Int (Engine.memo_entries t.engine));
+          ])
   in
   (* Peak RSS is a render-time probe: a gauge of this process, never
      part of telemetry counters or cached artifacts. Null off-Linux. *)
@@ -239,37 +360,79 @@ let do_stats t =
     (Json.Obj
        [
          ("requests", Json.Obj requests);
-         ("files_scanned", Json.Int t.files_scanned);
-         ("findings", Json.Int t.findings_total);
-         ("errors", Json.Int t.errors_total);
+         ("files_scanned", Json.Int files_scanned);
+         ("findings", Json.Int findings_total);
+         ("errors", Json.Int errors_total);
+         ("connections_active", Json.Int conn_active);
+         ("connections_total", Json.Int conn_total);
+         ("queue_depth", Json.Int queue_depth);
          ("checks_loaded", Json.Int (List.length t.checks));
          ("jobs", Json.Int t.config.jobs);
          ("peak_rss_kb", peak_rss);
+         ("scan_cache", scan_cache);
          ("engine", engine);
          ("cache", cache);
        ])
 
-let dispatch t verb =
+let dispatch ?checkpoint t verb =
   match verb with
-  | Protocol.Scan_file { path; source } -> do_scan_file t ~path ~source
-  | Protocol.Scan_directory { dir } -> do_scan_directory t ~dir
+  | Protocol.Scan_file { path; source } ->
+      do_scan_one ?checkpoint t ~mode:"hcl" ~path ~source
+  | Protocol.Scan_plan { path; source } ->
+      do_scan_one ?checkpoint t ~mode:"plan" ~path ~source
+  | Protocol.Scan_directory { dir } -> do_scan_directory ?checkpoint t ~dir
+  | Protocol.Scan_batch { files } -> do_scan_batch ?checkpoint t ~files
   | Protocol.List_checks -> do_list_checks t
-  | Protocol.Validate { path; source } -> do_validate t ~path ~source
+  | Protocol.Validate { path; source } -> do_validate ?checkpoint t ~path ~source
   | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
   | Protocol.Stats -> do_stats t
   | Protocol.Shutdown ->
-      t.stop <- true;
+      Atomic.set t.stop true;
       Ok (Json.Obj [ ("stopping", Json.Bool true) ])
 
-let handle t verb =
+exception Deadline_exceeded
+
+let deadline_error ms =
+  {
+    Protocol.code = "deadline_exceeded";
+    message = Printf.sprintf "request exceeded the %d ms deadline" ms;
+  }
+
+let handle ?deadline_ms t verb =
   let name = Protocol.verb_name verb in
-  Hashtbl.replace t.requests name
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.requests name));
+  with_state t (fun () ->
+      Hashtbl.replace t.requests name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.requests name)));
+  (* The deadline is enforced *while* the request runs: [checkpoint]
+     raises at the natural work boundaries (between checks, between
+     files, before a deployment), so an over-deadline scan abandons
+     its remaining work and its partial findings are dropped before
+     any counter or cache records them. The post-dispatch check is
+     only a backstop for verbs with no checkpoints. *)
+  let start = Unix.gettimeofday () in
+  let checkpoint =
+    match deadline_ms with
+    | None -> None
+    | Some ms ->
+        let limit = float_of_int ms /. 1000. in
+        Some
+          (fun () ->
+            if Unix.gettimeofday () -. start > limit then
+              raise Deadline_exceeded)
+  in
+  let overdue () =
+    match deadline_ms with
+    | None -> false
+    | Some ms -> (Unix.gettimeofday () -. start) *. 1000. > float_of_int ms
+  in
   Telemetry.with_span t.telemetry ("serve." ^ name) (fun () ->
-      match dispatch t verb with
-      | result -> result
+      match dispatch ?checkpoint t verb with
+      | result -> if overdue () then Error (deadline_error (Option.get deadline_ms)) else result
+      | exception Deadline_exceeded ->
+          bump_errors t;
+          Error (deadline_error (Option.get deadline_ms))
       | exception exn ->
-          t.errors_total <- t.errors_total + 1;
+          bump_errors t;
           Error
             {
               Protocol.code = "internal_error";

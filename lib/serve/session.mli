@@ -1,21 +1,31 @@
 (** The resident daemon state: everything a one-shot scan pays for on
     every invocation — the compiled check registry (ground truth or a
     validated check set), the deployment engine with its α-canonical
-    memo cache, and a warm-start {!Zodiac_util.Cache} handle — loaded
-    once at [create] and reused by every request.
+    memo cache, a warm-start {!Zodiac_util.Cache} handle, and the
+    content-fingerprint {!Scan_cache} — loaded once at [create] and
+    shared by every connection.
 
-    Request handling is purely functional over that state plus the
-    filesystem: the same request sequence against the same files
-    produces the same response bytes, which is what makes the daemon
-    byte-equivalent to the one-shot CLI. Directory scans batch their
-    per-file work onto the {!Zodiac_util.Parallel} domain pool; every
-    request runs inside a [serve.<method>] {!Zodiac_util.Telemetry}
-    span carrying finding/file counters. *)
+    One session serves all concurrent connections, so its mutable
+    surface is lock-partitioned: request/connection counters behind a
+    state mutex, the deployment engine (whose memo table is not
+    thread-safe) behind an engine mutex, and the scan cache locking
+    internally. Request handling stays deterministic over that state
+    plus the filesystem: the same request sequence against the same
+    files produces the same response bytes, which is what makes the
+    daemon byte-equivalent to the one-shot CLI — scan results come
+    from the content-fingerprint cache only when the source bytes and
+    check registry both match, so a hit is byte-identical to a fresh
+    scan by construction. Directory and batch scans fan their per-file
+    work onto the {!Zodiac_util.Parallel} domain pool; every request
+    runs inside a [serve.<method>] {!Zodiac_util.Telemetry} span
+    carrying finding/file counters. *)
 
 type config = {
   checks_file : string option;
       (** validated check set to scan with; [None] = ground truth *)
-  cache_dir : string option;  (** warm-start cache to keep resident *)
+  cache_dir : string option;
+      (** warm-start cache to keep resident; also persists the scan
+          cache so a restarted daemon starts warm *)
   jobs : int;  (** domain-pool width for batched directory scans *)
   timestamps : bool;
       (** stamp SARIF invocations with wall-clock UTC time; off by
@@ -39,11 +49,34 @@ val utc_now : unit -> string
     with the CLI so both front ends format timestamps identically. *)
 
 val stopping : t -> bool
-(** Set once a [shutdown] request has been handled. *)
+(** Set once a [shutdown] request has been handled. Safe to poll from
+    any domain. *)
+
+val connection_opened : t -> unit
+(** Transport hook: a connection was admitted ([connections_active]
+    and [connections_total] in [stats]). *)
+
+val connection_closed : t -> unit
+(** Transport hook: an admitted connection finished. *)
+
+val set_queue_depth : t -> int -> unit
+(** Transport hook: current admission-queue depth ([queue_depth] in
+    [stats]). *)
 
 val handle :
-  t -> Protocol.verb -> (Zodiac_util.Json.t, Protocol.error) result
+  ?deadline_ms:int ->
+  t ->
+  Protocol.verb ->
+  (Zodiac_util.Json.t, Protocol.error) result
 (** Execute one request against the resident state. Never raises:
     handler exceptions surface as [internal_error]. [scan_file]'s
     result is the SARIF document itself — the same JSON value the
-    one-shot CLI prints. *)
+    one-shot CLI prints.
+
+    [deadline_ms] is enforced while the request runs: scan and
+    validate handlers probe a deadline checkpoint at their natural
+    work boundaries (between check evaluations, between files, before
+    a deployment) and an over-deadline request abandons its remaining
+    work, discards partial findings before any counter or cache
+    records them, and returns a [deadline_exceeded] error. A
+    post-dispatch check backstops verbs with no checkpoints. *)

@@ -436,6 +436,395 @@ let test_scan_directory () =
           Alcotest.(check bool) "error names the file" true
             (String.length (fst (List.hd errors)) > 0))
 
+(* ------------- concurrency ------------------------------------------- *)
+
+(* Live client connections opened through [connect], so the harness
+   can hang them all up before shutting the server down — a failing
+   assertion must not leave a worker parked on an open socket (the
+   shutdown request would queue behind it forever). *)
+let live_fds = ref []
+let live_lock = Mutex.create ()
+
+let hang_up_all () =
+  Mutex.lock live_lock;
+  let fds = !live_fds in
+  live_fds := [];
+  Mutex.unlock live_lock;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
+
+(* Run [f session socket_path] against a live [serve_socket] server on
+   its own domain; always shuts the server down and joins it. *)
+let with_server ?(max_clients = 2) ?deadline_ms f =
+  let path = Filename.temp_file "zodiac-test-serve" ".sock" in
+  Sys.remove path;
+  let session = make_session () in
+  let config =
+    { Server.default_config with Server.max_clients; deadline_ms }
+  in
+  let srv =
+    Domain.spawn (fun () -> Server.serve_socket ~config session ~path)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* free every worker, then a best-effort shutdown request *)
+      hang_up_all ();
+      (if not (Session.stopping session) then
+         try
+           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           Unix.connect fd (Unix.ADDR_UNIX path);
+           let msg = {|{"id":0,"method":"shutdown"}|} ^ "\n" in
+           ignore (Unix.write_substring fd msg 0 (String.length msg));
+           let buf = Bytes.create 256 in
+           (try ignore (Unix.read fd buf 0 256) with Unix.Unix_error _ -> ());
+           Unix.close fd
+         with Unix.Unix_error _ | Sys_error _ -> ());
+      Domain.join srv)
+    (fun () -> f session path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go n =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 0 ->
+        Unix.sleepf 0.01;
+        go (n - 1)
+  in
+  go 200;
+  Mutex.lock live_lock;
+  live_fds := fd :: !live_fds;
+  Mutex.unlock live_lock;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+(* Close one tracked connection (and only once — never a second close
+   of a recycled fd number). *)
+let hang_up fd =
+  Mutex.lock live_lock;
+  let mine = List.memq fd !live_fds in
+  live_fds := List.filter (fun f -> f != fd) !live_fds;
+  Mutex.unlock live_lock;
+  if mine then try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let source_scan_request ~id ~path src =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("method", Json.String "scan_file");
+         ( "params",
+           Json.Obj
+             [ ("path", Json.String path); ("source", Json.String src) ] );
+       ])
+
+let response_id line = response_field line "id"
+
+let test_concurrent_clients () =
+  with_server ~max_clients:2 (fun _session path ->
+      let fd_a, ic_a, oc_a = connect path in
+      let fd_b, ic_b, oc_b = connect path in
+      (* interleave requests across both live connections; each client
+         must get exactly its own ids back, in its own send order *)
+      send oc_a {|{"id":1,"method":"ping"}|};
+      send oc_b {|{"id":11,"method":"ping"}|};
+      send oc_a (source_scan_request ~id:2 ~path:"a.tf" Registry.mssql_db_buggy);
+      send oc_b (source_scan_request ~id:12 ~path:"b.tf" Registry.mssql_db_buggy);
+      send oc_b {|{"id":13,"method":"list_checks"}|};
+      let a = List.init 2 (fun _ -> input_line ic_a) in
+      let b = List.init 3 (fun _ -> input_line ic_b) in
+      Alcotest.(check bool) "A's ids routed to A" true
+        (List.map response_id a = [ Json.Int 1; Json.Int 2 ]);
+      Alcotest.(check bool) "B's ids routed to B" true
+        (List.map response_id b = [ Json.Int 11; Json.Int 12; Json.Int 13 ]);
+      (* B's answered requests prove both connections were live at
+         once; only now is stats guaranteed to have seen both *)
+      send oc_a {|{"id":3,"method":"stats"}|};
+      let stats_line = input_line ic_a in
+      List.iter
+        (fun line ->
+          Alcotest.(check bool) "all ok" true
+            (response_field line "ok" = Json.Bool true))
+        ((a @ b) @ [ stats_line ]);
+      let stats = response_field stats_line "result" in
+      (match Json.int_value (Json.member "connections_total" stats) with
+      | Some n -> Alcotest.(check bool) "two connections counted" true (n >= 2)
+      | None -> Alcotest.fail "stats lacks connections_total");
+      send oc_a {|{"id":4,"method":"shutdown"}|};
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (response_field (input_line ic_a) "ok" = Json.Bool true);
+      hang_up fd_a;
+      hang_up fd_b)
+
+let test_busy_past_max_clients () =
+  with_server ~max_clients:1 (fun _session path ->
+      (* occupy the single worker: the answered ping proves connection
+         A was dequeued, so the admission queue is empty again *)
+      let fd_a, ic_a, oc_a = connect path in
+      send oc_a {|{"id":1,"method":"ping"}|};
+      Alcotest.(check bool) "A served" true
+        (response_field (input_line ic_a) "ok" = Json.Bool true);
+      (* B fills the one queue slot; C must be refused with "busy" *)
+      let fd_b, ic_b, oc_b = connect path in
+      Unix.sleepf 0.2;
+      let fd_c, ic_c, _ = connect path in
+      let busy = input_line ic_c in
+      Alcotest.(check bool) "C refused not-ok" true
+        (response_field busy "ok" = Json.Bool false);
+      Alcotest.(check bool) "busy code" true
+        (Json.member "code" (response_field busy "error") = Json.String "busy");
+      hang_up fd_c;
+      (* hanging up A frees the worker for the queued B *)
+      hang_up fd_a;
+      send oc_b {|{"id":2,"method":"ping"}|};
+      Alcotest.(check bool) "queued B served after A hangs up" true
+        (response_field (input_line ic_b) "ok" = Json.Bool true);
+      send oc_b {|{"id":3,"method":"shutdown"}|};
+      ignore (input_line ic_b);
+      hang_up fd_b)
+
+let test_deadline_discards_partial_work () =
+  let session = make_session () in
+  (* a negative deadline trips the very first in-flight checkpoint, so
+     the scan is abandoned mid-request — no file count, no findings,
+     no cache entry may survive *)
+  (match
+     Session.handle ~deadline_ms:(-1) session
+       (Protocol.Scan_file
+          { path = "x.tf"; source = Some Registry.mssql_db_buggy })
+   with
+  | Error e ->
+      Alcotest.(check string) "deadline_exceeded" "deadline_exceeded"
+        e.Protocol.code
+  | Ok _ -> Alcotest.fail "over-deadline scan succeeded");
+  match Session.handle session Protocol.Stats with
+  | Error e -> Alcotest.failf "stats: %s" e.Protocol.message
+  | Ok stats ->
+      Alcotest.(check bool) "partial scan not counted" true
+        (Json.member "files_scanned" stats = Json.Int 0);
+      Alcotest.(check bool) "partial findings not counted" true
+        (Json.member "findings" stats = Json.Int 0);
+      Alcotest.(check bool) "no cache entry from abandoned scan" true
+        (Json.member "entries" (Json.member "scan_cache" stats) = Json.Int 0)
+
+let test_scan_cache () =
+  let session = make_session () in
+  let scan ~path src =
+    match
+      Session.handle session
+        (Protocol.Scan_file { path; source = Some src })
+    with
+    | Ok sarif -> Json.to_string ~pretty:true sarif
+    | Error e -> Alcotest.failf "scan: %s" e.Protocol.message
+  in
+  let first = scan ~path:"a.tf" Registry.mssql_db_buggy in
+  let second = scan ~path:"a.tf" Registry.mssql_db_buggy in
+  Alcotest.(check string) "repeat scan byte-identical" first second;
+  (* same bytes under another path: cache hit, but the response must
+     carry the new path, not the first requester's *)
+  let third = scan ~path:"b.tf" Registry.mssql_db_buggy in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "hit reattaches the caller's path" true
+    (contains third "b.tf" && not (contains third "a.tf"))
+
+let test_scan_cache_stats () =
+  let session = make_session () in
+  let scan ~path src =
+    match
+      Session.handle session (Protocol.Scan_file { path; source = Some src })
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "scan: %s" e.Protocol.message
+  in
+  scan ~path:"a.tf" Registry.mssql_db_buggy;
+  scan ~path:"a.tf" Registry.mssql_db_buggy;
+  scan ~path:"b.tf" Registry.mssql_db_buggy;
+  scan ~path:"c.tf" Registry.mssql_db_fixed;
+  match Session.handle session Protocol.Stats with
+  | Error e -> Alcotest.failf "stats: %s" e.Protocol.message
+  | Ok stats ->
+      let sc = Json.member "scan_cache" stats in
+      Alcotest.(check bool) "two distinct contents -> two misses" true
+        (Json.member "misses" sc = Json.Int 2);
+      Alcotest.(check bool) "repeat + same-bytes-other-path -> two hits" true
+        (Json.member "hits" sc = Json.Int 2);
+      Alcotest.(check bool) "two entries" true
+        (Json.member "entries" sc = Json.Int 2)
+
+let test_scan_batch () =
+  let tf = write_temp ".tf" Registry.mssql_db_buggy in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let session = make_session () in
+      let files =
+        [
+          (tf, None);
+          ("missing.tf", None);
+          ("inline.tf", Some Registry.mssql_db_fixed);
+        ]
+      in
+      match Session.handle session (Protocol.Scan_batch { files }) with
+      | Error e -> Alcotest.failf "scan_batch: %s" e.Protocol.message
+      | Ok result ->
+          let entries = Json.to_list (Json.member "results" result) in
+          Alcotest.(check int) "one result per file" 3 (List.length entries);
+          (* request order is preserved regardless of completion order *)
+          Alcotest.(check bool) "paths in request order" true
+            (List.map (fun e -> Json.member "path" e) entries
+            = List.map (fun (p, _) -> Json.String p) files);
+          let nth = List.nth entries in
+          Alcotest.(check bool) "existing file has sarif" true
+            (Json.member "sarif" (nth 0) <> Json.Null);
+          Alcotest.(check bool) "missing file has error" true
+            (Json.member "error" (nth 1) <> Json.Null);
+          Alcotest.(check bool) "inline source has sarif" true
+            (Json.member "sarif" (nth 2) <> Json.Null);
+          Alcotest.(check bool) "counters" true
+            (Json.member "files_scanned" result = Json.Int 2
+            && Json.member "errors" result = Json.Int 1);
+          (* each batch entry equals the equivalent scan_file response *)
+          let single =
+            match
+              Session.handle session
+                (Protocol.Scan_file { path = tf; source = None })
+            with
+            | Ok sarif -> Json.to_string sarif
+            | Error e -> Alcotest.failf "scan_file: %s" e.Protocol.message
+          in
+          Alcotest.(check string) "batch entry ≡ scan_file" single
+            (Json.to_string (Json.member "sarif" (nth 0))))
+
+let test_scan_terraform_plan () =
+  let session = make_session () in
+  let prog =
+    match
+      Zodiac_hcl.Compile.compile_string
+        ~type_map:Zodiac_azure.Catalog.of_terraform Registry.mssql_db_buggy
+    with
+    | Ok (prog, _) -> prog
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let plan_src =
+    Zodiac_hcl.Plan.to_string ~type_name:Zodiac_azure.Catalog.to_terraform prog
+  in
+  let rule_ids json =
+    Json.to_list (Json.member "runs" json)
+    |> List.hd
+    |> Json.member "results"
+    |> Json.to_list
+    |> List.map (fun r -> Json.member "ruleId" r)
+    |> List.sort_uniq compare
+  in
+  match
+    Session.handle session
+      (Protocol.Scan_plan { path = "plan.json"; source = Some plan_src })
+  with
+  | Error e -> Alcotest.failf "scan_terraform_plan: %s" e.Protocol.message
+  | Ok plan_sarif -> (
+      Alcotest.(check bool) "plan scan finds violations" true
+        (rule_ids plan_sarif <> []);
+      match
+        Session.handle session
+          (Protocol.Scan_file
+             { path = "x.tf"; source = Some Registry.mssql_db_buggy })
+      with
+      | Error e -> Alcotest.failf "scan_file: %s" e.Protocol.message
+      | Ok hcl_sarif ->
+          (* same program, two input languages: same rules must fire
+             (lines differ — plan JSON has no source positions) *)
+          Alcotest.(check bool) "plan rules ≡ HCL rules" true
+            (rule_ids plan_sarif = rule_ids hcl_sarif);
+          (* malformed plan JSON is a structured scan_error *)
+          match
+            Session.handle session
+              (Protocol.Scan_plan { path = "p.json"; source = Some "{}" })
+          with
+          | Error e ->
+              Alcotest.(check string) "scan_error" "scan_error" e.Protocol.code
+          | Ok _ -> Alcotest.fail "empty plan scanned")
+
+(* qcheck: N concurrent clients each replaying a request script over
+   its own connection get byte-for-byte the responses a sequential
+   replay of the same script produces — determinism survives
+   concurrency, scheduling and the shared scan cache. *)
+let example_sources =
+  [|
+    Registry.mssql_db_buggy;
+    Registry.mssql_db_fixed;
+    Registry.appgw_assoc_buggy;
+    Registry.appgw_assoc_fixed;
+    Registry.quickstart_vm;
+  |]
+
+let prop_concurrent_equals_sequential server_path =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 3)
+        (list_size (int_range 1 4)
+           (int_bound (Array.length example_sources - 1))))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun clients ->
+        String.concat ";"
+          (List.map
+             (fun picks -> String.concat "," (List.map string_of_int picks))
+             clients))
+      gen
+  in
+  QCheck.Test.make ~name:"concurrent ≡ sequential SARIF bytes" ~count:5 arb
+    (fun clients ->
+      let script client_idx picks =
+        List.mapi
+          (fun i pick ->
+            source_scan_request
+              ~id:((100 * client_idx) + i)
+              ~path:(Printf.sprintf "c%d-%d.tf" client_idx i)
+              example_sources.(pick))
+          picks
+      in
+      let scripts = List.mapi script clients in
+      let drivers =
+        List.map
+          (fun lines ->
+            Domain.spawn (fun () ->
+                let fd, ic, oc = connect server_path in
+                let responses =
+                  List.map
+                    (fun line ->
+                      send oc line;
+                      input_line ic)
+                    lines
+                in
+                hang_up fd;
+                responses))
+          scripts
+      in
+      let concurrent = List.map Domain.join drivers in
+      (* sequential replay on a fresh session — same scripts, no
+         concurrency, no shared cache state with the server *)
+      let replay = make_session () in
+      let sequential =
+        List.map
+          (List.map (fun line ->
+               Json.to_string (Server.handle_line replay line)))
+          scripts
+      in
+      concurrent = sequential)
+
+let test_concurrent_determinism () =
+  with_server ~max_clients:4 (fun _session path ->
+      QCheck.Test.check_exn (prop_concurrent_equals_sequential path))
+
 let () =
   Alcotest.run "serve"
     [
@@ -466,5 +855,22 @@ let () =
             test_sarif_deterministic;
           Alcotest.test_case "line index" `Quick test_line_index;
           Alcotest.test_case "directory scan" `Quick test_scan_directory;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "interleaved clients, id routing" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "busy past --max-clients" `Quick
+            test_busy_past_max_clients;
+          Alcotest.test_case "in-flight deadline discards partial work"
+            `Quick test_deadline_discards_partial_work;
+          Alcotest.test_case "scan cache reattaches paths" `Quick
+            test_scan_cache;
+          Alcotest.test_case "scan cache stats" `Quick test_scan_cache_stats;
+          Alcotest.test_case "scan_batch" `Quick test_scan_batch;
+          Alcotest.test_case "scan_terraform_plan" `Quick
+            test_scan_terraform_plan;
+          Alcotest.test_case "concurrent ≡ sequential (qcheck)" `Quick
+            test_concurrent_determinism;
         ] );
     ]
