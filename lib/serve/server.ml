@@ -135,11 +135,16 @@ let take session adm =
       in
       wait ())
 
+(* Drains the queue under the lock so each pending fd has exactly one
+   owner: the shutdown path refuses the leftovers, and the woken
+   workers find the queue empty and exit via [take]'s [None]. *)
 let close_admission adm =
   with_lock adm.lock (fun () ->
       adm.closed <- true;
+      let leftover = Queue.fold (fun acc conn -> conn :: acc) [] adm.pending in
+      Queue.clear adm.pending;
       Condition.broadcast adm.nonempty;
-      Queue.fold (fun acc conn -> conn :: acc) [] adm.pending)
+      leftover)
 
 let refuse conn code message =
   let oc = Unix.out_channel_of_descr conn in
@@ -157,6 +162,12 @@ let worker session config adm active =
   let rec loop () =
     match take session adm with
     | None -> ()
+    | Some conn when Session.stopping session ->
+        (* Popped after a [shutdown] was handled: answer the still-
+           queued client with the same structured refusal the accept-
+           loop drain gives, instead of a silent close. *)
+        refuse conn "shutting_down" "server is shutting down";
+        loop ()
     | Some conn ->
         with_lock active.alock (fun () -> active.fds <- conn :: active.fds);
         Session.connection_opened session;
@@ -165,10 +176,13 @@ let worker session config adm active =
         (try serve_channels ~config session ic oc
          with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
         (try flush oc with _ -> ());
-        (try Unix.close conn with _ -> ());
-        Session.connection_closed session;
+        (* Deregister before closing: once the fd is closed its number
+           can be reused, and the shutdown loop must never [shutdown]
+           a descriptor that now belongs to someone else. *)
         with_lock active.alock (fun () ->
             active.fds <- List.filter (fun fd -> fd != conn) active.fds);
+        (try Unix.close conn with _ -> ());
+        Session.connection_closed session;
         loop ()
   in
   loop ()

@@ -427,7 +427,14 @@ let handle ?deadline_ms t verb =
   in
   Telemetry.with_span t.telemetry ("serve." ^ name) (fun () ->
       match dispatch ?checkpoint t verb with
-      | result -> if overdue () then Error (deadline_error (Option.get deadline_ms)) else result
+      | Ok _ when overdue () ->
+          (* Checkpoint-free verb finished past the deadline: the work
+             already ran to completion (counters/cache recorded it),
+             but the client still gets the structured error, counted
+             like the in-flight deadline path. *)
+          bump_errors t;
+          Error (deadline_error (Option.get deadline_ms))
+      | result -> result
       | exception Deadline_exceeded ->
           bump_errors t;
           Error (deadline_error (Option.get deadline_ms))

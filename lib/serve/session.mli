@@ -79,4 +79,7 @@ val handle :
     a deployment) and an over-deadline request abandons its remaining
     work, discards partial findings before any counter or cache
     records them, and returns a [deadline_exceeded] error. A
-    post-dispatch check backstops verbs with no checkpoints. *)
+    post-dispatch check backstops verbs with no checkpoints; when that
+    backstop fires the work already ran to completion, so counters and
+    the scan cache have recorded it — only the response is replaced
+    (and [errors] bumped, matching the in-flight path). *)
