@@ -2262,6 +2262,523 @@ let e19 () =
         exit 1
       end)
 
+(* ------------------------------------------------------------------ *)
+(* E20 — multi-process sharded mining: worker fleet, claim stealing    *)
+(* ------------------------------------------------------------------ *)
+
+(* The final kb-/mine- cache artifacts of a run, name → bytes. Shard
+   checkpoints and corpus entries are excluded: the merge-pass finals
+   are the byte-equality contract. *)
+let e20_finals dir =
+  List.filter_map
+    (fun f ->
+      if
+        (String.starts_with ~prefix:"kb-" f
+        || String.starts_with ~prefix:"mine-" f)
+        && Filename.check_suffix f ".bin"
+      then Some (f, read_all (Filename.concat dir f))
+      else None)
+    (List.sort String.compare (Array.to_list (Sys.readdir dir)))
+
+let e20_claims dir =
+  List.filter
+    (fun f -> Filename.check_suffix f ".claim")
+    (Array.to_list (Sys.readdir dir))
+
+let e20_fresh_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) ("zodiac-e20-" ^ tag)
+  in
+  rm_rf dir;
+  dir
+
+(* Spawn one CLI invocation, swallow stderr, return (wall, ok, lines). *)
+let e20_cli bin args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (bin :: args)) ^ " 2>/dev/null"
+  in
+  let t0 = Unix.gettimeofday () in
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (Unix.gettimeofday () -. t0, status = Unix.WEXITED 0, List.rev !lines)
+
+let e20_mine_args ~n ~jobs ~shard ~workers ~stale ~dir =
+  [
+    "mine"; "--projects"; string_of_int n; "--jobs"; string_of_int jobs;
+    "--cache-dir"; dir; "--limit"; "0"; "--shard-size"; string_of_int shard;
+  ]
+  @
+  if workers > 1 then
+    [
+      "--workers"; string_of_int workers;
+      "--stale-after"; Printf.sprintf "%g" stale;
+    ]
+  else []
+
+(* Parse the report's "mproc kb: workers=… claimed=… built=… stolen=…"
+   accounting line (the optional " failed=…" suffix is ignored). *)
+let e20_mproc lines pass =
+  let prefix = Printf.sprintf "mproc %s:" pass in
+  List.find_map
+    (fun l ->
+      let l = String.trim l in
+      if String.starts_with ~prefix l then
+        try
+          Scanf.sscanf
+            (String.sub l (String.length prefix)
+               (String.length l - String.length prefix))
+            " workers=%d claimed=%d built=%d stolen=%d" (fun w c b s ->
+              Some (w, c, b, s))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      else None)
+    lines
+
+(* Plant a claim file for the [lo, hi) KB shard as a long-dead owner
+   (mtime backdated to the epoch), so any positive --stale-after makes
+   the next claimant steal it. *)
+let e20_plant_stale_claim ~dir ~lo ~hi =
+  let key =
+    Pipeline.corpus_key
+      { Pipeline.default_config with Pipeline.corpus_seed = 20240704 }
+  in
+  let cache = Cache.create ~dir () in
+  let name = Shard_stream.claim_name ~stage:"shard-kb" ~key ~lo ~hi in
+  match Cache.try_claim cache ~name ~owner:"corpse" with
+  | Cache.Claimed _ ->
+      Unix.utimes (Cache.claim_path cache ~name) 1. 1.;
+      true
+  | Cache.Busy -> false
+
+(* KB shard checkpoints present for the default-seed corpus. *)
+let e20_kb_checkpoints dir =
+  List.filter
+    (fun f ->
+      String.starts_with ~prefix:"shard-kb-" f && Filename.check_suffix f ".bin")
+    (Array.to_list (Sys.readdir dir))
+
+let e20 () =
+  print_endline
+    (section
+       "E20  Multi-process sharded mining: worker fleet, claim stealing, merge");
+  match zodiac_bin () with
+  | None ->
+      (* Workers re-exec the real binary; without one on disk there is
+         nothing multi-process to measure. *)
+      print_endline
+        "NOTE: zodiac CLI binary not found (build bin/ or set ZODIAC_BIN) — \
+         E20 skipped"
+  | Some bin ->
+      (* (a) byte-equality grid: every (workers, jobs, shard) combination
+         must leave the same final kb-/mine- artifacts as the monolithic
+         run, with no claim files left behind. *)
+      let n_small = 400 in
+      let mono_dir = e20_fresh_dir "mono" in
+      let _, mono_ok, _ =
+        e20_cli bin
+          [
+            "mine"; "--projects"; string_of_int n_small; "--jobs"; "1";
+            "--cache-dir"; mono_dir; "--limit"; "0";
+          ]
+      in
+      let mono = e20_finals mono_dir in
+      if (not mono_ok) || mono = [] then begin
+        print_endline "E20: FAIL — monolithic reference run failed";
+        exit 1
+      end;
+      let grid = [ (1, 1, 100); (2, 1, 100); (4, 1, 100); (2, 2, 100);
+                   (2, 1, 170); (4, 2, 64) ]
+      in
+      let grid_results =
+        List.map
+          (fun (workers, jobs, shard) ->
+            let dir =
+              e20_fresh_dir (Printf.sprintf "w%d-j%d-s%d" workers jobs shard)
+            in
+            let wall, ok_run, lines =
+              e20_cli bin
+                (e20_mine_args ~n:n_small ~jobs ~shard ~workers ~stale:300.
+                   ~dir)
+            in
+            let fleet_ok =
+              workers = 1
+              ||
+              match e20_mproc lines "kb" with
+              | Some (w, claimed, built, _stolen) ->
+                  w = workers && claimed >= built && built > 0
+              | None -> false
+            in
+            let ok =
+              ok_run && fleet_ok
+              && e20_finals dir = mono
+              && e20_claims dir = []
+            in
+            rm_rf dir;
+            (workers, jobs, shard, wall, ok))
+          grid
+      in
+      let ok_grid = List.for_all (fun (_, _, _, _, ok) -> ok) grid_results in
+      print_table
+        ~header:[ "workers"; "jobs"; "shard size"; "wall (s)"; "vs monolithic" ]
+        (List.map
+           (fun (w, j, s, wall, ok) ->
+             [
+               string_of_int w; string_of_int j; string_of_int s; f2 wall;
+               (if ok then "identical" else "DIVERGED");
+             ])
+           grid_results);
+      rm_rf mono_dir;
+      (* (b) scale: wall clock and parent peak RSS at workers = 1/2/4 on
+         a 100k-project corpus, a fresh process and cache per level
+         (VmHWM is process-lifetime, and warm hits would void the
+         comparison). Speedup is recorded, not asserted — it depends on
+         the host's core count, which is recorded alongside. *)
+      let n_large = 100_000 in
+      let first_token s =
+        match String.index_opt s ' ' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      let rss_of lines =
+        List.find_map
+          (fun l ->
+            let l = String.trim l in
+            if String.starts_with ~prefix:"peak RSS:" l then
+              float_of_string_opt
+                (first_token
+                   (String.trim
+                      (String.sub l 9 (String.length l - 9))))
+            else None)
+          lines
+      in
+      let scale_levels = [ 1; 2; 4 ] in
+      let scale_results =
+        List.map
+          (fun workers ->
+            let dir = e20_fresh_dir (Printf.sprintf "scale-w%d" workers) in
+            let wall, ok_run, lines =
+              e20_cli bin
+                (e20_mine_args ~n:n_large ~jobs:1 ~shard:1000 ~workers
+                   ~stale:300. ~dir)
+            in
+            if not ok_run then begin
+              Printf.printf "E20: FAIL — 100k run with --workers %d failed\n"
+                workers;
+              exit 1
+            end;
+            let finals = e20_finals dir in
+            rm_rf dir;
+            (workers, wall, rss_of lines, finals))
+          scale_levels
+      in
+      let scale_reference =
+        match scale_results with (_, _, _, f) :: _ -> f | [] -> []
+      in
+      let ok_scale =
+        scale_reference <> []
+        && List.for_all (fun (_, _, _, f) -> f = scale_reference) scale_results
+      in
+      let nproc = Zodiac_util.Parallel.recommended_jobs () in
+      let mb = function Some v -> Printf.sprintf "%.1f MB" v | None -> "n/a" in
+      print_table
+        ~header:[ "workers"; "wall (s)"; "parent peak RSS"; "vs workers=1" ]
+        (List.map
+           (fun (w, wall, rss, f) ->
+             [
+               string_of_int w; f2 wall; mb rss;
+               (if f = scale_reference then "identical" else "DIVERGED");
+             ])
+           scale_results);
+      Printf.printf "host: %d recommended domains (nproc)\n" nproc;
+      (* (c) kill -9 / resume: a lone worker is killed mid-corpus; its
+         checkpoints survive, its claim (planted stale if it died
+         between shards) is stolen, and a two-worker resume mines
+         exactly the unfinished shards to byte-identical finals. *)
+      let n_kill = 3000 and shard_kill = 250 in
+      let shards_kill = (n_kill + shard_kill - 1) / shard_kill in
+      let dir = e20_fresh_dir "kill" in
+      ignore (Cache.create ~dir ());
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process bin
+          [|
+            bin; "mine-worker"; "--pass"; "kb"; "--projects";
+            string_of_int n_kill; "--jobs"; "1"; "--shard-size";
+            string_of_int shard_kill; "--cache-dir"; dir; "--stale-after";
+            "300";
+          |]
+          Unix.stdin devnull Unix.stderr
+      in
+      Unix.close devnull;
+      (* Wait for at least two checkpoints, then kill -9. *)
+      let deadline = Unix.gettimeofday () +. 60. in
+      let rec wait_for_progress () =
+        if List.length (e20_kb_checkpoints dir) >= 2 then true
+        else if Unix.gettimeofday () > deadline then false
+        else begin
+          Unix.sleepf 0.005;
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> wait_for_progress ()
+          | _ -> true (* finished before we could kill it *)
+        end
+      in
+      let made_progress = wait_for_progress () in
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      if not made_progress then begin
+        print_endline "E20: FAIL — killed worker checkpointed nothing in 60s";
+        exit 1
+      end;
+      (* If the worker raced to completion, re-open some work so the
+         resume still has shards to mine. *)
+      let reopened =
+        let done_now = e20_kb_checkpoints dir in
+        if List.length done_now >= shards_kill then begin
+          List.iteri
+            (fun i f ->
+              if i < shards_kill / 2 then Sys.remove (Filename.concat dir f))
+            (List.sort String.compare done_now);
+          true
+        end
+        else false
+      in
+      let survivors = List.length (e20_kb_checkpoints dir) in
+      (* Guarantee a stale claim on some unfinished shard: the kill may
+         have landed between shards, leaving none behind. *)
+      let planted =
+        e20_claims dir = []
+        && (let rec first_open lo =
+              if lo >= n_kill then false
+              else
+                let hi = min n_kill (lo + shard_kill) in
+                let key =
+                  Pipeline.corpus_key
+                    {
+                      Pipeline.default_config with
+                      Pipeline.corpus_seed = 20240704;
+                    }
+                in
+                let ckey = Shard_stream.shard_key ~key ~lo ~hi in
+                let cache = Cache.create ~dir () in
+                if not (Cache.mem cache ~stage:"shard-kb" ~key:ckey) then
+                  e20_plant_stale_claim ~dir ~lo ~hi
+                else first_open hi
+            in
+            first_open 0)
+      in
+      let leftover_claims = List.length (e20_claims dir) in
+      let _, resume_ok, resume_lines =
+        e20_cli bin
+          (e20_mine_args ~n:n_kill ~jobs:1 ~shard:shard_kill ~workers:2
+             ~stale:0.05 ~dir)
+      in
+      let kb_fleet = e20_mproc resume_lines "kb" in
+      let ok_resume_counts =
+        match kb_fleet with
+        | Some (_, _, built, stolen) ->
+            built = shards_kill - survivors
+            && stolen >= min 1 leftover_claims
+        | None -> false
+      in
+      let ref_dir = e20_fresh_dir "kill-ref" in
+      let _, ref_ok, _ =
+        e20_cli bin
+          (e20_mine_args ~n:n_kill ~jobs:1 ~shard:shard_kill ~workers:1
+             ~stale:300. ~dir:ref_dir)
+      in
+      let ok_kill =
+        resume_ok && ref_ok && ok_resume_counts
+        && e20_finals dir = e20_finals ref_dir
+        && e20_claims dir = []
+      in
+      Printf.printf
+        "kill -9 mid-mine: %d/%d shards survived (%d stale claims%s, work \
+         reopened: %b); 2-worker resume built %s, stole %s, finals identical: \
+         %b\n"
+        survivors shards_kill leftover_claims
+        (if planted then ", one planted" else "")
+        reopened
+        (match kb_fleet with
+        | Some (_, _, b, _) -> string_of_int b
+        | None -> "?")
+        (match kb_fleet with
+        | Some (_, _, _, s) -> string_of_int s
+        | None -> "?")
+        ok_kill;
+      rm_rf dir;
+      rm_rf ref_dir;
+      let ok = ok_grid && ok_scale && ok_kill in
+      let json =
+        Json.Obj
+          [
+            ("experiment", Json.String "e20-multiprocess-sharded-mining");
+            ("nproc", Json.Int nproc);
+            ( "equivalence",
+              Json.Obj
+                [
+                  ("corpus_size", Json.Int n_small);
+                  ( "runs",
+                    Json.List
+                      (List.map
+                         (fun (w, j, s, wall, ok) ->
+                           Json.Obj
+                             [
+                               ("workers", Json.Int w);
+                               ("jobs", Json.Int j);
+                               ("shard_size", Json.Int s);
+                               ("wall_seconds", Json.Float wall);
+                               ("identical_to_monolithic", Json.Bool ok);
+                             ])
+                         grid_results) );
+                ] );
+            ( "scale",
+              Json.Obj
+                [
+                  ("corpus_size", Json.Int n_large);
+                  ("shard_size", Json.Int 1000);
+                  ("fresh_process_per_run", Json.Bool true);
+                  ( "runs",
+                    Json.List
+                      (List.map
+                         (fun (w, wall, rss, f) ->
+                           Json.Obj
+                             [
+                               ("workers", Json.Int w);
+                               ("wall_seconds", Json.Float wall);
+                               ( "parent_peak_rss_mb",
+                                 match rss with
+                                 | Some v -> Json.Float v
+                                 | None -> Json.Null );
+                               ( "identical_to_workers_1",
+                                 Json.Bool (f = scale_reference) );
+                             ])
+                         scale_results) );
+                ] );
+            ( "kill_resume",
+              Json.Obj
+                [
+                  ("corpus_size", Json.Int n_kill);
+                  ("shards", Json.Int shards_kill);
+                  ("checkpoints_survived", Json.Int survivors);
+                  ("stale_claims", Json.Int leftover_claims);
+                  ("claim_planted", Json.Bool planted);
+                  ( "resume_built",
+                    match kb_fleet with
+                    | Some (_, _, b, _) -> Json.Int b
+                    | None -> Json.Null );
+                  ( "resume_stolen",
+                    match kb_fleet with
+                    | Some (_, _, _, s) -> Json.Int s
+                    | None -> Json.Null );
+                  ("finals_identical", Json.Bool ok_kill);
+                ] );
+          ]
+      in
+      let oc = open_out "BENCH_mproc.json" in
+      output_string oc (Json.to_string ~pretty:true json);
+      output_string oc "\n";
+      close_out oc;
+      print_endline "wrote BENCH_mproc.json";
+      if not ok then begin
+        Printf.printf
+          "E20: FAIL — grid identical: %b; 100k scale identical: %b; \
+           kill/resume ok: %b\n"
+          ok_grid ok_scale ok_kill;
+        exit 1
+      end
+
+(* The fast multi-process gate behind `smoke --mproc-only` (and part of
+   the full smoke): workers=2 ≡ workers=1 byte-identical finals, a
+   planted stale claim is stolen, and no claim files outlive a run.
+   Falls back to the in-process worker entry point when the CLI binary
+   isn't on disk — same claim machinery, no fork. *)
+let smoke_mproc () =
+  let n = 120 and shard = 40 in
+  let fresh tag =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        ("zodiac-smoke-mproc-" ^ tag)
+    in
+    rm_rf dir;
+    dir
+  in
+  let d1 = fresh "w1" and d2 = fresh "w2" in
+  let ok =
+    match zodiac_bin () with
+    | Some bin ->
+        let _, ok1, _ =
+          e20_cli bin
+            (e20_mine_args ~n ~jobs:1 ~shard ~workers:1 ~stale:300. ~dir:d1)
+        in
+        ignore (Cache.create ~dir:d2 ());
+        let planted = e20_plant_stale_claim ~dir:d2 ~lo:0 ~hi:shard in
+        let _, ok2, lines =
+          e20_cli bin
+            (e20_mine_args ~n ~jobs:1 ~shard ~workers:2 ~stale:300. ~dir:d2)
+        in
+        let stolen =
+          match e20_mproc lines "kb" with
+          | Some (_, _, _, s) -> s
+          | None -> -1
+        in
+        ok1 && ok2 && planted && stolen >= 1
+        && e20_finals d2 = e20_finals d1
+        && e20_claims d1 = [] && e20_claims d2 = []
+    | None ->
+        let config ~dir =
+          {
+            Pipeline.default_config with
+            Pipeline.corpus_size = n;
+            corpus_seed = 20240704;
+            jobs = 1;
+            cache_dir = Some dir;
+          }
+        in
+        let w1 =
+          Pipeline.mine_streamed ~config:(config ~dir:d1) ~shard_size:shard ()
+        in
+        ignore (Cache.create ~dir:d2 ());
+        let planted = e20_plant_stale_claim ~dir:d2 ~lo:0 ~hi:shard in
+        let kb_outcome =
+          Pipeline.mine_worker ~config:(config ~dir:d2) ~stale_after:300.
+            ~shard_size:shard ~pass:`Kb ()
+        in
+        let mine_outcome =
+          Pipeline.mine_worker ~config:(config ~dir:d2) ~stale_after:300.
+            ~shard_size:shard ~pass:`Mine ()
+        in
+        let w2 =
+          Pipeline.mine_streamed ~config:(config ~dir:d2) ~shard_size:shard ()
+        in
+        planted
+        && kb_outcome.Shard_stream.w_stolen >= 1
+        && kb_outcome.Shard_stream.w_built + mine_outcome.Shard_stream.w_built
+           > 0
+        && String.equal (streamed_funnel_bytes w1) (streamed_funnel_bytes w2)
+        && e20_finals d2 = e20_finals d1
+        && e20_claims d1 = [] && e20_claims d2 = []
+  in
+  rm_rf d1;
+  rm_rf d2;
+  Printf.printf
+    "mproc gate (%s): workers=2 ≡ workers=1 with a stolen stale claim: %b\n"
+    (match zodiac_bin () with Some _ -> "forked CLI" | None -> "in-process")
+    ok;
+  ok
+
+let smoke_mproc_only () =
+  print_endline (section "smoke --mproc-only  multi-process mining gate");
+  if smoke_mproc () then print_endline "smoke: PASS"
+  else begin
+    print_endline "smoke: FAIL";
+    exit 1
+  end
+
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
 let smoke () =
@@ -2445,10 +2962,12 @@ let smoke () =
     ok_trace ok_stream_warm ok_stream_cold ok_stream_corrupt;
   (* daemon round-trip: resident SARIF ≡ one-shot CLI, byte for byte *)
   let ok_serve = smoke_serve () in
+  (* multi-process mining: worker fleet ≡ single worker, stale steal *)
+  let ok_mproc = smoke_mproc () in
   if
     ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt
     && ok_trace && ok_stream_warm && ok_stream_cold && ok_stream_corrupt
-    && ok_serve
+    && ok_serve && ok_mproc
   then print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
@@ -2458,7 +2977,7 @@ let smoke () =
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19;
+    e18; e19; e20;
   ]
 
 let by_name =
@@ -2466,5 +2985,5 @@ let by_name =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e19", e19);
+    ("e18", e18); ("e19", e19); ("e20", e20);
   ]

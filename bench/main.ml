@@ -5,19 +5,24 @@
      dune exec bench/main.exe -- micro           # micro-benchmarks only
      dune exec bench/main.exe -- smoke           # tier-1 gate (engine + daemon)
      dune exec bench/main.exe -- smoke --serve-only  # just the daemon round-trip
+     dune exec bench/main.exe -- smoke --mproc-only  # just the multi-process gate
 
    Each experiment regenerates one table or figure from the paper's
    evaluation section (see DESIGN.md for the index) and prints the
    paper's values alongside for shape comparison. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1..e19|micro|smoke [--serve-only]|all]...";
+  print_endline
+    "usage: main.exe [e1..e20|micro|smoke [--serve-only|--mproc-only]|all]...";
   exit 1
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let serve_only = List.mem "--serve-only" args in
-  let args = List.filter (fun a -> a <> "--serve-only") args in
+  let mproc_only = List.mem "--mproc-only" args in
+  let args =
+    List.filter (fun a -> a <> "--serve-only" && a <> "--mproc-only") args
+  in
   let run_all () =
     List.iter (fun e -> e ()) Experiments.all;
     Micro.run ()
@@ -33,6 +38,7 @@ let () =
                 | "micro" -> Micro.run ()
                 | "smoke" ->
                     if serve_only then Experiments.smoke_serve_only ()
+                    else if mproc_only then Experiments.smoke_mproc_only ()
                     else Experiments.smoke ()
                 | name -> (
                     match List.assoc_opt name Experiments.by_name with

@@ -156,14 +156,93 @@ let shard_size_arg =
            (default) runs the monolithic path. Results are \
            byte-identical for every value.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Fork $(docv) worker processes that mine disjoint shards of the \
+           corpus in parallel into the shared --cache-dir, claiming shards \
+           dynamically through atomic claim files (work stealing, crash \
+           tolerance: a killed worker's claims expire and survivors re-mine \
+           only its unfinished shards). Requires --shard-size and the \
+           cache. The parent merges the per-shard checkpoints; artifacts \
+           are byte-identical to --workers 1 for every (workers, jobs, \
+           shard-size) combination.")
+
+let stale_after_arg =
+  Arg.(
+    value
+    & opt float 300.0
+    & info [ "stale-after" ] ~docv:"SECONDS"
+        ~doc:
+          "Treat another worker's shard claim as abandoned once it is older \
+           than $(docv) seconds and take it over. Must exceed the worst \
+           single-shard mining time, or live workers steal each other's \
+           shards (harmless — work is duplicated, results unchanged).")
+
+(* Per-shard progress for long multi-worker runs: tty-only (stderr), so
+   redirected/test runs keep byte-stable output. Elapsed and peak RSS
+   are render-time probes — they never enter artifacts or telemetry. *)
+let progress_of () =
+  if not (Unix.isatty Unix.stderr) then None
+  else
+    let start = Unix.gettimeofday () in
+    Some
+      (fun ~pass ~index ~shards ~built ->
+        let rss =
+          match Zodiac_util.Rss.peak_rss_kb () with
+          | None -> ""
+          | Some kb ->
+              Printf.sprintf ", peak RSS %.1f MB" (float_of_int kb /. 1024.)
+        in
+        Printf.eprintf "mine[%s]: shard %d/%d %s (%.1fs elapsed%s)\n%!" pass
+          (index + 1) shards
+          (if built then "built" else "resumed")
+          (Unix.gettimeofday () -. start)
+          rss)
+
 let mine_cmd =
-  let run verbose seed size jobs cache trace limit shard_size =
+  let run verbose seed size jobs cache trace limit shard_size workers
+      stale_after =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
     let config = config_of ~jobs ?cache_dir:cache seed size in
+    if workers > 1 && (shard_size <= 0 || Option.is_none cache) then begin
+      prerr_endline
+        "zodiac: --workers N requires --shard-size and an enabled cache \
+         (shard claims and checkpoints live in --cache-dir)";
+      exit 2
+    end;
     if shard_size > 0 then begin
+      (* Workers re-exec this binary in the hidden worker mode with the
+         exact mining parameters; only coordination knobs (stale-after)
+         travel separately, so a worker's shard bytes are the parent's
+         by construction. *)
+      let worker_command pass =
+        [|
+          Sys.executable_name;
+          "mine-worker";
+          "--pass";
+          pass;
+          "--seed";
+          string_of_int seed;
+          "--projects";
+          string_of_int size;
+          "--jobs";
+          string_of_int config.Zodiac.Pipeline.jobs;
+          "--shard-size";
+          string_of_int shard_size;
+          "--cache-dir";
+          Option.get cache;
+          "--stale-after";
+          Printf.sprintf "%.6f" stale_after;
+        |]
+      in
       let streamed =
-        Zodiac.Pipeline.mine_streamed ~config ~telemetry ~shard_size ()
+        Zodiac.Pipeline.mine_streamed ~config ~telemetry ~workers
+          ~worker_command ?progress:(progress_of ()) ~shard_size ()
       in
       write_trace trace telemetry;
       print_endline (Zodiac.Report.streamed_summary streamed);
@@ -191,7 +270,47 @@ let mine_cmd =
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
     Term.(
       const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ cache_term
-      $ trace_arg $ limit $ shard_size_arg)
+      $ trace_arg $ limit $ shard_size_arg $ workers_arg $ stale_after_arg)
+
+(* ---- mine-worker (hidden) ------------------------------------------- *)
+
+(* The re-exec target behind [mine --workers N]: claim and checkpoint
+   shards of one pass into the shared cache dir, print one summary
+   line, exit. Never invoked by hand — the parent constructs the argv. *)
+let mine_worker_cmd =
+  let run verbose seed size jobs cache shard_size pass stale_after =
+    setup_logs verbose;
+    match cache with
+    | None ->
+        prerr_endline "zodiac: mine-worker requires --cache-dir";
+        exit 2
+    | Some _ -> (
+        let config = config_of ~jobs ?cache_dir:cache seed size in
+        let pass = if String.equal pass "kb" then `Kb else `Mine in
+        match
+          Zodiac.Pipeline.mine_worker ~config ~stale_after ~shard_size ~pass ()
+        with
+        | outcome -> print_endline (Zodiac.Pipeline.worker_summary outcome)
+        | exception Invalid_argument msg ->
+            prerr_endline ("zodiac: " ^ msg);
+            exit 2)
+  in
+  let pass_arg =
+    Arg.(
+      value
+      & opt (enum [ ("kb", "kb"); ("mine", "mine") ]) "kb"
+      & info [ "pass" ] ~docv:"PASS"
+          ~doc:"Which streamed pass to checkpoint shards for (kb or mine).")
+  in
+  Cmd.v
+    (Cmd.info "mine-worker"
+       ~doc:
+         "(internal) Shard worker for $(b,mine --workers): claims and \
+          checkpoints shards into the shared cache, then exits. Spawned by \
+          the parent mine process; not intended for direct use.")
+    Term.(
+      const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg
+      $ cache_term $ shard_size_arg $ pass_arg $ stale_after_arg)
 
 (* ---- validate ------------------------------------------------------- *)
 
@@ -652,8 +771,8 @@ let main =
     (Cmd.info "zodiac" ~version:"1.0.0"
        ~doc:"Unearthing semantic checks for cloud IaC programs")
     [
-      mine_cmd; validate_cmd; scan_cmd; deploy_cmd; plan_cmd; graph_cmd; corpus_cmd;
-      rules_cmd; export_cmd; serve_cmd;
+      mine_cmd; mine_worker_cmd; validate_cmd; scan_cmd; deploy_cmd; plan_cmd;
+      graph_cmd; corpus_cmd; rules_cmd; export_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

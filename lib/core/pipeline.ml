@@ -92,7 +92,8 @@ let dedup_checks checks =
 
 let cache_of config = Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir
 
-let zero_cache_stats = { Cache.hits = 0; misses = 0; writes = 0 }
+let zero_cache_stats =
+  { Cache.hits = 0; misses = 0; writes = 0; write_failures = 0 }
 
 let cache_stats_of = function
   | Some c -> Cache.stats c
@@ -304,6 +305,25 @@ let mine_only ?(config = default_config) ?telemetry () =
    shard of materialized programs plus the accumulated tables,
    independent of [corpus_size]. *)
 
+type mproc = {
+  m_workers : int;
+  m_claimed : int;
+  m_built : int;
+  m_stolen : int;
+  m_waits : int;
+  m_failed : int;
+}
+
+let no_fleet =
+  {
+    m_workers = 0;
+    m_claimed = 0;
+    m_built = 0;
+    m_stolen = 0;
+    m_waits = 0;
+    m_failed = 0;
+  }
+
 type streamed = {
   s_config : config;
   s_shard_size : int;
@@ -315,10 +335,178 @@ type streamed = {
   s_candidates : Check.t list;
   s_kb_fold : Shard_stream.outcome;
   s_mine_fold : Shard_stream.outcome;
+  s_kb_mproc : mproc;
+  s_mine_mproc : mproc;
   s_cache_stats : Cache.stats;
 }
 
-let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
+(* One shard of projects, generated and materialized on demand. The
+   per-index PRNG streams make a shard's content independent of every
+   other shard, so a checkpointed shard stays valid as the corpus
+   grows. [Defaults.effective] is idempotent, so this single
+   materialization equals the monolithic path's. *)
+let shard_load config ~lo ~hi =
+  Miner.materialize ~jobs:config.jobs
+    (List.map
+       (fun p -> p.Generator.program)
+       (Generator.generate_range ~violation_rate:config.violation_rate
+          ~jobs:config.jobs ~seed:config.corpus_seed ~lo ~hi ()))
+
+(* Miner-table checkpoints additionally key on the whole-corpus
+   identity (the KB the counts consult) and [use_kb] — but not
+   [min_support], which only gates emission. *)
+let shard_mine_key config =
+  Codec.fingerprint
+    [ tables_key config; string_of_bool config.mining.Miner.use_kb ]
+
+(* ---- multi-process worker fleet ------------------------------------
+   [mine --workers N] forks N children (a re-exec of the current
+   binary in the hidden worker mode, argv supplied by the caller) per
+   streamed pass. Children never merge and never talk to each other:
+   they race to claim and checkpoint shards into the shared cache dir
+   ({!Shard_stream.fold_worker}), print one summary line on stdout and
+   exit. The parent then runs the ordinary resumed fold — the merge
+   pass — which also rebuilds inline any shard a crashed worker left
+   unfinished, so artifacts are byte-identical to [--workers 1]
+   regardless of worker fates. *)
+
+let worker_summary (o : Shard_stream.worker_outcome) =
+  Printf.sprintf "mproc-worker claimed=%d built=%d stolen=%d waits=%d"
+    o.Shard_stream.w_claimed o.Shard_stream.w_built o.Shard_stream.w_stolen
+    o.Shard_stream.w_waits
+
+let parse_worker_summary line =
+  match
+    Scanf.sscanf line "mproc-worker claimed=%d built=%d stolen=%d waits=%d"
+      (fun c b s w ->
+        {
+          Shard_stream.w_claimed = c;
+          w_built = b;
+          w_stolen = s;
+          w_waits = w;
+        })
+  with
+  | outcome -> Some outcome
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let run_fleet ~telemetry ~pass ~workers ~worker_command =
+  match worker_command with
+  | Some cmd when workers > 1 ->
+      let argv = cmd pass in
+      Telemetry.with_span telemetry ("mproc." ^ pass) (fun () ->
+          let clock =
+            if Telemetry.deterministic telemetry then None
+            else Some Unix.gettimeofday
+          in
+          let t0 = Option.map (fun c -> c ()) clock in
+          let children =
+            List.init workers (fun _ ->
+                let r, w = Unix.pipe () in
+                let pid =
+                  Unix.create_process argv.(0) argv Unix.stdin w Unix.stderr
+                in
+                Unix.close w;
+                (pid, r))
+          in
+          let fleet =
+            List.fold_left
+              (fun (i, acc) (pid, r) ->
+                let ic = Unix.in_channel_of_descr r in
+                let rec lines acc =
+                  match input_line ic with
+                  | line -> lines (line :: acc)
+                  | exception End_of_file -> acc
+                in
+                let summary = List.find_map parse_worker_summary (lines []) in
+                close_in_noerr ic;
+                let status = snd (Unix.waitpid [] pid) in
+                (match (clock, t0) with
+                | Some c, Some t0 ->
+                    Telemetry.note telemetry
+                      (Printf.sprintf "worker%d.wall_seconds" i)
+                      (Printf.sprintf "%.3f" (c () -. t0))
+                | _ -> ());
+                let acc =
+                  match (status, summary) with
+                  | Unix.WEXITED 0, Some o ->
+                      {
+                        acc with
+                        m_claimed = acc.m_claimed + o.Shard_stream.w_claimed;
+                        m_built = acc.m_built + o.Shard_stream.w_built;
+                        m_stolen = acc.m_stolen + o.Shard_stream.w_stolen;
+                        m_waits = acc.m_waits + o.Shard_stream.w_waits;
+                      }
+                  | _ ->
+                      (* A dead or mute worker costs nothing but its
+                         unfinished shards, which the merge fold
+                         re-mines. *)
+                      { acc with m_failed = acc.m_failed + 1 }
+                in
+                (i + 1, acc))
+              (0, { no_fleet with m_workers = workers })
+              children
+            |> snd
+          in
+          Telemetry.count telemetry "mproc.workers" fleet.m_workers;
+          Telemetry.count telemetry "mproc.claimed" fleet.m_claimed;
+          Telemetry.count telemetry "mproc.built" fleet.m_built;
+          Telemetry.count telemetry "mproc.stolen" fleet.m_stolen;
+          Telemetry.count telemetry "mproc.waits" fleet.m_waits;
+          if fleet.m_failed > 0 then
+            Telemetry.count telemetry "mproc.failed" fleet.m_failed;
+          fleet)
+  | _ -> no_fleet
+
+let mine_worker ?(config = default_config) ?telemetry ?stale_after ~shard_size
+    ~pass () =
+  let telemetry = Option.value telemetry ~default:Telemetry.null in
+  let cache =
+    match cache_of config with
+    | Some c -> c
+    | None -> invalid_arg "mine_worker: a cache directory is required"
+  in
+  let jobs = config.jobs in
+  let n = config.corpus_size in
+  let gc_before = Gc.get () in
+  Gc.set { gc_before with Gc.space_overhead = 40 };
+  Fun.protect ~finally:(fun () -> Gc.set gc_before) @@ fun () ->
+  let load = shard_load config in
+  match pass with
+  | `Kb ->
+      Shard_stream.fold_worker ~cache ~telemetry ?stale_after ~stage:"shard-kb"
+        ~key:(corpus_key config) ~write:Kb.write_stats ~load
+        ~count:(Kb.stats_of_projects ~jobs) ~total:n ~shard_size ()
+  | `Mine ->
+      (* The mine pass needs the finalized whole-corpus KB. By the time
+         the parent spawns mine workers the KB pass is complete, so
+         either the final sized artifact or the full checkpoint set is
+         in the shared cache — folding the latter re-counts nothing. *)
+      let kb =
+        match
+          Cache.find ~size:n cache ~stage:"kb" ~key:(corpus_key config)
+            Kb.read_stats
+        with
+        | Some stats -> Kb.finalize stats
+        | None ->
+            let stats, _ =
+              Shard_stream.fold ~cache ~telemetry ~stage:"shard-kb"
+                ~key:(corpus_key config) ~write:Kb.write_stats
+                ~read:Kb.read_stats ~load
+                ~count:(Kb.stats_of_projects ~jobs)
+                ~merge:Kb.merge_stats
+                ~init:(Kb.stats_of_projects ~jobs [])
+                ~total:n ~shard_size ()
+            in
+            Kb.finalize stats
+      in
+      Shard_stream.fold_worker ~cache ~telemetry ?stale_after
+        ~stage:"shard-mine" ~key:(shard_mine_key config)
+        ~write:Miner.write_tables ~load
+        ~count:(Miner.count_tables ~jobs config.mining kb)
+        ~total:n ~shard_size ()
+
+let mine_streamed ?(config = default_config) ?telemetry ?(workers = 1)
+    ?worker_command ?progress ~shard_size () =
   let telemetry = Option.value telemetry ~default:Telemetry.null in
   let cache = cache_of config in
   let jobs = config.jobs in
@@ -331,19 +519,14 @@ let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
   let gc_before = Gc.get () in
   Gc.set { gc_before with Gc.space_overhead = 40 };
   Fun.protect ~finally:(fun () -> Gc.set gc_before) @@ fun () ->
-  (* One shard of projects, generated and materialized on demand. The
-     per-index PRNG streams make a shard's content independent of every
-     other shard, so a checkpointed shard stays valid as the corpus
-     grows. [Defaults.effective] is idempotent, so this single
-     materialization equals the monolithic path's. *)
-  let load ~lo ~hi =
-    Miner.materialize ~jobs
-      (List.map
-         (fun p -> p.Generator.program)
-         (Generator.generate_range ~violation_rate:config.violation_rate ~jobs
-            ~seed:config.corpus_seed ~lo ~hi ()))
+  let load = shard_load config in
+  let on_shard pass =
+    Option.map
+      (fun f ~index ~shards ~built -> f ~pass ~index ~shards ~built)
+      progress
   in
   let kb_fold = ref Shard_stream.no_shards in
+  let kb_mproc = ref no_fleet in
   let kb_stats_stage =
     (* Shard checkpoints key on corpus identity + range only (no total
        size): a shard counted during a 10k-project run resumes a later
@@ -351,9 +534,16 @@ let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
     Stage.streamed ~name:"kb" ~key:(corpus_key config) ~size:n
       ~artifact:Kb.stats_artifact
       (fun ~cache ~telemetry ~jobs ->
+        (* Fleet first (workers checkpoint every shard into the shared
+           cache), then the resumed fold below merges them in shard
+           order — and rebuilds any shard the fleet left behind. A warm
+           final-artifact hit never reaches this point, so no workers
+           spawn on warm runs. *)
+        kb_mproc :=
+          run_fleet ~telemetry ~pass:"kb" ~workers ~worker_command;
         let stats, outcome =
-          Shard_stream.fold ?cache ~telemetry ~stage:"shard-kb"
-            ~key:(corpus_key config) ~write:Kb.write_stats
+          Shard_stream.fold ?cache ~telemetry ?on_shard:(on_shard "kb")
+            ~stage:"shard-kb" ~key:(corpus_key config) ~write:Kb.write_stats
             ~read:Kb.read_stats ~load
             ~count:(Kb.stats_of_projects ~jobs)
             ~merge:Kb.merge_stats
@@ -365,21 +555,17 @@ let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
   in
   let kb = Kb.finalize (Stage.run ?cache ~telemetry ~jobs kb_stats_stage) in
   let mine_fold = ref Shard_stream.no_shards in
+  let mine_mproc = ref no_fleet in
   let mined_stage =
-    (* Miner-table checkpoints additionally key on the whole-corpus
-       identity (the KB the counts consult) and [use_kb] — but not
-       [min_support], which only gates emission. *)
-    let shard_mine_key =
-      Codec.fingerprint
-        [ tables_key config; string_of_bool config.mining.Miner.use_kb ]
-    in
     Stage.streamed ~name:"mine" ~key:(mine_key config)
       ~artifact:Candidate.list_artifact
       (fun ~cache ~telemetry ~jobs ->
+        mine_mproc :=
+          run_fleet ~telemetry ~pass:"mine" ~workers ~worker_command;
         let tables, outcome =
-          Shard_stream.fold ?cache ~telemetry ~stage:"shard-mine"
-            ~key:shard_mine_key ~write:Miner.write_tables
-            ~read:Miner.read_tables ~load
+          Shard_stream.fold ?cache ~telemetry ?on_shard:(on_shard "mine")
+            ~stage:"shard-mine" ~key:(shard_mine_key config)
+            ~write:Miner.write_tables ~read:Miner.read_tables ~load
             ~count:(Miner.count_tables ~jobs config.mining kb)
             ~merge:Miner.merge_tables
             ~init:(Miner.count_tables ~jobs config.mining kb [])
@@ -403,6 +589,8 @@ let mine_streamed ?(config = default_config) ?telemetry ~shard_size () =
     s_candidates = candidates;
     s_kb_fold = !kb_fold;
     s_mine_fold = !mine_fold;
+    s_kb_mproc = !kb_mproc;
+    s_mine_mproc = !mine_mproc;
     s_cache_stats = cache_stats_of cache;
   }
 

@@ -83,6 +83,12 @@ val mine_only :
 (** Stop after filtering and interpolation (validation left empty);
     much faster, used by mining-phase experiments. *)
 
+val corpus_key : config -> string
+(** Content address of the generated corpus (seed and violation rate;
+    size-independent) — also the [key] under which the streamed KB pass
+    shards, checkpoints and claims (stage ["shard-kb"]). Exposed so
+    benches can plant or inspect claim files for specific shards. *)
+
 (** {2 Streaming shard pipeline}
 
     The bounded-memory counterpart of {!mine_only} for corpora too
@@ -99,6 +105,19 @@ val mine_only :
     stages and are byte-identical to them for every shard size and
     [jobs] value. *)
 
+type mproc = {
+  m_workers : int;  (** worker processes spawned for the pass *)
+  m_claimed : int;  (** shard claims won across the fleet *)
+  m_built : int;  (** shards counted and checkpointed by workers *)
+  m_stolen : int;  (** claims taken over from stale holders *)
+  m_waits : int;  (** poll sleeps spent waiting on siblings *)
+  m_failed : int;  (** workers that died or reported no summary *)
+}
+(** Aggregated worker-fleet accounting for one streamed pass
+    ({!no_fleet} when the pass ran single-process or was warm). *)
+
+val no_fleet : mproc
+
 type streamed = {
   s_config : config;
   s_shard_size : int;
@@ -113,12 +132,17 @@ type streamed = {
           when the final KB artifact was already cached) *)
   s_mine_fold : Zodiac_util.Shard_stream.outcome;
       (** miner-table pass accounting, same convention *)
+  s_kb_mproc : mproc;  (** KB-pass worker fleet ({!no_fleet} when none) *)
+  s_mine_mproc : mproc;  (** mine-pass worker fleet, same convention *)
   s_cache_stats : Zodiac_util.Cache.stats;
 }
 
 val mine_streamed :
   ?config:config ->
   ?telemetry:Zodiac_util.Telemetry.t ->
+  ?workers:int ->
+  ?worker_command:(string -> string array) ->
+  ?progress:(pass:string -> index:int -> shards:int -> built:bool -> unit) ->
   shard_size:int ->
   unit ->
   streamed
@@ -127,7 +151,56 @@ val mine_streamed :
     counts everything as one shard). Telemetry records the same
     [kb]/[mine]/[filter]/[oracle] spans, with [shard.*] counters inside
     the streamed stages. Without [config.cache_dir] the run still
-    streams, but nothing checkpoints. *)
+    streams, but nothing checkpoints.
+
+    With [workers > 1] and a [worker_command] (both required — alone,
+    either is inert), each streamed pass first spawns that many child
+    processes running [worker_command pass] (the argv of a re-exec of
+    the current binary in worker mode, [pass] being ["kb"] or
+    ["mine"]), which race to claim and checkpoint shards into the
+    shared [config.cache_dir] (see {!Zodiac_util.Shard_stream.fold_worker});
+    the parent waits for the fleet, then its own resumed fold becomes
+    the merge pass — combining the per-shard monoid checkpoints in
+    shard order and rebuilding inline anything a killed worker left
+    unfinished. Artifacts are byte-identical to [workers = 1] and to
+    the monolithic path for every [(workers, jobs, shard_size)]
+    combination; fleets never spawn when the pass's final artifact is
+    already cached. Fleet accounting lands in [s_kb_mproc]/
+    [s_mine_mproc] and in [mproc.*] telemetry counters under the
+    [mproc.kb]/[mproc.mine] spans.
+
+    [progress] fires after each shard the parent merges — an
+    observability hook (the CLI's tty progress lines), never part of
+    results. *)
+
+val mine_worker :
+  ?config:config ->
+  ?telemetry:Zodiac_util.Telemetry.t ->
+  ?stale_after:float ->
+  shard_size:int ->
+  pass:[ `Kb | `Mine ] ->
+  unit ->
+  Zodiac_util.Shard_stream.worker_outcome
+(** The child-process entry point behind the hidden CLI worker verb:
+    checkpoint shards of [pass] into [config.cache_dir] (required —
+    raises [Invalid_argument] without one) until every shard of the
+    plan is checkpointed, claiming each through the cache's claim
+    files; [stale_after] bounds how long a dead sibling's claim can
+    block a shard. The [`Mine] pass loads the finalized KB from the
+    shared cache (final artifact or checkpoint fold — complete by the
+    time the parent spawns mine workers). Returns this worker's
+    claim/build accounting; it never merges and never writes final
+    artifacts. *)
+
+val worker_summary : Zodiac_util.Shard_stream.worker_outcome -> string
+(** The one-line summary a worker process prints on stdout
+    ([mproc-worker claimed=… built=… stolen=… waits=…]) for the parent
+    to aggregate. *)
+
+val parse_worker_summary :
+  string -> Zodiac_util.Shard_stream.worker_outcome option
+(** Inverse of {!worker_summary} — exposed for benches that inspect a
+    worker's own accounting. *)
 
 val cached_corpus :
   ?cache:Zodiac_util.Cache.t ->

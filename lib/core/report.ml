@@ -79,13 +79,21 @@ let checks_listing ?(limit = 20) checks =
 let engine_summary (a : Pipeline.artifacts) =
   Zodiac_engine.Stats.summary a.Pipeline.engine_stats
 
+(* Failed writes are rare enough (read-only dir, disk full) that the
+   healthy-run line keeps its historical shape; the suffix appears only
+   when something was actually lost. *)
+let write_failure_suffix (s : Cache.stats) =
+  if s.Cache.write_failures = 0 then ""
+  else Printf.sprintf " / %d write failures" s.Cache.write_failures
+
 let cache_summary (a : Pipeline.artifacts) =
   let s = a.Pipeline.cache_stats in
   match a.Pipeline.config.Pipeline.cache_dir with
   | None -> "warm-start cache: off (--cache-dir to enable)"
   | Some dir ->
-      Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes"
+      Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes%s"
         dir s.Cache.hits s.Cache.misses s.Cache.writes
+        (write_failure_suffix s)
 
 let stage_summary telemetry =
   if Telemetry.spans telemetry = [] then None
@@ -116,6 +124,24 @@ let streamed_summary (s : Pipeline.streamed) =
       Printf.sprintf "  %s pass: %d shards (%d resumed from checkpoints, %d built)"
         name o.Shard_stream.shards o.Shard_stream.resumed o.Shard_stream.built
   in
+  (* Worker-fleet accounting: a distinct prefix ("mproc kb:", never
+     "kb pass:") so line-oriented report parsers keep matching the fold
+     lines they matched before multi-process mining existed. *)
+  let mproc_lines =
+    List.concat_map
+      (fun (name, (m : Pipeline.mproc)) ->
+        if m.Pipeline.m_workers = 0 then []
+        else
+          [
+            Printf.sprintf
+              "  mproc %s: workers=%d claimed=%d built=%d stolen=%d%s" name
+              m.Pipeline.m_workers m.Pipeline.m_claimed m.Pipeline.m_built
+              m.Pipeline.m_stolen
+              (if m.Pipeline.m_failed = 0 then ""
+               else Printf.sprintf " failed=%d" m.Pipeline.m_failed);
+          ])
+      [ ("kb", s.Pipeline.s_kb_mproc); ("mine", s.Pipeline.s_mine_mproc) ]
+  in
   String.concat "\n"
     ([
        Printf.sprintf "streamed corpus: %d projects in shards of %d"
@@ -124,6 +150,9 @@ let streamed_summary (s : Pipeline.streamed) =
           if k <= 0 then s.Pipeline.s_config.Pipeline.corpus_size else k);
        fold_line "kb" s.Pipeline.s_kb_fold;
        fold_line "mine" s.Pipeline.s_mine_fold;
+     ]
+    @ mproc_lines
+    @ [
        Printf.sprintf "knowledge base: %d attribute entries, %d connection kinds"
          (Zodiac_kb.Kb.size s.Pipeline.s_kb)
          (List.length (Zodiac_kb.Kb.conn_kinds s.Pipeline.s_kb));
@@ -141,10 +170,11 @@ let streamed_summary (s : Pipeline.streamed) =
        (match s.Pipeline.s_config.Pipeline.cache_dir with
        | None -> "warm-start cache: off (--cache-dir to enable checkpointed resume)"
        | Some dir ->
-           Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes"
+           Printf.sprintf "warm-start cache (%s): %d hits / %d misses / %d writes%s"
              dir s.Pipeline.s_cache_stats.Cache.hits
              s.Pipeline.s_cache_stats.Cache.misses
-             s.Pipeline.s_cache_stats.Cache.writes);
+             s.Pipeline.s_cache_stats.Cache.writes
+             (write_failure_suffix s.Pipeline.s_cache_stats));
      ]
     @ rss_summary ())
 

@@ -118,8 +118,9 @@ let parse ~max_bytes line =
                 | Error e -> Error (id, e)))
         | _ -> Error (Json.Null, err "invalid_request" "request must be a JSON object"))
 
-let ok_response ~id result =
-  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+let ok_response ?(extra = []) ~id result =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool true); ("result", result) ] @ extra)
 
 let error_response ~id { code; message } =
   Json.Obj

@@ -43,7 +43,14 @@ val parse : max_bytes:int -> string -> (request, Zodiac_util.Json.t * error) res
 (** Parse one request line. On failure the returned [Json.t] is the
     best-effort request id to echo (often [Null]). *)
 
-val ok_response : id:Zodiac_util.Json.t -> Zodiac_util.Json.t -> Zodiac_util.Json.t
+val ok_response :
+  ?extra:(string * Zodiac_util.Json.t) list ->
+  id:Zodiac_util.Json.t ->
+  Zodiac_util.Json.t ->
+  Zodiac_util.Json.t
+(** [{"id": ..., "ok": true, "result": ...}]. [extra] members (e.g.
+    [content_fingerprint] from {!Session.handle_extra}) are appended
+    after ["result"], leaving the result member's bytes untouched. *)
 
 val error_response : id:Zodiac_util.Json.t -> error -> Zodiac_util.Json.t
 

@@ -35,6 +35,8 @@ let create ?(capacity = 4096) ?disk ~checks () =
 
 let key t ~mode src = Codec.fingerprint [ "scan-content"; mode; t.registry_fp; src ]
 
+let fingerprint = key
+
 (* Findings are cached path-stripped: [finding.file] carries the
    request path, and the same bytes scanned under two paths must hit
    the same entry. The caller's path is reattached on lookup. *)

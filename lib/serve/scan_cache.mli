@@ -47,6 +47,13 @@ val scan :
     and cache its findings. Errors are never cached — a failed scan
     re-runs next time. *)
 
+val fingerprint : t -> mode:string -> string -> string
+(** The cache key of the given source bytes under [mode] — the
+    ETag-style validator scan responses expose as
+    [content_fingerprint], so clients can recognize unchanged content
+    without resending it. Stable for a fixed (content, mode, check
+    registry) triple. *)
+
 val hits : t -> int
 val misses : t -> int
 

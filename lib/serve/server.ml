@@ -42,8 +42,8 @@ let handle_line ?(config = default_config) session line =
   match Protocol.parse ~max_bytes:config.max_request_bytes line with
   | Error (id, e) -> Protocol.error_response ~id e
   | Ok { Protocol.id; verb } -> (
-      match Session.handle ?deadline_ms:config.deadline_ms session verb with
-      | Ok payload -> Protocol.ok_response ~id payload
+      match Session.handle_extra ?deadline_ms:config.deadline_ms session verb with
+      | Ok (payload, extra) -> Protocol.ok_response ~extra ~id payload
       | Error e -> Protocol.error_response ~id e)
 
 let serve_channels ?(config = default_config) session ic oc =

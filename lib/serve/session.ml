@@ -134,15 +134,32 @@ let scan_path ?checkpoint t ~mode ~path ~source =
       | Error e -> Error e
       | Ok src -> cached_scan ?checkpoint t ~mode ~file:path src)
 
+(* Single-content scans resolve their source bytes up front: the same
+   bytes feed the scan and the [content_fingerprint] validator the
+   response envelope carries (the {!Scan_cache} key — an ETag clients
+   can use to skip resending unchanged content). *)
 let do_scan_one ?checkpoint t ~mode ~path ~source =
-  match scan_path ?checkpoint t ~mode ~path ~source with
+  let resolved =
+    match source with Some src -> Ok src | None -> Scan.read_file path
+  in
+  match resolved with
   | Error e ->
       bump_errors t;
       Error (scan_error e)
-  | Ok findings ->
-      record_scanned t ~files:1 ~findings:(List.length findings);
-      Telemetry.count t.telemetry "serve.findings" (List.length findings);
-      Ok (sarif_of_findings t findings)
+  | Ok src -> (
+      match cached_scan ?checkpoint t ~mode ~file:path src with
+      | Error e ->
+          bump_errors t;
+          Error (scan_error e)
+      | Ok findings ->
+          record_scanned t ~files:1 ~findings:(List.length findings);
+          Telemetry.count t.telemetry "serve.findings" (List.length findings);
+          Ok
+            ( sarif_of_findings t findings,
+              [
+                ( "content_fingerprint",
+                  Json.String (Scan_cache.fingerprint t.scan_cache ~mode src) );
+              ] ))
 
 let do_scan_directory ?checkpoint t ~dir =
   let scan file =
@@ -327,6 +344,7 @@ let do_stats t =
             ("hits", Json.Int s.Cache.hits);
             ("misses", Json.Int s.Cache.misses);
             ("writes", Json.Int s.Cache.writes);
+            ("write_failures", Json.Int s.Cache.write_failures);
           ]
   in
   let scan_cache =
@@ -374,21 +392,27 @@ let do_stats t =
          ("cache", cache);
        ])
 
+(* Dispatch yields the result payload plus envelope extras — response
+   members that ride beside ["result"] (never inside it, so the SARIF
+   payload stays byte-identical to the one-shot CLI's). *)
 let dispatch ?checkpoint t verb =
+  let plain = Result.map (fun json -> (json, [])) in
   match verb with
   | Protocol.Scan_file { path; source } ->
       do_scan_one ?checkpoint t ~mode:"hcl" ~path ~source
   | Protocol.Scan_plan { path; source } ->
       do_scan_one ?checkpoint t ~mode:"plan" ~path ~source
-  | Protocol.Scan_directory { dir } -> do_scan_directory ?checkpoint t ~dir
-  | Protocol.Scan_batch { files } -> do_scan_batch ?checkpoint t ~files
-  | Protocol.List_checks -> do_list_checks t
-  | Protocol.Validate { path; source } -> do_validate ?checkpoint t ~path ~source
-  | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
-  | Protocol.Stats -> do_stats t
+  | Protocol.Scan_directory { dir } ->
+      plain (do_scan_directory ?checkpoint t ~dir)
+  | Protocol.Scan_batch { files } -> plain (do_scan_batch ?checkpoint t ~files)
+  | Protocol.List_checks -> plain (do_list_checks t)
+  | Protocol.Validate { path; source } ->
+      plain (do_validate ?checkpoint t ~path ~source)
+  | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ], [])
+  | Protocol.Stats -> plain (do_stats t)
   | Protocol.Shutdown ->
       Atomic.set t.stop true;
-      Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+      Ok (Json.Obj [ ("stopping", Json.Bool true) ], [])
 
 exception Deadline_exceeded
 
@@ -398,7 +422,7 @@ let deadline_error ms =
     message = Printf.sprintf "request exceeded the %d ms deadline" ms;
   }
 
-let handle ?deadline_ms t verb =
+let handle_extra ?deadline_ms t verb =
   let name = Protocol.verb_name verb in
   with_state t (fun () ->
       Hashtbl.replace t.requests name
@@ -445,3 +469,6 @@ let handle ?deadline_ms t verb =
               Protocol.code = "internal_error";
               message = Printexc.to_string exn;
             })
+
+let handle ?deadline_ms t verb =
+  Result.map fst (handle_extra ?deadline_ms t verb)

@@ -63,6 +63,20 @@ val set_queue_depth : t -> int -> unit
 (** Transport hook: current admission-queue depth ([queue_depth] in
     [stats]). *)
 
+val handle_extra :
+  ?deadline_ms:int ->
+  t ->
+  Protocol.verb ->
+  (Zodiac_util.Json.t * (string * Zodiac_util.Json.t) list, Protocol.error)
+  result
+(** Like {!handle}, additionally returning envelope extras — response
+    members the transport places beside ["result"], never inside it
+    (the SARIF payload must stay byte-identical to the one-shot CLI).
+    Today that is [content_fingerprint] on [scan_file] and
+    [scan_terraform_plan]: the {!Scan_cache} key of the scanned bytes,
+    an ETag-style validator clients can remember to skip resending
+    unchanged content. *)
+
 val handle :
   ?deadline_ms:int ->
   t ->

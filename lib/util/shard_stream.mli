@@ -43,9 +43,15 @@ val shard_key : key:string -> lo:int -> hi:int -> string
     stream-wide [key] — exposed so tests and benches can address
     individual checkpoint entries. *)
 
+val claim_name : stage:string -> key:string -> lo:int -> hi:int -> string
+(** The {!Cache.try_claim} name a worker uses for the shard
+    [\[lo, hi)] of [(stage, key)] — exposed so tests and benches can
+    plant or inspect claims. *)
+
 val fold :
   ?cache:Cache.t ->
   ?telemetry:Telemetry.t ->
+  ?on_shard:(index:int -> shards:int -> built:bool -> unit) ->
   stage:string ->
   key:string ->
   write:(Codec.sink -> 'b -> unit) ->
@@ -68,4 +74,51 @@ val fold :
     [telemetry] receives the [shard.*] counters ([shard.total],
     [shard.resumed], [shard.built], [shard.items] — items loaded for
     rebuilt shards) inside a [shard.fold] span. Without a [cache] the
-    fold still streams (bounded memory) but nothing checkpoints. *)
+    fold still streams (bounded memory) but nothing checkpoints.
+    [on_shard] fires after each shard merges (with [built = false] for
+    a checkpoint resume) — a progress hook, never part of results. *)
+
+type worker_outcome = {
+  w_claimed : int;  (** shards this worker won a claim for *)
+  w_built : int;  (** shards it actually counted and checkpointed *)
+  w_stolen : int;  (** claims taken over from a stale holder *)
+  w_waits : int;  (** poll sleeps spent waiting on siblings *)
+}
+
+val fold_worker :
+  cache:Cache.t ->
+  ?telemetry:Telemetry.t ->
+  ?stale_after:float ->
+  ?poll_interval:float ->
+  stage:string ->
+  key:string ->
+  write:(Codec.sink -> 'b -> unit) ->
+  load:(lo:int -> hi:int -> 'a) ->
+  count:('a -> 'b) ->
+  total:int ->
+  shard_size:int ->
+  unit ->
+  worker_outcome
+(** The multi-process side of the stream: race cooperating processes
+    to checkpoint every shard of the plan, without merging anything.
+    Per sweep, each shard that has no checkpoint yet is claimed through
+    {!Cache.try_claim} under {!claim_name} (with [stale_after] passed
+    through, so a [kill -9]'d sibling's claims are taken over once they
+    age past it); a won claim re-probes the checkpoint, then loads,
+    counts and stores it, and is always released. When some shards are
+    still held by live siblings the worker sleeps [poll_interval]
+    seconds (default 0.05) between sweeps; it returns once every shard
+    in the plan is checkpointed.
+
+    Exactly-once when no claim goes stale: the [O_CREAT|O_EXCL] create
+    admits one builder per shard. After a stale takeover the work may
+    be duplicated — never diverging, since checkpoint bytes are a
+    deterministic function of the shard and stores are atomic.
+
+    The caller (the parent orchestration) must still run {!fold} to
+    merge the checkpoints — that fold is the merge pass, and rebuilds
+    inline any shard no worker finished, so completion never depends
+    on worker survival.
+
+    [telemetry] receives [mproc.claimed]/[mproc.built]/[mproc.stolen]/
+    [mproc.waits] and [shard.items] inside a [shard.worker] span. *)

@@ -150,7 +150,12 @@ let run ?cache ?(telemetry = Telemetry.null) ?jobs t =
           Telemetry.count telemetry "cache.misses"
             (s1.Cache.misses - s0.Cache.misses);
           Telemetry.count telemetry "cache.writes"
-            (s1.Cache.writes - s0.Cache.writes)
+            (s1.Cache.writes - s0.Cache.writes);
+          (* Only surfaced when something actually failed, so healthy
+             runs keep their historical counter sets. *)
+          let failed = s1.Cache.write_failures - s0.Cache.write_failures in
+          if failed <> 0 then
+            Telemetry.count telemetry "cache.write_failures" failed
       | _ -> ());
       Telemetry.count telemetry "parallel.chunks"
         (Parallel.chunks_scheduled () - chunks0);

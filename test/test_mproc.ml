@@ -1,0 +1,280 @@
+(* Multi-process mining tests: claim-file protocol units (claim /
+   release / stale takeover), the [Shard_stream.fold_worker] sweep
+   (completion, sibling wait, stale-claim steal, byte-identity of the
+   resulting checkpoints), and a qcheck property that any interleaving
+   of two claimants yields exactly-once mining per shard. *)
+
+module Shard_stream = Zodiac_util.Shard_stream
+module Cache = Zodiac_util.Cache
+module Codec = Zodiac_util.Codec
+module Generator = Zodiac_corpus.Generator
+module Kb = Zodiac_kb.Kb
+module Miner = Zodiac_mining.Miner
+
+(* ------------- helpers ------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir)
+     with Sys_error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let with_cache_dir name f =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let corpus_n = 60
+
+let projects =
+  Miner.materialize
+    (List.map
+       (fun p -> p.Generator.program)
+       (Generator.generate_range ~seed:7 ~lo:0 ~hi:corpus_n ()))
+
+let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) projects
+
+let bytes_of write v =
+  let b = Codec.sink () in
+  write b v;
+  Codec.contents b
+
+let stats_bytes s = bytes_of Kb.write_stats s
+
+let fold_stats ?cache ~shard_size () =
+  Shard_stream.fold ?cache ~stage:"t-kb" ~key:"t-kb" ~write:Kb.write_stats
+    ~read:Kb.read_stats
+    ~load:(fun ~lo ~hi -> slice lo hi)
+    ~count:Kb.stats_of_projects ~merge:Kb.merge_stats
+    ~init:(Kb.stats_of_projects []) ~total:corpus_n ~shard_size ()
+
+let worker ?stale_after ?(poll_interval = 0.01) cache ~shard_size () =
+  Shard_stream.fold_worker ~cache ?stale_after ~poll_interval ~stage:"t-kb"
+    ~key:"t-kb" ~write:Kb.write_stats
+    ~load:(fun ~lo ~hi -> slice lo hi)
+    ~count:Kb.stats_of_projects ~total:corpus_n ~shard_size ()
+
+(* Backdate a claim file so stale-takeover logic sees an old holder. *)
+let backdate path = Unix.utimes path 1. 1.
+
+(* ------------- claim protocol units ------------------------------------ *)
+
+let test_claim_release () =
+  with_cache_dir "zodiac-test-mproc-claim" (fun dir ->
+      let cache = Cache.create ~dir () in
+      (match Cache.try_claim cache ~name:"s0" ~owner:"a" with
+      | Cache.Claimed { stolen } ->
+          Alcotest.(check bool) "fresh claim not stolen" false stolen
+      | Cache.Busy -> Alcotest.fail "fresh claim refused");
+      (match Cache.try_claim cache ~name:"s0" ~owner:"b" with
+      | Cache.Busy -> ()
+      | Cache.Claimed _ -> Alcotest.fail "second claimant won a held claim");
+      (* distinct names never contend *)
+      (match Cache.try_claim cache ~name:"s1" ~owner:"b" with
+      | Cache.Claimed _ -> ()
+      | Cache.Busy -> Alcotest.fail "distinct name refused");
+      Cache.release cache ~name:"s0";
+      (match Cache.try_claim cache ~name:"s0" ~owner:"b" with
+      | Cache.Claimed { stolen } ->
+          Alcotest.(check bool) "re-claim after release not stolen" false stolen
+      | Cache.Busy -> Alcotest.fail "released claim still busy");
+      (* release is idempotent, including for names never claimed *)
+      Cache.release cache ~name:"s0";
+      Cache.release cache ~name:"s0";
+      Cache.release cache ~name:"never-claimed")
+
+let test_stale_takeover () =
+  with_cache_dir "zodiac-test-mproc-stale" (fun dir ->
+      let cache = Cache.create ~dir () in
+      (match Cache.try_claim cache ~name:"s0" ~owner:"dead" with
+      | Cache.Claimed _ -> ()
+      | Cache.Busy -> Alcotest.fail "initial claim refused");
+      (* A fresh claim is never stolen, with or without a deadline. *)
+      (match Cache.try_claim ~stale_after:3600. cache ~name:"s0" ~owner:"b" with
+      | Cache.Busy -> ()
+      | Cache.Claimed _ -> Alcotest.fail "fresh claim stolen");
+      backdate (Cache.claim_path cache ~name:"s0");
+      (* Without a deadline even an ancient claim stays busy. *)
+      (match Cache.try_claim cache ~name:"s0" ~owner:"b" with
+      | Cache.Busy -> ()
+      | Cache.Claimed _ -> Alcotest.fail "claim stolen without a deadline");
+      (* With one, the backdated claim is taken over — and flagged. *)
+      (match Cache.try_claim ~stale_after:60. cache ~name:"s0" ~owner:"b" with
+      | Cache.Claimed { stolen } ->
+          Alcotest.(check bool) "takeover flagged as stolen" true stolen
+      | Cache.Busy -> Alcotest.fail "stale claim not taken over");
+      (* The thief now holds a *fresh* claim. *)
+      match Cache.try_claim ~stale_after:60. cache ~name:"s0" ~owner:"c" with
+      | Cache.Busy -> ()
+      | Cache.Claimed _ -> Alcotest.fail "fresh stolen claim re-stolen")
+
+(* ------------- fold_worker --------------------------------------------- *)
+
+let test_worker_checkpoints_all () =
+  with_cache_dir "zodiac-test-mproc-worker" (fun dir ->
+      let cache = Cache.create ~dir () in
+      let reference, _ = fold_stats ~shard_size:13 () in
+      let o = worker cache ~shard_size:13 () in
+      Alcotest.(check int) "claimed all" 5 o.Shard_stream.w_claimed;
+      Alcotest.(check int) "built all" 5 o.Shard_stream.w_built;
+      Alcotest.(check int) "nothing stolen" 0 o.Shard_stream.w_stolen;
+      (* The parent's fold is the merge pass: everything resumes, and
+         the merged value equals the monolithic fold byte for byte. *)
+      let merged, outcome = fold_stats ~cache ~shard_size:13 () in
+      Alcotest.(check int) "all resumed" 5 outcome.Shard_stream.resumed;
+      Alcotest.(check bool)
+        "worker checkpoints ≡ monolithic" true
+        (String.equal (stats_bytes reference) (stats_bytes merged));
+      (* All claims were released. *)
+      Alcotest.(check (list string))
+        "no lingering claim files" []
+        (List.filter
+           (fun f -> Filename.check_suffix f ".claim")
+           (Array.to_list (Sys.readdir dir))))
+
+let test_worker_steals_stale_claim () =
+  with_cache_dir "zodiac-test-mproc-steal" (fun dir ->
+      let cache = Cache.create ~dir () in
+      (* A dead sibling left a claim on the second shard. *)
+      let name = Shard_stream.claim_name ~stage:"t-kb" ~key:"t-kb" ~lo:13 ~hi:26 in
+      (match Cache.try_claim cache ~name ~owner:"dead" with
+      | Cache.Claimed _ -> ()
+      | Cache.Busy -> Alcotest.fail "plant failed");
+      backdate (Cache.claim_path cache ~name);
+      let o = worker ~stale_after:1. cache ~shard_size:13 () in
+      Alcotest.(check int) "built all despite the corpse" 5 o.Shard_stream.w_built;
+      Alcotest.(check int) "the stale claim was stolen" 1 o.Shard_stream.w_stolen;
+      let reference, _ = fold_stats ~shard_size:13 () in
+      let merged, _ = fold_stats ~cache ~shard_size:13 () in
+      Alcotest.(check bool)
+        "stolen-shard checkpoints ≡ monolithic" true
+        (String.equal (stats_bytes reference) (stats_bytes merged)))
+
+let test_worker_waits_for_live_sibling () =
+  with_cache_dir "zodiac-test-mproc-wait" (fun dir ->
+      let cache = Cache.create ~dir () in
+      (* A live sibling holds the first shard and finishes it late:
+         checkpoint stored, then claim released, after a delay. *)
+      let name = Shard_stream.claim_name ~stage:"t-kb" ~key:"t-kb" ~lo:0 ~hi:13 in
+      let ckey = Shard_stream.shard_key ~key:"t-kb" ~lo:0 ~hi:13 in
+      (match Cache.try_claim cache ~name ~owner:"sibling" with
+      | Cache.Claimed _ -> ()
+      | Cache.Busy -> Alcotest.fail "plant failed");
+      let sibling =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.2;
+            let sibling_cache = Cache.create ~dir () in
+            Cache.store sibling_cache ~stage:"t-kb" ~key:ckey (fun b ->
+                Kb.write_stats b (Kb.stats_of_projects (slice 0 13)));
+            Cache.release sibling_cache ~name)
+      in
+      let o = worker ~stale_after:3600. cache ~shard_size:13 () in
+      Domain.join sibling;
+      Alcotest.(check int) "built the other shards" 4 o.Shard_stream.w_built;
+      Alcotest.(check bool) "polled at least once" true (o.Shard_stream.w_waits > 0);
+      let reference, _ = fold_stats ~shard_size:13 () in
+      let merged, outcome = fold_stats ~cache ~shard_size:13 () in
+      Alcotest.(check int) "all five resumed" 5 outcome.Shard_stream.resumed;
+      Alcotest.(check bool)
+        "mixed-author checkpoints ≡ monolithic" true
+        (String.equal (stats_bytes reference) (stats_bytes merged)))
+
+(* ------------- exactly-once interleaving property ----------------------- *)
+
+(* Two claimants, each a micro-step state machine over the same shard
+   plan (separate [Cache.t] handles on one directory — the same
+   observable state as two processes). A step either claims the next
+   unfinished shard, or — when already holding one — builds, stores and
+   releases it. The generated bool list drives which claimant moves;
+   both are then drained. Any interleaving must mine each shard exactly
+   once: claims never go stale here, so the O_EXCL create is the only
+   arbiter. *)
+let prop_two_claimants_exactly_once =
+  let total = 40 and shard_size = 10 in
+  let shards = Shard_stream.plan ~total ~shard_size in
+  QCheck.Test.make ~name:"any 2-claimant interleaving mines each shard once"
+    ~count:40
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) bool)
+    (fun order ->
+      with_cache_dir "zodiac-test-mproc-interleave" (fun dir ->
+          let builds = Hashtbl.create 8 in
+          let claimant label =
+            let cache = Cache.create ~dir () in
+            let holding = ref None in
+            fun () ->
+              match !holding with
+              | Some (name, ckey, lo, hi) ->
+                  (* Build step: count, checkpoint, release. *)
+                  Hashtbl.replace builds ckey
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt builds ckey));
+                  Cache.store cache ~stage:"t-kb" ~key:ckey (fun b ->
+                      Kb.write_stats b (Kb.stats_of_projects (slice lo hi)));
+                  Cache.release cache ~name;
+                  holding := None
+              | None -> (
+                  (* Claim step: first shard neither checkpointed nor
+                     held by the other claimant. *)
+                  match
+                    List.find_opt
+                      (fun (_i, lo, hi) ->
+                        let ckey = Shard_stream.shard_key ~key:"t-kb" ~lo ~hi in
+                        (not (Cache.mem cache ~stage:"t-kb" ~key:ckey))
+                        &&
+                        match
+                          Cache.try_claim cache
+                            ~name:
+                              (Shard_stream.claim_name ~stage:"t-kb" ~key:"t-kb"
+                                 ~lo ~hi)
+                            ~owner:label
+                        with
+                        | Cache.Claimed _ -> true
+                        | Cache.Busy -> false)
+                      shards
+                  with
+                  | Some (_i, lo, hi) ->
+                      holding :=
+                        Some
+                          ( Shard_stream.claim_name ~stage:"t-kb" ~key:"t-kb" ~lo
+                              ~hi,
+                            Shard_stream.shard_key ~key:"t-kb" ~lo ~hi,
+                            lo,
+                            hi )
+                  | None -> ())
+          in
+          let a = claimant "a" and b = claimant "b" in
+          List.iter (fun pick -> if pick then a () else b ()) order;
+          (* Drain both so every shard finishes regardless of prefix. *)
+          for _ = 1 to 2 * List.length shards do
+            a ();
+            b ()
+          done;
+          List.for_all
+            (fun (_i, lo, hi) ->
+              let ckey = Shard_stream.shard_key ~key:"t-kb" ~lo ~hi in
+              Hashtbl.find_opt builds ckey = Some 1)
+            shards))
+
+let () =
+  Alcotest.run "mproc"
+    [
+      ( "claims",
+        [
+          Alcotest.test_case "claim / busy / release" `Quick test_claim_release;
+          Alcotest.test_case "stale takeover" `Quick test_stale_takeover;
+        ] );
+      ( "worker",
+        [
+          Alcotest.test_case "checkpoints every shard" `Quick
+            test_worker_checkpoints_all;
+          Alcotest.test_case "steals a stale claim" `Quick
+            test_worker_steals_stale_claim;
+          Alcotest.test_case "waits for a live sibling" `Quick
+            test_worker_waits_for_live_sibling;
+        ] );
+      ( "exactly-once",
+        [ QCheck_alcotest.to_alcotest prop_two_claimants_exactly_once ] );
+    ]

@@ -659,6 +659,44 @@ let test_scan_cache_stats () =
       Alcotest.(check bool) "two entries" true
         (Json.member "entries" sc = Json.Int 2)
 
+let test_content_fingerprint () =
+  let session = make_session () in
+  let scan ~path src =
+    match
+      Session.handle_extra session
+        (Protocol.Scan_file { path; source = Some src })
+    with
+    | Ok (sarif, extra) -> (sarif, extra)
+    | Error e -> Alcotest.failf "scan: %s" e.Protocol.message
+  in
+  let fp extra =
+    match List.assoc_opt "content_fingerprint" extra with
+    | Some (Json.String s) -> s
+    | Some _ -> Alcotest.fail "content_fingerprint is not a string"
+    | None -> Alcotest.fail "content_fingerprint missing"
+  in
+  let sarif1, e1 = scan ~path:"a.tf" Registry.mssql_db_buggy in
+  let _, e2 = scan ~path:"a.tf" Registry.mssql_db_buggy in
+  let _, e3 = scan ~path:"b.tf" Registry.mssql_db_fixed in
+  Alcotest.(check string) "stable across repeats (ETag)" (fp e1) (fp e2);
+  Alcotest.(check bool) "distinct contents, distinct fingerprints" true
+    (fp e1 <> fp e3);
+  (* the fingerprint rides beside [result] in the envelope: the result
+     member itself is byte-identical to what plain [handle] returns *)
+  (match
+     Session.handle session
+       (Protocol.Scan_file { path = "a.tf"; source = Some Registry.mssql_db_buggy })
+   with
+  | Ok sarif ->
+      Alcotest.(check string) "result bytes unchanged by the extra"
+        (Json.to_string sarif1) (Json.to_string sarif)
+  | Error e -> Alcotest.failf "scan: %s" e.Protocol.message);
+  (* control verbs carry no envelope extras *)
+  match Session.handle_extra session Protocol.Ping with
+  | Ok (_, extra) ->
+      Alcotest.(check int) "ping has no extras" 0 (List.length extra)
+  | Error e -> Alcotest.failf "ping: %s" e.Protocol.message
+
 let test_scan_batch () =
   let tf = write_temp ".tf" Registry.mssql_db_buggy in
   Fun.protect
@@ -867,6 +905,8 @@ let () =
           Alcotest.test_case "scan cache reattaches paths" `Quick
             test_scan_cache;
           Alcotest.test_case "scan cache stats" `Quick test_scan_cache_stats;
+          Alcotest.test_case "content fingerprint" `Quick
+            test_content_fingerprint;
           Alcotest.test_case "scan_batch" `Quick test_scan_batch;
           Alcotest.test_case "scan_terraform_plan" `Quick
             test_scan_terraform_plan;
