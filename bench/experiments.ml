@@ -30,6 +30,8 @@ module Resource = Zodiac_iac.Resource
 module Tablefmt = Zodiac_util.Tablefmt
 module Prng = Zodiac_util.Prng
 
+let provider = Zodiac_azure.Azure.provider
+
 open Harness
 
 (* Negative test cases for the validated checks, reused by E2 and E4;
@@ -47,13 +49,13 @@ let negative_cases :
            (fun tp ->
              Option.map
                (fun res -> (check, res))
-               (Mutation.negative ~kb ~donors:corpus ~target:check
+               (Mutation.negative ~provider ~kb ~donors:corpus ~target:check
                   ~hard:
                     (List.filter
                        (fun (c : Check.t) -> c.Check.cid <> check.Check.cid)
                        a.Pipeline.final_checks)
                   ~soft:[] tp))
-           (Testcase.find ~limit:3 ~corpus check))
+           (Testcase.find ~provider ~limit:3 ~corpus check))
        a.Pipeline.final_checks)
 
 (* Whole-program variants of the same negative cases, used by E4 so the
@@ -69,7 +71,7 @@ let negative_cases_unpruned :
      let corpus = a.Pipeline.corpus in
      List.filter_map
        (fun check ->
-         match Testcase.find ~limit:1 ~corpus check with
+         match Testcase.find ~provider ~limit:1 ~corpus check with
          | [] -> None
          | tp :: _ ->
              Option.map
@@ -79,7 +81,7 @@ let negative_cases_unpruned :
                      (Program.resources res.Mutation.program)
                  in
                  (check, { res with Mutation.program = grafted }))
-               (Mutation.negative ~kb ~donors:corpus ~target:check
+               (Mutation.negative ~provider ~kb ~donors:corpus ~target:check
                   ~hard:
                     (List.filter
                        (fun (c : Check.t) -> c.Check.cid <> check.Check.cid)
@@ -128,7 +130,7 @@ let e2 () =
   let total = ref 0 in
   List.iter
     (fun ((_ : Check.t), res) ->
-      let outcome = Arm.deploy res.Mutation.program in
+      let outcome = Arm.deploy ~provider res.Mutation.program in
       match Arm.first_error outcome with
       | Some f ->
           incr total;
@@ -162,16 +164,16 @@ let e3 () =
   print_endline (section "E3  Blast radius of check violations (Figure 6)");
   (* deploy violating whole programs (not MDCs) so the damage is
      realistic, then aggregate radius per check category *)
-  let projects = Generator.generate ~violation_rate:1.0 ~seed:4242 ~count:500 () in
+  let projects = Generator.generate ~provider ~violation_rate:1.0 ~seed:4242 ~count:500 () in
   let agg : (string, int * int * int * int * int) Hashtbl.t = Hashtbl.create 8 in
   (* category -> (count, halted sum, rollback sum, halted max, rollback max) *)
   List.iter
     (fun p ->
-      let outcome = Arm.deploy p.Generator.program in
+      let outcome = Arm.deploy ~provider p.Generator.program in
       match outcome.Arm.failure with
       | None -> ()
       | Some f -> (
-          match Rules.find f.Arm.rule_id with
+          match Rules.find (provider.Zodiac_provider.Provider.ground_truth ()) f.Arm.rule_id with
           | None -> () (* engine-level failure, not a semantic check *)
           | Some rule ->
               let interpolation_family =
@@ -269,7 +271,7 @@ let e4 () =
   let total = List.length programs in
   (* pre-compute the actual failure per case for the precision column *)
   let failures =
-    List.map (fun prog -> (prog, Arm.first_error (Arm.deploy prog))) programs
+    List.map (fun prog -> (prog, Arm.first_error (Arm.deploy ~provider prog))) programs
   in
   let rows =
     List.map
@@ -312,7 +314,7 @@ let e4 () =
           [ checker.Checker.name; checker.Checker.spec_format;
             checker.Checker.input_phase; pct !flagged total; precision ]
         end)
-      Baselines.all
+      (Baselines.all provider)
   in
   print_table ~header:[ "tool"; "spec"; "phase"; "prevalence"; "precision" ] rows;
   Printf.printf "(%d Zodiac negative test cases; all fail to deploy by construction)\n" total;
@@ -327,8 +329,8 @@ let e5 () =
   print_endline (section "E5  Candidate checks with and without the KB (Figure 7a)");
   let a = Lazy.force artifacts in
   let programs = List.map snd a.Pipeline.corpus in
-  let with_kb = Miner.intra_counts_by_type ~use_kb:true a.Pipeline.kb programs in
-  let without_kb = Miner.intra_counts_by_type ~use_kb:false a.Pipeline.kb programs in
+  let with_kb = Miner.intra_counts_by_type ~provider ~use_kb:true a.Pipeline.kb programs in
+  let without_kb = Miner.intra_counts_by_type ~provider ~use_kb:false a.Pipeline.kb programs in
   let merged =
     List.filter_map
       (fun (ty, attrs, w) ->
@@ -378,7 +380,7 @@ let e6 () =
     ];
   paper_note "confidence removed 38.3%, lift another 16.2%; 40% of interpolation queries supported";
   (* §5.3's LLM audit of the filters: assess a sample of kept vs removed *)
-  let oracle = Llm.create ~error_rate:0.05 1234 in
+  let oracle = Llm.create ~provider ~error_rate:0.05 1234 in
   let rng = Prng.create 77 in
   let sample xs n = Prng.sample rng n xs in
   let rate candidates =
@@ -413,7 +415,7 @@ let e7 () =
       candidates
   in
   let sample = List.filteri (fun i _ -> i < 60) validated in
-  let defaults = Arm.defaults in
+  let defaults = Arm.defaults provider in
   let count_violations prog checks =
     let g = Graph.build prog in
     List.length
@@ -423,7 +425,7 @@ let e7 () =
     let acc = ref [] in
     List.iter
       (fun check ->
-        match Testcase.find ~limit:1 ~corpus check with
+        match Testcase.find ~provider ~limit:1 ~corpus check with
         | [] -> ()
         | tp :: _ -> (
             let hard, soft =
@@ -434,7 +436,7 @@ let e7 () =
                     falsified_candidates )
               else ([], [])
             in
-            match Mutation.negative ~options ~kb ~donors:corpus ~target:check ~hard ~soft tp with
+            match Mutation.negative ~provider ~options ~kb ~donors:corpus ~target:check ~hard ~soft tp with
             | Some res ->
                 let tv =
                   count_violations res.Mutation.program
@@ -525,8 +527,8 @@ let e8 () =
     { (Harness.bench_config.Pipeline.scheduler) with Scheduler.handle_indistinct = false }
   in
   let ablated =
-    Scheduler.run ~config ~kb:a.Pipeline.kb ~corpus:a.Pipeline.corpus
-      ~deploy:Pipeline.deploy a.Pipeline.candidates
+    Scheduler.run ~config ~provider ~kb:a.Pipeline.kb ~corpus:a.Pipeline.corpus
+      ~deploy:(Pipeline.deploy ~provider) a.Pipeline.candidates
   in
   show "(b) without indistinguishable-check handling" ablated;
   Printf.printf
@@ -558,7 +560,7 @@ let e9 () =
             a.Pipeline.candidates
         in
         let tps =
-          List.concat_map (fun c -> Testcase.find ~limit:2 ~corpus c) checks
+          List.concat_map (fun c -> Testcase.find ~provider ~limit:2 ~corpus c) checks
         in
         match tps with
         | [] -> None
@@ -566,7 +568,7 @@ let e9 () =
             let stats =
               List.map
                 (fun (tp : Testcase.tp) ->
-                  (Mdc.measure tp.Testcase.program, Mdc.measure tp.Testcase.original))
+                  (Mdc.measure provider tp.Testcase.program, Mdc.measure provider tp.Testcase.original))
                 tps
             in
             let avg f =
@@ -596,7 +598,7 @@ let e9 () =
 let e10 () =
   print_endline (section "E10  Real-world misconfigurations (§5.5)");
   let a = Lazy.force artifacts in
-  let reports = Pipeline.scan ~checks:a.Pipeline.final_checks ~corpus:a.Pipeline.corpus in
+  let reports = Pipeline.scan ~provider ~checks:a.Pipeline.final_checks ~corpus:a.Pipeline.corpus in
   let buggy =
     List.sort_uniq compare (List.map (fun r -> r.Pipeline.project) reports)
   in
@@ -629,19 +631,19 @@ let e10 () =
   (* the documentation case study *)
   print_endline "\nofficial provider usage example (issue #27222 miniature):";
   let buggy_prog = Registry.compile_exn Registry.appgw_assoc_buggy in
-  (match Arm.first_error (Arm.deploy buggy_prog) with
+  (match Arm.first_error (Arm.deploy ~provider buggy_prog) with
   | Some f ->
       Printf.printf "  as documented: FAILS [%s] %s\n" f.Arm.rule_id f.Arm.message
   | None -> print_endline "  unexpected success");
   let fixed = Registry.compile_exn Registry.appgw_assoc_fixed in
   Printf.printf "  after both fixes: %s\n"
-    (if Pipeline.deploy fixed then "deploys cleanly" else "still fails");
+    (if Pipeline.deploy ~provider fixed then "deploys cleanly" else "still fails");
   print_endline "\nofficial mssql_database usage example (issue #27194 miniature):";
-  (match Arm.first_error (Arm.deploy (Registry.compile_exn Registry.mssql_db_buggy)) with
+  (match Arm.first_error (Arm.deploy ~provider (Registry.compile_exn Registry.mssql_db_buggy)) with
   | Some f -> Printf.printf "  as documented: FAILS [%s] %s\n" f.Arm.rule_id f.Arm.message
   | None -> print_endline "  unexpected success");
   Printf.printf "  with max_size_gb = 2: %s\n"
-    (if Pipeline.deploy (Registry.compile_exn Registry.mssql_db_fixed) then
+    (if Pipeline.deploy ~provider (Registry.compile_exn Registry.mssql_db_fixed) then
        "deploys cleanly"
      else "still fails")
 
@@ -670,10 +672,10 @@ let e11 () =
   let big =
     List.map
       (fun p -> (p.Generator.pname, p.Generator.program))
-      (Generator.conforming ~seed:88 ~count:1500 ())
+      (Generator.conforming ~provider ~seed:88 ~count:1500 ())
   in
   let _, exposed_fp =
-    Scheduler.counterexample_pass ~corpus:big ~deploy:Pipeline.deploy [ fp ]
+    Scheduler.counterexample_pass ~provider ~corpus:big ~deploy:(Pipeline.deploy ~provider) [ fp ]
   in
   Printf.printf
     "  'VMs reaching a VPC must declare a source image' is %s by a rare create=Attach repository\n"
@@ -702,8 +704,8 @@ let e12 () =
         Resource.set r "address_space"
           (Zodiac_iac.Value.List [ Zodiac_iac.Value.Str "10.99.0.0/16" ]))
   in
-  let d1 = Update.apply ~current ~desired:in_place () in
-  let d2 = Update.apply ~current ~desired:replace () in
+  let d1 = Update.apply ~provider ~current ~desired:in_place () in
+  let d2 = Update.apply ~provider ~current ~desired:replace () in
   print_table
     ~header:[ "update"; "resources recreated (downtime)"; "outcome" ]
     [
@@ -726,8 +728,8 @@ let e12 () =
                ("sku", Zodiac_iac.Value.Str "Standard");
              ]))
   in
-  let unlimited = Arm.deploy (ips 12) in
-  let limited = Arm.deploy ~quota:Quota.default_subscription (ips 12) in
+  let unlimited = Arm.deploy ~provider (ips 12) in
+  let limited = Arm.deploy ~provider ~quota:Quota.default_subscription (ips 12) in
   Printf.printf
     "\n12 public IPs: unlimited subscription %s; default subscription %s (quota: %d IPs)\n"
     (if Arm.success unlimited then "deploys" else "fails")
@@ -754,8 +756,8 @@ let e12 () =
   let quota = { Quota.unlimited with Quota.regional_skus = true } in
   Printf.printf
     "GPU VM (Standard_NC6s_v3): eastus %s; ukwest %s under regional enforcement\n"
-    (if Arm.success (Arm.deploy ~quota (gpu "eastus")) then "deploys" else "fails")
-    (match Arm.first_error (Arm.deploy ~quota (gpu "ukwest")) with
+    (if Arm.success (Arm.deploy ~provider ~quota (gpu "eastus")) then "deploys" else "fails")
+    (match Arm.first_error (Arm.deploy ~provider ~quota (gpu "ukwest")) with
     | Some f -> Printf.sprintf "fails with %s" f.Arm.rule_id
     | None -> "deploys");
   paper_note
@@ -788,9 +790,9 @@ let e13_setup ~corpus_size ~candidate_cap ~max_iterations =
 
 let e13_run (config : Pipeline.config) (a : Pipeline.artifacts) candidates
     engine_config =
-  let engine = Engine.create ~config:engine_config () in
+  let engine = Engine.create ~provider ~config:engine_config () in
   let result =
-    Scheduler.run ~config:config.Pipeline.scheduler ~kb:a.Pipeline.kb
+    Scheduler.run ~config:config.Pipeline.scheduler ~provider ~kb:a.Pipeline.kb
       ~corpus:a.Pipeline.corpus
       ~deploy:(Engine.oracle engine)
       candidates
@@ -1289,10 +1291,10 @@ let serve_equivalence () =
     ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
     (fun () ->
       let oneshot =
-        match Serve_scan.load_checks None with
+        match Serve_scan.load_checks provider None with
         | Error e -> failwith e
         | Ok checks -> (
-            match Serve_scan.scan_file ~checks tf with
+            match Serve_scan.scan_file ~provider ~checks tf with
             | Error e -> failwith e
             | Ok findings -> (findings, Sarif.to_string findings))
       in
@@ -1417,10 +1419,10 @@ let smoke_serve_concurrent () =
     ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
     (fun () ->
       let oneshot_bytes =
-        match Serve_scan.load_checks None with
+        match Serve_scan.load_checks provider None with
         | Error e -> failwith e
         | Ok checks -> (
-            match Serve_scan.scan_file ~checks tf with
+            match Serve_scan.scan_file ~provider ~checks tf with
             | Error e -> failwith e
             | Ok findings -> Sarif.to_string findings)
       in
@@ -2692,6 +2694,108 @@ let e20 () =
         exit 1
       end
 
+
+(* ------------------------------------------------------------------ *)
+(* E21 — provider abstraction: Azure vs AWS mining distributions      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-provider mining on matched corpus sizes: do the paper's
+   support/confidence funnels transfer when the backend (catalogue,
+   scenarios, hidden rules) is swapped wholesale? Also re-checks the
+   refactor's core promise inline: interleaving an AWS run must leave
+   Azure mining artifacts byte-identical. *)
+
+let e21_dist xs =
+  match List.sort compare xs with
+  | [] -> Json.Obj [ ("n", Json.Int 0) ]
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+      let pct p = arr.(min (n - 1) (n * p / 100)) in
+      Json.Obj
+        [
+          ("n", Json.Int n);
+          ("min", Json.Float arr.(0));
+          ("p50", Json.Float (pct 50));
+          ("p90", Json.Float (pct 90));
+          ("max", Json.Float arr.(n - 1));
+          ("mean", Json.Float mean);
+        ]
+
+let e21_mine provider size =
+  let config =
+    { Pipeline.default_config with Pipeline.provider; corpus_size = size }
+  in
+  Pipeline.mine_only ~config ()
+
+let e21_summary (a : Pipeline.artifacts) =
+  let mined = a.Pipeline.mined in
+  Json.Obj
+    [
+      ("corpus_resources",
+       Json.Int
+         (List.fold_left
+            (fun acc p -> acc + Program.size p.Generator.program)
+            0 a.Pipeline.projects));
+      ("kb_attr_entries", Json.Int (Kb.size a.Pipeline.kb));
+      ("kb_conn_kinds", Json.Int (List.length (Kb.conn_kinds a.Pipeline.kb)));
+      ("mined_candidates", Json.Int (List.length mined));
+      ("candidates_to_validation", Json.Int (List.length a.Pipeline.candidates));
+      ( "support",
+        e21_dist
+          (List.map (fun c -> float_of_int c.Candidate.support) mined) );
+      ("confidence", e21_dist (List.map (fun c -> c.Candidate.confidence) mined));
+      ("lift", e21_dist (List.map (fun c -> c.Candidate.lift) mined));
+    ]
+
+let e21 () =
+  print_endline
+    (section "E21  Provider abstraction: Azure vs AWS mining distributions");
+  let size = 200 in
+  let azure = Zodiac_azure.Azure.provider in
+  let aws = Zodiac_aws.Aws.provider in
+  let azure_before = e21_mine azure size in
+  let aws_run = e21_mine aws size in
+  let azure_after = e21_mine azure size in
+  (* the refactor's contract: an interleaved AWS run leaves Azure
+     artifacts byte-identical *)
+  let azure_stable =
+    String.equal
+      (mine_artifact_bytes azure_before)
+      (mine_artifact_bytes azure_after)
+  in
+  Printf.printf
+    "corpus=%d projects per provider\n\
+     azure: %d mined candidates, %d to validation\n\
+     aws:   %d mined candidates, %d to validation\n\
+     azure byte-identical across interleaved aws run: %b\n"
+    size
+    (List.length azure_before.Pipeline.mined)
+    (List.length azure_before.Pipeline.candidates)
+    (List.length aws_run.Pipeline.mined)
+    (List.length aws_run.Pipeline.candidates)
+    azure_stable;
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.String "provider");
+        ("corpus_size", Json.Int size);
+        ("azure", e21_summary azure_before);
+        ("aws", e21_summary aws_run);
+        ("azure_byte_identical", Json.Bool azure_stable);
+      ]
+  in
+  let oc = open_out "BENCH_provider.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_provider.json";
+  if not azure_stable then begin
+    print_endline "E21: FAIL — azure artifacts changed across an aws run";
+    exit 1
+  end
+
 (* The fast multi-process gate behind `smoke --mproc-only` (and part of
    the full smoke): workers=2 ≡ workers=1 byte-identical finals, a
    planted stale claim is stolen, and no claim files outlive a run.
@@ -2781,6 +2885,99 @@ let smoke_mproc_only () =
 
 (* A fast correctness gate over the same machinery, run by `dune build
    @check` (see the root dune file). Exits nonzero on violation. *)
+
+(* Provider-seam gate (part of smoke): an AWS session must scan and
+   report as AWS end to end — daemon round-trip over the in-process
+   server plus, when the real binary is on disk, a one-shot
+   `scan --provider aws` run. *)
+let write_bad_aws_tf () =
+  let path = Filename.temp_file "zodiac-provider" ".tf" in
+  let oc = open_out path in
+  output_string oc
+    {|resource "aws_db_instance" "db" {
+  name                    = "appdb"
+  location                = "us-east-1"
+  engine                  = "postgres"
+  instance_class          = "db.t3.micro"
+  allocated_storage       = 5
+  backup_retention_period = 40
+}
+|};
+  close_out oc;
+  path
+
+let smoke_provider () =
+  let tf = write_bad_aws_tf () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tf with Sys_error _ -> ())
+    (fun () ->
+      let aws = Zodiac_aws.Aws.provider in
+      let config = { Session.default_config with Session.provider = aws } in
+      match Session.create config with
+      | Error e ->
+          Printf.printf "smoke_provider: session: %s\n" e;
+          (false, false, false)
+      | Ok session ->
+          let responses =
+            serve_round_trip session
+              [
+                {|{"id":1,"method":"stats"}|};
+                scan_request ~id:2 tf;
+                shutdown_request;
+              ]
+          in
+          let ok_stats =
+            match responses with
+            | stats_line :: _ -> (
+                match Json.of_string_result stats_line with
+                | Error _ -> false
+                | Ok json ->
+                    Json.string_value
+                      (Json.member "provider" (Json.member "result" json))
+                    = Some "aws")
+            | [] -> false
+          in
+          let ok_scan =
+            match responses with
+            | _ :: scan_line :: _ -> (
+                match Json.of_string_result scan_line with
+                | Error _ -> false
+                | Ok json ->
+                    let runs =
+                      Json.to_list (Json.member "runs" (Json.member "result" json))
+                    in
+                    let rule_ids =
+                      List.concat_map
+                        (fun run ->
+                          List.filter_map
+                            (fun r ->
+                              Json.string_value (Json.member "ruleId" r))
+                            (Json.to_list (Json.member "results" run)))
+                        runs
+                    in
+                    rule_ids <> []
+                    && List.for_all
+                         (fun id -> String.starts_with ~prefix:"AWS-" id)
+                         rule_ids)
+            | _ -> false
+          in
+          let ok_cli =
+            match zodiac_bin () with
+            | None -> true
+            | Some bin ->
+                Sys.command
+                  (Printf.sprintf
+                     "%s scan --provider aws --exit-zero %s >/dev/null 2>&1"
+                     (Filename.quote bin) (Filename.quote tf))
+                = 0
+                && Sys.command
+                     (Printf.sprintf
+                        "%s scan --provider nonesuch %s >/dev/null 2>&1"
+                        (Filename.quote bin) (Filename.quote tf))
+                   <> 0
+          in
+          (ok_stats, ok_scan, ok_cli))
+
 let smoke () =
   print_endline (section "smoke  engine invariants (tier-1 gate)");
   let config, a, candidates =
@@ -2807,9 +3004,9 @@ let smoke () =
      the same verdicts, deployment counts and engine stats as the
      sequential one *)
   let par_run jobs =
-    let engine = Engine.create ~config:Engine.default_config () in
+    let engine = Engine.create ~provider ~config:Engine.default_config () in
     let result =
-      Scheduler.run ~config:config.Pipeline.scheduler ~jobs
+      Scheduler.run ~config:config.Pipeline.scheduler ~jobs ~provider
         ~deploy_batch:(Engine.oracle_batch ~jobs engine)
         ~kb:a.Pipeline.kb ~corpus:a.Pipeline.corpus
         ~deploy:(Engine.oracle engine)
@@ -2964,10 +3161,16 @@ let smoke () =
   let ok_serve = smoke_serve () in
   (* multi-process mining: worker fleet ≡ single worker, stale steal *)
   let ok_mproc = smoke_mproc () in
+  (* provider seam: AWS session scans as AWS; bad --provider is a CLI error *)
+  let ok_prov_stats, ok_prov_scan, ok_prov_cli = smoke_provider () in
+  Printf.printf
+    "provider round-trip: aws stats report aws: %b; aws scan yields AWS- \
+     rules: %b; --provider aws / bad-provider CLI behaviour: %b\n"
+    ok_prov_stats ok_prov_scan ok_prov_cli;
   if
     ok_memo && ok_saved && ok_faults && ok_jobs && ok_cache && ok_corrupt
     && ok_trace && ok_stream_warm && ok_stream_cold && ok_stream_corrupt
-    && ok_serve && ok_mproc
+    && ok_serve && ok_mproc && ok_prov_stats && ok_prov_scan && ok_prov_cli
   then print_endline "smoke: PASS"
   else begin
     print_endline "smoke: FAIL";
@@ -2977,7 +3180,7 @@ let smoke () =
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20;
+    e18; e19; e20; e21;
   ]
 
 let by_name =
@@ -2985,5 +3188,5 @@ let by_name =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18); ("e19", e19); ("e20", e20);
+    ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
   ]

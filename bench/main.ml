@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [e1..e20|micro|smoke [--serve-only|--mproc-only]|all]...";
+    "usage: main.exe [e1..e21|micro|smoke [--serve-only|--mproc-only]|all]...";
   exit 1
 
 let () =

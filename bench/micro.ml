@@ -15,11 +15,13 @@ module Eval = Zodiac_spec.Eval
 module Csp = Zodiac_solver.Csp
 module Value = Zodiac_iac.Value
 
+let provider = Zodiac_azure.Azure.provider
+
 let quickstart_hcl = Zodiac.Registry.quickstart_vm
 
 let sample_project =
   lazy
-    (let projects = Generator.conforming ~seed:1 ~count:30 () in
+    (let projects = Generator.conforming ~provider ~seed:1 ~count:30 () in
      (* pick the largest program for a meaty graph *)
      List.fold_left
        (fun best p ->
@@ -29,7 +31,7 @@ let sample_project =
 
 let sample_corpus =
   lazy
-    (let projects = Generator.conforming ~seed:2 ~count:60 () in
+    (let projects = Generator.conforming ~provider ~seed:2 ~count:60 () in
      List.map (fun p -> p.Generator.program) projects)
 
 let location_check =
@@ -49,12 +51,12 @@ let test_check_eval =
   let graph = Graph.build (Lazy.force sample_project) in
   Test.make ~name:"spec: evaluate inter-resource check"
     (Staged.stage (fun () ->
-         ignore (Eval.holds ~defaults:Arm.defaults graph location_check)))
+         ignore (Eval.holds ~defaults:(Arm.defaults provider) graph location_check)))
 
 let test_deploy =
   let prog = Lazy.force sample_project in
   Test.make ~name:"cloud: simulate full deployment"
-    (Staged.stage (fun () -> ignore (Arm.deploy prog)))
+    (Staged.stage (fun () -> ignore (Arm.deploy ~provider prog)))
 
 let test_solver =
   Test.make ~name:"solver: 8-queens-style CSP"
@@ -82,16 +84,16 @@ let test_solver =
 
 let test_mining_pass =
   let corpus = Lazy.force sample_corpus in
-  let kb = Kb.build ~projects:corpus () in
+  let kb = Kb.build ~provider ~projects:corpus () in
   Test.make ~name:"mining: full pass over 60 projects"
-    (Staged.stage (fun () -> ignore (Miner.mine kb corpus)))
+    (Staged.stage (fun () -> ignore (Miner.mine ~provider kb corpus)))
 
 let test_kb_probe =
   (* the miner's hot path: tuple-keyed attr_info lookups plus O(1)
      observed-value probes (formerly a string-concat key and a list
      scan, both visible in this number) *)
   let corpus = Lazy.force sample_corpus in
-  let kb = Kb.build ~projects:corpus () in
+  let kb = Kb.build ~provider ~projects:corpus () in
   let probes =
     List.concat_map
       (fun ty ->

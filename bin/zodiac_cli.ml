@@ -21,6 +21,33 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable verbose logging.")
 
+(* --provider azure|aws: unknown names are a usage error (clean exit,
+   no backtrace), listing what the binary actually links. *)
+let provider_conv =
+  let parse s =
+    match Zodiac_providers.Providers.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown provider %S (expected one of: %s)" s
+                (String.concat ", " Zodiac_providers.Providers.names)))
+  in
+  let print ppf (p : Zodiac_provider.Provider.t) =
+    Format.pp_print_string ppf p.Zodiac_provider.Provider.name
+  in
+  Arg.conv (parse, print)
+
+let provider_arg =
+  Arg.(
+    value
+    & opt provider_conv Zodiac_providers.Providers.default
+    & info [ "provider" ] ~docv:"PROVIDER"
+        ~doc:
+          "Cloud backend to run against (its schemas, corpus scenarios, \
+           ground-truth rules and documentation tables): azure (default) \
+           or aws.")
+
 let seed_arg =
   Arg.(
     value
@@ -70,8 +97,8 @@ let cache_term =
     const (fun dir no_cache -> if no_cache then None else Some dir)
     $ cache_dir_arg $ no_cache_arg)
 
-let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) ?cache_dir seed
-    size =
+let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) ?cache_dir
+    ~provider seed size =
   let engine =
     if fault_rate > 0.0 then
       Zodiac_engine.Engine.faulty_config ~fault_rate ~seed:fault_seed ()
@@ -79,7 +106,8 @@ let config_of ?(fault_rate = 0.0) ?(fault_seed = 7) ?(jobs = 0) ?cache_dir seed
   in
   {
     Zodiac.Pipeline.default_config with
-    Zodiac.Pipeline.corpus_seed = seed;
+    Zodiac.Pipeline.provider;
+    corpus_seed = seed;
     corpus_size = size;
     jobs = resolve_jobs jobs;
     cache_dir;
@@ -204,11 +232,11 @@ let progress_of () =
           rss)
 
 let mine_cmd =
-  let run verbose seed size jobs cache trace limit shard_size workers
+  let run verbose provider seed size jobs cache trace limit shard_size workers
       stale_after =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
-    let config = config_of ~jobs ?cache_dir:cache seed size in
+    let config = config_of ~jobs ?cache_dir:cache ~provider seed size in
     if workers > 1 && (shard_size <= 0 || Option.is_none cache) then begin
       prerr_endline
         "zodiac: --workers N requires --shard-size and an enabled cache \
@@ -226,6 +254,8 @@ let mine_cmd =
           "mine-worker";
           "--pass";
           pass;
+          "--provider";
+          provider.Zodiac_provider.Provider.name;
           "--seed";
           string_of_int seed;
           "--projects";
@@ -269,8 +299,9 @@ let mine_cmd =
   Cmd.v
     (Cmd.info "mine" ~doc:"Mine hypothesized semantic checks from a corpus")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg $ cache_term
-      $ trace_arg $ limit $ shard_size_arg $ workers_arg $ stale_after_arg)
+      const run $ verbose_arg $ provider_arg $ seed_arg $ size_arg 800
+      $ jobs_arg $ cache_term $ trace_arg $ limit $ shard_size_arg
+      $ workers_arg $ stale_after_arg)
 
 (* ---- mine-worker (hidden) ------------------------------------------- *)
 
@@ -278,14 +309,14 @@ let mine_cmd =
    shards of one pass into the shared cache dir, print one summary
    line, exit. Never invoked by hand — the parent constructs the argv. *)
 let mine_worker_cmd =
-  let run verbose seed size jobs cache shard_size pass stale_after =
+  let run verbose provider seed size jobs cache shard_size pass stale_after =
     setup_logs verbose;
     match cache with
     | None ->
         prerr_endline "zodiac: mine-worker requires --cache-dir";
         exit 2
     | Some _ -> (
-        let config = config_of ~jobs ?cache_dir:cache seed size in
+        let config = config_of ~jobs ?cache_dir:cache ~provider seed size in
         let pass = if String.equal pass "kb" then `Kb else `Mine in
         match
           Zodiac.Pipeline.mine_worker ~config ~stale_after ~shard_size ~pass ()
@@ -309,18 +340,21 @@ let mine_worker_cmd =
           checkpoints shards into the shared cache, then exits. Spawned by \
           the parent mine process; not intended for direct use.")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 800 $ jobs_arg
-      $ cache_term $ shard_size_arg $ pass_arg $ stale_after_arg)
+      const run $ verbose_arg $ provider_arg $ seed_arg $ size_arg 800
+      $ jobs_arg $ cache_term $ shard_size_arg $ pass_arg $ stale_after_arg)
 
 (* ---- validate ------------------------------------------------------- *)
 
 let validate_cmd =
-  let run verbose seed size jobs cache trace output fault_rate fault_seed =
+  let run verbose provider seed size jobs cache trace output fault_rate
+      fault_seed =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
     let artifacts =
       Zodiac.Pipeline.run
-        ~config:(config_of ~fault_rate ~fault_seed ~jobs ?cache_dir:cache seed size)
+        ~config:
+          (config_of ~fault_rate ~fault_seed ~jobs ?cache_dir:cache ~provider
+             seed size)
         ~telemetry ()
     in
     write_trace trace telemetry;
@@ -350,8 +384,9 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Run the full pipeline: mine, filter, interpolate, validate")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
-      $ trace_arg $ output $ fault_rate_arg $ fault_seed_arg)
+      const run $ verbose_arg $ provider_arg $ seed_arg $ size_arg 600
+      $ jobs_arg $ cache_term $ trace_arg $ output $ fault_rate_arg
+      $ fault_seed_arg)
 
 (* ---- scan ----------------------------------------------------------- *)
 
@@ -361,15 +396,15 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"A Terraform (HCL) configuration file.")
 
-let load_hcl path =
-  match Zodiac.Registry.compile_file path with
+let load_hcl ?provider path =
+  match Zodiac.Registry.compile_file ?provider path with
   | Ok prog -> prog
   | Error e ->
       prerr_endline ("error: " ^ e);
       exit 2
 
-let load_scan_checks checks_file =
-  match Zodiac_serve.Scan.load_checks checks_file with
+let load_scan_checks provider checks_file =
+  match Zodiac_serve.Scan.load_checks provider checks_file with
   | Ok checks -> checks
   | Error e ->
       prerr_endline ("error loading checks: " ^ e);
@@ -397,12 +432,12 @@ let render_scan_text findings =
   end
 
 let scan_cmd =
-  let run verbose path checks_file format timestamps exit_zero =
+  let run verbose provider path checks_file format timestamps exit_zero =
     setup_logs verbose;
     (* shared with the daemon's scan_file: same findings, same SARIF
        bytes (the smoke gate holds us to that) *)
-    let checks = load_scan_checks checks_file in
-    match Zodiac_serve.Scan.scan_file ~checks path with
+    let checks = load_scan_checks provider checks_file in
+    match Zodiac_serve.Scan.scan_file ~provider ~checks path with
     | Error e ->
         prerr_endline ("error: " ^ e);
         exit 2
@@ -457,26 +492,27 @@ let scan_cmd =
   Cmd.v
     (Cmd.info "scan" ~doc:"Scan an HCL file for semantic check violations")
     Term.(
-      const run $ verbose_arg $ file_arg $ checks_file $ format $ timestamps
-      $ exit_zero)
+      const run $ verbose_arg $ provider_arg $ file_arg $ checks_file $ format
+      $ timestamps $ exit_zero)
 
 (* ---- deploy --------------------------------------------------------- *)
 
 let deploy_cmd =
-  let run verbose path fault_rate fault_seed trace =
+  let run verbose provider path fault_rate fault_seed trace =
     setup_logs verbose;
     let module Engine = Zodiac_engine.Engine in
     let telemetry = telemetry_of trace in
     let module Telemetry = Zodiac_util.Telemetry in
     let prog =
-      Telemetry.with_span telemetry "compile" (fun () -> load_hcl path)
+      Telemetry.with_span telemetry "compile" (fun () ->
+          load_hcl ~provider path)
     in
     let engine_config =
       if fault_rate > 0.0 then
         Engine.faulty_config ~fault_rate ~seed:fault_seed ()
       else Engine.default_config
     in
-    let engine = Engine.create ~config:engine_config () in
+    let engine = Engine.create ~provider ~config:engine_config () in
     (* one span per engine deployment, mirroring the pipeline's
        engine.* counters so daemon and one-shot traces line up *)
     let record_engine_counters () =
@@ -531,45 +567,46 @@ let deploy_cmd =
   Cmd.v
     (Cmd.info "deploy" ~doc:"Simulate a cloud deployment of an HCL file")
     Term.(
-      const run $ verbose_arg $ file_arg $ fault_rate_arg $ fault_seed_arg
-      $ trace_arg)
+      const run $ verbose_arg $ provider_arg $ file_arg $ fault_rate_arg
+      $ fault_seed_arg $ trace_arg)
 
 (* ---- graph ---------------------------------------------------------- *)
 
 let graph_cmd =
-  let run verbose path =
+  let run verbose provider path =
     setup_logs verbose;
-    let prog = load_hcl path in
+    let prog = load_hcl ~provider path in
     print_string (Zodiac_iac.Graph.to_dot (Zodiac_iac.Graph.build prog))
   in
   Cmd.v
     (Cmd.info "graph"
        ~doc:"Print the resource graph of an HCL file in Graphviz DOT format")
-    Term.(const run $ verbose_arg $ file_arg)
+    Term.(const run $ verbose_arg $ provider_arg $ file_arg)
 
 (* ---- plan ----------------------------------------------------------- *)
 
 let plan_cmd =
-  let run verbose path =
+  let run verbose provider path =
     setup_logs verbose;
-    let prog = load_hcl path in
+    let prog = load_hcl ~provider path in
     print_endline
-      (Zodiac_hcl.Plan.to_string ~type_name:Zodiac_azure.Catalog.to_terraform prog)
+      (Zodiac_hcl.Plan.to_string
+         ~type_name:provider.Zodiac_provider.Provider.to_terraform prog)
   in
   Cmd.v
     (Cmd.info "plan"
        ~doc:"Compile an HCL file and print its Terraform-style plan JSON")
-    Term.(const run $ verbose_arg $ file_arg)
+    Term.(const run $ verbose_arg $ provider_arg $ file_arg)
 
 (* ---- export --------------------------------------------------------- *)
 
 let export_cmd =
-  let run verbose seed size jobs cache trace format =
+  let run verbose provider seed size jobs cache trace format =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
     let artifacts =
       Zodiac.Pipeline.run
-        ~config:(config_of ~jobs ?cache_dir:cache seed size)
+        ~config:(config_of ~jobs ?cache_dir:cache ~provider seed size)
         ~telemetry ()
     in
     write_trace trace telemetry;
@@ -598,15 +635,15 @@ let export_cmd =
          "Run the pipeline and export the validated checks as documentation \
           insights, a RAG knowledge base, or an ancillary-checker policy file")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 600 $ jobs_arg $ cache_term
-      $ trace_arg $ format)
+      const run $ verbose_arg $ provider_arg $ seed_arg $ size_arg 600
+      $ jobs_arg $ cache_term $ trace_arg $ format)
 
 (* ---- corpus --------------------------------------------------------- *)
 
 let corpus_cmd =
-  let run verbose seed size jobs cache trace =
+  let run verbose provider seed size jobs cache trace =
     setup_logs verbose;
-    let config = config_of ~jobs ?cache_dir:cache seed size in
+    let config = config_of ~jobs ?cache_dir:cache ~provider seed size in
     let telemetry = telemetry_of trace in
     let cache_store =
       Option.map
@@ -634,19 +671,20 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus" ~doc:"Generate a synthetic corpus and print statistics")
     Term.(
-      const run $ verbose_arg $ seed_arg $ size_arg 1000 $ jobs_arg $ cache_term
-      $ trace_arg)
+      const run $ verbose_arg $ provider_arg $ seed_arg $ size_arg 1000
+      $ jobs_arg $ cache_term $ trace_arg)
 
 (* ---- serve ---------------------------------------------------------- *)
 
 let serve_cmd =
-  let run verbose checks_file socket jobs cache trace timestamps
+  let run verbose provider checks_file socket jobs cache trace timestamps
       max_request_bytes deadline_ms max_clients =
     setup_logs verbose;
     let telemetry = telemetry_of trace in
     let session_config =
       {
-        Zodiac_serve.Session.checks_file;
+        Zodiac_serve.Session.provider;
+        checks_file;
         cache_dir = cache;
         jobs = resolve_jobs jobs;
         timestamps;
@@ -667,8 +705,9 @@ let serve_cmd =
         in
         (* the banner goes to stderr: stdout is the protocol channel *)
         Printf.eprintf
-          "zodiac serve: %d checks resident (%s), %s transport; send \
+          "zodiac serve [%s]: %d checks resident (%s), %s transport; send \
            {\"method\":\"shutdown\"} or EOF to stop\n%!"
+          provider.Zodiac_provider.Provider.name
           (List.length (Zodiac_serve.Session.checks session))
           (match checks_file with
           | None -> "ground truth"
@@ -747,24 +786,25 @@ let serve_cmd =
           and warm cache loaded once, requests answered over a \
           line-delimited JSON protocol with SARIF results")
     Term.(
-      const run $ verbose_arg $ checks_file $ socket $ jobs_arg $ cache_term
-      $ trace_arg $ timestamps $ max_request_bytes $ deadline_ms $ max_clients)
+      const run $ verbose_arg $ provider_arg $ checks_file $ socket $ jobs_arg
+      $ cache_term $ trace_arg $ timestamps $ max_request_bytes $ deadline_ms
+      $ max_clients)
 
 (* ---- rules ---------------------------------------------------------- *)
 
 let rules_cmd =
-  let run verbose =
+  let run verbose provider =
     setup_logs verbose;
     List.iter
       (fun (rule : Zodiac_cloud.Rules.t) ->
         Printf.printf "%-28s [%-9s] %s\n" rule.Zodiac_cloud.Rules.rule_id
           (Zodiac_cloud.Rules.phase_to_string rule.Zodiac_cloud.Rules.phase)
           (Zodiac_spec.Spec_printer.to_string rule.Zodiac_cloud.Rules.check))
-      (Zodiac_cloud.Rules.ground_truth ())
+      (provider.Zodiac_provider.Provider.ground_truth ())
   in
   Cmd.v
     (Cmd.info "rules" ~doc:"List the simulated cloud's ground-truth rules")
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ provider_arg)
 
 let main =
   Cmd.group

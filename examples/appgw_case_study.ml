@@ -17,7 +17,8 @@ let banner title = Printf.printf "\n=== %s ===\n" title
 
 let attempt label program =
   banner label;
-  let outcome = Arm.deploy program in
+  let provider = Zodiac_azure.Azure.provider in
+  let outcome = Arm.deploy ~provider program in
   match Arm.first_error outcome with
   | None ->
       Printf.printf "deployment SUCCEEDS (%d resources created)\n"

@@ -26,32 +26,33 @@ let () =
       ]
   in
   (* Set up a corpus and KB for test-case generation. *)
-  let projects = Generator.generate ~seed:77 ~count:300 () in
+  let provider = Zodiac_azure.Azure.provider in
+  let projects = Generator.generate ~provider ~seed:77 ~count:300 () in
   let corpus =
     List.map (fun p -> (p.Generator.pname, p.Generator.program)) projects
   in
-  let programs = Miner.materialize (List.map snd corpus) in
-  let kb = Kb.build ~projects:programs () in
+  let programs = Miner.materialize ~provider (List.map snd corpus) in
+  let kb = Kb.build ~provider ~projects:programs () in
   List.iter
     (fun check ->
       Printf.printf "hypothesis: %s\n" (Printer.to_string check);
-      match Testcase.find ~corpus check with
+      match Testcase.find ~provider ~corpus check with
       | [] -> print_endline "  no positive witness in the corpus\n"
       | tp :: _ -> (
           Printf.printf "  positive test case from %s (%d resources after MDC pruning)\n"
             tp.Testcase.source
             (Zodiac_iac.Program.size tp.Testcase.program);
-          assert (Arm.success (Arm.deploy tp.Testcase.program));
+          assert (Arm.success (Arm.deploy ~provider tp.Testcase.program));
           print_endline "  positive case deploys: OK";
           match
-            Mutation.negative ~kb ~donors:corpus ~target:check ~hard:[] ~soft:[] tp
+            Mutation.negative ~provider ~kb ~donors:corpus ~target:check ~hard:[] ~soft:[] tp
           with
           | None -> print_endline "  no negative test case exists (UNSAT)\n"
           | Some neg ->
               Printf.printf
                 "  negative test case generated (%d attribute change(s), %d added resource(s))\n"
                 neg.Mutation.attr_changes neg.Mutation.topo_changes;
-              if Arm.success (Arm.deploy neg.Mutation.program) then
+              if Arm.success (Arm.deploy ~provider neg.Mutation.program) then
                 print_endline
                   "  negative case DEPLOYS — hypothesis falsified (not a cloud rule)\n"
               else
@@ -73,7 +74,7 @@ let () =
       ]
   in
   let violations =
-    Eval.violations ~defaults:Arm.defaults (Graph.build bad) check
+    Eval.violations ~defaults:(Arm.defaults provider) (Graph.build bad) check
   in
   Printf.printf "linting a standalone program: %d violation(s) of %s\n"
     (List.length violations) (Printer.to_string check)

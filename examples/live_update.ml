@@ -26,7 +26,8 @@ let action_text = function
 
 let show_plan label current desired =
   Printf.printf "\n=== %s ===\n" label;
-  let result = Update.apply ~current ~desired () in
+  let provider = Zodiac_azure.Azure.provider in
+  let result = Update.apply ~provider ~current ~desired () in
   List.iter
     (fun action ->
       match action_text action with "" -> () | line -> print_endline ("  " ^ line))
@@ -43,7 +44,7 @@ let show_plan label current desired =
 let () =
   (* a running deployment *)
   let current = Zodiac.Registry.compile_exn Zodiac.Registry.quickstart_vm in
-  assert (Arm.success (Arm.deploy current));
+  assert (Arm.success (Arm.deploy ~provider:Zodiac_azure.Azure.provider current));
   Printf.printf "running deployment: %d resources\n" (Program.size current);
 
   (* update 1: a tag-level change applies in place *)

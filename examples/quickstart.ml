@@ -33,7 +33,8 @@ let () =
     (Graph.edges graph);
 
   (* 3. Simulate the deployment. *)
-  let outcome = Arm.deploy program in
+  let provider = Zodiac_azure.Azure.provider in
+  let outcome = Arm.deploy ~provider program in
   Printf.printf "\ndeployment: %s\n"
     (if Arm.success outcome then "SUCCESS" else "FAILED");
 
@@ -45,7 +46,7 @@ let () =
       { Resource.rtype = "NIC"; rname = "nic" }
       (fun r -> Resource.set r "location" (Zodiac_iac.Value.Str "japaneast"))
   in
-  let outcome = Arm.deploy broken in
+  let outcome = Arm.deploy ~provider broken in
   (match Arm.first_error outcome with
   | Some f ->
       Printf.printf
@@ -61,7 +62,7 @@ let () =
       "let r1:VM, r2:NIC in conn(r1.nic_ids -> r2.id) => r1.location == r2.location"
   in
   let violations =
-    Eval.violations ~defaults:Arm.defaults (Graph.build broken) check
+    Eval.violations ~defaults:(Arm.defaults provider) (Graph.build broken) check
   in
   Printf.printf
     "\nsemantic check '%s'\n  flags %d violation(s) at compile time — no cloud required.\n"

@@ -15,7 +15,8 @@ module Resource = Zodiac_iac.Resource
 module Eval = Zodiac_spec.Eval
 
 let () =
-  let projects = Generator.generate ~violation_rate:0.06 ~seed:1234 ~count:400 () in
+  let provider = Zodiac_azure.Azure.provider in
+  let projects = Generator.generate ~provider ~violation_rate:0.06 ~seed:1234 ~count:400 () in
   Printf.printf "scanning %d repositories...\n\n" (List.length projects);
   let buggy = ref 0 in
   List.iter
@@ -26,8 +27,8 @@ let () =
           (fun (rule : Rules.t) ->
             List.map
               (fun assignment -> (rule, assignment))
-              (Eval.violations ~defaults:Arm.defaults graph rule.Rules.check))
-          (Rules.ground_truth ())
+              (Eval.violations ~defaults:(Arm.defaults provider) graph rule.Rules.check))
+          (provider.Zodiac_provider.Provider.ground_truth ())
       in
       if findings <> [] then begin
         incr buggy;
@@ -40,7 +41,7 @@ let () =
                  (List.map (fun (_, id) -> Resource.id_to_string id) assignment)))
           findings;
         (* what would have happened at deploy time? *)
-        let outcome = Arm.deploy p.Generator.program in
+        let outcome = Arm.deploy ~provider p.Generator.program in
         (match Arm.first_error outcome with
         | Some f ->
             let radius = Arm.blast_radius p.Generator.program outcome in

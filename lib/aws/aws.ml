@@ -1,0 +1,124 @@
+(** The AWS backend: one [Provider.t] value tying together the
+    catalogue, region/instance-type knowledge, the hidden ground-truth
+    rule set, deployment-phase semantics and corpus templates. *)
+
+module Provider = Zodiac_provider.Provider
+module Value = Zodiac_iac.Value
+module Check = Zodiac_spec.Check
+
+(* AWS names are unique per account within a type's namespace; nothing
+   in the modelled catalogue scopes names under a parent resource. *)
+let name_scope_attr (_ : string) : string option = None
+
+(* Regional availability applies to the instance-class-bearing types. *)
+let sku_location_attr = function
+  | "INSTANCE" -> Some "instance_type"
+  | "DB" -> Some "instance_class"
+  | _ -> None
+
+(* GPU and large-memory instance families are only rolled out to major
+   regions; the table lists regions where a type is NOT offered. *)
+let sku_restricted_regions =
+  [
+    ( "p3.2xlarge",
+      [
+        "us-west-1"; "ca-central-1"; "sa-east-1"; "eu-west-3"; "eu-north-1";
+        "eu-south-1"; "ap-east-1"; "me-south-1"; "af-south-1";
+      ] );
+    ( "x1e.xlarge",
+      [
+        "us-east-2"; "us-west-1"; "ca-central-1"; "sa-east-1"; "eu-west-2";
+        "eu-west-3"; "eu-north-1"; "eu-south-1"; "ap-south-1"; "ap-east-1";
+        "me-south-1"; "af-south-1";
+      ] );
+    ("i3.large", [ "me-south-1"; "af-south-1"; "eu-south-1" ]);
+  ]
+
+(* Names and regions are immutable; structural network placement and
+   storage identity force replacement. *)
+let immutable_attrs rtype =
+  [ "name"; "location" ]
+  @
+  match rtype with
+  | "VPC" -> [ "cidr_block"; "instance_tenancy" ]
+  | "SUBNET" -> [ "vpc_id"; "cidr_block"; "availability_zone" ]
+  | "IGW" -> [ "vpc_id" ]
+  | "EIP" -> [ "domain" ]
+  | "NATGW" -> [ "subnet_id"; "connectivity_type" ]
+  | "RT" -> [ "vpc_id" ]
+  | "SG" -> [ "vpc_id" ]
+  | "ENI" -> [ "subnet_id" ]
+  | "INSTANCE" -> [ "ami"; "subnet_id"; "availability_zone" ]
+  | "VOLUME" -> [ "availability_zone" ]
+  | "DB" -> [ "engine"; "db_subnet_group_name" ]
+  | "LB" -> [ "lb_type" ]
+  | _ -> []
+
+(* Documented service limits, looked up from the condition
+   (type, attribute, value) and the constrained quantity — the oracle's
+   "documentation". *)
+let documented_limit ~subject ~cond ~(quantity : Provider.quantity) ~op =
+  match (subject, cond, quantity, op) with
+  | ( "INSTANCE",
+      Some ("instance_type", Value.Str it),
+      Provider.Deg (`In, "ENI"),
+      Check.Le ) ->
+      Option.map
+        (fun (t : Instances.instance_type) -> t.Instances.max_enis)
+        (Instances.find it)
+  | ( "INSTANCE",
+      Some ("instance_type", Value.Str it),
+      Provider.Deg (`Out, "ATTACH"),
+      Check.Le ) ->
+      Option.map
+        (fun (t : Instances.instance_type) -> t.Instances.max_ebs)
+        (Instances.find it)
+  | "DBSUBNETGRP", _, Provider.Deg (`In, "SUBNET"), Check.Ge -> Some 2
+  | "LB", _, Provider.Deg (`In, "SUBNET"), Check.Ge -> Some 2
+  | "IAM_ROLE", _, Provider.Num "max_session_duration", Check.Le -> Some 43200
+  | "IAM_ROLE", _, Provider.Num "max_session_duration", Check.Ge -> Some 3600
+  | "DB", _, Provider.Num "allocated_storage", Check.Ge -> Some 20
+  | "DB", _, Provider.Num "allocated_storage", Check.Le -> Some 65536
+  | "DB", _, Provider.Num "backup_retention_period", Check.Le -> Some 35
+  | "DB", _, Provider.Num "backup_retention_period", Check.Ge -> Some 0
+  | "LB", _, Provider.Num "idle_timeout", Check.Le -> Some 4000
+  | "LB", _, Provider.Num "idle_timeout", Check.Ge -> Some 1
+  | "SG", _, Provider.Num "rule.from_port", Check.Ge -> Some 0
+  | "SG", _, Provider.Num "rule.from_port", Check.Le -> Some 65535
+  | "SG", _, Provider.Num "rule.to_port", Check.Ge -> Some 0
+  | "SG", _, Provider.Num "rule.to_port", Check.Le -> Some 65535
+  | "VOLUME", _, Provider.Num "size", Check.Ge -> Some 1
+  | "VOLUME", _, Provider.Num "size", Check.Le -> Some 65536
+  | "VOLUME", _, Provider.Num "iops", Check.Le -> Some 256000
+  | "VOLUME", _, Provider.Num "throughput", Check.Le -> Some 1000
+  | _ -> None
+
+let plausible_markers =
+  [
+    "gp2"; "gp3"; "io1"; "io2"; "ingress"; "egress"; "application"; "network";
+    "vpc"; "private"; "public-read";
+  ]
+
+let provider : Provider.t =
+  {
+    Provider.name = "aws";
+    tf_prefix = "aws_";
+    schemas = Catalog.schemas;
+    find_schema = Catalog.find;
+    type_names = Catalog.type_names;
+    of_terraform = Catalog.of_terraform;
+    to_terraform = Catalog.to_terraform;
+    reserved_names = Catalog.reserved_names;
+    regions = Regions.all;
+    is_region = Regions.is_region;
+    ground_truth = Rules.ground_truth;
+    name_scope_attr;
+    sku_location_attr;
+    sku_restricted_regions;
+    immutable_attrs;
+    documented_limit;
+    plausible_markers;
+    scenarios = Corpus.scenarios;
+    injectors = Corpus.injectors;
+    add_unattended = Corpus.add_unattended;
+  }

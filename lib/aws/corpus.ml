@@ -1,0 +1,619 @@
+(** AWS corpus scenario templates, violation injectors and the
+    unattended-resource decorator. Shapes mirror real Terraform AWS
+    stacks: public web tiers behind an IGW, private tiers behind a NAT
+    gateway, S3 + IAM pipelines, RDS data tiers, EBS-heavy compute
+    fleets. Conforming-by-construction against [Rules.ground_truth];
+    the injectors manufacture the violation tail mining needs. *)
+
+module Prng = Zodiac_util.Prng
+module Value = Zodiac_iac.Value
+module Resource = Zodiac_iac.Resource
+module Program = Zodiac_iac.Program
+open Zodiac_provider.Provider.Build
+
+let common_instance_type ctx =
+  Prng.weighted ctx.rng
+    [ (6, "t3.micro"); (5, "t3.small"); (4, "t3.medium"); (3, "m5.large");
+      (2, "t3.large"); (2, "c5.large"); (2, "m5.xlarge"); (1, "r5.large");
+      (1, "c5.xlarge"); (1, "t2.micro"); (1, "t3.nano") ]
+
+let pick_zone ctx =
+  match Regions.zones ctx.region with
+  | [] -> ctx.region ^ "a"
+  | zs -> Prng.choose_list ctx.rng zs
+
+let ami ctx =
+  Printf.sprintf "ami-%08x" (Prng.int ctx.rng 0x3FFFFFFF)
+
+(* ------------- resource builders ------------------------------------ *)
+
+let make_vpc ctx index =
+  let cidr = Printf.sprintf "10.%d.0.0/16" (index land 0xFF) in
+  add ctx "VPC" (fresh ctx "vpc")
+    [
+      ("name", str (fresh ctx "vpc-net"));
+      ("location", str ctx.region);
+      ("cidr_block", str cidr);
+    ]
+
+let vpc_base vpc =
+  match Resource.get vpc "cidr_block" with Value.Str s -> s | _ -> "10.0.0.0/16"
+
+let subnet_cidr vpc index =
+  match Zodiac_util.Cidr.of_string (vpc_base vpc) with
+  | Some base -> (
+      match Zodiac_util.Cidr.nth_subnet base 24 index with
+      | Some c -> Zodiac_util.Cidr.to_string c
+      | None -> "10.0.0.0/24")
+  | None -> "10.0.0.0/24"
+
+let make_subnet ?(public = false) ctx vpc index =
+  let attrs =
+    [
+      ("name", str (fresh ctx "subnet-net"));
+      ("location", str ctx.region);
+      ("vpc_id", ref_to vpc "id");
+      ("cidr_block", str (subnet_cidr vpc index));
+      ("availability_zone", str (pick_zone ctx));
+    ]
+  in
+  let attrs =
+    if public then attrs @ [ ("map_public_ip_on_launch", bool true) ] else attrs
+  in
+  add ctx "SUBNET" (fresh ctx "subnet") attrs
+
+let make_igw ctx vpc =
+  add ctx "IGW" (fresh ctx "igw")
+    [
+      ("name", str (fresh ctx "igw-net"));
+      ("location", str ctx.region);
+      ("vpc_id", ref_to vpc "id");
+    ]
+
+let make_eip ctx =
+  add ctx "EIP" (fresh ctx "eip")
+    [ ("name", str (fresh ctx "eip-addr")); ("location", str ctx.region) ]
+
+let make_natgw ctx subnet eip =
+  add ctx "NATGW" (fresh ctx "nat")
+    [
+      ("name", str (fresh ctx "nat-gw"));
+      ("location", str ctx.region);
+      ("subnet_id", ref_to subnet "id");
+      ("allocation_id", ref_to eip "id");
+    ]
+
+let make_rt ctx vpc =
+  add ctx "RT" (fresh ctx "rt")
+    [
+      ("name", str (fresh ctx "rt-tbl"));
+      ("location", str ctx.region);
+      ("vpc_id", ref_to vpc "id");
+    ]
+
+let make_route ?igw ?natgw ctx rt =
+  let target =
+    match (igw, natgw) with
+    | Some i, _ -> [ ("gateway_id", ref_to i "id") ]
+    | None, Some n -> [ ("nat_gateway_id", ref_to n "id") ]
+    | None, None -> []
+  in
+  add ctx "ROUTE" (fresh ctx "route")
+    ([
+       ("name", str (fresh ctx "route-def"));
+       ("rt_id", ref_to rt "id");
+       ("destination_cidr_block", str "0.0.0.0/0");
+     ]
+    @ target)
+
+let make_rtassoc ctx subnet rt =
+  add ctx "RTASSOC" (fresh ctx "rta")
+    [ ("subnet_id", ref_to subnet "id"); ("rt_id", ref_to rt "id") ]
+
+let sg_rule ?(dir = "ingress") ?(protocol = "tcp") ?cidr ~from_port ~to_port () =
+  let base =
+    [
+      ("dir", str dir);
+      ("protocol", str protocol);
+      ("from_port", int from_port);
+      ("to_port", int to_port);
+    ]
+  in
+  Value.Block
+    (match cidr with Some c -> base @ [ ("cidr", str c) ] | None -> base)
+
+let make_sg ?(web = false) ctx vpc =
+  let rules =
+    if web then
+      [
+        sg_rule ~from_port:443 ~to_port:443 ~cidr:"0.0.0.0/0" ();
+        sg_rule ~from_port:80 ~to_port:80 ~cidr:"0.0.0.0/0" ();
+        sg_rule ~dir:"egress" ~protocol:"-1" ~from_port:0 ~to_port:0
+          ~cidr:"0.0.0.0/0" ();
+      ]
+    else
+      [
+        sg_rule ~from_port:22 ~to_port:22 ~cidr:(vpc_base vpc) ();
+        sg_rule ~dir:"egress" ~protocol:"-1" ~from_port:0 ~to_port:0
+          ~cidr:"0.0.0.0/0" ();
+      ]
+  in
+  add ctx "SG" (fresh ctx "sg")
+    [
+      ("name", str (fresh ctx "sg-grp"));
+      ("location", str ctx.region);
+      ("vpc_id", ref_to vpc "id");
+      ("rule", Value.List rules);
+    ]
+
+let make_instance ?instance_type ?subnet ?sgs ?zone ?profile ctx =
+  let itype =
+    match instance_type with Some t -> t | None -> common_instance_type ctx
+  in
+  let attrs =
+    [
+      ("name", str (fresh ctx "web-srv"));
+      ("location", str ctx.region);
+      ("instance_type", str itype);
+      ("ami", str (ami ctx));
+    ]
+  in
+  let attrs =
+    match subnet with
+    | Some s -> attrs @ [ ("subnet_id", ref_to s "id") ]
+    | None -> attrs
+  in
+  let attrs =
+    match sgs with
+    | Some gs when gs <> [] ->
+        attrs @ [ ("sg_ids", Value.List (List.map (fun g -> ref_to g "id") gs)) ]
+    | _ -> attrs
+  in
+  let attrs =
+    match zone with
+    | Some z -> attrs @ [ ("availability_zone", str z) ]
+    | None -> attrs
+  in
+  let attrs =
+    match profile with
+    | Some p -> attrs @ [ ("iam_instance_profile", ref_to p "name") ]
+    | None -> attrs
+  in
+  add ctx "INSTANCE" (fresh ctx "instance") attrs
+
+let make_volume ?zone ctx =
+  let zone = match zone with Some z -> z | None -> pick_zone ctx in
+  let vtype =
+    Prng.weighted ctx.rng [ (5, "gp2"); (4, "gp3"); (1, "io1"); (1, "st1") ]
+  in
+  let attrs =
+    [
+      ("name", str (fresh ctx "data-vol"));
+      ("location", str ctx.region);
+      ("availability_zone", str zone);
+      ("size", int (Prng.choose_list ctx.rng [ 8; 20; 50; 100; 200 ]));
+      ("type", str vtype);
+    ]
+  in
+  let attrs =
+    if String.equal vtype "io1" then attrs @ [ ("iops", int 3000) ] else attrs
+  in
+  add ctx "VOLUME" (fresh ctx "volume") attrs
+
+let make_attach ctx instance volume index =
+  add ctx "ATTACH" (fresh ctx "attach")
+    [
+      ("device_name", str (Printf.sprintf "/dev/sd%c" (Char.chr (Char.code 'f' + index))));
+      ("instance_id", ref_to instance "id");
+      ("volume_id", ref_to volume "id");
+    ]
+
+let make_bucket ?(website = false) ctx =
+  let attrs =
+    [
+      ("name", str (fresh ctx "bucket-data"));
+      ("location", str ctx.region);
+    ]
+  in
+  let attrs =
+    if website then
+      attrs
+      @ [
+          ("acl", str "public-read");
+          ("website", Value.Block [ ("index_document", str "index.html") ]);
+        ]
+    else if Prng.chance ctx.rng 0.5 then
+      attrs @ [ ("versioning", Value.Block [ ("enabled", bool true) ]) ]
+    else attrs
+  in
+  add ctx "BUCKET" (fresh ctx "bucket") attrs
+
+let assume_role_policy = "{\"Statement\":[{\"Action\":\"sts:AssumeRole\",\"Principal\":{\"Service\":\"ec2.amazonaws.com\"}}]}"
+
+let make_role ctx =
+  add ctx "IAM_ROLE" (fresh ctx "role")
+    [
+      ("name", str (fresh ctx "role-app"));
+      ("assume_role_policy", str assume_role_policy);
+    ]
+
+let make_policy ctx bucket =
+  let doc =
+    Printf.sprintf
+      "{\"Statement\":[{\"Action\":\"s3:GetObject\",\"Resource\":\"arn:aws:s3:::%s/*\"}]}"
+      bucket
+  in
+  add ctx "IAM_POLICY" (fresh ctx "policy")
+    [ ("name", str (fresh ctx "policy-app")); ("policy", str doc) ]
+
+let make_iam_attach ctx role policy =
+  add ctx "IAM_ATTACH" (fresh ctx "attach-pol")
+    [ ("role", ref_to role "name"); ("policy_arn", ref_to policy "arn") ]
+
+let make_profile ctx role =
+  add ctx "INSTANCE_PROFILE" (fresh ctx "profile")
+    [ ("name", str (fresh ctx "profile-app")); ("role", ref_to role "name") ]
+
+(* ------------- scenarios --------------------------------------------- *)
+
+(* A public web tier: IGW-routed subnets, a web security group, a few
+   instances, sometimes an ALB across two subnets. *)
+let web_tier ctx =
+  let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+  let s1 = make_subnet ~public:true ctx vpc 0 in
+  let s2 = make_subnet ~public:true ctx vpc 1 in
+  let igw = make_igw ctx vpc in
+  let rt = make_rt ctx vpc in
+  ignore (make_route ~igw ctx rt);
+  ignore (make_rtassoc ctx s1 rt);
+  ignore (make_rtassoc ctx s2 rt);
+  let sg = make_sg ~web:true ctx vpc in
+  let n = 1 + Prng.int ctx.rng 3 in
+  let instances =
+    List.init n (fun i ->
+        make_instance ~subnet:(if i mod 2 = 0 then s1 else s2) ~sgs:[ sg ] ctx)
+  in
+  ignore instances;
+  if Prng.chance ctx.rng 0.5 then
+    ignore
+      (add ctx "LB" (fresh ctx "alb")
+         [
+           ("name", str (fresh ctx "alb-front"));
+           ("location", str ctx.region);
+           ("subnet_ids", Value.List [ ref_to s1 "id"; ref_to s2 "id" ]);
+           ("sg_ids", Value.List [ ref_to sg "id" ]);
+         ])
+
+(* A private tier NATed out: NAT gateway in a public subnet, private
+   subnets route through it. *)
+let private_tier ctx =
+  let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+  let public = make_subnet ~public:true ctx vpc 0 in
+  let private1 = make_subnet ctx vpc 1 in
+  let igw = make_igw ctx vpc in
+  let public_rt = make_rt ctx vpc in
+  ignore (make_route ~igw ctx public_rt);
+  ignore (make_rtassoc ctx public public_rt);
+  let eip = make_eip ctx in
+  let nat = make_natgw ctx public eip in
+  let private_rt = make_rt ctx vpc in
+  ignore (make_route ~natgw:nat ctx private_rt);
+  ignore (make_rtassoc ctx private1 private_rt);
+  let sg = make_sg ctx vpc in
+  let n = 1 + Prng.int ctx.rng 2 in
+  ignore (List.init n (fun _ -> make_instance ~subnet:private1 ~sgs:[ sg ] ctx))
+
+(* S3 + IAM: buckets, a reader role wired to an instance profile. *)
+let storage_pipeline ctx =
+  let b1 = make_bucket ctx in
+  let bname =
+    match Resource.get b1 "name" with Value.Str s -> s | _ -> "bucket"
+  in
+  if Prng.chance ctx.rng 0.4 then ignore (make_bucket ctx);
+  if Prng.chance ctx.rng 0.15 then ignore (make_bucket ~website:true ctx);
+  let role = make_role ctx in
+  let policy = make_policy ctx bname in
+  ignore (make_iam_attach ctx role policy);
+  if Prng.chance ctx.rng 0.6 then begin
+    let profile = make_profile ctx role in
+    let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+    let subnet = make_subnet ctx vpc 0 in
+    ignore (make_instance ~subnet ~profile ctx)
+  end
+
+(* An RDS data tier: subnet group over two AZ-spread subnets. *)
+let data_tier ctx =
+  let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+  let s1 = make_subnet ctx vpc 0 in
+  let s2 = make_subnet ctx vpc 1 in
+  let sg = make_sg ctx vpc in
+  let grp =
+    add ctx "DBSUBNETGRP" (fresh ctx "dbgrp")
+      [
+        ("name", str (fresh ctx "dbgrp-net"));
+        ("location", str ctx.region);
+        ("subnet_ids", Value.List [ ref_to s1 "id"; ref_to s2 "id" ]);
+      ]
+  in
+  let cls =
+    Prng.weighted ctx.rng
+      [ (4, "db.t3.small"); (3, "db.t3.medium"); (2, "db.m5.large"); (1, "db.t3.micro") ]
+  in
+  let multi_az =
+    (match Instances.find_db cls with
+    | Some c -> c.Instances.multi_az_capable
+    | None -> false)
+    && Prng.chance ctx.rng 0.3
+  in
+  ignore
+    (add ctx "DB" (fresh ctx "db")
+       [
+         ("name", str (fresh ctx "db-main"));
+         ("location", str ctx.region);
+         ("engine", str (Prng.choose_list ctx.rng [ "mysql"; "postgres"; "mariadb" ]));
+         ("instance_class", str cls);
+         ("allocated_storage", int (Prng.choose_list ctx.rng [ 20; 50; 100 ]));
+         ("db_subnet_group_name", ref_to grp "name");
+         ("sg_ids", Value.List [ ref_to sg "id" ]);
+         ("multi_az", bool multi_az);
+         ("backup_retention_period", int (Prng.choose_list ctx.rng [ 1; 7; 14; 35 ]));
+       ]);
+  if Prng.chance ctx.rng 0.5 then begin
+    let app_subnet = make_subnet ctx vpc 2 in
+    ignore (make_instance ~subnet:app_subnet ~sgs:[ sg ] ctx)
+  end
+
+(* EBS-heavy compute: instances with data volumes attached in-AZ. *)
+let compute_fleet ctx =
+  let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+  let subnet = make_subnet ctx vpc 0 in
+  let sg = make_sg ctx vpc in
+  let zone = pick_zone ctx in
+  let n = 1 + Prng.int ctx.rng 2 in
+  ignore
+    (List.init n (fun _ ->
+         let inst = make_instance ~subnet ~sgs:[ sg ] ~zone ctx in
+         let disks = 1 + Prng.int ctx.rng 2 in
+         List.init disks (fun i ->
+             let vol = make_volume ~zone ctx in
+             make_attach ctx inst vol i)))
+
+(* Pure IAM stacks: roles, policies and attachments, no network. *)
+let iam_stack ctx =
+  let n = 1 + Prng.int ctx.rng 2 in
+  ignore
+    (List.init n (fun _ ->
+         let role = make_role ctx in
+         let policy = make_policy ctx (fresh ctx "bucket") in
+         make_iam_attach ctx role policy))
+
+(* A fleet with explicit network interfaces attached per instance. *)
+let eni_fleet ctx =
+  let vpc = make_vpc ctx (Prng.int ctx.rng 200) in
+  let subnet = make_subnet ctx vpc 0 in
+  let sg = make_sg ctx vpc in
+  let n = 1 + Prng.int ctx.rng 2 in
+  ignore
+    (List.init n (fun _ ->
+         let enis =
+           List.init
+             (1 + Prng.int ctx.rng 2)
+             (fun _ ->
+               add ctx "ENI" (fresh ctx "eni")
+                 [
+                   ("name", str (fresh ctx "eni-if"));
+                   ("location", str ctx.region);
+                   ("subnet_id", ref_to subnet "id");
+                   ("sg_ids", Value.List [ ref_to sg "id" ]);
+                 ])
+         in
+         add ctx "INSTANCE" (fresh ctx "instance")
+           [
+             ("name", str (fresh ctx "app-srv"));
+             ("location", str ctx.region);
+             ( "instance_type",
+               str
+                 (Prng.choose_list ctx.rng
+                    [ "m5.large"; "m5.xlarge"; "c5.xlarge"; "r5.large" ]) );
+             ("ami", str (ami ctx));
+             ("subnet_id", ref_to subnet "id");
+             ("eni_ids", Value.List (List.map (fun e -> ref_to e "id") enis));
+           ]))
+
+let scenarios =
+  [
+    (8, ("web_tier", web_tier));
+    (5, ("private_tier", private_tier));
+    (6, ("storage_pipeline", storage_pipeline));
+    (5, ("data_tier", data_tier));
+    (5, ("compute_fleet", compute_fleet));
+    (3, ("iam_stack", iam_stack));
+    (3, ("eni_fleet", eni_fleet));
+  ]
+
+(* ------------- violation injection ----------------------------------- *)
+
+let injectors :
+    (string * (Prng.t -> Program.t -> Program.t option)) list =
+  let pick_of_type rng prog rtype =
+    match Program.by_type prog rtype with
+    | [] -> None
+    | rs -> Some (Prng.choose_list rng rs)
+  in
+  let other_region rng current =
+    let candidates =
+      List.filter (fun r -> not (String.equal r current)) Regions.all
+    in
+    Prng.choose_list rng candidates
+  in
+  let str s = Value.Str s in
+  [
+    ( "subnet-wrong-region",
+      fun rng prog ->
+        Option.map
+          (fun subnet ->
+            let current =
+              match Resource.get subnet "location" with
+              | Value.Str s -> s
+              | _ -> "us-east-1"
+            in
+            Program.update prog (Resource.id subnet) (fun r ->
+                Resource.set r "location" (str (other_region rng current))))
+          (pick_of_type rng prog "SUBNET") );
+    ( "subnet-out-of-range",
+      fun _rng prog ->
+        Option.map
+          (fun subnet ->
+            Program.update prog (Resource.id subnet) (fun r ->
+                Resource.set r "cidr_block" (str "192.168.77.0/24")))
+          (match Program.by_type prog "SUBNET" with [] -> None | s :: _ -> Some s) );
+    ( "subnet-overlap",
+      fun _rng prog ->
+        match Program.by_type prog "SUBNET" with
+        | s1 :: s2 :: _
+          when Value.equal (Resource.get s1 "vpc_id") (Resource.get s2 "vpc_id") ->
+            Some
+              (Program.update prog (Resource.id s2) (fun r ->
+                   Resource.set r "cidr_block" (Resource.get s1 "cidr_block")))
+        | _ -> None );
+    ( "second-igw",
+      fun _rng prog ->
+        match Program.by_type prog "IGW" with
+        | igw :: _ ->
+            let vpc_ref = Resource.get igw "vpc_id" in
+            let dup =
+              Resource.make "IGW" "igw99x"
+                [
+                  ("name", str "igw99x-extra");
+                  ("location", Resource.get igw "location");
+                  ("vpc_id", vpc_ref);
+                ]
+            in
+            Some (Program.of_resources (Program.resources prog @ [ dup ]))
+        | [] -> None );
+    ( "route-both-targets",
+      fun _rng prog ->
+        match Program.by_type prog "ROUTE" with
+        | route :: _ when not (Value.is_null (Resource.get route "gateway_id")) -> (
+            match Program.by_type prog "NATGW" with
+            | nat :: _ ->
+                Some
+                  (Program.update prog (Resource.id route) (fun r ->
+                       Resource.set r "nat_gateway_id"
+                         (Value.reference "NATGW" nat.Resource.rname "id")))
+            | [] -> None)
+        | _ -> None );
+    ( "sg-port-disorder",
+      fun _rng prog ->
+        Option.map
+          (fun sg ->
+            Program.update prog (Resource.id sg) (fun r ->
+                match Resource.get r "rule" with
+                | Value.List (Value.Block fields :: rest) ->
+                    let swapped =
+                      List.map
+                        (fun (k, v) ->
+                          match k with
+                          | "from_port" -> (k, Value.Int 443)
+                          | "to_port" -> (k, Value.Int 80)
+                          | _ -> (k, v))
+                        fields
+                    in
+                    Resource.set r "rule" (Value.List (Value.Block swapped :: rest))
+                | _ -> r))
+          (pick_of_type _rng prog "SG") );
+    ( "volume-gp2-iops",
+      fun rng prog ->
+        Option.map
+          (fun vol ->
+            Program.update prog (Resource.id vol) (fun r ->
+                Resource.set (Resource.set r "type" (str "gp2")) "iops"
+                  (Value.Int 3000)))
+          (pick_of_type rng prog "VOLUME") );
+    ( "bucket-private-website",
+      fun rng prog ->
+        Option.map
+          (fun bucket ->
+            Program.update prog (Resource.id bucket) (fun r ->
+                Resource.set
+                  (Resource.set r "website"
+                     (Value.Block [ ("index_document", str "index.html") ]))
+                  "acl" (str "private")))
+          (pick_of_type rng prog "BUCKET") );
+    ( "db-backup-over",
+      fun rng prog ->
+        Option.map
+          (fun db ->
+            Program.update prog (Resource.id db) (fun r ->
+                Resource.set r "backup_retention_period" (Value.Int 45)))
+          (pick_of_type rng prog "DB") );
+    ( "role-session-over",
+      fun rng prog ->
+        Option.map
+          (fun role ->
+            Program.update prog (Resource.id role) (fun r ->
+                Resource.set r "max_session_duration" (Value.Int 90000)))
+          (pick_of_type rng prog "IAM_ROLE") );
+    ( "attach-cross-az",
+      fun _rng prog ->
+        match (Program.by_type prog "ATTACH", Program.by_type prog "VOLUME") with
+        | _ :: _, vol :: _ ->
+            Some
+              (Program.update prog (Resource.id vol) (fun r ->
+                   let az =
+                     match Resource.get r "availability_zone" with
+                     | Value.Str s -> s
+                     | _ -> "us-east-1a"
+                   in
+                   Resource.set r "availability_zone" (str (az ^ "x"))))
+        | _ -> None );
+    ( "nat-missing-eip",
+      fun rng prog ->
+        Option.map
+          (fun nat ->
+            Program.update prog (Resource.id nat) (fun r ->
+                Resource.remove_attr r "allocation_id"))
+          (pick_of_type rng prog "NATGW") );
+  ]
+
+(* ------------- unattended resources ---------------------------------- *)
+
+let add_unattended ctx =
+  let attended =
+    List.filter
+      (fun r -> not (String.equal r.Resource.rtype "SUBNET"))
+      ctx.resources
+  in
+  let pick () = Prng.choose_list ctx.rng attended in
+  if attended <> [] then begin
+    if Prng.chance ctx.rng 0.3 then begin
+      let target = pick () in
+      ignore
+        (add ctx "CW_ALARM" (fresh ctx "alarm")
+           [
+             ("name", str (fresh ctx "cpu-high"));
+             ("target_resource_id", ref_to target "id");
+             ("metric_name", str "CPUUtilization");
+             ("threshold", int 80);
+           ])
+    end;
+    if Prng.chance ctx.rng 0.2 then begin
+      let target = pick () in
+      ignore
+        (add ctx "SNS_TOPIC" (fresh ctx "topic")
+           [
+             ("name", str (fresh ctx "alerts"));
+             ("source_id", ref_to target "id");
+           ])
+    end;
+    if Prng.chance ctx.rng 0.2 then begin
+      let target = pick () in
+      ignore
+        (add ctx "SSM_ASSOC" (fresh ctx "ssm")
+           [
+             ("name", str (fresh ctx "patch-baseline"));
+             ("target_id", ref_to target "id");
+             ("schedule", str "rate(7 days)");
+           ])
+    end
+  end

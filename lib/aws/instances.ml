@@ -1,0 +1,55 @@
+(* EC2 instance type documentation table: the AWS analogue of
+   [Zodiac_azure.Skus] — network-interface and EBS-attachment maxima
+   drive the oracle's documented limits. *)
+type instance_type = {
+  it_name : string;
+  max_enis : int;
+  max_ebs : int;
+  vcpus : int;
+  ebs_optimized : bool;
+}
+
+let instance_types =
+  [
+    { it_name = "t3.nano"; max_enis = 2; max_ebs = 4; vcpus = 2; ebs_optimized = false };
+    { it_name = "t3.micro"; max_enis = 2; max_ebs = 4; vcpus = 2; ebs_optimized = false };
+    { it_name = "t3.small"; max_enis = 3; max_ebs = 6; vcpus = 2; ebs_optimized = false };
+    { it_name = "t3.medium"; max_enis = 3; max_ebs = 6; vcpus = 2; ebs_optimized = false };
+    { it_name = "t3.large"; max_enis = 3; max_ebs = 8; vcpus = 2; ebs_optimized = true };
+    { it_name = "m5.large"; max_enis = 3; max_ebs = 8; vcpus = 2; ebs_optimized = true };
+    { it_name = "m5.xlarge"; max_enis = 4; max_ebs = 10; vcpus = 4; ebs_optimized = true };
+    { it_name = "m5.2xlarge"; max_enis = 4; max_ebs = 12; vcpus = 8; ebs_optimized = true };
+    { it_name = "m5.4xlarge"; max_enis = 8; max_ebs = 16; vcpus = 16; ebs_optimized = true };
+    { it_name = "c5.large"; max_enis = 3; max_ebs = 8; vcpus = 2; ebs_optimized = true };
+    { it_name = "c5.xlarge"; max_enis = 4; max_ebs = 10; vcpus = 4; ebs_optimized = true };
+    { it_name = "c5.2xlarge"; max_enis = 4; max_ebs = 12; vcpus = 8; ebs_optimized = true };
+    { it_name = "r5.large"; max_enis = 3; max_ebs = 8; vcpus = 2; ebs_optimized = true };
+    { it_name = "r5.xlarge"; max_enis = 4; max_ebs = 10; vcpus = 4; ebs_optimized = true };
+    { it_name = "r5.2xlarge"; max_enis = 4; max_ebs = 12; vcpus = 8; ebs_optimized = true };
+    { it_name = "p3.2xlarge"; max_enis = 4; max_ebs = 12; vcpus = 8; ebs_optimized = true };
+    { it_name = "x1e.xlarge"; max_enis = 3; max_ebs = 10; vcpus = 4; ebs_optimized = true };
+    { it_name = "i3.large"; max_enis = 3; max_ebs = 8; vcpus = 2; ebs_optimized = true };
+    { it_name = "t2.micro"; max_enis = 2; max_ebs = 4; vcpus = 1; ebs_optimized = false };
+    { it_name = "t2.small"; max_enis = 3; max_ebs = 6; vcpus = 1; ebs_optimized = false };
+  ]
+
+let instance_type_names = List.map (fun t -> t.it_name) instance_types
+
+let find name =
+  List.find_opt (fun t -> String.equal t.it_name name) instance_types
+
+type db_class = { db_name : string; db_vcpus : int; multi_az_capable : bool }
+
+let db_classes =
+  [
+    { db_name = "db.t3.micro"; db_vcpus = 2; multi_az_capable = false };
+    { db_name = "db.t3.small"; db_vcpus = 2; multi_az_capable = true };
+    { db_name = "db.t3.medium"; db_vcpus = 2; multi_az_capable = true };
+    { db_name = "db.m5.large"; db_vcpus = 2; multi_az_capable = true };
+    { db_name = "db.m5.xlarge"; db_vcpus = 4; multi_az_capable = true };
+    { db_name = "db.r5.large"; db_vcpus = 2; multi_az_capable = true };
+  ]
+
+let db_class_names = List.map (fun c -> c.db_name) db_classes
+
+let find_db name = List.find_opt (fun c -> String.equal c.db_name name) db_classes

@@ -1,0 +1,41 @@
+(* Region name, availability-zone count. AWS has no "paired region"
+   notion; zone counts stand in for the rollout differences that make
+   some instance families regional. *)
+let table =
+  [
+    ("us-east-1", 6);
+    ("us-east-2", 3);
+    ("us-west-1", 2);
+    ("us-west-2", 4);
+    ("ca-central-1", 3);
+    ("sa-east-1", 3);
+    ("eu-west-1", 3);
+    ("eu-west-2", 3);
+    ("eu-west-3", 3);
+    ("eu-central-1", 3);
+    ("eu-north-1", 3);
+    ("eu-south-1", 3);
+    ("ap-southeast-1", 3);
+    ("ap-southeast-2", 3);
+    ("ap-northeast-1", 3);
+    ("ap-northeast-2", 4);
+    ("ap-south-1", 3);
+    ("ap-east-1", 3);
+    ("me-south-1", 3);
+    ("af-south-1", 3);
+  ]
+
+let all = List.map fst table
+
+let is_region name = List.mem_assoc name table
+
+let zone_count name = List.assoc_opt name table
+
+(* Zone suffixes actually used by the corpus: region ^ suffix. *)
+let zones name =
+  match zone_count name with
+  | None -> []
+  | Some n ->
+      List.filteri (fun i _ -> i < n)
+        [ "a"; "b"; "c"; "d"; "e"; "f" ]
+      |> List.map (fun suffix -> name ^ suffix)

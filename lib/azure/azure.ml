@@ -1,0 +1,184 @@
+(** The Azure backend: one [Provider.t] value tying together the
+    catalogue, region/sku knowledge, the hidden ground-truth rule set,
+    deployment-phase semantics and corpus templates. *)
+
+module Provider = Zodiac_provider.Provider
+module Value = Zodiac_iac.Value
+module Check = Zodiac_spec.Check
+
+(* Naming scope: names must be unique among resources of the same type
+   sharing the scope attribute's value (subnets within one VPC, routes
+   within one table, ...). Types not listed use a global namespace. *)
+let name_scope_attr = function
+  | "SUBNET" -> Some "vpc_name"
+  | "ROUTE" -> Some "rt_name"
+  | "PEERING" -> Some "vpc_name"
+  | "CONTAINER" | "SHARE" -> Some "sa_name"
+  | "DNSREC" -> Some "zone_name"
+  | "EVENTHUB" -> Some "namespace_name"
+  | "SBQUEUE" -> Some "namespace_id"
+  | "SQLDB" -> Some "server_id"
+  | _ -> None
+
+(* Regional sku availability applies to the sku-bearing compute types. *)
+let sku_location_attr = function
+  | "VM" | "VMSS" -> Some "sku"
+  | "AKS" -> Some "default_node_pool.vm_size"
+  | _ -> None
+
+(* GPU and large-memory skus are only rolled out to major regions; the
+   table lists regions where a sku is NOT offered. *)
+let sku_restricted_regions =
+  [
+    ( "Standard_NC6s_v3",
+      [
+        "westcentralus"; "canadaeast"; "ukwest"; "francesouth"; "germanynorth";
+        "switzerlandwest"; "norwaywest"; "swedensouth"; "japanwest";
+        "australiasoutheast"; "koreasouth"; "southindia"; "uaecentral";
+        "southafricawest";
+      ] );
+    ( "Standard_M64s",
+      [
+        "westcentralus"; "northcentralus"; "canadaeast"; "ukwest"; "francesouth";
+        "germanynorth"; "switzerlandwest"; "norwaywest"; "swedensouth";
+        "japanwest"; "australiasoutheast"; "koreasouth"; "southindia";
+        "uaecentral"; "southafricawest"; "brazilsouth";
+      ] );
+    ("Standard_L8s_v2", [ "westcentralus"; "ukwest"; "francesouth"; "germanynorth" ]);
+  ]
+
+(* Names and locations are immutable everywhere in Azure; a handful of
+   structural attributes force replacement too. *)
+let immutable_attrs rtype =
+  [ "name"; "location" ]
+  @
+  match rtype with
+  | "VPC" -> [ "address_space" ]
+  | "SUBNET" -> [ "vpc_name" ]
+  | "SA" -> [ "tier"; "kind" ]
+  | "VM" -> [ "sku"; "os_disk.name"; "availability_set_id"; "zone" ]
+  | "DISK" -> [ "storage_type"; "create_option"; "zone" ]
+  | "IP" -> [ "sku" ]
+  | "GW" -> [ "type"; "sku" ]
+  | "REDIS" -> [ "family"; "sku"; "subnet_id" ]
+  | "AKS" -> [ "dns_prefix"; "network_profile.network_plugin" ]
+  | "COSMOS" -> [ "kind" ]
+  | "PLAN" -> [ "os_type" ]
+  | _ -> []
+
+(* Documented service limits, looked up from the condition
+   (type, attribute, value) and the constrained quantity — the oracle's
+   "documentation". *)
+let documented_limit ~subject ~cond ~(quantity : Provider.quantity) ~op =
+  let vm_sku name = Skus.find_vm name in
+  let gw_sku name = Skus.find_gw name in
+  match (subject, cond, quantity, op) with
+  | "VM", Some ("sku", Value.Str sku), Provider.Deg (`In, "NIC"), Check.Le ->
+      Option.map (fun (s : Skus.vm_sku) -> s.Skus.max_nics) (vm_sku sku)
+  | "VM", Some ("sku", Value.Str sku), Provider.Deg (`Out, "ATTACH"), Check.Le ->
+      Option.map (fun (s : Skus.vm_sku) -> s.Skus.max_data_disks) (vm_sku sku)
+  | "GW", Some ("sku", Value.Str sku), Provider.Deg (`Out, "TUNNEL"), Check.Le ->
+      Option.map (fun (s : Skus.gw_sku) -> s.Skus.max_tunnels) (gw_sku sku)
+  | "REDIS", Some ("family", Value.Str "C"), Provider.Num "capacity", Check.Le ->
+      Some 6
+  | "REDIS", Some ("family", Value.Str "P"), Provider.Num "capacity", Check.Le ->
+      Some 5
+  | "REDIS", Some ("family", Value.Str "P"), Provider.Num "capacity", Check.Ge ->
+      Some 1
+  | "KV", _, Provider.Num "soft_delete_retention_days", Check.Le -> Some 90
+  | "KV", _, Provider.Num "soft_delete_retention_days", Check.Ge -> Some 7
+  | "EVENTHUB", _, Provider.Num "partition_count", Check.Le -> Some 32
+  | "EVENTHUB", _, Provider.Num "partition_count", Check.Ge -> Some 1
+  | "SG", _, Provider.Num "rule.priority", Check.Ge -> Some 100
+  | "SG", _, Provider.Num "rule.priority", Check.Le -> Some 4096
+  | ( "APPGW",
+      Some ("sku.tier", Value.Str "Standard"),
+      Provider.Num "sku.capacity",
+      Check.Le ) ->
+      Some 32
+  | ( "APPGW",
+      Some ("sku.tier", Value.Str "Standard_v2"),
+      Provider.Num "sku.capacity",
+      Check.Le ) ->
+      Some 125
+  | "SQLDB", Some ("sku", Value.Str "Basic"), Provider.Num "max_size_gb", Check.Le
+    ->
+      Some 2
+  | ( "LOGWS",
+      Some ("sku", Value.Str "Free"),
+      Provider.Num "retention_in_days",
+      Check.Le ) ->
+      Some 7
+  | "LOGWS", _, Provider.Num "retention_in_days", Check.Le -> Some 730
+  | "LOGWS", _, Provider.Num "retention_in_days", Check.Ge -> Some 7
+  | "IP", _, Provider.Num "idle_timeout_in_minutes", Check.Le -> Some 30
+  | "IP", _, Provider.Num "idle_timeout_in_minutes", Check.Ge -> Some 4
+  | "NAT", _, Provider.Num "idle_timeout_in_minutes", Check.Le -> Some 120
+  | "NAT", _, Provider.Num "idle_timeout_in_minutes", Check.Ge -> Some 4
+  | "AVSET", _, Provider.Num "fault_domain_count", Check.Le -> Some 3
+  | "AVSET", _, Provider.Num "fault_domain_count", Check.Ge -> Some 1
+  | "AVSET", _, Provider.Num "update_domain_count", Check.Le -> Some 20
+  | "AVSET", _, Provider.Num "update_domain_count", Check.Ge -> Some 1
+  | "AKS", _, Provider.Num "default_node_pool.node_count", Check.Le -> Some 1000
+  | "AKS", _, Provider.Num "default_node_pool.node_count", Check.Ge -> Some 1
+  | "AKS", _, Provider.Num "default_node_pool.max_pods", Check.Le -> Some 250
+  | "AKS", _, Provider.Num "default_node_pool.max_pods", Check.Ge -> Some 10
+  | "MYSQL", _, Provider.Num "backup_retention_days", Check.Le -> Some 35
+  | "MYSQL", _, Provider.Num "backup_retention_days", Check.Ge -> Some 1
+  | "APPINS", _, Provider.Num "retention_in_days", Check.Le -> Some 730
+  | "APPINS", _, Provider.Num "retention_in_days", Check.Ge -> Some 30
+  | "SHARE", _, Provider.Num "quota", Check.Le -> Some 102400
+  | "SHARE", _, Provider.Num "quota", Check.Ge -> Some 1
+  | "SBQUEUE", _, Provider.Num "max_size_in_megabytes", Check.Le -> Some 5120
+  | "SBQUEUE", _, Provider.Num "max_size_in_megabytes", Check.Ge -> Some 1024
+  | "EVENTHUB_NS", _, Provider.Num "capacity", Check.Le -> Some 40
+  | "EVENTHUB_NS", _, Provider.Num "capacity", Check.Ge -> Some 1
+  | "EXPRESS", _, Provider.Num "bandwidth_in_mbps", Check.Le -> Some 10000
+  | "EXPRESS", _, Provider.Num "bandwidth_in_mbps", Check.Ge -> Some 50
+  | "DISK", _, Provider.Num "size_gb", Check.Le -> Some 32767
+  | "DISK", _, Provider.Num "size_gb", Check.Ge -> Some 1
+  | ( "COSMOS",
+      _,
+      Provider.Num "consistency_policy.max_interval_in_seconds",
+      Check.Le ) ->
+      Some 86400
+  | ( "COSMOS",
+      _,
+      Provider.Num "consistency_policy.max_interval_in_seconds",
+      Check.Ge ) ->
+      Some 5
+  | "TUNNEL", _, Provider.Num "routing_weight", Check.Le -> Some 32000
+  | "TUNNEL", _, Provider.Num "routing_weight", Check.Ge -> Some 0
+  | "DNSREC", _, Provider.Num "ttl", Check.Le -> Some 2147483646
+  | "DNSREC", _, Provider.Num "ttl", Check.Ge -> Some 1
+  | _ -> None
+
+let plausible_markers =
+  [
+    "GatewaySubnet"; "AzureFirewallSubnet"; "AzureBastionSubnet"; "Standard";
+    "Basic"; "Premium"; "Spot"; "Static"; "Dynamic";
+  ]
+
+let provider : Provider.t =
+  {
+    Provider.name = "azure";
+    tf_prefix = "azurerm_";
+    schemas = Catalog.schemas;
+    find_schema = Catalog.find;
+    type_names = Catalog.type_names;
+    of_terraform = Catalog.of_terraform;
+    to_terraform = Catalog.to_terraform;
+    reserved_names = Catalog.reserved_subnet_names;
+    regions = Regions.all;
+    is_region = Regions.is_region;
+    ground_truth = Rules.ground_truth;
+    name_scope_attr;
+    sku_location_attr;
+    sku_restricted_regions;
+    immutable_attrs;
+    documented_limit;
+    plausible_markers;
+    scenarios = Corpus.scenarios;
+    injectors = Corpus.injectors;
+    add_unattended = Corpus.add_unattended;
+  }

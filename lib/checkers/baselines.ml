@@ -2,7 +2,7 @@ module Value = Zodiac_iac.Value
 module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 module Schema = Zodiac_iac.Schema
-module Catalog = Zodiac_azure.Catalog
+module Provider = Zodiac_provider.Provider
 
 let finding checker rule r message security_related =
   {
@@ -22,10 +22,10 @@ let has r path = not (Value.is_null (Resource.get r path))
 
 (* ---------------- terraform validate ------------------------------- *)
 
-let native_analyze prog =
+let native_analyze provider prog =
   List.concat_map
     (fun r ->
-      match Catalog.find r.Resource.rtype with
+      match provider.Provider.find_schema r.Resource.rtype with
       | None -> []
       | Some schema ->
           let missing =
@@ -87,13 +87,13 @@ let native_analyze prog =
           missing @ bad_enums @ conflicts)
     (Program.resources prog)
 
-let native =
+let native provider =
   {
     Checker.name = "Native";
     spec_format = "JSON";
     input_phase = "Config";
     supports_plan_json = true;
-    analyze = native_analyze;
+    analyze = native_analyze provider;
   }
 
 (* ---------------- security rule helpers ----------------------------- *)
@@ -334,4 +334,4 @@ let tflint =
     analyze = (fun _ -> []);
   }
 
-let all = [ native; tfsec; checkov; tfcomp; regula; tflint ]
+let all provider = [ native provider; tfsec; checkov; tfcomp; regula; tflint ]

@@ -12,11 +12,11 @@
     - {b tflint}: per-attribute lints on HCL only — it cannot consume
       Zodiac's JSON test cases at all. *)
 
-val native : Checker.t
+val native : Zodiac_provider.Provider.t -> Checker.t
 val tfsec : Checker.t
 val checkov : Checker.t
 val tfcomp : Checker.t
 val regula : Checker.t
 val tflint : Checker.t
 
-val all : Checker.t list
+val all : Zodiac_provider.Provider.t -> Checker.t list

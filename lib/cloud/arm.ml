@@ -5,8 +5,7 @@ module Graph = Zodiac_iac.Graph
 module Schema = Zodiac_iac.Schema
 module Eval = Zodiac_spec.Eval
 module Check = Zodiac_spec.Check
-module Catalog = Zodiac_azure.Catalog
-module Regions = Zodiac_azure.Regions
+module Provider = Zodiac_provider.Provider
 module Cidr = Zodiac_util.Cidr
 
 type failure = {
@@ -24,30 +23,16 @@ type outcome = {
   post_sync_issues : failure list;
 }
 
-let defaults ~rtype ~attr = Defaults.lookup ~rtype ~attr
-
-(* Naming scope: names must be unique among resources of the same type
-   sharing the scope attribute's value (subnets within one VPC, routes
-   within one table, ...). Types not listed use a global namespace. *)
-let name_scope_attr = function
-  | "SUBNET" -> Some "vpc_name"
-  | "ROUTE" -> Some "rt_name"
-  | "PEERING" -> Some "vpc_name"
-  | "CONTAINER" | "SHARE" -> Some "sa_name"
-  | "DNSREC" -> Some "zone_name"
-  | "EVENTHUB" -> Some "namespace_name"
-  | "SBQUEUE" -> Some "namespace_id"
-  | "SQLDB" -> Some "server_id"
-  | _ -> None
+let defaults provider = Defaults.lookup provider
 
 let resource_name r =
   match Resource.attr r "name" with Some (Value.Str s) -> Some s | _ -> None
 
-let name_conflict r deployed_resources =
+let name_conflict provider r deployed_resources =
   match resource_name r with
   | None -> None
   | Some name ->
-      let scope_attr = name_scope_attr r.Resource.rtype in
+      let scope_attr = provider.Provider.name_scope_attr r.Resource.rtype in
       let scope_of res =
         match scope_attr with
         | None -> Value.Null
@@ -113,7 +98,7 @@ and descend path (a : Schema.attr) v errors =
         (missing @ errors) inner
   | _ -> errors
 
-let leaf_value_errors schema r =
+let leaf_value_errors provider schema r =
   List.fold_left
     (fun errors (path, (a : Schema.attr)) ->
       let values = Resource.get_all r path in
@@ -122,7 +107,7 @@ let leaf_value_errors schema r =
           match (a.Schema.format, v) with
           | Schema.Enum allowed, Value.Str s when not (List.mem s allowed) ->
               Printf.sprintf "invalid value %S for %s" s path :: errors
-          | Schema.Region, Value.Str s when not (Regions.is_region s) ->
+          | Schema.Region, Value.Str s when not (provider.Provider.is_region s) ->
               Printf.sprintf "unknown region %S" s :: errors
           | Schema.Cidr_format, Value.Str s when Cidr.of_string s = None ->
               Printf.sprintf "malformed CIDR %S in %s" s path :: errors
@@ -138,11 +123,11 @@ let leaf_value_errors schema r =
         errors values)
     [] (Schema.leaf_paths schema)
 
-let schema_errors r =
-  match Catalog.find r.Resource.rtype with
+let schema_errors provider r =
+  match provider.Provider.find_schema r.Resource.rtype with
   | None ->
       (* Resource types outside Zodiac's catalogue ("unattended" types,
-         §4.1) are still perfectly valid Azure resources: the real
+         §4.1) are still perfectly valid cloud resources: the real
          cloud knows them even though Zodiac does not. They deploy as
          no-ops here. *)
       []
@@ -153,7 +138,7 @@ let schema_errors r =
           []
       in
       (* Computed attributes must not be user-assigned at top level. *)
-      missing @ leaf_value_errors schema r
+      missing @ leaf_value_errors provider schema r
 
 (* ------- rule evaluation helpers ------------------------------------ *)
 
@@ -163,7 +148,7 @@ let rules_by_phase rules phase = List.filter (fun r -> r.Rules.phase = phase) ru
    assignment includes it, or that did not exist before it was added
    (e.g. a NIC intruding on a gateway subnet violates a check binding
    only the gateway and the subnet). *)
-let violations_involving ~graph ~graph_before rule (id : Resource.id) =
+let violations_involving ~defaults ~graph ~graph_before rule (id : Resource.id) =
   let types =
     List.map (fun (b : Check.binding) -> b.Check.btype) rule.Rules.check.Check.bindings
   in
@@ -184,10 +169,10 @@ let violations_involving ~graph ~graph_before rule (id : Resource.id) =
           let before = Eval.violations ~defaults graph_before rule.Rules.check in
           List.filter (fun a -> not (List.mem a before)) violations
 
-let first_violation ~graph ~graph_before rules_in_phase (id : Resource.id) =
+let first_violation ~defaults ~graph ~graph_before rules_in_phase (id : Resource.id) =
   List.find_map
     (fun rule ->
-      match violations_involving ~graph ~graph_before rule id with
+      match violations_involving ~defaults ~graph ~graph_before rule id with
       | [] -> None
       | assignment :: _ ->
           Some
@@ -201,21 +186,21 @@ let first_violation ~graph ~graph_before rules_in_phase (id : Resource.id) =
     rules_in_phase
 
 (* Regional sku availability applies to the sku-bearing compute types. *)
-let regional_sku_error quota r =
-  let sku_attr =
-    match r.Resource.rtype with
-    | "VM" | "VMSS" -> Some "sku"
-    | "AKS" -> Some "default_node_pool.vm_size"
-    | _ -> None
-  in
-  match sku_attr with
+let regional_sku_error provider quota r =
+  match provider.Provider.sku_location_attr r.Resource.rtype with
   | None -> None
   | Some attr -> (
       match (Resource.get r attr, Resource.get r "location") with
-      | Value.Str sku, Value.Str region -> Quota.check_regional_sku quota ~sku ~region
+      | Value.Str sku, Value.Str region ->
+          Quota.check_regional_sku quota
+            ~restricted:provider.Provider.sku_restricted_regions ~sku ~region
       | _ -> None)
 
-let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
+let deploy ~provider ?rules ?(quota = Quota.unlimited) prog =
+  let rules =
+    match rules with Some r -> r | None -> provider.Provider.ground_truth ()
+  in
+  let defaults = defaults provider in
   let plugin_rules = rules_by_phase rules Rules.Plugin in
   let presync_rules = rules_by_phase rules Rules.Pre_sync in
   let create_rules = rules_by_phase rules Rules.Create in
@@ -263,7 +248,7 @@ let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
         | None -> step deployed_ids rest
         | Some r -> (
             (* Phase 1: provider plugin validation. *)
-            match schema_errors r with
+            match schema_errors provider r with
             | msg :: _ ->
                 halt
                   {
@@ -284,14 +269,14 @@ let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
                 in
                 let graph = Graph.build partial in
                 let graph_before = Graph.build (Program.remove partial id) in
-                match first_violation ~graph ~graph_before plugin_rules id with
+                match first_violation ~defaults ~graph ~graph_before plugin_rules id with
                 | Some f -> halt f
                 | None -> (
                     (* Phase 2: pre-deployment state sync. *)
                     let deployed_resources =
                       List.filter_map (Program.find prog) deployed_ids
                     in
-                    match name_conflict r deployed_resources with
+                    match name_conflict provider r deployed_resources with
                     | Some other ->
                         halt
                           {
@@ -305,7 +290,7 @@ let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
                           }
                     | None -> (
                         match
-                          first_violation ~graph ~graph_before presync_rules id
+                          first_violation ~defaults ~graph ~graph_before presync_rules id
                         with
                         | Some f -> halt f
                         | None -> (
@@ -365,7 +350,7 @@ let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
                                         culprits = [ id ];
                                       }
                                 | None -> (
-                                match regional_sku_error quota r with
+                                match regional_sku_error provider quota r with
                                 | Some message ->
                                     halt
                                       {
@@ -377,13 +362,13 @@ let deploy ?(rules = Rules.ground_truth ()) ?(quota = Quota.unlimited) prog =
                                       }
                                 | None -> (
                                 match
-                                  first_violation ~graph ~graph_before create_rules id
+                                  first_violation ~defaults ~graph ~graph_before create_rules id
                                 with
                                 | Some f -> halt f
                                 | None -> (
                                     (* Phase 4: async polling. *)
                                     match
-                                      first_violation ~graph ~graph_before
+                                      first_violation ~defaults ~graph ~graph_before
                                         polling_rules id
                                     with
                                     | Some f -> halt f

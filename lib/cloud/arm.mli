@@ -38,11 +38,15 @@ type outcome = {
 }
 
 val deploy :
-  ?rules:Rules.t list -> ?quota:Quota.t -> Zodiac_iac.Program.t -> outcome
-(** Simulate a deployment against the ground-truth rules (default:
-    {!Rules.ground_truth}). Subscription quotas and regional sku
-    availability — the paper's unsupported constraint classes — are
-    enforced only when a {!Quota.t} is supplied (default
+  provider:Zodiac_provider.Provider.t ->
+  ?rules:Rules.t list ->
+  ?quota:Quota.t ->
+  Zodiac_iac.Program.t ->
+  outcome
+(** Simulate a deployment against the provider's ground-truth rules
+    (default: [provider.ground_truth ()]). Subscription quotas and
+    regional sku availability — the paper's unsupported constraint
+    classes — are enforced only when a {!Quota.t} is supplied (default
     {!Quota.unlimited}). Deterministic. *)
 
 val success : outcome -> bool
@@ -63,6 +67,6 @@ val blast_radius : Zodiac_iac.Program.t -> outcome -> radius
     culprit resources plus every deployed resource transitively
     depending on them. Both empty on success. *)
 
-val defaults : Zodiac_spec.Eval.defaults
+val defaults : Zodiac_provider.Provider.t -> Zodiac_spec.Eval.defaults
 (** The provider default lookup, for evaluating checks the way the
     cloud sees configurations. *)

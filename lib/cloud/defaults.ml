@@ -1,18 +1,11 @@
+module Provider = Zodiac_provider.Provider
 module Schema = Zodiac_iac.Schema
-module Value = Zodiac_iac.Value
 module Resource = Zodiac_iac.Resource
-module Catalog = Zodiac_azure.Catalog
 
-let lookup ~rtype ~attr =
-  match Catalog.find rtype with
-  | None -> None
-  | Some schema -> (
-      match Schema.find_attr schema attr with
-      | Some { Schema.default = Some d; _ } -> Some d
-      | Some _ | None -> None)
+let lookup provider ~rtype ~attr = Provider.defaults provider ~rtype ~attr
 
-let effective r =
-  match Catalog.find r.Resource.rtype with
+let effective provider r =
+  match provider.Provider.find_schema r.Resource.rtype with
   | None -> r
   | Some schema ->
       List.fold_left

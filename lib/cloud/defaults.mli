@@ -1,15 +1,21 @@
-(** Provider-side attribute defaults derived from the Azure catalogue.
+(** Provider-side attribute defaults derived from the catalogue.
 
     When an IaC program omits an optional attribute that has a declared
     default (e.g. [GW.active_active = false]), the cloud applies the
     default; semantic checks must therefore be evaluated against the
     {e effective} configuration. *)
 
-val lookup : rtype:string -> attr:string -> Zodiac_iac.Value.t option
+val lookup :
+  Zodiac_provider.Provider.t ->
+  rtype:string ->
+  attr:string ->
+  Zodiac_iac.Value.t option
 (** Default for a dotted attribute path of a resource type, if any —
-    suitable as the [defaults] argument of {!Zodiac_spec.Eval}. *)
+    partially applied, suitable as the [defaults] argument of
+    {!Zodiac_spec.Eval}. *)
 
-val effective : Zodiac_iac.Resource.t -> Zodiac_iac.Resource.t
+val effective :
+  Zodiac_provider.Provider.t -> Zodiac_iac.Resource.t -> Zodiac_iac.Resource.t
 (** Materialize top-level defaults into the resource (nested-block
     defaults are left to the lookup path since absent blocks stay
     absent). *)

@@ -33,6 +33,7 @@ type config = { seed : int; fault_rate : float; max_consecutive : int }
 let default_config = { seed = 7; fault_rate = 0.15; max_consecutive = 3 }
 
 type t = {
+  provider : Zodiac_provider.Provider.t;
   config : config;
   rules : Rules.t list;
   quota : Quota.t;
@@ -43,9 +44,14 @@ type t = {
   tally : (kind, int) Hashtbl.t;
 }
 
-let create ?rules ?(quota = Quota.unlimited) config =
-  let rules = match rules with Some r -> r | None -> Rules.ground_truth () in
+let create ~provider ?rules ?(quota = Quota.unlimited) config =
+  let rules =
+    match rules with
+    | Some r -> r
+    | None -> provider.Zodiac_provider.Provider.ground_truth ()
+  in
   {
+    provider;
     config = { config with max_consecutive = max 1 config.max_consecutive };
     rules;
     quota;
@@ -76,7 +82,7 @@ let deploy t prog =
   else begin
     t.consecutive <- 0;
     t.last <- None;
-    Outcome (Arm.deploy ~rules:t.rules ~quota:t.quota prog)
+    Outcome (Arm.deploy ~provider:t.provider ~rules:t.rules ~quota:t.quota prog)
   end
 
 let injected t = t.injected

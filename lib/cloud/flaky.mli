@@ -58,8 +58,13 @@ val default_config : config
 
 type t
 
-val create : ?rules:Rules.t list -> ?quota:Quota.t -> config -> t
-(** [rules]/[quota] are forwarded to {!Arm.deploy}. *)
+val create :
+  provider:Zodiac_provider.Provider.t ->
+  ?rules:Rules.t list ->
+  ?quota:Quota.t ->
+  config ->
+  t
+(** [provider]/[rules]/[quota] are forwarded to {!Arm.deploy}. *)
 
 val deploy : t -> Zodiac_iac.Program.t -> response
 

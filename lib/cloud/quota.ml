@@ -20,27 +20,6 @@ let strict =
     regional_skus = true;
   }
 
-(* GPU and large-memory skus are only rolled out to major regions; the
-   table lists regions where a sku is NOT offered. *)
-let restricted_regions =
-  [
-    ( "Standard_NC6s_v3",
-      [
-        "westcentralus"; "canadaeast"; "ukwest"; "francesouth"; "germanynorth";
-        "switzerlandwest"; "norwaywest"; "swedensouth"; "japanwest";
-        "australiasoutheast"; "koreasouth"; "southindia"; "uaecentral";
-        "southafricawest";
-      ] );
-    ( "Standard_M64s",
-      [
-        "westcentralus"; "northcentralus"; "canadaeast"; "ukwest"; "francesouth";
-        "germanynorth"; "switzerlandwest"; "norwaywest"; "swedensouth";
-        "japanwest"; "australiasoutheast"; "koreasouth"; "southindia";
-        "uaecentral"; "southafricawest"; "brazilsouth";
-      ] );
-    ("Standard_L8s_v2", [ "westcentralus"; "ukwest"; "francesouth"; "germanynorth" ]);
-  ]
-
 let check_type_quota t ~rtype ~deployed_of_type =
   match List.assoc_opt rtype t.per_type with
   | Some limit when deployed_of_type >= limit ->
@@ -55,10 +34,10 @@ let check_total_quota t ~deployed_total =
       Some (Printf.sprintf "subscription quota exceeded: at most %d resources" limit)
   | _ -> None
 
-let check_regional_sku t ~sku ~region =
+let check_regional_sku t ~restricted ~sku ~region =
   if not t.regional_skus then None
   else
-    match List.assoc_opt sku restricted_regions with
+    match List.assoc_opt sku restricted with
     | Some unavailable when List.mem region unavailable ->
         Some (Printf.sprintf "sku %s is not available in region %s" sku region)
     | _ -> None

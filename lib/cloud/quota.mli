@@ -11,8 +11,8 @@ type t = {
       (** maximum deployed resources per type (subscription quota) *)
   total : int option;  (** overall resource cap, if any *)
   regional_skus : bool;
-      (** enforce the {!restricted_regions} table: certain VM skus are
-          unavailable in certain regions *)
+      (** enforce the provider's restricted-region table: certain VM
+          skus are unavailable in certain regions *)
 }
 
 val unlimited : t
@@ -26,15 +26,14 @@ val default_subscription : t
 val strict : t
 (** Tiny limits, for tests. *)
 
-val restricted_regions : (string * string list) list
-(** [(vm sku, regions where it is unavailable)] — GPU and large-memory
-    skus exist only in major regions. *)
-
 val check_type_quota : t -> rtype:string -> deployed_of_type:int -> string option
 (** [Some message] when creating one more resource of [rtype] would
     exceed the quota. *)
 
 val check_total_quota : t -> deployed_total:int -> string option
 
-val check_regional_sku : t -> sku:string -> region:string -> string option
-(** [Some message] when the sku is unavailable in the region. *)
+val check_regional_sku :
+  t -> restricted:(string * string list) list -> sku:string -> region:string ->
+  string option
+(** [Some message] when the sku is unavailable in the region, per the
+    provider's [(sku, regions where it is unavailable)] table. *)

@@ -1,25 +1,24 @@
-(** The hidden ground-truth semantic rules enforced by the simulated
-    Azure backend.
+(** The shared rule vocabulary of the deployment simulator.
 
-    This rule set plays the role of Azure's opaque cloud-level
-    requirements: the mining and validation engines never read it —
-    they only observe deployment outcomes, preserving the paper's
-    blackbox setting. Each rule carries the deployment phase in which a
-    violation surfaces (Table 3's error taxonomy).
+    A rule set plays the role of a cloud's opaque backend requirements:
+    the mining and validation engines never read it — they only observe
+    deployment outcomes, preserving the paper's blackbox setting. Each
+    rule carries the deployment phase in which a violation surfaces
+    (Table 3's error taxonomy).
 
-    The set combines ~100 hand-authored rules (covering every concrete
-    example in the paper) with families generated from the sku
-    documentation tables (per-VM-sku NIC/disk limits, per-GW-sku tunnel
-    limits, premium-storage restrictions, APPGW sku/tier consistency). *)
+    The types are re-exports of {!Zodiac_provider.Provider}: each
+    backend ([Zodiac_azure.Rules], [Zodiac_aws.Rules]) exports its own
+    hidden ground-truth list, reached through
+    [Provider.t.ground_truth]. *)
 
-type phase =
+type phase = Zodiac_provider.Provider.phase =
   | Plugin  (** rejected by provider plugin before any API call *)
   | Pre_sync  (** state synchronization conflict ("already exists") *)
   | Create  (** creation request rejected by the cloud *)
   | Polling  (** asynchronous provisioning failure on slow resources *)
   | Post_sync  (** deployed, but cloud/IaC states are inconsistent *)
 
-type t = {
+type t = Zodiac_provider.Provider.rule = {
   rule_id : string;
   check : Zodiac_spec.Check.t;
   phase : phase;
@@ -28,13 +27,12 @@ type t = {
 
 val phase_to_string : phase -> string
 
-val ground_truth : unit -> t list
-(** The full rule set (memoized; parsing happens once). *)
+val rule : string -> phase -> string -> string -> t
+(** [rule id phase message spec] parses [spec]; raises [Invalid_argument]
+    on a malformed spec. *)
 
-val find : string -> t option
+val find : t list -> string -> t option
 (** Lookup by [rule_id]. *)
 
-val count : unit -> int
-
-val rules_for_type : string -> t list
+val rules_for_type : t list -> string -> t list
 (** Rules binding at least one variable of the given resource type. *)

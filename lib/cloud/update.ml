@@ -10,24 +10,11 @@ type action =
   | Destroy of Resource.id
   | Noop of Resource.id
 
-(* Names and locations are immutable everywhere in Azure; a handful of
-   structural attributes force replacement too. *)
-let immutable_attrs rtype =
-  [ "name"; "location" ]
-  @
-  match rtype with
-  | "VPC" -> [ "address_space" ]
-  | "SUBNET" -> [ "vpc_name" ]
-  | "SA" -> [ "tier"; "kind" ]
-  | "VM" -> [ "sku"; "os_disk.name"; "availability_set_id"; "zone" ]
-  | "DISK" -> [ "storage_type"; "create_option"; "zone" ]
-  | "IP" -> [ "sku" ]
-  | "GW" -> [ "type"; "sku" ]
-  | "REDIS" -> [ "family"; "sku"; "subnet_id" ]
-  | "AKS" -> [ "dns_prefix"; "network_profile.network_plugin" ]
-  | "COSMOS" -> [ "kind" ]
-  | "PLAN" -> [ "os_type" ]
-  | _ -> []
+(* Which attribute changes force replacement is provider knowledge
+   (names and locations are immutable everywhere in Azure and most of
+   AWS; structural attributes vary per type). *)
+let immutable_attrs provider rtype =
+  provider.Zodiac_provider.Provider.immutable_attrs rtype
 
 let changed_paths old_r new_r =
   let paths =
@@ -45,7 +32,7 @@ let matches_prefix immutables path =
          && String.sub path 0 (String.length im + 1) = im ^ "."))
     immutables
 
-let plan ~current ~desired =
+let plan ~provider ~current ~desired =
   let desired_graph = Graph.build desired in
   (* first pass: direct classification *)
   let direct =
@@ -60,7 +47,7 @@ let plan ~current ~desired =
             | changes ->
                 let forces_replace =
                   List.exists
-                    (matches_prefix (immutable_attrs id.Resource.rtype))
+                    (matches_prefix (immutable_attrs provider id.Resource.rtype))
                     changes
                 in
                 if forces_replace then Replace (id, changes)
@@ -100,8 +87,8 @@ type result = {
   outcome : Arm.outcome;
 }
 
-let apply ?rules ~current ~desired () =
-  let actions = plan ~current ~desired in
+let apply ~provider ?rules ~current ~desired () =
+  let actions = plan ~provider ~current ~desired in
   let recreated =
     List.filter_map (function Replace (id, _) -> Some id | _ -> None) actions
   in
@@ -110,8 +97,8 @@ let apply ?rules ~current ~desired () =
      the same program (the cloud re-checks the whole configuration). *)
   let outcome =
     match rules with
-    | Some rules -> Arm.deploy ~rules desired
-    | None -> Arm.deploy desired
+    | Some rules -> Arm.deploy ~provider ~rules desired
+    | None -> Arm.deploy ~provider desired
   in
   { actions; recreated; outcome }
 

@@ -18,12 +18,13 @@ type action =
   | Destroy of Zodiac_iac.Resource.id
   | Noop of Zodiac_iac.Resource.id
 
-val immutable_attrs : string -> string list
+val immutable_attrs : Zodiac_provider.Provider.t -> string -> string list
 (** Attribute paths that force replacement for a resource type
     (names and locations everywhere; plus type-specific ones such as
     [VPC.address_space] — the paper's CIDR-fix example). *)
 
 val plan :
+  provider:Zodiac_provider.Provider.t ->
   current:Zodiac_iac.Program.t ->
   desired:Zodiac_iac.Program.t ->
   action list
@@ -38,6 +39,7 @@ type result = {
 }
 
 val apply :
+  provider:Zodiac_provider.Provider.t ->
   ?rules:Rules.t list ->
   current:Zodiac_iac.Program.t ->
   desired:Zodiac_iac.Program.t ->

@@ -1,3 +1,5 @@
+module Provider = Zodiac_provider.Provider
+module Providers = Zodiac_providers.Providers
 module Generator = Zodiac_corpus.Generator
 module Kb = Zodiac_kb.Kb
 module Miner = Zodiac_mining.Miner
@@ -20,6 +22,7 @@ module Shard_stream = Zodiac_util.Shard_stream
 module Telemetry = Zodiac_util.Telemetry
 
 type config = {
+  provider : Provider.t;
   corpus_seed : int;
   corpus_size : int;
   violation_rate : float;
@@ -35,6 +38,7 @@ type config = {
 
 let default_config =
   {
+    provider = Providers.default;
     corpus_seed = 20240704;
     corpus_size = 1200;
     violation_rate = 0.04;
@@ -67,7 +71,7 @@ type artifacts = {
   cache_stats : Cache.stats;
 }
 
-let deploy prog = Arm.success (Arm.deploy prog)
+let deploy ~provider prog = Arm.success (Arm.deploy ~provider prog)
 
 let dedup_checks checks =
   let seen = Hashtbl.create 128 in
@@ -105,7 +109,12 @@ let float_bits f = Int64.to_string (Int64.bits_of_float f)
    artifact-invariant by the Parallel contract). *)
 let corpus_key config =
   Codec.fingerprint
-    [ "corpus"; string_of_int config.corpus_seed; float_bits config.violation_rate ]
+    [
+      "corpus";
+      Provider.fingerprint config.provider;
+      string_of_int config.corpus_seed;
+      float_bits config.violation_rate;
+    ]
 
 let take n xs = List.filteri (fun i _ -> i < n) xs
 let drop n xs = List.filteri (fun i _ -> i >= n) xs
@@ -126,8 +135,9 @@ let spanned telemetry name f =
 let corpus_stage config =
   let n = config.corpus_size in
   let generate ~lo ~hi =
-    Generator.generate_range ~violation_rate:config.violation_rate
-      ~jobs:config.jobs ~seed:config.corpus_seed ~lo ~hi ()
+    Generator.generate_range ~provider:config.provider
+      ~violation_rate:config.violation_rate ~jobs:config.jobs
+      ~seed:config.corpus_seed ~lo ~hi ()
   in
   Stage.sized ~name:"corpus" ~key:(corpus_key config) ~size:n
     ~artifact:Generator.projects_artifact
@@ -152,7 +162,7 @@ let kb_stage config programs =
     (fun ~jobs:_ -> Kb.stats_of_projects ~jobs programs)
 
 let cached_kb ?cache ?telemetry config programs =
-  Kb.finalize
+  Kb.finalize ~provider:config.provider
     (Stage.run ?cache ?telemetry ~jobs:config.jobs (kb_stage config programs))
 
 let prepare ?cache ?(telemetry = Telemetry.null) config =
@@ -161,7 +171,8 @@ let prepare ?cache ?(telemetry = Telemetry.null) config =
   let programs =
     spanned telemetry "materialize" (fun () ->
         let programs =
-          Miner.materialize ~jobs (List.map (fun p -> p.Generator.program) projects)
+          Miner.materialize ~provider:config.provider ~jobs
+            (List.map (fun p -> p.Generator.program) projects)
         in
         Telemetry.count telemetry "materialize.programs" (List.length programs);
         programs)
@@ -203,7 +214,8 @@ let refine ?(telemetry = Telemetry.null) config mined =
   let refined, rejected, candidates =
     spanned telemetry "oracle" (fun () ->
         let oracle =
-          Llm.create ~error_rate:config.oracle_error_rate config.oracle_seed
+          Llm.create ~provider:config.provider
+            ~error_rate:config.oracle_error_rate config.oracle_seed
         in
         let refined, rejected =
           List.fold_left
@@ -232,7 +244,8 @@ let mine_phase ?cache ?(telemetry = Telemetry.null) config kb programs =
     Stage.keyed ~name:"mine" ~key:(mine_key config)
       ~artifact:Candidate.list_artifact
       (fun ~jobs:_ ->
-        Miner.mine ~config:config.mining ~telemetry ~jobs:config.jobs
+        Miner.mine ~provider:config.provider ~config:config.mining ~telemetry
+          ~jobs:config.jobs
           ?tables:(Option.map (fun c -> (c, tables_key config)) cache)
           kb programs)
   in
@@ -346,11 +359,12 @@ type streamed = {
    grows. [Defaults.effective] is idempotent, so this single
    materialization equals the monolithic path's. *)
 let shard_load config ~lo ~hi =
-  Miner.materialize ~jobs:config.jobs
+  Miner.materialize ~provider:config.provider ~jobs:config.jobs
     (List.map
        (fun p -> p.Generator.program)
-       (Generator.generate_range ~violation_rate:config.violation_rate
-          ~jobs:config.jobs ~seed:config.corpus_seed ~lo ~hi ()))
+       (Generator.generate_range ~provider:config.provider
+          ~violation_rate:config.violation_rate ~jobs:config.jobs
+          ~seed:config.corpus_seed ~lo ~hi ()))
 
 (* Miner-table checkpoints additionally key on the whole-corpus
    identity (the KB the counts consult) and [use_kb] — but not
@@ -486,7 +500,7 @@ let mine_worker ?(config = default_config) ?telemetry ?stale_after ~shard_size
           Cache.find ~size:n cache ~stage:"kb" ~key:(corpus_key config)
             Kb.read_stats
         with
-        | Some stats -> Kb.finalize stats
+        | Some stats -> Kb.finalize ~provider:config.provider stats
         | None ->
             let stats, _ =
               Shard_stream.fold ~cache ~telemetry ~stage:"shard-kb"
@@ -497,12 +511,12 @@ let mine_worker ?(config = default_config) ?telemetry ?stale_after ~shard_size
                 ~init:(Kb.stats_of_projects ~jobs [])
                 ~total:n ~shard_size ()
             in
-            Kb.finalize stats
+            Kb.finalize ~provider:config.provider stats
       in
       Shard_stream.fold_worker ~cache ~telemetry ?stale_after
         ~stage:"shard-mine" ~key:(shard_mine_key config)
         ~write:Miner.write_tables ~load
-        ~count:(Miner.count_tables ~jobs config.mining kb)
+        ~count:(Miner.count_tables ~provider:config.provider ~jobs config.mining kb)
         ~total:n ~shard_size ()
 
 let mine_streamed ?(config = default_config) ?telemetry ?(workers = 1)
@@ -553,7 +567,10 @@ let mine_streamed ?(config = default_config) ?telemetry ?(workers = 1)
         kb_fold := outcome;
         stats)
   in
-  let kb = Kb.finalize (Stage.run ?cache ~telemetry ~jobs kb_stats_stage) in
+  let kb =
+    Kb.finalize ~provider:config.provider
+      (Stage.run ?cache ~telemetry ~jobs kb_stats_stage)
+  in
   let mine_fold = ref Shard_stream.no_shards in
   let mine_mproc = ref no_fleet in
   let mined_stage =
@@ -566,9 +583,9 @@ let mine_streamed ?(config = default_config) ?telemetry ?(workers = 1)
           Shard_stream.fold ?cache ~telemetry ?on_shard:(on_shard "mine")
             ~stage:"shard-mine" ~key:(shard_mine_key config)
             ~write:Miner.write_tables ~read:Miner.read_tables ~load
-            ~count:(Miner.count_tables ~jobs config.mining kb)
+            ~count:(Miner.count_tables ~provider:config.provider ~jobs config.mining kb)
             ~merge:Miner.merge_tables
-            ~init:(Miner.count_tables ~jobs config.mining kb [])
+            ~init:(Miner.count_tables ~provider:config.provider ~jobs config.mining kb [])
             ~total:n ~shard_size ()
         in
         mine_fold := outcome;
@@ -601,20 +618,24 @@ let run ?(config = default_config) ?telemetry () =
   let mined, filtered, llm_refined, llm_rejected, candidates =
     mine_phase ?cache ~telemetry config kb programs
   in
-  let engine = Engine.create ~config:config.engine () in
+  let engine =
+    Engine.create ~provider:config.provider ~config:config.engine ()
+  in
   let deploy = Engine.oracle engine in
   let deploy_batch = Engine.oracle_batch ~jobs:config.jobs engine in
   let validation =
     spanned telemetry "validate" (fun () ->
         engine_delta telemetry engine (fun () ->
             Scheduler.run ~config:config.scheduler ~telemetry ~jobs:config.jobs
-              ~deploy_batch ~kb ~corpus ~deploy candidates))
+              ~deploy_batch ~provider:config.provider ~kb ~corpus ~deploy
+              candidates))
   in
   let final_checks, counterexample_fps =
     spanned telemetry "counterexample" (fun () ->
         engine_delta telemetry engine (fun () ->
             let kept, exposed =
-              Scheduler.counterexample_pass ~jobs:config.jobs ~corpus ~deploy
+              Scheduler.counterexample_pass ~jobs:config.jobs
+                ~provider:config.provider ~corpus ~deploy
                 validation.Scheduler.validated
             in
             Telemetry.count telemetry "counterexample.kept" (List.length kept);
@@ -645,8 +666,8 @@ type violation_report = {
   resources : Zodiac_iac.Resource.id list;
 }
 
-let scan ~checks ~corpus =
-  let defaults = Arm.defaults in
+let scan ~provider ~checks ~corpus =
+  let defaults = Arm.defaults provider in
   List.concat_map
     (fun (project, prog) ->
       let graph = Graph.build prog in

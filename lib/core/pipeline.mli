@@ -5,6 +5,11 @@
     counterexample pass. *)
 
 type config = {
+  provider : Zodiac_provider.Provider.t;
+      (** the cloud backend everything runs against: its schemas and
+          scenarios shape the corpus, its ground truth drives the
+          simulator, and its fingerprint is part of every cache key.
+          Default {!Zodiac_providers.Providers.default} (Azure). *)
   corpus_seed : int;
   corpus_size : int;
   violation_rate : float;
@@ -21,8 +26,8 @@ type config = {
           mined-candidate entries there; warm runs load them — or, when
           only [corpus_size] grew, extend the largest cached prefix
           incrementally — with byte-identical artifacts. Keys cover the
-          stage inputs (seed, violation-rate bits, corpus size, mining
-          config) and the {!Zodiac_util.Codec.version}; anything stale
+          stage inputs (provider fingerprint, seed, violation-rate bits,
+          corpus size, mining config) and the {!Zodiac_util.Codec.version}; anything stale
           or corrupt decodes as a miss and the stage rebuilds cold. *)
   mining : Zodiac_mining.Miner.config;
   thresholds : Zodiac_mining.Filter.thresholds;
@@ -60,7 +65,7 @@ type artifacts = {
           [config.cache_dir] is [None]) *)
 }
 
-val deploy : Zodiac_iac.Program.t -> bool
+val deploy : provider:Zodiac_provider.Provider.t -> Zodiac_iac.Program.t -> bool
 (** The raw deployment oracle: success of the simulated ARM
     deployment, no engine in between. [run] itself deploys through a
     {!Zodiac_engine.Engine} built from [config.engine]. *)
@@ -220,6 +225,7 @@ type violation_report = {
 }
 
 val scan :
+  provider:Zodiac_provider.Provider.t ->
   checks:Zodiac_spec.Check.t list ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   violation_report list

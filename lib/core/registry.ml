@@ -204,10 +204,10 @@ resource "azurerm_linux_virtual_machine" "vm" {
 }
 |}
 
-let compile src =
+let compile ?(provider = Zodiac_providers.Providers.default) src =
   match
     Zodiac_hcl.Compile.compile_string
-      ~type_map:Zodiac_azure.Catalog.of_terraform src
+      ~type_map:provider.Zodiac_provider.Provider.of_terraform src
   with
   | Error e -> Error e
   | Ok (prog, []) -> Ok prog
@@ -223,7 +223,7 @@ let compile src =
 let compile_exn src =
   match compile src with Ok p -> p | Error e -> invalid_arg ("Registry: " ^ e)
 
-let compile_file path =
+let compile_file ?provider path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
   | ic -> (
@@ -234,6 +234,6 @@ let compile_file path =
       with
       | exception Sys_error e -> Error e
       | src -> (
-          match compile src with
+          match compile ?provider src with
           | Ok p -> Ok p
           | Error e -> Error (Printf.sprintf "%s: %s" path e)))

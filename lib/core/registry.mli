@@ -19,10 +19,17 @@ val mssql_db_fixed : string
 val quickstart_vm : string
 (** A correct single-VM example used by the quickstart. *)
 
-val compile : string -> (Zodiac_iac.Program.t, string) result
-(** Parse + compile with the Azure type mapping; fails on diagnostics. *)
+val compile :
+  ?provider:Zodiac_provider.Provider.t ->
+  string ->
+  (Zodiac_iac.Program.t, string) result
+(** Parse + compile with the provider's type mapping (default Azure);
+    fails on diagnostics. *)
 
-val compile_file : string -> (Zodiac_iac.Program.t, string) result
+val compile_file :
+  ?provider:Zodiac_provider.Provider.t ->
+  string ->
+  (Zodiac_iac.Program.t, string) result
 (** {!compile} the contents of a file; unreadable files and compile
     diagnostics both surface as [Error] with the path in the message,
     so CLI callers report malformed input cleanly instead of aborting

@@ -1,9 +1,7 @@
 module Prng = Zodiac_util.Prng
-module Value = Zodiac_iac.Value
-module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
-module Skus = Zodiac_azure.Skus
-module Regions = Zodiac_azure.Regions
+module Provider = Zodiac_provider.Provider
+module Build = Provider.Build
 
 type project = {
   pname : string;
@@ -12,1301 +10,13 @@ type project = {
   injected : string list;
 }
 
-(* ------------- builder context -------------------------------------- *)
-
-type ctx = {
-  rng : Prng.t;
-  region : string;
-  token : string;  (* per-project uniquifier, like real naming prefixes *)
-  mutable resources : Resource.t list;
-  mutable counter : int;
-}
-
-let new_ctx rng =
-  (* Most projects are single-region, like real deployments. *)
-  let region = Prng.choose_list rng Regions.all in
-  let token = Printf.sprintf "%04x" (Prng.int rng 0xFFFF) in
-  { rng; region; token; resources = []; counter = 0 }
-
-let fresh ctx base =
-  ctx.counter <- ctx.counter + 1;
-  Printf.sprintf "%s%d%s" base ctx.counter ctx.token
-
-let add ctx rtype rname attrs =
-  let r = Resource.make rtype rname attrs in
-  ctx.resources <- ctx.resources @ [ r ];
-  r
-
-let str s = Value.Str s
-let int i = Value.Int i
-let bool b = Value.Bool b
-let refv rtype rname attr = Value.reference rtype rname attr
-
-let ref_to r attr = refv r.Resource.rtype r.Resource.rname attr
-
-let common_sku ctx = Prng.weighted ctx.rng
-    [ (6, "Standard_B2s"); (5, "Standard_D2s_v3"); (4, "Standard_B1s");
-      (3, "Standard_D4s_v3"); (3, "Standard_F4s_v2"); (2, "Standard_E4s_v3");
-      (2, "Standard_DS2_v2"); (1, "Standard_B4ms"); (1, "Standard_F8s_v2");
-      (1, "Standard_D8s_v3"); (1, "Standard_A2_v2"); (1, "Standard_DS3_v2") ]
-
-(* ------------- resource builders ------------------------------------ *)
-
-let make_vpc ctx index =
-  let cidr = Printf.sprintf "10.%d.0.0/16" (index land 0xFF) in
-  add ctx "VPC" (fresh ctx "vnet")
-    [
-      ("name", str (fresh ctx "vnet-net"));
-      ("location", str ctx.region);
-      ("address_space", Value.List [ str cidr ]);
-    ]
-
-let vpc_base vpc =
-  match Resource.get vpc "address_space" with
-  | Value.List (Value.Str s :: _) -> s
-  | _ -> "10.0.0.0/16"
-
-let subnet_cidr vpc index =
-  match Zodiac_util.Cidr.of_string (vpc_base vpc) with
-  | Some base -> (
-      match Zodiac_util.Cidr.nth_subnet base 24 index with
-      | Some c -> Zodiac_util.Cidr.to_string c
-      | None -> "10.0.0.0/24")
-  | None -> "10.0.0.0/24"
-
-let make_subnet ?name ctx vpc index =
-  let sname = match name with Some n -> n | None -> fresh ctx "snet" in
-  add ctx "SUBNET" (fresh ctx "subnet")
-    [
-      ("name", str sname);
-      ("vpc_name", ref_to vpc "name");
-      ("cidr", str (subnet_cidr vpc index));
-    ]
-
-let make_ip ?(standard = false) ctx =
-  let sku = if standard || Prng.chance ctx.rng 0.55 then "Standard" else "Basic" in
-  let allocation = if String.equal sku "Standard" then "Static"
-    else if Prng.chance ctx.rng 0.7 then "Dynamic" else "Static" in
-  add ctx "IP" (fresh ctx "pip")
-    [
-      ("name", str (fresh ctx "pip-addr"));
-      ("location", str ctx.region);
-      ("allocation", str allocation);
-      ("sku", str sku);
-    ]
-
-let make_nic ?public_ip ctx subnet =
-  let base_cfg =
-    [
-      ("name", str "internal");
-      ("subnet_id", ref_to subnet "id");
-      ("private_ip_allocation", str "Dynamic");
-    ]
-  in
-  let cfg =
-    match public_ip with
-    | Some ip -> base_cfg @ [ ("public_ip_id", ref_to ip "id") ]
-    | None -> base_cfg
-  in
-  add ctx "NIC" (fresh ctx "nic")
-    [
-      ("name", str (fresh ctx "nic-if"));
-      ("location", str ctx.region);
-      ("ip_config", Value.Block cfg);
-    ]
-
-let make_vm ?sku ?avset ctx nics =
-  let sku = match sku with Some s -> s | None -> common_sku ctx in
-  let uses_password = Prng.chance ctx.rng 0.4 in
-  let auth =
-    if uses_password then
-      [ ("admin_password", str (Printf.sprintf "P@ssw0rd-%06d!" (Prng.int ctx.rng 999999))) ]
-    else
-      [
-        ("password_authentication_enabled", bool false);
-        ( "admin_ssh_key",
-          Value.Block
-            [
-              ("username", str "azureuser");
-              ( "public_key",
-                str (Printf.sprintf "ssh-rsa AAAAB3Nz%08x" (Prng.int ctx.rng 0x3FFFFFFF)) );
-            ] );
-      ]
-  in
-  (* Real corpora essentially always deploy from an image; the Attach
-     path is vanishingly rare (the §5.6 data-scarcity false positive). *)
-  let creation =
-    if Prng.chance ctx.rng 0.008 then [ ("create", str "Attach") ]
-    else
-      [
-        ( "source_image_ref",
-          Value.Block
-            [
-              ("publisher", str "Canonical");
-              ("offer", str "0001-com-ubuntu-server-jammy");
-              ("sku", str "22_04-lts");
-              ("version", str "latest");
-            ] );
-      ]
-  in
-  let storage_type =
-    match Skus.find_vm sku with
-    | Some s when s.Skus.premium_io && Prng.chance ctx.rng 0.5 -> "Premium_LRS"
-    | _ -> if Prng.chance ctx.rng 0.5 then "StandardSSD_LRS" else "Standard_LRS"
-  in
-  let spot =
-    if Prng.chance ctx.rng 0.08 then
-      [
-        ("priority", str "Spot");
-        ( "evict_policy",
-          str (if Prng.chance ctx.rng 0.7 then "Deallocate" else "Delete") );
-      ]
-    else []
-  in
-  let avset_attr =
-    match avset with Some av -> [ ("availability_set_id", ref_to av "id") ] | None -> []
-  in
-  add ctx "VM" (fresh ctx "vm")
-    ([
-       ("name", str (fresh ctx "vm-host"));
-       ("location", str ctx.region);
-       ("sku", str sku);
-       ("nic_ids", Value.List (List.map (fun nic -> ref_to nic "id") nics));
-       ( "os_disk",
-         Value.Block
-           [
-             ("name", str (fresh ctx "osdisk"));
-             ("caching", str "ReadWrite");
-             ("storage_type", str storage_type);
-           ] );
-       ("admin_username", str "azureuser");
-     ]
-    @ auth @ creation @ spot @ avset_attr)
-
-let make_sa ctx =
-  let tier, replica =
-    if Prng.chance ctx.rng 0.15 then
-      ("Premium", Prng.choose_list ctx.rng Skus.sa_premium_replications)
-    else
-      ( "Standard",
-        Prng.weighted ctx.rng
-          [ (5, "LRS"); (3, "GRS"); (2, "ZRS"); (1, "RAGRS"); (1, "GZRS") ] )
-  in
-  add ctx "SA" (fresh ctx "sa")
-    [
-      ("name", str (fresh ctx "storacct"));
-      ("location", str ctx.region);
-      ("tier", str tier);
-      ("replica", str replica);
-      ("https_only", bool (Prng.chance ctx.rng 0.9));
-    ]
-
-let make_sg ctx =
-  let rule_count = Prng.int_in ctx.rng 1 4 in
-  let used = Hashtbl.create 4 in
-  let rules =
-    List.init rule_count (fun i ->
-        let dir = if Prng.chance ctx.rng 0.7 then "Inbound" else "Outbound" in
-        let rec pick_priority () =
-          let p = 100 + (10 * Prng.int ctx.rng 300) in
-          if Hashtbl.mem used (dir, p) then pick_priority ()
-          else begin
-            Hashtbl.replace used (dir, p) ();
-            p
-          end
-        in
-        Value.Block
-          [
-            ("name", str (Printf.sprintf "rule%d" i));
-            ("dir", str dir);
-            ("access", str (if Prng.chance ctx.rng 0.8 then "Allow" else "Deny"));
-            ("priority", int (pick_priority ()));
-            ("protocol", str (Prng.choose_list ctx.rng [ "Tcp"; "Udp"; "*" ]));
-            ("source_port_range", str "*");
-            ( "dest_port_range",
-              str (Prng.choose_list ctx.rng [ "22"; "80"; "443"; "3389"; "*" ]) );
-            ("source_cidr", str (if Prng.chance ctx.rng 0.5 then "0.0.0.0/0" else "10.0.0.0/8"));
-            ("dest_cidr", str "0.0.0.0/0");
-          ])
-  in
-  add ctx "SG" (fresh ctx "sg")
-    [
-      ("name", str (fresh ctx "nsg"));
-      ("location", str ctx.region);
-      ("rule", Value.List rules);
-    ]
-
-let make_gw ?(sku = "VpnGw1") ctx subnet ip =
-  add ctx "GW" (fresh ctx "gw")
-    [
-      ("name", str (fresh ctx "vpngw"));
-      ("location", str ctx.region);
-      ("type", str "Vpn");
-      ("sku", str sku);
-      ( "ip_config",
-        Value.Block
-          [
-            ("name", str "gwipcfg");
-            ("public_ip_id", ref_to ip "id");
-            ("subnet_id", ref_to subnet "id");
-          ] );
-    ]
-
-(* ------------- scenarios -------------------------------------------- *)
-
-let web_tier ctx =
-  let vpc = make_vpc ctx 0 in
-  let subnet_count = Prng.int_in ctx.rng 1 3 in
-  let subnets = List.init subnet_count (fun i -> make_subnet ctx vpc i) in
-  let sg = make_sg ctx in
-  List.iteri
-    (fun i subnet ->
-      if i = 0 || Prng.chance ctx.rng 0.5 then
-        ignore
-          (add ctx "SGASSOC" (fresh ctx "sga")
-             [ ("subnet_id", ref_to subnet "id"); ("sg_id", ref_to sg "id") ]))
-    subnets;
-  let vm_count = Prng.int_in ctx.rng 1 3 in
-  List.iter
-    (fun _ ->
-      let subnet = Prng.choose_list ctx.rng subnets in
-      let public_ip = if Prng.chance ctx.rng 0.3 then Some (make_ip ctx) else None in
-      let nic = make_nic ?public_ip ctx subnet in
-      ignore (make_vm ctx [ nic ]))
-    (List.init vm_count Fun.id);
-  if Prng.chance ctx.rng 0.4 then begin
-    let lb_ip = make_ip ~standard:true ctx in
-    ignore
-      (add ctx "LB" (fresh ctx "lb")
-         [
-           ("name", str (fresh ctx "weblb"));
-           ("location", str ctx.region);
-           ("sku", str "Standard");
-           ( "frontend_ip_config",
-             Value.Block [ ("name", str "frontend"); ("public_ip_id", ref_to lb_ip "id") ]
-           );
-         ])
-  end;
-  if Prng.chance ctx.rng 0.5 then ignore (make_sa ctx)
-
-let hub_spoke ctx =
-  let hub = make_vpc ctx 0 in
-  let gw_subnet = make_subnet ~name:"GatewaySubnet" ctx hub 0 in
-  let gw_ip = make_ip ~standard:true ctx in
-  let sku = Prng.choose_list ctx.rng [ "VpnGw1"; "VpnGw2"; "Basic" ] in
-  ignore (make_gw ~sku ctx gw_subnet gw_ip);
-  let spokes = Prng.int_in ctx.rng 1 3 in
-  List.iter
-    (fun i ->
-      let spoke = make_vpc ctx (i + 1) in
-      ignore (make_subnet ctx spoke 0);
-      ignore
-        (add ctx "PEERING" (fresh ctx "peer")
-           [
-             ("name", str (fresh ctx "hub-to-spoke"));
-             ("vpc_name", ref_to hub "name");
-             ("remote_vpc_id", ref_to spoke "id");
-             ("allow_forwarded_traffic", bool true);
-           ]);
-      ignore
-        (add ctx "PEERING" (fresh ctx "peer")
-           [
-             ("name", str (fresh ctx "spoke-to-hub"));
-             ("vpc_name", ref_to spoke "name");
-             ("remote_vpc_id", ref_to hub "id");
-             ("use_remote_gateways", bool false);
-           ]))
-    (List.init spokes Fun.id)
-
-let vpn_site ctx =
-  let vpc = make_vpc ctx 0 in
-  let gw_subnet = make_subnet ~name:"GatewaySubnet" ctx vpc 0 in
-  ignore (make_subnet ctx vpc 1);
-  let ip = make_ip ~standard:true ctx in
-  let sku = Prng.choose_list ctx.rng [ "VpnGw1"; "VpnGw2"; "VpnGw3"; "Basic" ] in
-  let gw = make_gw ~sku ctx gw_subnet ip in
-  let lng =
-    add ctx "LNG" (fresh ctx "lng")
-      [
-        ("name", str (fresh ctx "onprem"));
-        ("location", str ctx.region);
-        ("gateway_address", str "203.0.113.12");
-        ("address_space", Value.List [ str "192.168.0.0/16" ]);
-      ]
-  in
-  let tunnels = Prng.int_in ctx.rng 1 3 in
-  List.iter
-    (fun _ ->
-      ignore
-        (add ctx "TUNNEL" (fresh ctx "conn")
-           [
-             ("name", str (fresh ctx "s2s"));
-             ("location", str ctx.region);
-             ("type", str "IPsec");
-             ("gw_id", ref_to gw "id");
-             ("lng_id", ref_to lng "id");
-             ("shared_key", str (Printf.sprintf "psk-%08x" (Prng.int ctx.rng 0x3FFFFFFF)));
-           ]))
-    (List.init tunnels Fun.id)
-
-let vnet2vnet ctx =
-  (* two VPCs, each with a gateway, connected by Vnet2Vnet tunnels *)
-  let make_side index =
-    let vpc = make_vpc ctx index in
-    let gw_subnet = make_subnet ~name:"GatewaySubnet" ctx vpc 0 in
-    let ip = make_ip ~standard:true ctx in
-    let sku = Prng.choose_list ctx.rng [ "VpnGw1"; "VpnGw2" ] in
-    make_gw ~sku ctx gw_subnet ip
-  in
-  let gw1 = make_side 0 in
-  let gw2 = make_side 1 in
-  let tunnel name a b =
-    ignore
-      (add ctx "TUNNEL" (fresh ctx name)
-         [
-           ("name", str (fresh ctx name));
-           ("location", str ctx.region);
-           ("type", str "Vnet2Vnet");
-           ("gw_id", ref_to a "id");
-           ("peer_gw_id", ref_to b "id");
-           ("shared_key", str (Printf.sprintf "psk-%08x" (Prng.int ctx.rng 0x3FFFFFFF)));
-         ])
-  in
-  tunnel "v2v" gw1 gw2;
-  if Prng.chance ctx.rng 0.7 then tunnel "v2v-back" gw2 gw1
-
-let aks_cluster ctx =
-  let vpc = make_vpc ctx 0 in
-  let subnet = make_subnet ctx vpc 0 in
-  let plugin = if Prng.chance ctx.rng 0.7 then "azure" else "kubenet" in
-  let profile =
-    [
-      ("network_plugin", str plugin);
-      ("service_cidr", str "172.16.0.0/16");
-      ("dns_service_ip", str "172.16.0.10");
-    ]
-    @ if String.equal plugin "kubenet" then [ ("pod_cidr", str "172.17.0.0/16") ] else []
-  in
-  ignore
-    (add ctx "AKS" (fresh ctx "aks")
-       [
-         ("name", str (fresh ctx "cluster"));
-         ("location", str ctx.region);
-         ("dns_prefix", str (fresh ctx "aksdns"));
-         ( "default_node_pool",
-           Value.Block
-             [
-               ("name", str "default");
-               ("node_count", int (Prng.int_in ctx.rng 1 5));
-               ("vm_size", str (common_sku ctx));
-               ("subnet_id", ref_to subnet "id");
-             ] );
-         ("network_profile", Value.Block profile);
-         ("identity", Value.Block [ ("type", str "SystemAssigned") ]);
-       ]);
-  if Prng.chance ctx.rng 0.5 then begin
-    let ws =
-      add ctx "LOGWS" (fresh ctx "logws")
-        [
-          ("name", str (fresh ctx "loganalytics"));
-          ("location", str ctx.region);
-          ("retention_in_days", int 30);
-        ]
-    in
-    ignore
-      (add ctx "APPINS" (fresh ctx "appins")
-         [
-           ("name", str (fresh ctx "insights"));
-           ("location", str ctx.region);
-           ("application_type", str "web");
-           ("workspace_id", ref_to ws "id");
-         ])
-  end
-
-let storage_pipeline ctx =
-  let sa = make_sa ctx in
-  let containers = Prng.int_in ctx.rng 1 3 in
-  List.iter
-    (fun i ->
-      ignore
-        (add ctx "CONTAINER" (fresh ctx "cont")
-           [
-             ("name", str (Printf.sprintf "data%d" i));
-             ("sa_name", ref_to sa "name");
-             ("access_type", str "private");
-           ]))
-    (List.init containers Fun.id);
-  if Prng.chance ctx.rng 0.4 then
-    ignore
-      (add ctx "SHARE" (fresh ctx "share")
-         [
-           ("name", str (fresh ctx "fileshare"));
-           ("sa_name", ref_to sa "name");
-           ("quota", int (Prng.choose_list ctx.rng [ 50; 100; 500 ]));
-         ]);
-  if Prng.chance ctx.rng 0.15 then begin
-    let premium_sa =
-      add ctx "SA" (fresh ctx "sa")
-        [
-          ("name", str (fresh ctx "premfiles"));
-          ("location", str ctx.region);
-          ("tier", str "Premium");
-          ("replica", str "LRS");
-          ("kind", str "FileStorage");
-        ]
-    in
-    ignore
-      (add ctx "SHARE" (fresh ctx "share")
-         [
-           ("name", str (fresh ctx "nfsshare"));
-           ("sa_name", ref_to premium_sa "name");
-           ("quota", int 100);
-           ("protocol", str "NFS");
-         ])
-  end;
-  if Prng.chance ctx.rng 0.6 then begin
-    let ns_sku = Prng.weighted ctx.rng [ (4, "Standard"); (2, "Basic"); (1, "Premium") ] in
-    let ns =
-      add ctx "EVENTHUB_NS" (fresh ctx "ehns")
-        [
-          ("name", str (fresh ctx "events-ns"));
-          ("location", str ctx.region);
-          ("sku", str ns_sku);
-        ]
-    in
-    let retention = if String.equal ns_sku "Basic" then 1 else Prng.int_in ctx.rng 1 7 in
-    ignore
-      (add ctx "EVENTHUB" (fresh ctx "eh")
-         [
-           ("name", str (fresh ctx "hub"));
-           ("namespace_name", ref_to ns "name");
-           ("partition_count", int (Prng.choose_list ctx.rng [ 2; 4; 8 ]));
-           ("message_retention", int retention);
-         ])
-  end;
-  if Prng.chance ctx.rng 0.5 then begin
-    let plan =
-      add ctx "PLAN" (fresh ctx "plan")
-        [
-          ("name", str (fresh ctx "funcplan"));
-          ("location", str ctx.region);
-          ("os_type", str "Linux");
-          ("sku", str "Y1");
-        ]
-    in
-    ignore
-      (add ctx "FUNC" (fresh ctx "func")
-         [
-           ("name", str (fresh ctx "worker"));
-           ("location", str ctx.region);
-           ("plan_id", ref_to plan "id");
-           ("sa_name", ref_to sa "name");
-         ])
-  end
-
-let appgw_front ctx =
-  let vpc = make_vpc ctx 0 in
-  let gw_subnet = make_subnet ctx vpc 0 in
-  let backend_subnet = make_subnet ctx vpc 1 in
-  let ip = make_ip ~standard:true ctx in
-  let waf = Prng.chance ctx.rng 0.25 in
-  let v2 = waf || Prng.chance ctx.rng 0.75 in
-  let sku_name =
-    if waf then "WAF_v2" else if v2 then "Standard_v2" else "Standard_Medium"
-  in
-  let sku_tier = if waf then "WAF_v2" else if v2 then "Standard_v2" else "Standard" in
-  let rrr =
-    Value.Block
-      ([
-         ("name", str "rule1");
-         ("rule_type", str "Basic");
-         ("http_listener_name", str "listener1");
-         ("backend_address_pool_name", str "pool1");
-         ("backend_http_settings_name", str "http1");
-       ]
-      @ if v2 then [ ("priority", int (Prng.int_in ctx.rng 1 100)) ] else [])
-  in
-  ignore
-    (add ctx "APPGW" (fresh ctx "appgw")
-       ([
-         ("name", str (fresh ctx "gateway"));
-         ("location", str ctx.region);
-         ( "sku",
-           Value.Block
-             [ ("name", str sku_name); ("tier", str sku_tier); ("capacity", int 2) ] );
-         ( "gateway_ip_config",
-           Value.Block [ ("name", str "gwip"); ("subnet_id", ref_to gw_subnet "id") ] );
-         ( "frontend_ip_config",
-           Value.Block [ ("name", str "feip"); ("public_ip_id", ref_to ip "id") ] );
-         ("frontend_port", Value.List [ Value.Block [ ("name", str "port80"); ("port", int 80) ] ]);
-         ( "backend_address_pool",
-           Value.List [ Value.Block [ ("name", str "pool1") ] ] );
-         ( "backend_http_settings",
-           Value.List
-             [
-               Value.Block
-                 [
-                   ("name", str "http1");
-                   ("port", int 80);
-                   ("protocol", str "Http");
-                 ];
-             ] );
-         ( "http_listener",
-           Value.List
-             [
-               Value.Block
-                 [
-                   ("name", str "listener1");
-                   ("frontend_ip_config_name", str "feip");
-                   ("frontend_port_name", str "port80");
-                   ("protocol", str "Http");
-                 ];
-             ] );
-         ("request_routing_rule", Value.List [ rrr ]);
-       ]
-       @
-       if waf then
-        [
-          ( "waf_configuration",
-            Value.Block
-              [
-                ("enabled", bool true);
-                ("firewall_mode", str (if Prng.chance ctx.rng 0.6 then "Prevention" else "Detection"));
-                ("rule_set_version", str "3.2");
-              ] );
-        ]
-       else []));
-  let nic = make_nic ctx backend_subnet in
-  ignore (make_vm ctx [ nic ])
-
-let data_tier ctx =
-  if Prng.chance ctx.rng 0.7 then begin
-    let server =
-      add ctx "SQLSERVER" (fresh ctx "sqlsrv")
-        [
-          ("name", str (fresh ctx "sqlserver"));
-          ("location", str ctx.region);
-          ("version", str "12.0");
-          ("administrator_login", str "sqladmin");
-          ("administrator_password", str (Printf.sprintf "P@ssw0rd-%06d!" (Prng.int ctx.rng 999999)));
-        ]
-    in
-    let dbs = Prng.int_in ctx.rng 1 3 in
-    List.iter
-      (fun i ->
-        ignore
-          (add ctx "SQLDB" (fresh ctx "sqldb")
-             [
-               ("name", str (Printf.sprintf "appdb%d" i));
-               ("server_id", ref_to server "id");
-               ("sku", str (Prng.choose_list ctx.rng [ "Basic"; "S0"; "S1"; "GP_Gen5_2" ]));
-             ]))
-      (List.init dbs Fun.id)
-  end;
-  if Prng.chance ctx.rng 0.5 then begin
-    let family, sku =
-      if Prng.chance ctx.rng 0.25 then ("P", "Premium")
-      else ("C", Prng.choose_list ctx.rng [ "Basic"; "Standard" ])
-    in
-    let capacity = if String.equal family "P" then Prng.int_in ctx.rng 1 4 else Prng.int_in ctx.rng 0 6 in
-    ignore
-      (add ctx "REDIS" (fresh ctx "redis")
-         [
-           ("name", str (fresh ctx "cache"));
-           ("location", str ctx.region);
-           ("capacity", int capacity);
-           ("family", str family);
-           ("sku", str sku);
-         ])
-  end;
-  if Prng.chance ctx.rng 0.3 then begin
-    let multi = Prng.chance ctx.rng 0.4 in
-    let locations =
-      if multi then
-        [
-          Value.Block [ ("location", str ctx.region); ("failover_priority", int 0) ];
-          Value.Block
-            [
-              ("location", str (Prng.choose_list ctx.rng Regions.all));
-              ("failover_priority", int 1);
-            ];
-        ]
-      else [ Value.Block [ ("location", str ctx.region); ("failover_priority", int 0) ] ]
-    in
-    let level =
-      Prng.weighted ctx.rng [ (5, "Session"); (2, "Eventual"); (1, "BoundedStaleness") ]
-    in
-    let consistency =
-      [ ("level", str level) ]
-      @
-      if String.equal level "BoundedStaleness" then
-        [ ("max_interval_in_seconds", int 300) ]
-      else []
-    in
-    ignore
-      (add ctx "COSMOS" (fresh ctx "cosmos")
-         ([
-            ("name", str (fresh ctx "cosmosdb"));
-            ("location", str ctx.region);
-            ("offer_type", str "Standard");
-            ("consistency_policy", Value.Block consistency);
-            ("geo_location", Value.List locations);
-          ]
-         @ if multi && Prng.chance ctx.rng 0.5 then
-             [ ("automatic_failover_enabled", bool true) ]
-           else []))
-  end;
-  if Prng.chance ctx.rng 0.4 then
-    ignore
-      (add ctx "KV" (fresh ctx "kv")
-         [
-           ("name", str (fresh ctx "vault"));
-           ("location", str ctx.region);
-           ("sku", str (if Prng.chance ctx.rng 0.8 then "standard" else "premium"));
-           ("tenant_id", str "00000000-0000-0000-0000-000000000000");
-         ]);
-  if Prng.chance ctx.rng 0.3 then begin
-    let vpc = make_vpc ctx 2 in
-    let subnet =
-      add ctx "SUBNET" (fresh ctx "subnet")
-        [
-          ("name", str "mysql-snet");
-          ("vpc_name", ref_to vpc "name");
-          ("cidr", str (subnet_cidr vpc 0));
-          ( "delegation",
-            Value.Block
-              [
-                ("name", str "mysqldeleg");
-                ("service", str "Microsoft.DBforMySQL/flexibleServers");
-              ] );
-        ]
-    in
-    ignore
-      (add ctx "MYSQL" (fresh ctx "mysql")
-         [
-           ("name", str (fresh ctx "mysqlsrv"));
-           ("location", str ctx.region);
-           ("sku", str "B_Standard_B1s");
-           ("version", str "8.0.21");
-           ("administrator_login", str "mysqladmin");
-           ("administrator_password", str (Printf.sprintf "P@ssw0rd-%06d!" (Prng.int ctx.rng 999999)));
-           ("delegated_subnet_id", ref_to subnet "id");
-         ])
-  end
-
-let vm_fleet ctx =
-  let vpc = make_vpc ctx 0 in
-  let subnet = make_subnet ctx vpc 0 in
-  let avset =
-    if Prng.chance ctx.rng 0.5 then
-      Some
-        (add ctx "AVSET" (fresh ctx "avset")
-           [
-             ("name", str (fresh ctx "avail"));
-             ("location", str ctx.region);
-             ("managed", bool true);
-           ])
-    else None
-  in
-  let vm_count = Prng.int_in ctx.rng 2 4 in
-  let vms =
-    List.init vm_count (fun _ ->
-        let nic = make_nic ctx subnet in
-        make_vm ?avset ctx [ nic ])
-  in
-  (* Attach data disks, respecting sku limits. *)
-  List.iteri
-    (fun vi vm ->
-      let sku = match Resource.get vm "sku" with Value.Str s -> s | _ -> "" in
-      let max_disks =
-        match Skus.find_vm sku with Some s -> s.Skus.max_data_disks | None -> 2
-      in
-      let premium_ok =
-        match Skus.find_vm sku with Some s -> s.Skus.premium_io | None -> false
-      in
-      let disk_count = min (Prng.int_in ctx.rng 0 2) max_disks in
-      List.iter
-        (fun di ->
-          let storage =
-            if premium_ok && Prng.chance ctx.rng 0.4 then "Premium_LRS"
-            else "StandardSSD_LRS"
-          in
-          let disk =
-            add ctx "DISK" (fresh ctx "disk")
-              [
-                ("name", str (Printf.sprintf "data-%d-%d" vi di));
-                ("location", str ctx.region);
-                ("storage_type", str storage);
-                ("create_option", str "Empty");
-                ("size_gb", int (Prng.choose_list ctx.rng [ 64; 128; 256 ]));
-              ]
-          in
-          ignore
-            (add ctx "ATTACH" (fresh ctx "attach")
-               [
-                 ("vm_id", ref_to vm "id");
-                 ("disk_id", ref_to disk "id");
-                 ("lun", int di);
-                 ("caching", str "ReadOnly");
-               ]))
-        (List.init disk_count Fun.id))
-    vms
-
-let secure_net ctx =
-  let vpc = make_vpc ctx 0 in
-  let subnets = List.init (Prng.int_in ctx.rng 2 3) (fun i -> make_subnet ctx vpc i) in
-  let work_subnet = List.nth subnets 0 in
-  let sg = make_sg ctx in
-  ignore
-    (add ctx "SGASSOC" (fresh ctx "sga")
-       [ ("subnet_id", ref_to work_subnet "id"); ("sg_id", ref_to sg "id") ]);
-  let rt =
-    add ctx "RT" (fresh ctx "rt")
-      [ ("name", str (fresh ctx "routes")); ("location", str ctx.region) ]
-  in
-  ignore
-    (add ctx "ROUTE" (fresh ctx "route")
-       [
-         ("name", str "default-out");
-         ("rt_name", ref_to rt "name");
-         ("address_prefix", str "0.0.0.0/0");
-         ("next_hop_type", str "Internet");
-       ]);
-  if Prng.chance ctx.rng 0.4 then
-    ignore
-      (add ctx "ROUTE" (fresh ctx "route")
-         [
-           ("name", str "via-nva");
-           ("rt_name", ref_to rt "name");
-           ("address_prefix", str "10.100.0.0/16");
-           ("next_hop_type", str "VirtualAppliance");
-           ("next_hop_ip", str "10.0.0.4");
-         ]);
-  ignore
-    (add ctx "RTASSOC" (fresh ctx "rta")
-       [ ("subnet_id", ref_to work_subnet "id"); ("rt_id", ref_to rt "id") ]);
-  if Prng.chance ctx.rng 0.4 then begin
-    let fw_subnet = make_subnet ~name:"AzureFirewallSubnet" ctx vpc 5 in
-    let fw_ip = make_ip ~standard:true ctx in
-    ignore
-      (add ctx "FW" (fresh ctx "fw")
-         [
-           ("name", str (fresh ctx "firewall"));
-           ("location", str ctx.region);
-           ("sku_name", str "AZFW_VNet");
-           ("sku_tier", str "Standard");
-           ( "ip_config",
-             Value.Block
-               [
-                 ("name", str "fwip");
-                 ("subnet_id", ref_to fw_subnet "id");
-                 ("public_ip_id", ref_to fw_ip "id");
-               ] );
-         ])
-  end;
-  if Prng.chance ctx.rng 0.3 then begin
-    let bastion_subnet = make_subnet ~name:"AzureBastionSubnet" ctx vpc 6 in
-    let bastion_ip = make_ip ~standard:true ctx in
-    ignore
-      (add ctx "BASTION" (fresh ctx "bastion")
-         [
-           ("name", str (fresh ctx "bast"));
-           ("location", str ctx.region);
-           ( "ip_config",
-             Value.Block
-               [
-                 ("name", str "bastip");
-                 ("subnet_id", ref_to bastion_subnet "id");
-                 ("public_ip_id", ref_to bastion_ip "id");
-               ] );
-         ])
-  end;
-  if Prng.chance ctx.rng 0.3 then begin
-    let nat =
-      add ctx "NAT" (fresh ctx "nat")
-        [ ("name", str (fresh ctx "natgw")); ("location", str ctx.region) ]
-    in
-    let nat_ip = make_ip ~standard:true ctx in
-    ignore
-      (add ctx "NATIPASSOC" (fresh ctx "natip")
-         [ ("nat_id", ref_to nat "id"); ("ip_id", ref_to nat_ip "id") ]);
-    ignore
-      (add ctx "NATASSOC" (fresh ctx "nata")
-         [
-           ("subnet_id", ref_to (List.nth subnets (List.length subnets - 1)) "id");
-           ("nat_id", ref_to nat "id");
-         ])
-  end
-
-let dns_setup ctx =
-  let zone =
-    add ctx "DNS" (fresh ctx "dns")
-      [ ("name", str (fresh ctx "example-com")) ]
-  in
-  let recs = Prng.int_in ctx.rng 1 4 in
-  List.iter
-    (fun i ->
-      ignore
-        (add ctx "DNSREC" (fresh ctx "rec")
-           [
-             ("name", str (Printf.sprintf "www%d" i));
-             ("zone_name", ref_to zone "name");
-             ("type", str "A");
-             ("ttl", int 300);
-             ("records", Value.List [ str "203.0.113.10" ]);
-           ]))
-    (List.init recs Fun.id);
-  if Prng.chance ctx.rng 0.5 then begin
-    let vpc = make_vpc ctx 0 in
-    let priv =
-      add ctx "PRIVDNS" (fresh ctx "privdns")
-        [ ("name", str (fresh ctx "internal-zone")) ]
-    in
-    ignore
-      (add ctx "PRIVDNSLINK" (fresh ctx "link")
-         [
-           ("name", str (fresh ctx "dns-link"));
-           ("zone_name", ref_to priv "name");
-           ("vpc_id", ref_to vpc "id");
-         ])
-  end
-
-let messaging ctx =
-  let sku = Prng.weighted ctx.rng [ (4, "Standard"); (3, "Basic"); (1, "Premium") ] in
-  let ns =
-    add ctx "SERVICEBUS_NS" (fresh ctx "sbns")
-      ([
-         ("name", str (fresh ctx "bus-ns"));
-         ("location", str ctx.region);
-         ("sku", str sku);
-       ]
-      @ if String.equal sku "Premium" then [ ("capacity", int 1) ] else [])
-  in
-  let queues = Prng.int_in ctx.rng 1 3 in
-  List.iter
-    (fun i ->
-      let session = String.equal sku "Standard" && Prng.chance ctx.rng 0.3 in
-      ignore
-        (add ctx "SBQUEUE" (fresh ctx "queue")
-           [
-             ("name", str (Printf.sprintf "jobs%d" i));
-             ("namespace_id", ref_to ns "id");
-             ("requires_session", bool session);
-           ]))
-    (List.init queues Fun.id)
-
-let eventing ctx =
-  let sku = Prng.weighted ctx.rng [ (3, "Standard"); (2, "Basic") ] in
-  let inflate = String.equal sku "Standard" && Prng.chance ctx.rng 0.4 in
-  let ns =
-    add ctx "EVENTHUB_NS" (fresh ctx "ehns")
-      ([
-         ("name", str (fresh ctx "stream-ns"));
-         ("location", str ctx.region);
-         ("sku", str sku);
-       ]
-      @
-      if inflate then
-        [ ("auto_inflate_enabled", bool true); ("maximum_throughput_units", int 10) ]
-      else [])
-  in
-  List.iter
-    (fun i ->
-      let retention = if String.equal sku "Basic" then 1 else Prng.int_in ctx.rng 1 7 in
-      ignore
-        (add ctx "EVENTHUB" (fresh ctx "eh")
-           [
-             ("name", str (Printf.sprintf "stream%d" i));
-             ("namespace_name", ref_to ns "name");
-             ("partition_count", int (Prng.choose_list ctx.rng [ 2; 4; 8; 16 ]));
-             ("message_retention", int retention);
-           ]))
-    (List.init (Prng.int_in ctx.rng 1 3) Fun.id);
-  if Prng.chance ctx.rng 0.4 then ignore (make_sa ctx)
-
-let paas_app ctx =
-  let plan_sku = Prng.weighted ctx.rng [ (3, "B1"); (3, "S1"); (2, "P1v2"); (2, "F1") ] in
-  let plan =
-    add ctx "PLAN" (fresh ctx "plan")
-      [
-        ("name", str (fresh ctx "appplan"));
-        ("location", str ctx.region);
-        ("os_type", str "Linux");
-        ("sku", str plan_sku);
-      ]
-  in
-  let always_on = not (String.equal plan_sku "F1") && Prng.chance ctx.rng 0.7 in
-  ignore
-    (add ctx "WEBAPP" (fresh ctx "webapp")
-       [
-         ("name", str (fresh ctx "site"));
-         ("location", str ctx.region);
-         ("plan_id", ref_to plan "id");
-         ("site_config", Value.Block [ ("always_on", bool always_on) ]);
-         ("https_only", bool true);
-       ]);
-  if Prng.chance ctx.rng 0.4 then ignore (make_sa ctx);
-  if Prng.chance ctx.rng 0.3 then begin
-    let acr_sku = Prng.weighted ctx.rng [ (3, "Basic"); (2, "Standard"); (1, "Premium") ] in
-    ignore
-      (add ctx "ACR" (fresh ctx "acr")
-         [
-           ("name", str (fresh ctx "registry"));
-           ("location", str ctx.region);
-           ("sku", str acr_sku);
-         ])
-  end
-
-let scenarios =
-  [
-    (8, ("web_tier", web_tier));
-    (3, ("vnet2vnet", vnet2vnet));
-    (3, ("eventing", eventing));
-    (4, ("hub_spoke", hub_spoke));
-    (4, ("vpn_site", vpn_site));
-    (5, ("aks_cluster", aks_cluster));
-    (6, ("storage_pipeline", storage_pipeline));
-    (4, ("appgw_front", appgw_front));
-    (5, ("data_tier", data_tier));
-    (6, ("vm_fleet", vm_fleet));
-    (5, ("secure_net", secure_net));
-    (3, ("dns_setup", dns_setup));
-    (3, ("messaging", messaging));
-    (5, ("paas_app", paas_app));
-  ]
-
-let scenario_names = List.map (fun (_, (name, _)) -> name) scenarios
+let scenario_names = Provider.scenario_names
 
 (* ------------- violation injection ----------------------------------- *)
 
-(* Each injector returns the mutated program when applicable. *)
-let injectors :
-    (string * (Prng.t -> Program.t -> Program.t option)) list =
-  let pick_of_type rng prog rtype =
-    match Program.by_type prog rtype with
-    | [] -> None
-    | rs -> Some (Prng.choose_list rng rs)
-  in
-  let other_region rng current =
-    let candidates = List.filter (fun r -> not (String.equal r current)) Regions.all in
-    Prng.choose_list rng candidates
-  in
-  [
-    ( "nic-wrong-region",
-      fun rng prog ->
-        Option.map
-          (fun nic ->
-            let current =
-              match Resource.get nic "location" with Value.Str s -> s | _ -> "eastus"
-            in
-            Program.update prog (Resource.id nic) (fun r ->
-                Resource.set r "location" (str (other_region rng current))))
-          (pick_of_type rng prog "NIC") );
-    ( "subnet-overlap",
-      fun _rng prog ->
-        match Program.by_type prog "SUBNET" with
-        | s1 :: s2 :: _
-          when Value.equal (Resource.get s1 "vpc_name") (Resource.get s2 "vpc_name") ->
-            Some
-              (Program.update prog (Resource.id s2) (fun r ->
-                   Resource.set r "cidr" (Resource.get s1 "cidr")))
-        | _ -> None );
-    ( "subnet-out-of-range",
-      fun _rng prog ->
-        Option.map
-          (fun subnet ->
-            Program.update prog (Resource.id subnet) (fun r ->
-                Resource.set r "cidr" (str "192.168.77.0/24")))
-          (match Program.by_type prog "SUBNET" with [] -> None | s :: _ -> Some s) );
-    ( "spot-no-evict",
-      fun rng prog ->
-        Option.map
-          (fun vm ->
-            Program.update prog (Resource.id vm) (fun r ->
-                Resource.remove_attr (Resource.set r "priority" (str "Spot")) "evict_policy"))
-          (pick_of_type rng prog "VM") );
-    ( "sa-premium-gzrs",
-      fun rng prog ->
-        Option.map
-          (fun sa ->
-            Program.update prog (Resource.id sa) (fun r ->
-                Resource.set (Resource.set r "tier" (str "Premium")) "replica" (str "GZRS")))
-          (pick_of_type rng prog "SA") );
-    ( "ip-standard-dynamic",
-      fun rng prog ->
-        Option.map
-          (fun ip ->
-            Program.update prog (Resource.id ip) (fun r ->
-                Resource.set (Resource.set r "sku" (str "Standard")) "allocation"
-                  (str "Dynamic")))
-          (pick_of_type rng prog "IP") );
-    ( "gw-subnet-name",
-      fun rng prog ->
-        Option.map
-          (fun subnet ->
-            Program.update prog (Resource.id subnet) (fun r ->
-                Resource.set r "name" (str "gateway-subnet")))
-          (match
-             List.filter
-               (fun s -> Resource.get s "name" = Value.Str "GatewaySubnet")
-               (Program.by_type prog "SUBNET")
-           with
-          | [] -> None
-          | subnets -> Some (Prng.choose_list rng subnets)) );
-    ( "gw-basic-active-active",
-      fun rng prog ->
-        Option.map
-          (fun gw ->
-            Program.update prog (Resource.id gw) (fun r ->
-                Resource.set (Resource.set r "sku" (str "Basic")) "active_active"
-                  (bool true)))
-          (pick_of_type rng prog "GW") );
-    ( "appgw-basic-ip",
-      fun _rng prog ->
-        match (Program.by_type prog "APPGW", Program.by_type prog "IP") with
-        | appgw :: _, _ -> (
-            match Resource.get appgw "frontend_ip_config.public_ip_id" with
-            | Value.Ref reference ->
-                Some
-                  (Program.update prog
-                     { Resource.rtype = reference.Value.rtype; rname = reference.Value.rname }
-                     (fun r ->
-                       Resource.set (Resource.set r "sku" (str "Basic")) "allocation"
-                         (str "Dynamic")))
-            | _ -> None)
-        | _ -> None );
-    ( "sg-duplicate-priority",
-      fun _rng prog ->
-        match Program.by_type prog "SG" with
-        | sg :: _ -> (
-            match Resource.attr sg "rule" with
-            | Some (Value.List (Value.Block f1 :: Value.Block f2 :: rest)) ->
-                let priority = List.assoc_opt "priority" f1 in
-                let dir = List.assoc_opt "dir" f1 in
-                let f2 =
-                  List.map
-                    (fun (k, v) ->
-                      match (k, priority, dir) with
-                      | "priority", Some p, _ -> (k, p)
-                      | "dir", _, Some d -> (k, d)
-                      | _ -> (k, v))
-                    f2
-                in
-                Some
-                  (Program.update prog (Resource.id sg) (fun r ->
-                       Resource.set r "rule"
-                         (Value.List (Value.Block f1 :: Value.Block f2 :: rest))))
-            | _ -> None)
-        | [] -> None );
-    ( "double-rt-assoc",
-      fun _rng prog ->
-        match (Program.by_type prog "RTASSOC", Program.by_type prog "RT") with
-        | assoc :: _, rt :: _ ->
-            let extra_rt =
-              Resource.make "RT" "rt_extra"
-                [
-                  ("name", str "rt-extra");
-                  ("location", Resource.get rt "location");
-                ]
-            in
-            let extra =
-              Resource.make "RTASSOC" "rta_extra"
-                [
-                  ("subnet_id", Resource.get assoc "subnet_id");
-                  ("rt_id", ref_to extra_rt "id");
-                ]
-            in
-            Some (Program.add (Program.add prog extra_rt) extra)
-        | _ -> None );
-    ( "vm-osdisk-name-clash",
-      fun _rng prog ->
-        match (Program.by_type prog "ATTACH", Program.by_type prog "VM") with
-        | attach :: _, _ -> (
-            match
-              (Resource.get attach "vm_id", Resource.get attach "disk_id")
-            with
-            | Value.Ref vm_ref, Value.Ref disk_ref -> (
-                let disk_id =
-                  { Resource.rtype = disk_ref.Value.rtype; rname = disk_ref.Value.rname }
-                in
-                match Program.find prog disk_id with
-                | Some disk ->
-                    let disk_name = Resource.get disk "name" in
-                    Some
-                      (Program.update prog
-                         { Resource.rtype = vm_ref.Value.rtype; rname = vm_ref.Value.rname }
-                         (fun r -> Resource.set r "os_disk.name" disk_name))
-                | None -> None)
-            | _ -> None)
-        | _ -> None );
-    ( "redis-family-mismatch",
-      fun rng prog ->
-        Option.map
-          (fun redis ->
-            Program.update prog (Resource.id redis) (fun r ->
-                Resource.set (Resource.set r "family" (str "P")) "sku" (str "Standard")))
-          (pick_of_type rng prog "REDIS") );
-    ( "eh-basic-retention",
-      fun _rng prog ->
-        match (Program.by_type prog "EVENTHUB", Program.by_type prog "EVENTHUB_NS") with
-        | eh :: _, ns :: _ ->
-            let prog =
-              Program.update prog (Resource.id ns) (fun r ->
-                  Resource.set r "sku" (str "Basic"))
-            in
-            Some
-              (Program.update prog (Resource.id eh) (fun r ->
-                   Resource.set r "message_retention" (int 7)))
-        | _ -> None );
-    ( "acr-geo-basic",
-      fun rng prog ->
-        Option.map
-          (fun acr ->
-            Program.update prog (Resource.id acr) (fun r ->
-                Resource.set
-                  (Resource.set r "sku" (str "Basic"))
-                  "georeplications"
-                  (Value.List
-                     [ Value.Block [ ("location", str (other_region rng "x")) ] ])))
-          (pick_of_type rng prog "ACR") );
-    ( "webapp-f1-alwayson",
-      fun _rng prog ->
-        match (Program.by_type prog "WEBAPP", Program.by_type prog "PLAN") with
-        | webapp :: _, plan :: _ ->
-            let prog =
-              Program.update prog (Resource.id plan) (fun r ->
-                  Resource.set r "sku" (str "F1"))
-            in
-            Some
-              (Program.update prog (Resource.id webapp) (fun r ->
-                   Resource.set r "site_config.always_on" (bool true)))
-        | _ -> None );
-    ( "nic-on-gateway-subnet",
-      fun rng prog ->
-        (* drop a NIC into a reserved gateway subnet (exclusivity) *)
-        match
-          List.filter
-            (fun su -> Resource.get su "name" = Value.Str "GatewaySubnet")
-            (Program.by_type prog "SUBNET")
-        with
-        | [] -> None
-        | subnets ->
-            let subnet = Prng.choose_list rng subnets in
-            let region =
-              match
-                List.find_map
-                  (fun r ->
-                    match Resource.get r "location" with
-                    | Value.Str s -> Some s
-                    | _ -> None)
-                  (Program.resources prog)
-              with
-              | Some r -> r
-              | None -> "eastus"
-            in
-            let intruder =
-              Resource.make "NIC" "intruder_nic"
-                [
-                  ("name", str "intruder-nic");
-                  ("location", str region);
-                  ( "ip_config",
-                    Value.Block
-                      [
-                        ("name", str "cfg");
-                        ("subnet_id", ref_to subnet "id");
-                        ("private_ip_allocation", str "Dynamic");
-                      ] );
-                ]
-            in
-            Some (Program.add prog intruder) );
-    ( "vm-overloaded-nics",
-      fun rng prog ->
-        (* push a VM past its sku's documented NIC limit *)
-        match Program.by_type prog "VM" with
-        | [] -> None
-        | vms -> (
-            let vm = Prng.choose_list rng vms in
-            match
-              ( Resource.get vm "nic_ids",
-                Skus.find_vm
-                  (match Resource.get vm "sku" with Value.Str s -> s | _ -> "") )
-            with
-            | Value.List (Value.Ref first :: _ as nics), Some sku ->
-                let donor =
-                  { Resource.rtype = first.Value.rtype; rname = first.Value.rname }
-                in
-                (match Program.find prog donor with
-                | None -> None
-                | Some nic_template ->
-                    let need = sku.Skus.max_nics + 1 - List.length nics in
-                    if need <= 0 || need > 6 then None
-                    else begin
-                      let prog = ref prog in
-                      let extra_refs = ref [] in
-                      for i = 1 to need do
-                        let rname = Printf.sprintf "%s_x%d" donor.Resource.rname i in
-                        let nic =
-                          Resource.set
-                            { nic_template with Resource.rname = rname }
-                            "name"
-                            (Value.Str (Printf.sprintf "nic-extra-%d" i))
-                        in
-                        prog := Program.add !prog nic;
-                        extra_refs :=
-                          Value.Ref { first with Value.rname = rname } :: !extra_refs
-                      done;
-                      Some
-                        (Program.update !prog (Resource.id vm) (fun r ->
-                             Resource.set r "nic_ids" (Value.List (nics @ !extra_refs))))
-                    end)
-            | _ -> None) );
-    ( "vm-missing-password",
-      fun rng prog ->
-        match
-          List.filter
-            (fun vm -> Resource.attr vm "admin_password" <> None)
-            (Program.by_type prog "VM")
-        with
-        | [] -> None
-        | vms ->
-            let vm = Prng.choose_list rng vms in
-            Some
-              (Program.update prog (Resource.id vm) (fun r ->
-                   Resource.set
-                     (Resource.remove_attr r "admin_password")
-                     "password_authentication_enabled" (bool true))) );
-    ( "route-appliance-no-ip",
-      fun rng prog ->
-        Option.map
-          (fun route ->
-            Program.update prog (Resource.id route) (fun r ->
-                Resource.remove_attr
-                  (Resource.set r "next_hop_type" (str "VirtualAppliance"))
-                  "next_hop_ip"))
-          (pick_of_type rng prog "ROUTE") );
-    ( "kv-retention-short",
-      fun rng prog ->
-        Option.map
-          (fun kv ->
-            Program.update prog (Resource.id kv) (fun r ->
-                Resource.set r "soft_delete_retention_days" (int 3)))
-          (pick_of_type rng prog "KV") );
-    ( "tunnel-missing-key",
-      fun rng prog ->
-        match
-          List.filter
-            (fun t -> Resource.get t "type" = Value.Str "IPsec")
-            (Program.by_type prog "TUNNEL")
-        with
-        | [] -> None
-        | tunnels ->
-            let tunnel = Prng.choose_list rng tunnels in
-            Some
-              (Program.update prog (Resource.id tunnel) (fun r ->
-                   Resource.remove_attr r "shared_key")) );
-  ]
-
-let inject rng prog =
+(* Each injector returns the mutated program when applicable; try them
+   in a shuffled order until one fires. *)
+let inject injectors rng prog =
   let shuffled = Prng.shuffle_list rng injectors in
   let rec try_injectors = function
     | [] -> (prog, None)
@@ -1319,89 +29,18 @@ let inject rng prog =
 
 (* ------------- top level --------------------------------------------- *)
 
-(* Decorate a project with "unattended" resources — types outside
-   Zodiac's catalogue (diagnostic settings, locks, role assignments)
-   that real repositories carry. They reference attended resources (and
-   occasionally are referenced by them), exercising the MDC pruning of
-   Table 6. *)
-let add_unattended ctx =
-  (* diagnostic settings / locks / role assignments target coarse
-     resources, never subnets (a metadata reference to a reserved
-     subnet is not an occupancy) *)
-  let attended =
-    List.filter
-      (fun r -> not (String.equal r.Resource.rtype "SUBNET"))
-      ctx.resources
-  in
-  let pick () = Prng.choose_list ctx.rng attended in
-  if attended <> [] then begin
-    if Prng.chance ctx.rng 0.35 then begin
-      let target = pick () in
-      ignore
-        (add ctx "MONITOR_DIAG" (fresh ctx "diag")
-           [
-             ("name", str (fresh ctx "diagnostics"));
-             ("target_resource_id", ref_to target "id");
-             ("log_category", str "AllLogs");
-           ])
-    end;
-    if Prng.chance ctx.rng 0.2 then begin
-      let target = pick () in
-      ignore
-        (add ctx "LOCK" (fresh ctx "lock")
-           [
-             ("name", str (fresh ctx "cantdelete"));
-             ("scope_id", ref_to target "id");
-             ("lock_level", str "CanNotDelete");
-           ])
-    end;
-    if Prng.chance ctx.rng 0.25 then begin
-      let target = pick () in
-      ignore
-        (add ctx "RBAC" (fresh ctx "role")
-           [
-             ("scope_id", ref_to target "id");
-             ("role_definition_name", str "Contributor");
-             ("principal_id", str (Printf.sprintf "%08x" (Prng.int ctx.rng 0x3FFFFFFF)));
-           ])
-    end;
-    (* Occasionally an attended VM references an unattended maintenance
-       configuration, making the unattended resource an ancestor that
-       MDC must keep. *)
-    if Prng.chance ctx.rng 0.15 then begin
-      match List.filter (fun r -> String.equal r.Resource.rtype "VM") attended with
-      | [] -> ()
-      | vms ->
-          let maint =
-            add ctx "MAINT_CONF" (fresh ctx "maint")
-              [
-                ("name", str (fresh ctx "maintenance"));
-                ("location", str ctx.region);
-                ("scope", str "Host");
-              ]
-          in
-          let vm = Prng.choose_list ctx.rng vms in
-          ctx.resources <-
-            List.map
-              (fun r ->
-                if Resource.equal_id (Resource.id r) (Resource.id vm) then
-                  Resource.set r "maintenance_configuration_id" (ref_to maint "id")
-                else r)
-              ctx.resources
-    end
-  end
-
-let generate_one ?(violation_rate = 0.04) rng index =
+let generate_one ~provider ?(violation_rate = 0.04) rng index =
   let scenario_name, builder =
-    Prng.weighted rng (List.map (fun (w, s) -> (w, s)) scenarios)
+    Prng.weighted rng
+      (List.map (fun (w, s) -> (w, s)) provider.Provider.scenarios)
   in
-  let ctx = new_ctx rng in
+  let ctx = Build.new_ctx ~regions:provider.Provider.regions rng in
   builder ctx;
-  add_unattended ctx;
-  let program = Program.of_resources ctx.resources in
+  provider.Provider.add_unattended ctx;
+  let program = Program.of_resources ctx.Build.resources in
   let program, injected =
     if Prng.chance rng violation_rate then
-      let program, label = inject rng program in
+      let program, label = inject provider.Provider.injectors rng program in
       (program, Option.to_list label)
     else (program, [])
   in
@@ -1412,7 +51,7 @@ let generate_one ?(violation_rate = 0.04) rng index =
     injected;
   }
 
-let generate_range ?(violation_rate = 0.04) ?jobs ~seed ~lo ~hi () =
+let generate_range ~provider ?(violation_rate = 0.04) ?jobs ~seed ~lo ~hi () =
   (* Each project gets its own generator derived from [(seed, index)], so
      projects are independent work items: the corpus is identical whether
      they are built sequentially, across domains, or — because indices
@@ -1421,14 +60,14 @@ let generate_range ?(violation_rate = 0.04) ?jobs ~seed ~lo ~hi () =
      corpus(seed, m) for n < m, which is what the warm-start cache's
      incremental path relies on. *)
   Zodiac_util.Parallel.map ?jobs
-    (fun i -> generate_one ~violation_rate (Prng.derive seed i) i)
+    (fun i -> generate_one ~provider ~violation_rate (Prng.derive seed i) i)
     (List.init (max 0 (hi - lo)) (fun k -> lo + k))
 
-let generate ?(violation_rate = 0.04) ?jobs ~seed ~count () =
-  generate_range ~violation_rate ?jobs ~seed ~lo:0 ~hi:count ()
+let generate ~provider ?(violation_rate = 0.04) ?jobs ~seed ~count () =
+  generate_range ~provider ~violation_rate ?jobs ~seed ~lo:0 ~hi:count ()
 
-let conforming ?jobs ~seed ~count () =
-  generate ~violation_rate:0.0 ?jobs ~seed ~count ()
+let conforming ~provider ?jobs ~seed ~count () =
+  generate ~provider ~violation_rate:0.0 ?jobs ~seed ~count ()
 
 module Codec = Zodiac_util.Codec
 

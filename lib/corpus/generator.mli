@@ -1,7 +1,9 @@
 (** Synthetic IaC repository generator.
 
     Stands in for the paper's 26k crawled GitHub repositories. Projects
-    are drawn from fourteen realistic scenario families (web tiers,
+    are drawn from the provider's weighted scenario families
+    ({!Zodiac_provider.Provider.scenarios}) — for Azure, fourteen
+    realistic shapes (web tiers,
     hub-and-spoke networks, VPN sites, AKS clusters, storage pipelines,
     application-gateway frontends, data tiers, VM fleets, hardened
     networks, DNS setups, messaging stacks, PaaS apps). Generation is
@@ -24,15 +26,20 @@ type project = {
           conforming project) *)
 }
 
-val scenario_names : string list
+val scenario_names : Zodiac_provider.Provider.t -> string list
 
 val generate_one :
-  ?violation_rate:float -> Zodiac_util.Prng.t -> int -> project
+  provider:Zodiac_provider.Provider.t ->
+  ?violation_rate:float ->
+  Zodiac_util.Prng.t ->
+  int ->
+  project
 (** [generate_one rng index] builds one project; the scenario is chosen
     from a weighted distribution. [violation_rate] (default 0.04) is
     the probability that a violation is injected. *)
 
 val generate :
+  provider:Zodiac_provider.Provider.t ->
   ?violation_rate:float ->
   ?jobs:int ->
   seed:int ->
@@ -44,6 +51,7 @@ val generate :
     identical for every [jobs] value (default: recommended domain count). *)
 
 val generate_range :
+  provider:Zodiac_provider.Provider.t ->
   ?violation_rate:float ->
   ?jobs:int ->
   seed:int ->
@@ -67,5 +75,11 @@ val projects_artifact : project list Zodiac_util.Stage.artifact
 (** The corpus stage's cache binding: a length-prefixed project list
     ({!write_project}/{!read_project}) for {!Zodiac_util.Stage.run}. *)
 
-val conforming : ?jobs:int -> seed:int -> count:int -> unit -> project list
+val conforming :
+  provider:Zodiac_provider.Provider.t ->
+  ?jobs:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  project list
 (** A corpus with no injected violations (used for clean baselines). *)

@@ -48,6 +48,7 @@ val create :
   t
 
 val of_arm :
+  provider:Zodiac_provider.Provider.t ->
   ?rules:Zodiac_cloud.Rules.t list ->
   ?quota:Zodiac_cloud.Quota.t ->
   ?config:config ->

@@ -35,13 +35,13 @@ type t = {
   cache : Arm.outcome Memo.t option;
 }
 
-let create ?rules ?quota ?(config = default_config) () =
+let create ~provider ?rules ?quota ?(config = default_config) () =
   let stats = Stats.create () in
   let client =
     match config.backend with
-    | Pure -> Client.of_arm ?rules ?quota ~config:config.client ~stats ()
+    | Pure -> Client.of_arm ~provider ?rules ?quota ~config:config.client ~stats ()
     | Faulty fault_config ->
-        let flaky = Flaky.create ?rules ?quota fault_config in
+        let flaky = Flaky.create ~provider ?rules ?quota fault_config in
         Client.create ~config:config.client ~stats (Flaky.deploy flaky)
   in
   let cache =

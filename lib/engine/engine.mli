@@ -39,6 +39,7 @@ val faulty_config : ?fault_rate:float -> ?seed:int -> unit -> config
 type t
 
 val create :
+  provider:Zodiac_provider.Provider.t ->
   ?rules:Zodiac_cloud.Rules.t list ->
   ?quota:Zodiac_cloud.Quota.t ->
   ?config:config ->

@@ -3,7 +3,7 @@ module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 module Graph = Zodiac_iac.Graph
 module Schema = Zodiac_iac.Schema
-module Catalog = Zodiac_azure.Catalog
+module Provider = Zodiac_provider.Provider
 module Cidr = Zodiac_util.Cidr
 module Parallel = Zodiac_util.Parallel
 
@@ -271,7 +271,7 @@ let compare_conns a b =
         (b.src_type, b.src_attr, b.dst_type, b.dst_attr)
   | n -> n
 
-let finalize (stats : stats) =
+let finalize ~provider (stats : stats) =
   let { s_observations = observations; s_presence = attr_presence;
         s_conns = conn_counts; s_populations = populations } =
     stats
@@ -350,7 +350,7 @@ let finalize (stats : stats) =
           add_entry schema.Schema.type_name path (Some a.Schema.req) a.Schema.format
             a.Schema.default)
         (Schema.leaf_paths schema))
-    Catalog.schemas;
+    provider.Provider.schemas;
   (* Corpus-only attributes (unknown to schemas) still get entries; sorted
      so the entry table is filled in a chunking-independent order. *)
   Hashtbl.fold (fun k _count acc -> k :: acc) attr_presence []
@@ -375,11 +375,12 @@ let finalize (stats : stats) =
     in
     List.fold_left
       (fun acc ty -> if List.mem ty acc then acc else acc @ [ ty ])
-      Catalog.type_names from_corpus
+      provider.Provider.type_names from_corpus
   in
   { entries; conns; known_types; populations }
 
-let build ?jobs ~projects () = finalize (stats_of_projects ?jobs projects)
+let build ~provider ?jobs ~projects () =
+  finalize ~provider (stats_of_projects ?jobs projects)
 
 let attr_info t ~rtype ~attr = Hashtbl.find_opt t.entries (rtype, attr)
 
@@ -431,13 +432,7 @@ let numeric_attrs t rtype =
       if numeric then Some info.attr else None)
     (attrs_of_type t rtype)
 
-let defaults ~rtype ~attr =
-  match Catalog.find rtype with
-  | None -> None
-  | Some schema -> (
-      match Schema.find_attr schema attr with
-      | Some { Schema.default = Some d; _ } -> Some d
-      | Some _ | None -> None)
+let defaults provider ~rtype ~attr = Provider.defaults provider ~rtype ~attr
 
 let types t = t.known_types
 

@@ -51,7 +51,12 @@ type conn_kind = {
 
 type t
 
-val build : ?jobs:int -> projects:Zodiac_iac.Program.t list -> unit -> t
+val build :
+  provider:Zodiac_provider.Provider.t ->
+  ?jobs:int ->
+  projects:Zodiac_iac.Program.t list ->
+  unit ->
+  t
 (** Construct the KB from provider schemas plus a corpus. The corpus is
     split into contiguous shards, per-shard statistics are gathered on up
     to [jobs] domains (default: recommended domain count), and shard
@@ -88,7 +93,7 @@ val merge_stats : stats -> stats -> stats
 (** [merge_stats dst src] adds [src]'s counts into [dst] (mutating it)
     and returns [dst]. [src] is unchanged. *)
 
-val finalize : stats -> t
+val finalize : provider:Zodiac_provider.Provider.t -> stats -> t
 (** Fold schema facts with the counted observations and derive the
     canonical KB (sorted observation lists, enum/CIDR inference,
     connection kinds). The stats tables are captured by the result —
@@ -129,7 +134,7 @@ val cidr_attrs : t -> string -> string list
 
 val numeric_attrs : t -> string -> string list
 
-val defaults : Zodiac_spec.Eval.defaults
+val defaults : Zodiac_provider.Provider.t -> Zodiac_spec.Eval.defaults
 (** Class 2 defaults (delegates to the provider schema). *)
 
 val types : t -> string list

@@ -6,7 +6,7 @@ module Schema = Zodiac_iac.Schema
 module Check = Zodiac_spec.Check
 module Kb = Zodiac_kb.Kb
 module Defaults = Zodiac_cloud.Defaults
-module Catalog = Zodiac_azure.Catalog
+module Provider = Zodiac_provider.Provider
 module Cidr = Zodiac_util.Cidr
 module Parallel = Zodiac_util.Parallel
 module Codec = Zodiac_util.Codec
@@ -107,8 +107,8 @@ let is_scalar = function
 
 (* Attribute paths of a resource that do not traverse a repeated-block
    collection (those belong to the indexed family). *)
-let flat_paths r =
-  let schema = Catalog.find r.Resource.rtype in
+let flat_paths provider r =
+  let schema = provider.Provider.find_schema r.Resource.rtype in
   List.filter
     (fun path ->
       match schema with
@@ -130,7 +130,7 @@ let flat_paths r =
 (* Facts about one resource used by the intra families. *)
 type fact = F_val of string * Value.t | F_present of string
 
-let facts_of_resource cfg kb r =
+let facts_of_resource provider cfg kb r =
   let rtype = r.Resource.rtype in
   List.concat_map
     (fun path ->
@@ -157,7 +157,7 @@ let facts_of_resource cfg kb r =
         List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
       in
       dedup (val_facts @ present_facts))
-    (flat_paths r)
+    (flat_paths provider r)
 
 (* Check constructors. *)
 let attr_term var attr = Check.Attr { Check.var; attr }
@@ -181,7 +181,7 @@ type intra_counts = {
       (* (type, cond fact, numeric attr) -> (min, max, count) *)
 }
 
-let count_intra cfg kb programs =
+let count_intra provider cfg kb programs =
   let n_by_type : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let single : (string * fact, int) Hashtbl.t = Hashtbl.create 1024 in
   let pair : (string * fact * fact, int) Hashtbl.t = Hashtbl.create 4096 in
@@ -191,7 +191,7 @@ let count_intra cfg kb programs =
   let observe r =
     let ty = r.Resource.rtype in
     incr_tbl n_by_type ty;
-    let facts = facts_of_resource cfg kb r in
+    let facts = facts_of_resource provider cfg kb r in
     List.iter (fun f -> incr_tbl single (ty, f)) facts;
     List.iter
       (fun f1 ->
@@ -210,7 +210,7 @@ let count_intra cfg kb programs =
           match Resource.get_all r path with
           | [ Value.Int i ] -> Some (path, i)
           | _ -> None)
-        (flat_paths r)
+        (flat_paths provider r)
     in
     List.iter
       (fun (npath, i) ->
@@ -443,12 +443,12 @@ let emit_intra cfg kb { n_by_type; single; pair; num_range } =
     num_range;
   !out
 
-let mine_intra_families ?telemetry ?jobs ?tables cfg kb programs =
+let mine_intra_families ~provider ?telemetry ?jobs ?tables cfg kb programs =
   emit_intra cfg kb
     (cached_tables ?telemetry tables ~stage:"miner-intra"
        ~extra:[ "intra"; string_of_bool cfg.use_kb ]
        ~write:write_intra ~read:read_intra (fun () ->
-         count_sharded ?jobs (count_intra cfg kb) merge_intra programs))
+         count_sharded ?jobs (count_intra provider cfg kb) merge_intra programs))
 
 (* ------------------------------------------------------------------ *)
 (* Indexed (repeated-block) mining                                     *)
@@ -727,7 +727,7 @@ type inter_counts = {
 
 (* [reserved_names] is read-only during counting, so it is shared across
    shards rather than merged. *)
-let count_inter cfg kb reserved_names programs =
+let count_inter provider cfg kb reserved_names programs =
   let edgecount : (conn_key, int) Hashtbl.t = Hashtbl.create 128 in
   let paireq : (conn_key * string * string, int) Hashtbl.t = Hashtbl.create 512 in
   let dstval : (conn_key * string * Value.t, int) Hashtbl.t = Hashtbl.create 512 in
@@ -767,7 +767,7 @@ let count_inter cfg kb reserved_names programs =
         if is_scalar v && (not cfg.use_kb || List.mem v (Kb.enum_values kb ~rtype:ty ~attr:path))
         then Some (path, v)
         else None)
-      (flat_paths r)
+      (flat_paths provider r)
   in
   let observe_program prog =
     let graph = Graph.build prog in
@@ -1701,10 +1701,10 @@ let emit_inter cfg kb
     deg_max;
   !out
 
-let mine_inter ?jobs cfg kb programs =
+let mine_inter ~provider ?jobs cfg kb programs =
   emit_inter cfg kb
     (count_sharded ?jobs
-       (count_inter cfg kb (reserved_names_of kb))
+       (count_inter provider cfg kb (reserved_names_of kb))
        merge_inter programs)
 
 (* ------------------------------------------------------------------ *)
@@ -1721,13 +1721,13 @@ type tables = {
   t_inter : inter_counts;
 }
 
-let count_tables ?jobs config kb programs =
+let count_tables ~provider ?jobs config kb programs =
   {
-    t_intra = count_sharded ?jobs (count_intra config kb) merge_intra programs;
+    t_intra = count_sharded ?jobs (count_intra provider config kb) merge_intra programs;
     t_indexed = count_sharded ?jobs count_indexed merge_indexed programs;
     t_inter =
       count_sharded ?jobs
-        (count_inter config kb (reserved_names_of kb))
+        (count_inter provider config kb (reserved_names_of kb))
         merge_inter programs;
   }
 
@@ -1758,29 +1758,33 @@ let emit_tables config kb t =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let materialize ?jobs programs =
+let materialize ~provider ?jobs programs =
   Parallel.map ?jobs
-    (fun p -> Program.of_resources (List.map Defaults.effective (Program.resources p)))
+    (fun p ->
+      Program.of_resources
+        (List.map (Defaults.effective provider) (Program.resources p)))
     programs
 
-let mine_intra ?(config = default_config) ?telemetry ?jobs ?tables kb programs =
-  let programs = materialize ?jobs programs in
+let mine_intra ~provider ?(config = default_config) ?telemetry ?jobs ?tables kb
+    programs =
+  let programs = materialize ~provider ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?telemetry ?jobs ?tables config kb programs
+    (mine_intra_families ~provider ?telemetry ?jobs ?tables config kb programs
     @ mine_indexed ?telemetry ?jobs ?tables config kb programs)
 
-let mine ?(config = default_config) ?telemetry ?jobs ?tables kb programs =
-  let programs = materialize ?jobs programs in
+let mine ~provider ?(config = default_config) ?telemetry ?jobs ?tables kb
+    programs =
+  let programs = materialize ~provider ?jobs programs in
   Candidate.dedup
-    (mine_intra_families ?telemetry ?jobs ?tables config kb programs
+    (mine_intra_families ~provider ?telemetry ?jobs ?tables config kb programs
     @ mine_indexed ?telemetry ?jobs ?tables config kb programs
     (* the inter tables depend on KB-derived reserved names, so they are
        cached one level up, at the mined-candidate-set granularity *)
-    @ mine_inter ?jobs config kb programs)
+    @ mine_inter ~provider ?jobs config kb programs)
 
-let intra_counts_by_type ?jobs ~use_kb kb programs =
+let intra_counts_by_type ~provider ?jobs ~use_kb kb programs =
   let config = { default_config with use_kb } in
-  let candidates = mine_intra ~config ?jobs kb programs in
+  let candidates = mine_intra ~provider ~config ?jobs kb programs in
   let by_type = Hashtbl.create 64 in
   List.iter
     (fun (c : Candidate.t) ->
@@ -1790,7 +1794,7 @@ let intra_counts_by_type ?jobs ~use_kb kb programs =
     candidates;
   List.filter_map
     (fun ty ->
-      match Catalog.find ty with
+      match provider.Provider.find_schema ty with
       | None -> None
       | Some schema ->
           Some (ty, Schema.attr_count schema, get_count by_type ty))

@@ -22,7 +22,10 @@ type config = {
 val default_config : config
 
 val materialize :
-  ?jobs:int -> Zodiac_iac.Program.t list -> Zodiac_iac.Program.t list
+  provider:Zodiac_provider.Provider.t ->
+  ?jobs:int ->
+  Zodiac_iac.Program.t list ->
+  Zodiac_iac.Program.t list
 (** Apply provider defaults to every resource. Mining always runs on
     materialized programs; build the KB from the same materialized
     corpus so that statement priors line up with observation (a
@@ -30,6 +33,7 @@ val materialize :
     removed by the lift filter). *)
 
 val mine :
+  provider:Zodiac_provider.Provider.t ->
   ?config:config ->
   ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
@@ -74,6 +78,7 @@ type tables
 (** Intra + indexed + inter counting tables, merged by mutation. *)
 
 val count_tables :
+  provider:Zodiac_provider.Provider.t ->
   ?jobs:int ->
   config ->
   Zodiac_kb.Kb.t ->
@@ -104,6 +109,7 @@ val emit_tables : config -> Zodiac_kb.Kb.t -> tables -> Candidate.t list
     corpus, including dedup and canonical order. *)
 
 val mine_intra :
+  provider:Zodiac_provider.Provider.t ->
   ?config:config ->
   ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
@@ -116,6 +122,7 @@ val mine_intra :
     KB). *)
 
 val intra_counts_by_type :
+  provider:Zodiac_provider.Provider.t ->
   ?jobs:int ->
   use_kb:bool ->
   Zodiac_kb.Kb.t ->

@@ -1,86 +1,29 @@
 module Check = Zodiac_spec.Check
 module Value = Zodiac_iac.Value
 module Graph = Zodiac_iac.Graph
-module Skus = Zodiac_azure.Skus
+module Provider = Zodiac_provider.Provider
 module Prng = Zodiac_util.Prng
 module Candidate = Zodiac_mining.Candidate
 
-type t = { rng : Prng.t; error_rate : float; mutable queries : int }
+type t = {
+  provider : Provider.t;
+  rng : Prng.t;
+  error_rate : float;
+  mutable queries : int;
+}
 
-let create ?(error_rate = 0.05) seed = { rng = Prng.create seed; error_rate; queries = 0 }
+let create ~provider ?(error_rate = 0.05) seed =
+  { provider; rng = Prng.create seed; error_rate; queries = 0 }
 
 type verdict = Refined of Check.t | Unsupported
 
 (* ---- the "documentation" ------------------------------------------- *)
 
-(* Documented service limits, looked up from the condition
-   (type, attribute, value) and the constrained quantity. [`Deg] is a
-   degree bound towards a peer type; [`Num] a numeric attribute bound. *)
-type quantity = Deg of [ `In | `Out ] * string | Num of string
-
-let documented_limit ~subject ~cond ~(quantity : quantity) ~op =
-  let vm_sku name = Skus.find_vm name in
-  let gw_sku name = Skus.find_gw name in
-  match (subject, cond, quantity, op) with
-  | "VM", Some ("sku", Value.Str sku), Deg (`In, "NIC"), Check.Le ->
-      Option.map (fun (s : Skus.vm_sku) -> s.Skus.max_nics) (vm_sku sku)
-  | "VM", Some ("sku", Value.Str sku), Deg (`Out, "ATTACH"), Check.Le ->
-      Option.map (fun (s : Skus.vm_sku) -> s.Skus.max_data_disks) (vm_sku sku)
-  | "GW", Some ("sku", Value.Str sku), Deg (`Out, "TUNNEL"), Check.Le ->
-      Option.map (fun (s : Skus.gw_sku) -> s.Skus.max_tunnels) (gw_sku sku)
-  | "REDIS", Some ("family", Value.Str "C"), Num "capacity", Check.Le -> Some 6
-  | "REDIS", Some ("family", Value.Str "P"), Num "capacity", Check.Le -> Some 5
-  | "REDIS", Some ("family", Value.Str "P"), Num "capacity", Check.Ge -> Some 1
-  | "KV", _, Num "soft_delete_retention_days", Check.Le -> Some 90
-  | "KV", _, Num "soft_delete_retention_days", Check.Ge -> Some 7
-  | "EVENTHUB", _, Num "partition_count", Check.Le -> Some 32
-  | "EVENTHUB", _, Num "partition_count", Check.Ge -> Some 1
-  | "SG", _, Num "rule.priority", Check.Ge -> Some 100
-  | "SG", _, Num "rule.priority", Check.Le -> Some 4096
-  | "APPGW", Some ("sku.tier", Value.Str "Standard"), Num "sku.capacity", Check.Le ->
-      Some 32
-  | "APPGW", Some ("sku.tier", Value.Str "Standard_v2"), Num "sku.capacity", Check.Le
-    ->
-      Some 125
-  | "SQLDB", Some ("sku", Value.Str "Basic"), Num "max_size_gb", Check.Le -> Some 2
-  | "LOGWS", Some ("sku", Value.Str "Free"), Num "retention_in_days", Check.Le ->
-      Some 7
-  | "LOGWS", _, Num "retention_in_days", Check.Le -> Some 730
-  | "LOGWS", _, Num "retention_in_days", Check.Ge -> Some 7
-  | "IP", _, Num "idle_timeout_in_minutes", Check.Le -> Some 30
-  | "IP", _, Num "idle_timeout_in_minutes", Check.Ge -> Some 4
-  | "NAT", _, Num "idle_timeout_in_minutes", Check.Le -> Some 120
-  | "NAT", _, Num "idle_timeout_in_minutes", Check.Ge -> Some 4
-  | "AVSET", _, Num "fault_domain_count", Check.Le -> Some 3
-  | "AVSET", _, Num "fault_domain_count", Check.Ge -> Some 1
-  | "AVSET", _, Num "update_domain_count", Check.Le -> Some 20
-  | "AVSET", _, Num "update_domain_count", Check.Ge -> Some 1
-  | "AKS", _, Num "default_node_pool.node_count", Check.Le -> Some 1000
-  | "AKS", _, Num "default_node_pool.node_count", Check.Ge -> Some 1
-  | "AKS", _, Num "default_node_pool.max_pods", Check.Le -> Some 250
-  | "AKS", _, Num "default_node_pool.max_pods", Check.Ge -> Some 10
-  | "MYSQL", _, Num "backup_retention_days", Check.Le -> Some 35
-  | "MYSQL", _, Num "backup_retention_days", Check.Ge -> Some 1
-  | "APPINS", _, Num "retention_in_days", Check.Le -> Some 730
-  | "APPINS", _, Num "retention_in_days", Check.Ge -> Some 30
-  | "SHARE", _, Num "quota", Check.Le -> Some 102400
-  | "SHARE", _, Num "quota", Check.Ge -> Some 1
-  | "SBQUEUE", _, Num "max_size_in_megabytes", Check.Le -> Some 5120
-  | "SBQUEUE", _, Num "max_size_in_megabytes", Check.Ge -> Some 1024
-  | "EVENTHUB_NS", _, Num "capacity", Check.Le -> Some 40
-  | "EVENTHUB_NS", _, Num "capacity", Check.Ge -> Some 1
-  | "EXPRESS", _, Num "bandwidth_in_mbps", Check.Le -> Some 10000
-  | "EXPRESS", _, Num "bandwidth_in_mbps", Check.Ge -> Some 50
-  | "DISK", _, Num "size_gb", Check.Le -> Some 32767
-  | "DISK", _, Num "size_gb", Check.Ge -> Some 1
-  | "COSMOS", _, Num "consistency_policy.max_interval_in_seconds", Check.Le ->
-      Some 86400
-  | "COSMOS", _, Num "consistency_policy.max_interval_in_seconds", Check.Ge -> Some 5
-  | "TUNNEL", _, Num "routing_weight", Check.Le -> Some 32000
-  | "TUNNEL", _, Num "routing_weight", Check.Ge -> Some 0
-  | "DNSREC", _, Num "ttl", Check.Le -> Some 2147483646
-  | "DNSREC", _, Num "ttl", Check.Ge -> Some 1
-  | _ -> None
+(* The constrained quantity decomposed from a mined numeric candidate.
+   [Deg] is a degree bound towards a peer type; [Num] a numeric
+   attribute bound. The documented-limit table itself is provider
+   knowledge ([Provider.documented_limit]). *)
+type quantity = Provider.quantity = Deg of [ `In | `Out ] * string | Num of string
 
 let decompose (check : Check.t) =
   match check.Check.bindings with
@@ -121,7 +64,7 @@ let interpolate t (candidate : Candidate.t) =
   | None -> Unsupported
   | Some (subject, cond, quantity, op, witnessed) -> (
       let hallucinate = Prng.chance t.rng t.error_rate in
-      match documented_limit ~subject ~cond ~quantity ~op with
+      match t.provider.Provider.documented_limit ~subject ~cond ~quantity ~op with
       | Some bound ->
           let bound =
             if hallucinate then max 1 (bound + if Prng.bool t.rng then 1 else -1)
@@ -135,33 +78,29 @@ let interpolate t (candidate : Candidate.t) =
 (* Plausibility assessment (§5.3): a structural judgement of whether a
    mined check "sounds like" a real cloud constraint. Only used to
    score the statistical filters, never to validate. *)
-let rec plausible_expr = function
+let rec plausible_expr markers = function
   | Check.Func ((Check.Overlap | Check.Contain), _, _) -> true
   | Check.Func (Check.Length, _, _) -> false
-  | Check.Not e -> plausible_expr e
-  | Check.And es -> List.exists plausible_expr es
+  | Check.Not e -> plausible_expr markers e
+  | Check.And es -> List.exists (plausible_expr markers) es
   | Check.Cmp (_, Check.Attr { Check.attr = a1; _ }, Check.Attr { Check.attr = a2; _ })
     ->
       String.equal a1 a2 (* same-attribute agreement, e.g. locations *)
-  | Check.Cmp (_, t1, t2) -> term_plausible t1 || term_plausible t2
+  | Check.Cmp (_, t1, t2) -> term_plausible markers t1 || term_plausible markers t2
   | Check.Conn _ | Check.Path _ | Check.Coconn _ | Check.Copath _ -> false
 
-and term_plausible = function
+and term_plausible markers = function
   | Check.Indeg _ | Check.Outdeg _ -> true
-  | Check.Const (Value.Str s) ->
-      List.mem s
-        [
-          "GatewaySubnet"; "AzureFirewallSubnet"; "AzureBastionSubnet"; "Standard";
-          "Basic"; "Premium"; "Spot"; "Static"; "Dynamic";
-        ]
+  | Check.Const (Value.Str s) -> List.mem s markers
   | Check.Const _ | Check.Attr _ -> false
 
 let assess t (candidate : Candidate.t) =
   t.queries <- t.queries + 1;
   let check = candidate.Candidate.check in
+  let markers = t.provider.Provider.plausible_markers in
   let structural =
-    plausible_expr check.Check.stmt
-    || (plausible_expr check.Check.cond
+    plausible_expr markers check.Check.stmt
+    || (plausible_expr markers check.Check.cond
        &&
        (* with a marker in the condition, a constant-valued statement
           reads like a sku restriction *)
@@ -171,7 +110,7 @@ let assess t (candidate : Candidate.t) =
   in
   let documented = match decompose check with
     | Some (subject, cond, quantity, op, _) ->
-        documented_limit ~subject ~cond ~quantity ~op <> None
+        t.provider.Provider.documented_limit ~subject ~cond ~quantity ~op <> None
     | None -> false
   in
   let verdict = structural || documented in

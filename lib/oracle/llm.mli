@@ -11,10 +11,11 @@
 
 type t
 
-val create : ?error_rate:float -> int -> t
-(** [create seed] builds an oracle; [error_rate] (default 0.05) is the
-    probability an answer is hallucinated (perturbed bound or wrong
-    verdict). *)
+val create : provider:Zodiac_provider.Provider.t -> ?error_rate:float -> int -> t
+(** [create ~provider seed] builds an oracle answering from
+    [provider]'s documentation tables; [error_rate] (default 0.05) is
+    the probability an answer is hallucinated (perturbed bound or
+    wrong verdict). *)
 
 type verdict =
   | Refined of Zodiac_spec.Check.t

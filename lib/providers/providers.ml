@@ -1,0 +1,61 @@
+(** Provider registry: every backend the binary links, keyed by CLI
+    name. Azure is the default for backward compatibility with the
+    single-provider tool. *)
+
+module Provider = Zodiac_provider.Provider
+
+let all : Provider.t list =
+  [ Zodiac_azure.Azure.provider; Zodiac_aws.Aws.provider ]
+
+let default : Provider.t = Zodiac_azure.Azure.provider
+
+let find name =
+  List.find_opt (fun p -> String.equal p.Provider.name name) all
+
+let names = List.map (fun p -> p.Provider.name) all
+
+(** Resolve the provider whose Terraform prefix matches a resource type
+    name like ["aws_instance"]; used by serve to detect the provider of
+    an incoming scan request from its resource prefixes. *)
+let of_tf_type tf_name =
+  List.find_opt
+    (fun p ->
+      let prefix = p.Provider.tf_prefix in
+      String.length tf_name >= String.length prefix
+      && String.equal (String.sub tf_name 0 (String.length prefix)) prefix)
+    all
+
+(** Detect the dominant provider of a parsed source by majority vote
+    over resource-type prefixes; [None] when nothing matches. *)
+let detect tf_types =
+  let tally =
+    List.fold_left
+      (fun acc t ->
+        match of_tf_type t with
+        | Some p ->
+            let n = try List.assoc p.Provider.name acc with Not_found -> 0 in
+            (p.Provider.name, n + 1) :: List.remove_assoc p.Provider.name acc
+        | None -> acc)
+      [] tf_types
+  in
+  match List.sort (fun (_, a) (_, b) -> compare b a) tally with
+  | (name, _) :: _ -> find name
+  | [] -> None
+
+(** Detect the provider of raw Terraform source by counting occurrences
+    of each backend's resource-type prefix; majority wins, [None] when
+    no prefix appears at all. *)
+let detect_source src =
+  let occurrences needle =
+    let n = String.length needle and len = String.length src in
+    let rec go i acc =
+      if i + n > len then acc
+      else if String.equal (String.sub src i n) needle then go (i + n) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  let scored = List.map (fun p -> (occurrences p.Provider.tf_prefix, p)) all in
+  match List.stable_sort (fun (a, _) (b, _) -> compare b a) scored with
+  | (n, p) :: _ when n > 0 -> Some p
+  | _ -> None

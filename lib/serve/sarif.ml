@@ -44,7 +44,11 @@ let index_source src =
             | Some rtype, Some rname ->
                 if not (Hashtbl.mem idx (rtype, rname)) then
                   Hashtbl.replace idx (rtype, rname) line;
-                (match Zodiac_azure.Catalog.of_terraform rtype with
+                (match
+                   Option.bind (Zodiac_providers.Providers.of_tf_type rtype)
+                     (fun p ->
+                       p.Zodiac_provider.Provider.of_terraform rtype)
+                 with
                 | Some canonical ->
                     if not (Hashtbl.mem idx (canonical, rname)) then
                       Hashtbl.replace idx (canonical, rname) line

@@ -27,8 +27,8 @@ val index_source : string -> line_index
 (** Scan an HCL document's token stream for top-level
     [resource "type" "name"] headers. Unlexable sources yield an empty
     index (every lookup falls back to line 1). Type labels are recorded
-    both raw ([azurerm_subnet]) and canonicalized through
-    {!Zodiac_azure.Catalog.of_terraform} ([SUBNET]). *)
+    both raw ([azurerm_subnet] / [aws_subnet]) and canonicalized
+    through the matching provider's type mapping ([SUBNET]). *)
 
 val resource_line : line_index -> Zodiac_iac.Resource.id -> int
 (** Line of the resource's block header, or 1 when absent. *)

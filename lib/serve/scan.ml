@@ -2,10 +2,11 @@ module Check = Zodiac_spec.Check
 module Eval = Zodiac_spec.Eval
 module Diagnose = Zodiac_spec.Diagnose
 module Graph = Zodiac_iac.Graph
+module Provider = Zodiac_provider.Provider
 
 type check_entry = { id : string; message : string; check : Check.t }
 
-let ground_truth_entries () =
+let ground_truth_entries provider =
   List.map
     (fun (rule : Zodiac_cloud.Rules.t) ->
       {
@@ -13,7 +14,7 @@ let ground_truth_entries () =
         message = rule.Zodiac_cloud.Rules.message;
         check = rule.Zodiac_cloud.Rules.check;
       })
-    (Zodiac_cloud.Rules.ground_truth ())
+    (provider.Provider.ground_truth ())
 
 let checkset_entries checks =
   List.map
@@ -25,8 +26,8 @@ let checkset_entries checks =
       })
     checks
 
-let load_checks = function
-  | None -> Ok (ground_truth_entries ())
+let load_checks provider = function
+  | None -> Ok (ground_truth_entries provider)
   | Some file -> (
       match Zodiac.Checkset.load file with
       | Ok checks -> Ok (checkset_entries checks)
@@ -35,9 +36,9 @@ let load_checks = function
 (* Evaluate every check over a built graph. [checkpoint] runs between
    check entries — the cooperative deadline probe; it may raise to
    abandon the scan (partial findings are discarded by the caller). *)
-let findings_of_graph ?checkpoint ~checks ~file ~line_of graph =
+let findings_of_graph ?checkpoint ~provider ~checks ~file ~line_of graph =
   let probe = match checkpoint with None -> ignore | Some f -> f in
-  let defaults = Zodiac_cloud.Arm.defaults in
+  let defaults = Zodiac_cloud.Arm.defaults provider in
   List.concat_map
     (fun entry ->
       probe ();
@@ -57,10 +58,10 @@ let findings_of_graph ?checkpoint ~checks ~file ~line_of graph =
         (Eval.violations ~defaults graph entry.check))
     checks
 
-let scan_source ?checkpoint ~checks ~file src =
+let scan_source ?checkpoint ~provider ~checks ~file src =
   match
     Zodiac_hcl.Compile.compile_string
-      ~type_map:Zodiac_azure.Catalog.of_terraform src
+      ~type_map:provider.Provider.of_terraform src
   with
   | Error e -> Error (Printf.sprintf "%s: %s" file e)
   | Ok (prog, _diags) ->
@@ -70,24 +71,23 @@ let scan_source ?checkpoint ~checks ~file src =
         | [] -> 1
         | (_, rid) :: _ -> Sarif.resource_line index rid
       in
-      Ok (findings_of_graph ?checkpoint ~checks ~file ~line_of graph)
+      Ok (findings_of_graph ?checkpoint ~provider ~checks ~file ~line_of graph)
 
 (* Terraform-plan scanning: the same check evaluation over a program
    reconstructed from `terraform show -json` output. Plan JSON carries
    no HCL source positions, so every finding anchors at line 1. *)
-let scan_plan_source ?checkpoint ~checks ~file src =
+let scan_plan_source ?checkpoint ~provider ~checks ~file src =
   match Zodiac_util.Json.of_string_result src with
   | Error e -> Error (Printf.sprintf "%s: %s" file e)
   | Ok json -> (
       match
-        Zodiac_hcl.Plan.of_json ~type_map:Zodiac_azure.Catalog.of_terraform
-          json
+        Zodiac_hcl.Plan.of_json ~type_map:provider.Provider.of_terraform json
       with
       | Error e -> Error (Printf.sprintf "%s: %s" file e)
       | Ok prog ->
           let graph = Graph.build prog in
           Ok
-            (findings_of_graph ?checkpoint ~checks ~file
+            (findings_of_graph ?checkpoint ~provider ~checks ~file
                ~line_of:(fun _ -> 1)
                graph))
 
@@ -103,10 +103,10 @@ let read_file path =
       | exception Sys_error e -> Error e
       | src -> Ok src)
 
-let scan_file ?checkpoint ~checks path =
+let scan_file ?checkpoint ~provider ~checks path =
   match read_file path with
   | Error e -> Error e
-  | Ok src -> scan_source ?checkpoint ~checks ~file:path src
+  | Ok src -> scan_source ?checkpoint ~provider ~checks ~file:path src
 
 let is_hcl path =
   Filename.check_suffix path ".tf" || Filename.check_suffix path ".hcl"
@@ -130,14 +130,14 @@ let hcl_files dir =
   in
   List.rev (walk [] dir)
 
-let scan_directory ?jobs ?checkpoint ?scan ~checks dir =
+let scan_directory ?jobs ?checkpoint ?scan ~provider ~checks dir =
   if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
   else if not (Sys.is_directory dir) then Error (dir ^ ": not a directory")
   else
     let scan_one =
       match scan with
       | Some f -> f
-      | None -> fun file -> scan_file ?checkpoint ~checks file
+      | None -> fun file -> scan_file ?checkpoint ~provider ~checks file
     in
     let files = hcl_files dir in
     let scanned =

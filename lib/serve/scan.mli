@@ -11,18 +11,25 @@ type check_entry = {
 }
 (** One check to evaluate: stable id, human message, spec. *)
 
-val ground_truth_entries : unit -> check_entry list
-(** The simulated cloud's ground-truth rule set (the [scan] default). *)
+val ground_truth_entries :
+  Zodiac_provider.Provider.t -> check_entry list
+(** The provider's simulated-cloud ground-truth rule set (the [scan]
+    default). *)
 
 val checkset_entries : Zodiac_spec.Check.t list -> check_entry list
 (** Entries for a validated check set loaded from [zodiac validate -o]
     output; the message is the check's printed spec. *)
 
-val load_checks : string option -> (check_entry list, string) result
-(** [None] -> ground truth; [Some file] -> {!Zodiac.Checkset.load}. *)
+val load_checks :
+  Zodiac_provider.Provider.t ->
+  string option ->
+  (check_entry list, string) result
+(** [None] -> the provider's ground truth; [Some file] ->
+    {!Zodiac.Checkset.load}. *)
 
 val scan_source :
   ?checkpoint:(unit -> unit) ->
+  provider:Zodiac_provider.Provider.t ->
   checks:check_entry list ->
   file:string ->
   string ->
@@ -35,6 +42,7 @@ val scan_source :
 
 val scan_plan_source :
   ?checkpoint:(unit -> unit) ->
+  provider:Zodiac_provider.Provider.t ->
   checks:check_entry list ->
   file:string ->
   string ->
@@ -45,6 +53,7 @@ val scan_plan_source :
 
 val scan_file :
   ?checkpoint:(unit -> unit) ->
+  provider:Zodiac_provider.Provider.t ->
   checks:check_entry list ->
   string ->
   (Sarif.finding list, string) result
@@ -62,6 +71,7 @@ val scan_directory :
   ?jobs:int ->
   ?checkpoint:(unit -> unit) ->
   ?scan:(string -> (Sarif.finding list, string) result) ->
+  provider:Zodiac_provider.Provider.t ->
   checks:check_entry list ->
   string ->
   (Sarif.finding list * (string * string) list, string) result

@@ -33,9 +33,12 @@ let create ?(capacity = 4096) ?disk ~checks () =
     misses = 0;
   }
 
-let key t ~mode src = Codec.fingerprint [ "scan-content"; mode; t.registry_fp; src ]
+(* [tag] distinguishes otherwise-identical content scanned under a
+   different provider (the per-request provider fingerprint). *)
+let key t ?(tag = "") ~mode src =
+  Codec.fingerprint [ "scan-content"; tag; mode; t.registry_fp; src ]
 
-let fingerprint = key
+let fingerprint t ?tag ~mode src = key t ?tag ~mode src
 
 (* Findings are cached path-stripped: [finding.file] carries the
    request path, and the same bytes scanned under two paths must hit
@@ -76,9 +79,9 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let find t ~mode ~file src =
+let find t ?tag ~mode ~file src =
   with_lock t (fun () ->
-      let key = key t ~mode src in
+      let key = key t ?tag ~mode src in
       match Memo.find t.memo key with
       | Some findings ->
           t.hits <- t.hits + 1;
@@ -99,9 +102,9 @@ let find t ~mode ~file src =
               t.misses <- t.misses + 1;
               None))
 
-let add t ~mode src findings =
+let add t ?tag ~mode src findings =
   with_lock t (fun () ->
-      let key = key t ~mode src in
+      let key = key t ?tag ~mode src in
       let stripped = strip findings in
       Memo.add t.memo key stripped;
       match t.disk with
@@ -113,13 +116,13 @@ let add t ~mode src findings =
 (* The cached-scan composition used by every daemon verb: lookup, else
    run the underlying scanner and remember only successful results
    (errors must re-run — they may be transient I/O). *)
-let scan t ~mode ~file src scanner =
-  match find t ~mode ~file src with
+let scan t ?tag ~mode ~file src scanner =
+  match find t ?tag ~mode ~file src with
   | Some findings -> Ok findings
   | None -> (
       match scanner () with
       | Ok findings ->
-          add t ~mode src findings;
+          add t ?tag ~mode src findings;
           Ok findings
       | Error _ as e -> e)
 

@@ -28,31 +28,39 @@ val create :
 (** [capacity] bounds the in-memory LRU (default 4096 entries). [disk]
     adds write-through persistence so a restarted daemon starts warm. *)
 
-val find : t -> mode:string -> file:string -> string -> Sarif.finding list option
+val find :
+  t ->
+  ?tag:string ->
+  mode:string ->
+  file:string ->
+  string ->
+  Sarif.finding list option
 (** Lookup by source bytes; [mode] tags the input language (["hcl"] or
-    ["plan"]), [file] is reattached to the cached findings. Counts a
-    hit or a miss. *)
+    ["plan"]), [tag] the resolved provider (its fingerprint — content
+    scanned under two providers never shares an entry), [file] is
+    reattached to the cached findings. Counts a hit or a miss. *)
 
-val add : t -> mode:string -> string -> Sarif.finding list -> unit
+val add : t -> ?tag:string -> mode:string -> string -> Sarif.finding list -> unit
 (** Remember a successful scan of the given source bytes. *)
 
 val scan :
   t ->
+  ?tag:string ->
   mode:string ->
   file:string ->
   string ->
   (unit -> (Sarif.finding list, string) result) ->
   (Sarif.finding list, string) result
-(** [scan t ~mode ~file src scanner]: cached lookup, else run [scanner]
-    and cache its findings. Errors are never cached — a failed scan
-    re-runs next time. *)
+(** [scan t ?tag ~mode ~file src scanner]: cached lookup, else run
+    [scanner] and cache its findings. Errors are never cached — a
+    failed scan re-runs next time. *)
 
-val fingerprint : t -> mode:string -> string -> string
+val fingerprint : t -> ?tag:string -> mode:string -> string -> string
 (** The cache key of the given source bytes under [mode] — the
     ETag-style validator scan responses expose as
     [content_fingerprint], so clients can recognize unchanged content
-    without resending it. Stable for a fixed (content, mode, check
-    registry) triple. *)
+    without resending it. Stable for a fixed (content, mode, provider
+    tag, check registry) tuple. *)
 
 val hits : t -> int
 val misses : t -> int

@@ -2,8 +2,11 @@ module Json = Zodiac_util.Json
 module Telemetry = Zodiac_util.Telemetry
 module Cache = Zodiac_util.Cache
 module Engine = Zodiac_engine.Engine
+module Provider = Zodiac_provider.Provider
+module Providers = Zodiac_providers.Providers
 
 type config = {
+  provider : Provider.t;  (** session default; requests may override *)
   checks_file : string option;
   cache_dir : string option;
   jobs : int;
@@ -13,6 +16,7 @@ type config = {
 
 let default_config =
   {
+    provider = Providers.default;
     checks_file = None;
     cache_dir = None;
     jobs = 1;
@@ -28,7 +32,11 @@ let default_config =
    most one lock at a time — no ordering to get wrong. *)
 type t = {
   config : config;
+  provider : Provider.t;
   checks : Scan.check_entry list;
+  gt_checks : (string * Scan.check_entry list) list;
+      (** ground-truth entries per linked provider — the per-request
+          check sets when no validated file was loaded *)
   engine : Engine.t;
   engine_lock : Mutex.t;
   cache : Cache.t option;
@@ -45,18 +53,28 @@ type t = {
   stop : bool Atomic.t;
 }
 
-let create ?(telemetry = Telemetry.null) config =
-  match Scan.load_checks config.checks_file with
+let create ?(telemetry = Telemetry.null) (config : config) =
+  match Scan.load_checks config.provider config.checks_file with
   | Error e -> Error e
   | Ok checks ->
       let cache =
         Option.map (fun dir -> Cache.create ~dir ()) config.cache_dir
       in
+      let gt_checks =
+        match config.checks_file with
+        | Some _ -> []
+        | None ->
+            List.map
+              (fun p -> (p.Provider.name, Scan.ground_truth_entries p))
+              Providers.all
+      in
       Ok
         {
           config;
+          provider = config.provider;
           checks;
-          engine = Engine.create ~config:config.engine ();
+          gt_checks;
+          engine = Engine.create ~provider:config.provider ~config:config.engine ();
           engine_lock = Mutex.create ();
           cache;
           scan_cache = Scan_cache.create ?disk:cache ~checks ();
@@ -117,14 +135,34 @@ let record_scanned t ~files ~findings =
       t.files_scanned <- t.files_scanned + files;
       t.findings_total <- t.findings_total + findings)
 
+(* Per-request provider resolution: the resource-type prefixes in the
+   source pick the backend; the session provider is the fallback for
+   sources that name no known prefix. *)
+let resolve t src =
+  match Providers.detect_source src with Some p -> p | None -> t.provider
+
+(* With a validated check set loaded, every request uses it; in
+   ground-truth mode each request gets its resolved provider's rules. *)
+let checks_for t provider =
+  match t.config.checks_file with
+  | Some _ -> t.checks
+  | None -> (
+      match List.assoc_opt provider.Provider.name t.gt_checks with
+      | Some entries -> entries
+      | None -> t.checks)
+
 (* Every scan funnels through the content-fingerprint cache: same
-   bytes + same registry = cached findings, path reattached. The
-   underlying scanner still sees the deadline checkpoint. *)
+   bytes + same registry + same resolved provider = cached findings,
+   path reattached. The underlying scanner still sees the deadline
+   checkpoint. *)
 let cached_scan ?checkpoint t ~mode ~file src =
-  Scan_cache.scan t.scan_cache ~mode ~file src (fun () ->
+  let provider = resolve t src in
+  let checks = checks_for t provider in
+  let tag = Provider.fingerprint provider in
+  Scan_cache.scan t.scan_cache ~tag ~mode ~file src (fun () ->
       match mode with
-      | "plan" -> Scan.scan_plan_source ?checkpoint ~checks:t.checks ~file src
-      | _ -> Scan.scan_source ?checkpoint ~checks:t.checks ~file src)
+      | "plan" -> Scan.scan_plan_source ?checkpoint ~provider ~checks ~file src
+      | _ -> Scan.scan_source ?checkpoint ~provider ~checks ~file src)
 
 let scan_path ?checkpoint t ~mode ~path ~source =
   match source with
@@ -158,7 +196,10 @@ let do_scan_one ?checkpoint t ~mode ~path ~source =
             ( sarif_of_findings t findings,
               [
                 ( "content_fingerprint",
-                  Json.String (Scan_cache.fingerprint t.scan_cache ~mode src) );
+                  Json.String
+                    (Scan_cache.fingerprint t.scan_cache
+                       ~tag:(Provider.fingerprint (resolve t src))
+                       ~mode src) );
               ] ))
 
 let do_scan_directory ?checkpoint t ~dir =
@@ -168,8 +209,8 @@ let do_scan_directory ?checkpoint t ~dir =
     | Ok src -> cached_scan ?checkpoint t ~mode:"hcl" ~file src
   in
   match
-    Scan.scan_directory ~jobs:t.config.jobs ?checkpoint ~scan ~checks:t.checks
-      dir
+    Scan.scan_directory ~jobs:t.config.jobs ?checkpoint ~scan
+      ~provider:t.provider ~checks:t.checks dir
   with
   | Error e ->
       bump_errors t;
@@ -245,6 +286,7 @@ let do_list_checks t =
   Ok
     (Json.Obj
        [
+         ("provider", Json.String t.provider.Provider.name);
          ("kind", Json.String kind);
          ("count", Json.Int (List.length t.checks));
          ( "checks",
@@ -276,24 +318,36 @@ let failure_json (f : Zodiac_cloud.Arm.failure) =
     ]
 
 let do_validate ?checkpoint t ~path ~source =
+  let resolved =
+    match source with Some src -> Ok src | None -> Scan.read_file path
+  in
   let compiled =
-    match source with
-    | Some src -> (
+    match resolved with
+    | Error e -> Error e
+    | Ok src -> (
+        let provider = resolve t src in
         match
           Zodiac_hcl.Compile.compile_string
-            ~type_map:Zodiac_azure.Catalog.of_terraform src
+            ~type_map:provider.Provider.of_terraform src
         with
-        | Ok (prog, _) -> Ok prog
+        | Ok (prog, _) -> Ok (provider, prog)
         | Error e -> Error (Printf.sprintf "%s: %s" path e))
-    | None -> Zodiac.Registry.compile_file path
   in
   match compiled with
   | Error e ->
       bump_errors t;
       Error { Protocol.code = "validate_error"; message = e }
-  | Ok prog -> (
+  | Ok (provider, prog) -> (
       (match checkpoint with None -> () | Some probe -> probe ());
-      match with_lock t.engine_lock (fun () -> Engine.deploy t.engine prog) with
+      (* The memoizing engine is bound to the session provider; a
+         request resolved to another backend deploys straight through
+         its simulator instead (no memo, same outcome shape). *)
+      let deploy () =
+        if String.equal provider.Provider.name t.provider.Provider.name then
+          with_lock t.engine_lock (fun () -> Engine.deploy t.engine prog)
+        else Ok (Zodiac_cloud.Arm.deploy ~provider prog)
+      in
+      match deploy () with
       | Error e ->
           Ok
             (Json.Obj
@@ -384,6 +438,7 @@ let do_stats t =
          ("connections_active", Json.Int conn_active);
          ("connections_total", Json.Int conn_total);
          ("queue_depth", Json.Int queue_depth);
+         ("provider", Json.String t.provider.Provider.name);
          ("checks_loaded", Json.Int (List.length t.checks));
          ("jobs", Json.Int t.config.jobs);
          ("peak_rss_kb", peak_rss);

@@ -21,8 +21,15 @@
     carrying finding/file counters. *)
 
 type config = {
+  provider : Zodiac_provider.Provider.t;
+      (** session default backend. Each scan/validate request still
+          resolves its own provider from the source's resource-type
+          prefixes ({!Zodiac_providers.Providers.detect_source}); this
+          is the fallback when no prefix matches, the engine's backend,
+          and the provider named by [stats]/[list_checks]. *)
   checks_file : string option;
-      (** validated check set to scan with; [None] = ground truth *)
+      (** validated check set to scan with; [None] = the resolved
+          provider's ground truth *)
   cache_dir : string option;
       (** warm-start cache to keep resident; also persists the scan
           cache so a restarted daemon starts warm *)

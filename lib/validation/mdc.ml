@@ -1,7 +1,7 @@
 module Program = Zodiac_iac.Program
 module Resource = Zodiac_iac.Resource
 module Graph = Zodiac_iac.Graph
-module Catalog = Zodiac_azure.Catalog
+module Provider = Zodiac_provider.Provider
 
 let prune prog ~keep =
   let graph = Graph.build prog in
@@ -16,10 +16,10 @@ let prune prog ~keep =
 
 type sizes = { attended : int; unattended : int }
 
-let measure prog =
+let measure provider prog =
   List.fold_left
     (fun acc r ->
-      if Catalog.find r.Resource.rtype = None then
+      if provider.Provider.find_schema r.Resource.rtype = None then
         { acc with unattended = acc.unattended + 1 }
       else { acc with attended = acc.attended + 1 })
     { attended = 0; unattended = 0 }

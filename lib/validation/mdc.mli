@@ -18,4 +18,4 @@ type sizes = {
   unattended : int;  (** resources of types outside the catalogue *)
 }
 
-val measure : Zodiac_iac.Program.t -> sizes
+val measure : Zodiac_provider.Provider.t -> Zodiac_iac.Program.t -> sizes

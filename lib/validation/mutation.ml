@@ -7,8 +7,7 @@ module Check = Zodiac_spec.Check
 module Eval = Zodiac_spec.Eval
 module Kb = Zodiac_kb.Kb
 module Csp = Zodiac_solver.Csp
-module Catalog = Zodiac_azure.Catalog
-module Regions = Zodiac_azure.Regions
+module Provider = Zodiac_provider.Provider
 module Cidr = Zodiac_util.Cidr
 module Arm = Zodiac_cloud.Arm
 
@@ -138,7 +137,7 @@ let int_constants_for checks rtype attr =
   !acc
 
 (* Candidate values for a slot, original first. *)
-let slot_domain kb checks prog slot =
+let slot_domain provider kb checks prog slot =
   let original = read_slot prog slot in
   let rid = slot_resource slot in
   let rtype = rid.Resource.rtype in
@@ -170,7 +169,8 @@ let slot_domain kb checks prog slot =
             (Program.resources prog)
         in
         let foreign =
-          List.filteri (fun i _ -> i < 2) Regions.all |> List.map (fun r -> Value.Str r)
+          List.filteri (fun i _ -> i < 2) provider.Provider.regions
+          |> List.map (fun r -> Value.Str r)
         in
         in_program @ foreign
     | Schema.Cidr_format -> (
@@ -199,9 +199,7 @@ let slot_domain kb checks prog slot =
         | _ -> [ Value.Str "192.168.250.0/24" ])
     | Schema.Name_format ->
         (* reserved names give name checks something to bite on *)
-        List.map
-          (fun (n, _) -> Value.Str n)
-          Catalog.reserved_subnet_names
+        List.map (fun (n, _) -> Value.Str n) provider.Provider.reserved_names
         @ [ Value.Str (fresh_string "res") ]
     | Schema.Port_format | Schema.Id_format | Schema.Free_string -> (
         match info with
@@ -263,9 +261,9 @@ let rename_suffix prog suffix =
   in
   Program.of_resources renamed
 
-let reserved_names = List.map fst Catalog.reserved_subnet_names
+let reserved_names provider = List.map fst provider.Provider.reserved_names
 
-let freshen_names prog =
+let freshen_names provider prog =
   (* give every resource a fresh, unique "name" attribute value —
      except provider-reserved names (GatewaySubnet, ...), which carry
      semantics and are unique per parent anyway *)
@@ -273,7 +271,7 @@ let freshen_names prog =
     (List.map
        (fun r ->
          match Resource.attr r "name" with
-         | Some (Value.Str s) when not (List.mem s reserved_names) ->
+         | Some (Value.Str s) when not (List.mem s (reserved_names provider)) ->
              Resource.set r "name" (Value.Str (fresh_string s))
          | _ -> r)
        (Program.resources prog))
@@ -396,13 +394,13 @@ let raise_outdegree prog r_id tau need =
 
 (* Attach a resource of a type other than [tau] to r: instantiate a
    donor pattern from the corpus and remap its reference. *)
-let attach_foreign ~kb ~donors prog (r_id : Resource.id) tau =
+let attach_foreign ~provider ~kb ~donors prog (r_id : Resource.id) tau =
   let dst_type = r_id.Resource.rtype in
   let kinds =
     List.filter
       (fun (k : Kb.conn_kind) ->
         String.equal k.Kb.dst_type dst_type && not (String.equal k.Kb.src_type tau)
-        && Catalog.find k.Kb.src_type <> None)
+        && provider.Provider.find_schema k.Kb.src_type <> None)
       (Kb.conn_kinds kb)
   in
   let try_kind (k : Kb.conn_kind) =
@@ -421,7 +419,7 @@ let attach_foreign ~kb ~donors prog (r_id : Resource.id) tau =
                  own subtree where possible *)
               let closure = Mdc.prune donor ~keep:[ e.Graph.src ] in
               let closure = rename_suffix closure "_zn" in
-              let closure = freshen_names closure in
+              let closure = freshen_names provider closure in
               (* align the donor's regions with the target program *)
               let closure =
                 match dominant_region prog with
@@ -481,7 +479,7 @@ let witness_resource (tp : Testcase.tp) var =
 
 (* Plan topology additions needed to make the target's statement
    falsifiable; returns the augmented program and added ids. *)
-let plan_additions ~kb ~donors (tp : Testcase.tp) (target : Check.t) =
+let plan_additions ~provider ~kb ~donors (tp : Testcase.tp) (target : Check.t) =
   let prog = tp.Testcase.program in
   let graph = Graph.build prog in
   let rec plan expr =
@@ -511,7 +509,7 @@ let plan_additions ~kb ~donors (tp : Testcase.tp) (target : Check.t) =
                 if needed <= 0 then Some { new_program = prog; added = [] }
                 else raise_outdegree prog rid tau needed
             | Graph.Not_type tau, Check.Eq when k = 0 ->
-                attach_foreign ~kb ~donors prog rid tau
+                attach_foreign ~provider ~kb ~donors prog rid tau
             | _ -> None))
     | Check.And es ->
         (* violating any conjunct suffices; prefer attribute conjuncts
@@ -542,7 +540,6 @@ let plan_additions ~kb ~donors (tp : Testcase.tp) (target : Check.t) =
 (* CSP assembly                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let defaults = Arm.defaults
 
 (* slots referenced by a check within a program *)
 let slots_of_check prog (check : Check.t) =
@@ -584,9 +581,11 @@ let relevant_check prog (check : Check.t) =
 let dedup_slots slots =
   List.fold_left (fun acc s -> if List.mem s acc then acc else acc @ [ s ]) [] slots
 
-let negative ?(options = default_options) ~kb ~donors ~target ~hard ~soft tp =
+let negative ?(options = default_options) ~provider ~kb ~donors ~target ~hard
+    ~soft tp =
+  let defaults = Arm.defaults provider in
   reset_fresh ();
-  match plan_additions ~kb ~donors tp target with
+  match plan_additions ~provider ~kb ~donors tp target with
   | None -> None
   | Some { new_program = base; added } -> (
       let hard = List.filter (relevant_check base) hard in
@@ -631,7 +630,11 @@ let negative ?(options = default_options) ~kb ~donors ~target ~hard ~soft tp =
       let soft = if options.consider_others then soft else [] in
       (* never mutate resources of unattended types *)
       let slots =
-        List.filter (fun s -> Catalog.find (slot_resource s).Resource.rtype <> None) slots
+        List.filter
+          (fun s ->
+            provider.Provider.find_schema (slot_resource s).Resource.rtype
+            <> None)
+          slots
       in
       if slots = [] then None
       else begin
@@ -640,7 +643,7 @@ let negative ?(options = default_options) ~kb ~donors ~target ~hard ~soft tp =
         let vars =
           List.map
             (fun slot ->
-              let dom = slot_domain kb all_checks base slot in
+              let dom = slot_domain provider kb all_checks base slot in
               (* without change minimization the original value loses its
                  head-of-domain advantage: the solver takes whatever
                  comes first (Table 5's "no constraints" ablation) *)

@@ -42,6 +42,7 @@ type result = {
 
 val negative :
   ?options:options ->
+  provider:Zodiac_provider.Provider.t ->
   kb:Zodiac_kb.Kb.t ->
   donors:(string * Zodiac_iac.Program.t) list ->
   target:Zodiac_spec.Check.t ->

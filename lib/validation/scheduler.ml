@@ -88,11 +88,11 @@ type state = {
 
 let cids checks = List.map (fun (c : Check.t) -> c.Check.cid) checks
 
-let find_tps st ~corpus:_ ~limit (c : Check.t) =
+let find_tps st ~provider ~corpus:_ ~limit (c : Check.t) =
   match Hashtbl.find_opt st.tp_cache c.Check.cid with
   | Some tps -> tps
   | None ->
-      let tps = Testcase.find_indexed ~limit ~index:st.index c in
+      let tps = Testcase.find_indexed ~limit ~provider ~index:st.index c in
       Hashtbl.replace st.tp_cache c.Check.cid tps;
       tps
 
@@ -102,13 +102,13 @@ let remove_from_rc st cid =
 let in_rc st (c : Check.t) =
   List.exists (fun (c' : Check.t) -> String.equal c'.Check.cid c.Check.cid) st.rc
 
-let mutate _st ~kb ~donors ~target ~hard ~soft tp =
-  Mutation.negative ~kb ~donors ~target ~hard ~soft tp
+let mutate _st ~provider ~kb ~donors ~target ~hard ~soft tp =
+  Mutation.negative ~provider ~kb ~donors ~target ~hard ~soft tp
 
 (* Warm the t_p cache for [checks]: the misses are computed in parallel
    (index search is pure) and committed sequentially, after which
    [find_tps] is a read-only probe that any domain may run. *)
-let ensure_tps ?jobs st ~limit checks =
+let ensure_tps ?jobs st ~provider ~limit checks =
   let missing =
     List.filter
       (fun (c : Check.t) -> not (Hashtbl.mem st.tp_cache c.Check.cid))
@@ -116,7 +116,7 @@ let ensure_tps ?jobs st ~limit checks =
   in
   let found =
     Parallel.map ?jobs
-      (fun (c : Check.t) -> Testcase.find_indexed ~limit ~index:st.index c)
+      (fun (c : Check.t) -> Testcase.find_indexed ~limit ~provider ~index:st.index c)
       missing
   in
   List.iter2
@@ -124,16 +124,16 @@ let ensure_tps ?jobs st ~limit checks =
     missing found
 
 (* Union-find style grouping of mutually-inseparable checks. *)
-let compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit =
-  ensure_tps ?jobs st ~limit:tp_limit st.rc;
+let compute_groups ?jobs st ~provider ~kb ~donors ~corpus ~tp_limit =
+  ensure_tps ?jobs st ~provider ~limit:tp_limit st.rc;
   let rn_of (c : Check.t) =
-    match find_tps st ~corpus ~limit:tp_limit c with
+    match find_tps st ~provider ~corpus ~limit:tp_limit c with
     | [] -> []
     | tp :: _ -> (
         let soft =
           List.filter (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid)) st.rc
         in
-        match mutate st ~kb ~donors ~target:c ~hard:st.rv ~soft tp with
+        match mutate st ~provider ~kb ~donors ~target:c ~hard:st.rv ~soft tp with
         | None -> []
         | Some res -> c.Check.cid :: res.Mutation.violated_soft)
   in
@@ -185,11 +185,12 @@ let compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit =
               List.exists
                 (fun tp ->
                   match
-                    mutate st ~kb ~donors ~target:c ~hard:(st.rv @ others) ~soft:[] tp
+                    mutate st ~provider ~kb ~donors ~target:c
+                      ~hard:(st.rv @ others) ~soft:[] tp
                   with
                   | Some _ -> true
                   | None -> false)
-                (find_tps st ~corpus ~limit:tp_limit c)
+                (find_tps st ~provider ~corpus ~limit:tp_limit c)
             in
             not separable)
           group)
@@ -210,7 +211,7 @@ let compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit =
 type 'a plan = No_instance | Unsat | Planned of 'a
 
 let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
-    ?deploy_batch ~kb ~corpus ~deploy candidates =
+    ?deploy_batch ~provider ~kb ~corpus ~deploy candidates =
   let deploy_batch =
     match deploy_batch with Some f -> f | None -> List.map deploy
   in
@@ -255,11 +256,11 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
     (* ---- false positive removal pass ---- *)
     let rc0 = order st.rc in
     let rv0 = st.rv in
-    ensure_tps ?jobs st ~limit:config.tp_limit rc0;
+    ensure_tps ?jobs st ~provider ~limit:config.tp_limit rc0;
     let plans =
       Parallel.map ?jobs
         (fun (c : Check.t) ->
-          match find_tps st ~corpus ~limit:config.tp_limit c with
+          match find_tps st ~provider ~corpus ~limit:config.tp_limit c with
           | [] -> No_instance
           | tps -> (
               let soft =
@@ -269,7 +270,8 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
               in
               let results =
                 List.filter_map
-                  (fun tp -> mutate st ~kb ~donors ~target:c ~hard:rv0 ~soft tp)
+                  (fun tp ->
+                    mutate st ~provider ~kb ~donors ~target:c ~hard:rv0 ~soft tp)
                   tps
               in
               match results with [] -> Unsat | res :: _ -> Planned res))
@@ -333,7 +335,8 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
     (* ---- indistinguishable groups (O3) ---- *)
     let groups =
       if config.handle_indistinct then
-        compute_groups ?jobs st ~kb ~donors ~corpus ~tp_limit:config.tp_limit
+        compute_groups ?jobs st ~provider ~kb ~donors ~corpus
+          ~tp_limit:config.tp_limit
       else []
     in
     let group_of (cid : string) =
@@ -344,11 +347,11 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
     (* ---- true positive validation pass ---- *)
     let rc1 = order st.rc in
     let rv1 = st.rv in
-    ensure_tps ?jobs st ~limit:config.tp_limit rc1;
+    ensure_tps ?jobs st ~provider ~limit:config.tp_limit rc1;
     let plans =
       Parallel.map ?jobs
         (fun (c : Check.t) ->
-          match find_tps st ~corpus ~limit:config.tp_limit c with
+          match find_tps st ~provider ~corpus ~limit:config.tp_limit c with
           | [] -> None
           | tp :: _ ->
               let soft =
@@ -356,7 +359,7 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
                   (fun (c' : Check.t) -> not (String.equal c'.Check.cid c.Check.cid))
                   rc1
               in
-              mutate st ~kb ~donors ~target:c ~hard:rv1 ~soft tp)
+              mutate st ~provider ~kb ~donors ~target:c ~hard:rv1 ~soft tp)
         rc1
     in
     let to_deploy =
@@ -446,8 +449,8 @@ let run ?(config = default_config) ?(telemetry = Telemetry.null) ?jobs
     deployments = st.deployments;
   }
 
-let counterexample_pass ?jobs ~corpus ~deploy validated =
-  let defaults = Arm.defaults in
+let counterexample_pass ?jobs ~provider ~corpus ~deploy validated =
+  let defaults = Arm.defaults provider in
   (* Pure phase, fanned out per check: collect the corpus programs whose
      minimal deployable counterexample still violates the check. *)
   let mdcs_of (c : Check.t) =

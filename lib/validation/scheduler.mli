@@ -67,6 +67,7 @@ val run :
   ?telemetry:Zodiac_util.Telemetry.t ->
   ?jobs:int ->
   ?deploy_batch:deploy_batch ->
+  provider:Zodiac_provider.Provider.t ->
   kb:Zodiac_kb.Kb.t ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   deploy:deploy ->
@@ -86,6 +87,7 @@ val run :
 
 val counterexample_pass :
   ?jobs:int ->
+  provider:Zodiac_provider.Provider.t ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   deploy:deploy ->
   Zodiac_spec.Check.t list ->

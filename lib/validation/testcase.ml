@@ -35,8 +35,8 @@ let check_types (check : Check.t) =
   List.sort_uniq String.compare
     (List.map (fun (b : Check.binding) -> b.Check.btype) check.Check.bindings)
 
-let find_indexed ?(limit = 3) ~index check =
-  let defaults = Arm.defaults in
+let find_indexed ?(limit = 3) ~provider ~index check =
+  let defaults = Arm.defaults provider in
   let wanted = check_types check in
   let found = ref [] in
   let count = ref 0 in
@@ -73,4 +73,5 @@ let find_indexed ?(limit = 3) ~index check =
     !found
   |> List.filteri (fun i _ -> i < limit)
 
-let find ?(limit = 3) ~corpus check = find_indexed ~limit ~index:(index corpus) check
+let find ?(limit = 3) ~provider ~corpus check =
+  find_indexed ~limit ~provider ~index:(index corpus) check

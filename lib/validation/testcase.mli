@@ -11,6 +11,7 @@ type tp = {
 
 val find :
   ?limit:int ->
+  provider:Zodiac_provider.Provider.t ->
   corpus:(string * Zodiac_iac.Program.t) list ->
   Zodiac_spec.Check.t ->
   tp list
@@ -25,4 +26,8 @@ type index
 val index : (string * Zodiac_iac.Program.t) list -> index
 
 val find_indexed :
-  ?limit:int -> index:index -> Zodiac_spec.Check.t -> tp list
+  ?limit:int ->
+  provider:Zodiac_provider.Provider.t ->
+  index:index ->
+  Zodiac_spec.Check.t ->
+  tp list

@@ -4,6 +4,8 @@ module Checker = Zodiac_checkers.Checker
 module Baselines = Zodiac_checkers.Baselines
 module Value = Zodiac_iac.Value
 module Resource = Zodiac_iac.Resource
+let provider = Zodiac_azure.Azure.provider
+
 module Program = Zodiac_iac.Program
 module Generator = Zodiac_corpus.Generator
 
@@ -20,7 +22,7 @@ let vm_no_auth =
 
 let test_native_missing_required () =
   let incomplete = Resource.make "SUBNET" "s" [ ("name", v_str "x") ] in
-  let findings = Baselines.native.Checker.analyze (Program.of_resources [ incomplete ]) in
+  let findings = (Baselines.native provider).Checker.analyze (Program.of_resources [ incomplete ]) in
   Alcotest.(check bool) "missing attrs flagged" true
     (List.exists (fun f -> f.Checker.rule = "required-attribute") findings)
 
@@ -30,12 +32,12 @@ let test_native_bad_enum () =
       [ ("name", v_str "p"); ("location", v_str "eastus");
         ("allocation", v_str "Sometimes") ]
   in
-  let findings = Baselines.native.Checker.analyze (Program.of_resources [ bad ]) in
+  let findings = (Baselines.native provider).Checker.analyze (Program.of_resources [ bad ]) in
   Alcotest.(check bool) "enum violation flagged" true
     (List.exists (fun f -> f.Checker.rule = "invalid-value") findings)
 
 let test_native_vm_auth () =
-  let findings = Baselines.native.Checker.analyze (Program.of_resources [ vm_no_auth ]) in
+  let findings = (Baselines.native provider).Checker.analyze (Program.of_resources [ vm_no_auth ]) in
   Alcotest.(check bool) "missing auth flagged" true
     (List.exists (fun f -> f.Checker.rule = "missing-authentication") findings)
 
@@ -49,7 +51,7 @@ let test_native_silent_on_semantic_bugs () =
   in
   Alcotest.(check (list string)) "no findings" []
     (List.map (fun f -> f.Checker.rule)
-       (Baselines.native.Checker.analyze (Program.of_resources [ sa ])))
+       ((Baselines.native provider).Checker.analyze (Program.of_resources [ sa ])))
 
 let test_checkov_broad () =
   let sa =
@@ -93,7 +95,7 @@ let test_prevalence_ordering () =
   let programs =
     List.map
       (fun p -> p.Generator.program)
-      (Generator.generate ~seed:202 ~count:600 ())
+      (Generator.generate ~provider ~seed:202 ~count:600 ())
   in
   let p_checkov = Checker.prevalence Baselines.checkov programs in
   let p_tfcomp = Checker.prevalence Baselines.tfcomp programs in
@@ -109,8 +111,8 @@ let test_all_have_metadata () =
     (fun (c : Checker.t) ->
       Alcotest.(check bool) (c.Checker.name ^ " metadata") true
         (String.length c.Checker.spec_format > 0 && String.length c.Checker.input_phase > 0))
-    Baselines.all;
-  Alcotest.(check int) "six baselines" 6 (List.length Baselines.all)
+    (Baselines.all provider);
+  Alcotest.(check int) "six baselines" 6 (List.length (Baselines.all provider))
 
 let () =
   Alcotest.run "checkers"

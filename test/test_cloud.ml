@@ -8,19 +8,21 @@ module Value = Zodiac_iac.Value
 module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 
+let provider = Zodiac_azure.Azure.provider
+
 let v_str s = Value.Str s
 
 (* ---------------- rule set ------------------------------------------ *)
 
 let test_rules_count () =
-  Alcotest.(check bool) "200+ ground truth rules" true (Rules.count () >= 200)
+  Alcotest.(check bool) "200+ ground truth rules" true (List.length (provider.Zodiac_provider.Provider.ground_truth ()) >= 200)
 
 let test_rules_unique_ids () =
-  let ids = List.map (fun r -> r.Rules.rule_id) (Rules.ground_truth ()) in
+  let ids = List.map (fun r -> r.Rules.rule_id) (provider.Zodiac_provider.Provider.ground_truth ()) in
   Alcotest.(check int) "unique" (List.length ids) (List.length (List.sort_uniq compare ids))
 
 let test_rules_phases_all_present () =
-  let phases = List.map (fun r -> r.Rules.phase) (Rules.ground_truth ()) in
+  let phases = List.map (fun r -> r.Rules.phase) (provider.Zodiac_provider.Provider.ground_truth ()) in
   List.iter
     (fun phase ->
       Alcotest.(check bool)
@@ -29,9 +31,10 @@ let test_rules_phases_all_present () =
     [ Rules.Plugin; Rules.Pre_sync; Rules.Create; Rules.Polling; Rules.Post_sync ]
 
 let test_rules_find () =
-  Alcotest.(check bool) "by id" true (Rules.find "VM-SPOT-EVICT" <> None);
-  Alcotest.(check bool) "missing" true (Rules.find "NOPE" = None);
-  Alcotest.(check bool) "per type" true (List.length (Rules.rules_for_type "VM") >= 30)
+  let gt = provider.Zodiac_provider.Provider.ground_truth () in
+  Alcotest.(check bool) "by id" true (Rules.find gt "VM-SPOT-EVICT" <> None);
+  Alcotest.(check bool) "missing" true (Rules.find gt "NOPE" = None);
+  Alcotest.(check bool) "per type" true (List.length (Rules.rules_for_type gt "VM") >= 30)
 
 (* ---------------- building blocks ------------------------------------ *)
 
@@ -69,7 +72,7 @@ let vm rname nic_names =
 
 let base = [ vpc; subnet "s"; nic "n"; vm "m" [ "n" ] ]
 
-let deploy resources = Arm.deploy (Program.of_resources resources)
+let deploy resources = Arm.deploy ~provider (Program.of_resources resources)
 
 let check_fails ?phase ?rule resources =
   let outcome = deploy resources in
@@ -88,13 +91,13 @@ let check_fails ?phase ?rule resources =
 
 let test_defaults_lookup () =
   Alcotest.(check bool) "gw active_active default false" true
-    (Defaults.lookup ~rtype:"GW" ~attr:"active_active" = Some (Value.Bool false));
+    (Defaults.lookup provider ~rtype:"GW" ~attr:"active_active" = Some (Value.Bool false));
   Alcotest.(check bool) "no default for name" true
-    (Defaults.lookup ~rtype:"GW" ~attr:"name" = None)
+    (Defaults.lookup provider ~rtype:"GW" ~attr:"name" = None)
 
 let test_defaults_effective () =
   let ip = Resource.make "IP" "p" [ ("name", v_str "x") ] in
-  let eff = Defaults.effective ip in
+  let eff = Defaults.effective provider ip in
   Alcotest.(check bool) "sku default applied" true
     (Resource.get eff "sku" = v_str "Basic")
 
@@ -278,7 +281,7 @@ let test_quota_per_type () =
           [ ("name", v_str (Printf.sprintf "pip%d" i)); ("location", v_str "eastus");
             ("allocation", v_str "Static"); ("sku", v_str "Standard") ])
   in
-  let outcome = Arm.deploy ~quota:Quota.strict (Program.of_resources ips) in
+  let outcome = Arm.deploy ~provider ~quota:Quota.strict (Program.of_resources ips) in
   match Arm.first_error outcome with
   | Some f ->
       Alcotest.(check string) "quota error" "ENGINE-QUOTA" f.Arm.rule_id;
@@ -293,7 +296,7 @@ let test_quota_total () =
           [ ("name", v_str (Printf.sprintf "acct%d" i)); ("location", v_str "eastus");
             ("tier", v_str "Standard"); ("replica", v_str "LRS") ])
   in
-  let outcome = Arm.deploy ~quota:Quota.strict (Program.of_resources sas) in
+  let outcome = Arm.deploy ~provider ~quota:Quota.strict (Program.of_resources sas) in
   (match Arm.first_error outcome with
   | Some f -> Alcotest.(check string) "total quota" "ENGINE-QUOTA" f.Arm.rule_id
   | None -> Alcotest.fail "expected total-quota failure");
@@ -328,9 +331,9 @@ let test_regional_sku () =
     ]
   in
   let quota = { Quota.unlimited with Quota.regional_skus = true } in
-  let ok = Arm.deploy ~quota (Program.of_resources (gpu_vm "eastus")) in
+  let ok = Arm.deploy ~provider ~quota (Program.of_resources (gpu_vm "eastus")) in
   Alcotest.(check bool) "gpu in eastus ok" true (Arm.success ok);
-  let bad = Arm.deploy ~quota (Program.of_resources (gpu_vm "ukwest")) in
+  let bad = Arm.deploy ~provider ~quota (Program.of_resources (gpu_vm "ukwest")) in
   (match Arm.first_error bad with
   | Some f -> Alcotest.(check string) "regional sku" "ENGINE-REGION-SKU" f.Arm.rule_id
   | None -> Alcotest.fail "expected regional failure");

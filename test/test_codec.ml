@@ -83,7 +83,8 @@ let prop_table_canonical =
 
 (* ------------- artifact round-trips ----------------------------------- *)
 
-let projects = Generator.generate ~seed:7 ~count:12 ()
+let provider = Zodiac_azure.Azure.provider
+let projects = Generator.generate ~provider ~seed:7 ~count:12 ()
 
 let test_project_roundtrip () =
   let decoded =
@@ -108,7 +109,7 @@ let test_project_roundtrip () =
        (bytes_of (Codec.write_list Generator.write_project) decoded))
 
 let programs =
-  Miner.materialize (List.map (fun p -> p.Generator.program) projects)
+  Miner.materialize ~provider (List.map (fun p -> p.Generator.program) projects)
 
 let test_kb_stats_roundtrip_and_monoid () =
   let full = Kb.stats_of_projects programs in
@@ -125,7 +126,7 @@ let test_kb_stats_roundtrip_and_monoid () =
   Alcotest.(check bool)
     "stats round-trip bytes" true
     (String.equal (bytes_of Kb.write_stats decoded) (bytes_of Kb.write_stats full));
-  let kb_full = Kb.finalize full and kb_dec = Kb.finalize decoded in
+  let kb_full = Kb.finalize ~provider full and kb_dec = Kb.finalize ~provider decoded in
   Alcotest.(check int) "kb size" (Kb.size kb_full) (Kb.size kb_dec);
   Alcotest.(check (list string)) "kb types" (Kb.types kb_full) (Kb.types kb_dec);
   Alcotest.(check int)
@@ -134,8 +135,8 @@ let test_kb_stats_roundtrip_and_monoid () =
     (List.length (Kb.conn_kinds kb_dec))
 
 let test_candidate_roundtrip () =
-  let kb = Kb.build ~projects:programs () in
-  let mined = Miner.mine kb programs in
+  let kb = Kb.build ~provider ~projects:programs () in
+  let mined = Miner.mine ~provider kb programs in
   Alcotest.(check bool) "mined something" true (mined <> []);
   List.iter
     (fun (c : Candidate.t) ->

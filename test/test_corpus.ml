@@ -5,9 +5,11 @@ module Arm = Zodiac_cloud.Arm
 module Program = Zodiac_iac.Program
 module Prng = Zodiac_util.Prng
 
+let provider = Zodiac_azure.Azure.provider
+
 let test_deterministic () =
-  let a = Generator.generate ~seed:3 ~count:50 () in
-  let b = Generator.generate ~seed:3 ~count:50 () in
+  let a = Generator.generate ~provider ~seed:3 ~count:50 () in
+  let b = Generator.generate ~provider ~seed:3 ~count:50 () in
   List.iter2
     (fun p q ->
       Alcotest.(check string) "names" p.Generator.pname q.Generator.pname;
@@ -16,47 +18,47 @@ let test_deterministic () =
     a b
 
 let test_seed_changes_output () =
-  let a = Generator.generate ~seed:3 ~count:20 () in
-  let b = Generator.generate ~seed:4 ~count:20 () in
+  let a = Generator.generate ~provider ~seed:3 ~count:20 () in
+  let b = Generator.generate ~provider ~seed:4 ~count:20 () in
   Alcotest.(check bool) "different" true
     (List.exists2
        (fun p q -> not (Program.equal p.Generator.program q.Generator.program))
        a b)
 
 let test_conforming_deploys () =
-  let projects = Generator.conforming ~seed:11 ~count:150 () in
+  let projects = Generator.conforming ~provider ~seed:11 ~count:150 () in
   List.iter
     (fun p ->
-      if not (Arm.success (Arm.deploy p.Generator.program)) then
+      if not (Arm.success (Arm.deploy ~provider p.Generator.program)) then
         Alcotest.failf "conforming project %s fails to deploy" p.Generator.pname)
     projects
 
 let test_injected_violations_fail () =
-  let projects = Generator.generate ~violation_rate:1.0 ~seed:13 ~count:60 () in
+  let projects = Generator.generate ~provider ~violation_rate:1.0 ~seed:13 ~count:60 () in
   let with_injection = List.filter (fun p -> p.Generator.injected <> []) projects in
   Alcotest.(check bool) "most get an injection" true
     (List.length with_injection > 40);
   List.iter
     (fun p ->
-      if Arm.success (Arm.deploy p.Generator.program) then
+      if Arm.success (Arm.deploy ~provider p.Generator.program) then
         Alcotest.failf "injected %s (%s) still deploys" p.Generator.pname
           (String.concat "," p.Generator.injected))
     with_injection
 
 let test_violation_rate_roughly_respected () =
-  let projects = Generator.generate ~violation_rate:0.10 ~seed:17 ~count:500 () in
+  let projects = Generator.generate ~provider ~violation_rate:0.10 ~seed:17 ~count:500 () in
   let injected = List.length (List.filter (fun p -> p.Generator.injected <> []) projects) in
   Alcotest.(check bool) "about 10%" true (injected > 25 && injected < 90)
 
 let test_scenario_coverage () =
-  let projects = Generator.generate ~seed:19 ~count:600 () in
+  let projects = Generator.generate ~provider ~seed:19 ~count:600 () in
   let seen =
     List.sort_uniq compare (List.map (fun p -> p.Generator.scenario) projects)
   in
   List.iter
     (fun s ->
       Alcotest.(check bool) (s ^ " appears") true (List.mem s seen))
-    Generator.scenario_names
+    (Generator.scenario_names provider)
 
 let test_unique_resource_ids () =
   List.iter
@@ -68,10 +70,10 @@ let test_unique_resource_ids () =
       in
       Alcotest.(check int) "unique ids" (List.length ids)
         (List.length (List.sort_uniq compare ids)))
-    (Generator.generate ~seed:23 ~count:100 ())
+    (Generator.generate ~provider ~seed:23 ~count:100 ())
 
 let test_unattended_types_present () =
-  let projects = Generator.generate ~seed:29 ~count:300 () in
+  let projects = Generator.generate ~provider ~seed:29 ~count:300 () in
   let has_unattended =
     List.exists
       (fun p ->
@@ -84,12 +86,12 @@ let test_unattended_types_present () =
 
 let test_generate_one () =
   let rng = Prng.create 31 in
-  let p = Generator.generate_one rng 0 in
+  let p = Generator.generate_one ~provider rng 0 in
   Alcotest.(check bool) "non-empty" true (Program.size p.Generator.program > 0)
 
 let test_rare_attach_option () =
   (* the VM create=Attach path exists but is rare (the §5.6 skew) *)
-  let projects = Generator.conforming ~seed:37 ~count:2000 () in
+  let projects = Generator.conforming ~provider ~seed:37 ~count:2000 () in
   let vms =
     List.concat_map
       (fun p -> Program.by_type p.Generator.program "VM")

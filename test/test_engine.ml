@@ -24,6 +24,8 @@ module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 module Prng = Zodiac_util.Prng
 
+let provider = Zodiac_azure.Azure.provider
+
 (* ---------------- backoff -------------------------------------------- *)
 
 let test_backoff_schedule () =
@@ -147,7 +149,7 @@ let always_fault : Zodiac_iac.Program.t -> Flaky.response =
 let test_client_recovers_within_burst_cap () =
   let stats = Stats.create () in
   let flaky =
-    Flaky.create { Flaky.seed = 9; fault_rate = 1.0; max_consecutive = 3 }
+    Flaky.create ~provider { Flaky.seed = 9; fault_rate = 1.0; max_consecutive = 3 }
   in
   let client = Client.create ~stats (Flaky.deploy flaky) in
   (match Client.deploy client prog_ab with
@@ -192,7 +194,7 @@ let test_client_breaker_paces () =
     }
   in
   let flaky =
-    Flaky.create { Flaky.seed = 9; fault_rate = 1.0; max_consecutive = 5 }
+    Flaky.create ~provider { Flaky.seed = 9; fault_rate = 1.0; max_consecutive = 5 }
   in
   let client = Client.create ~config ~stats (Flaky.deploy flaky) in
   (match Client.deploy client prog_ab with
@@ -206,7 +208,7 @@ let test_client_breaker_paces () =
 (* ---------------- engine memoization --------------------------------- *)
 
 let test_engine_memoizes_alpha_equivalent () =
-  let engine = Engine.create () in
+  let engine = Engine.create ~provider () in
   Alcotest.(check bool) "first deploy" true (Engine.success engine prog_ab);
   Alcotest.(check bool) "same program" true (Engine.success engine prog_ab);
   Alcotest.(check bool) "renamed mutant" true (Engine.success engine prog_yx);
@@ -223,10 +225,10 @@ let corpus =
   lazy
     (List.map
        (fun p -> (p.Generator.pname, p.Generator.program))
-       (Generator.generate ~seed:55 ~count:200 ()))
+       (Generator.generate ~provider ~seed:55 ~count:200 ()))
 
 let kb =
-  lazy (Kb.build ~projects:(Miner.materialize (List.map snd (Lazy.force corpus))) ())
+  lazy (Kb.build ~provider ~projects:(Miner.materialize ~provider (List.map snd (Lazy.force corpus))) ())
 
 let candidates =
   lazy
@@ -246,11 +248,11 @@ let verdict_sets (result : Scheduler.result) =
   (cids result.Scheduler.validated, cids (List.map fst result.Scheduler.falsified))
 
 let run_with_oracle deploy =
-  Scheduler.run ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy
+  Scheduler.run ~provider ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy
     (Lazy.force candidates)
 
 let baseline =
-  lazy (verdict_sets (run_with_oracle (fun p -> Arm.success (Arm.deploy p))))
+  lazy (verdict_sets (run_with_oracle (fun p -> Arm.success (Arm.deploy ~provider p))))
 
 let fault_stability_prop =
   QCheck.Test.make ~count:8 ~name:"verdicts under faults = fault-free verdicts"
@@ -260,7 +262,7 @@ let fault_stability_prop =
          the genuine outcome is guaranteed, so verdict sets must match
          the fault-free run for ANY rate and seed *)
       let engine =
-        Engine.create ~config:(Engine.faulty_config ~fault_rate ~seed ()) ()
+        Engine.create ~provider ~config:(Engine.faulty_config ~fault_rate ~seed ()) ()
       in
       let result = run_with_oracle (Engine.oracle engine) in
       verdict_sets result = Lazy.force baseline)

@@ -26,7 +26,8 @@ let tiny_corpus =
     Program.of_resources [ sa "Premium" "b"; sa "Standard" "c" ];
   ]
 
-let kb = Kb.build ~projects:tiny_corpus ()
+let provider = Zodiac_azure.Azure.provider
+let kb = Kb.build ~provider ~projects:tiny_corpus ()
 
 let test_class1_from_schema () =
   match Kb.attr_info kb ~rtype:"SUBNET" ~attr:"vpc_name" with
@@ -77,8 +78,8 @@ let test_types_include_catalog () =
 (* --- larger synthetic corpus ----------------------------------------- *)
 
 let big_kb =
-  let projects = Generator.conforming ~seed:5 ~count:200 () in
-  Kb.build ~projects:(List.map (fun p -> p.Generator.program) projects) ()
+  let projects = Generator.conforming ~provider ~seed:5 ~count:200 () in
+  Kb.build ~provider ~projects:(List.map (fun p -> p.Generator.program) projects) ()
 
 let test_enum_detection_on_corpus () =
   (* names are high-cardinality: never enum-like *)

@@ -10,14 +10,16 @@ module Templates = Zodiac_mining.Templates
 module Check = Zodiac_spec.Check
 module Printer = Zodiac_spec.Spec_printer
 
+let provider = Zodiac_azure.Azure.provider
+
 let corpus =
   lazy
-    (let projects = Generator.generate ~seed:101 ~count:500 () in
-     Miner.materialize (List.map (fun p -> p.Generator.program) projects))
+    (let projects = Generator.generate ~provider ~seed:101 ~count:500 () in
+     Miner.materialize ~provider (List.map (fun p -> p.Generator.program) projects))
 
-let kb = lazy (Kb.build ~projects:(Lazy.force corpus) ())
+let kb = lazy (Kb.build ~provider ~projects:(Lazy.force corpus) ())
 
-let mined = lazy (Miner.mine (Lazy.force kb) (Lazy.force corpus))
+let mined = lazy (Miner.mine ~provider (Lazy.force kb) (Lazy.force corpus))
 
 let find_check pattern =
   List.find_opt
@@ -112,9 +114,9 @@ let test_interpolation_candidates_flagged () =
 (* ---------------- KB ablation (Figure 7a) ---------------------------- *)
 
 let test_kb_reduces_candidates () =
-  let with_kb = Miner.intra_counts_by_type ~use_kb:true (Lazy.force kb) (Lazy.force corpus) in
+  let with_kb = Miner.intra_counts_by_type ~provider ~use_kb:true (Lazy.force kb) (Lazy.force corpus) in
   let without_kb =
-    Miner.intra_counts_by_type ~use_kb:false (Lazy.force kb) (Lazy.force corpus)
+    Miner.intra_counts_by_type ~provider ~use_kb:false (Lazy.force kb) (Lazy.force corpus)
   in
   let total counts = List.fold_left (fun acc (_, _, n) -> acc + n) 0 counts in
   let w = total with_kb and wo = total without_kb in

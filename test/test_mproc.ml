@@ -11,6 +11,8 @@ module Generator = Zodiac_corpus.Generator
 module Kb = Zodiac_kb.Kb
 module Miner = Zodiac_mining.Miner
 
+let provider = Zodiac_azure.Azure.provider
+
 (* ------------- helpers ------------------------------------------------ *)
 
 let rm_rf dir =
@@ -31,10 +33,10 @@ let with_cache_dir name f =
 let corpus_n = 60
 
 let projects =
-  Miner.materialize
+  Miner.materialize ~provider
     (List.map
        (fun p -> p.Generator.program)
-       (Generator.generate_range ~seed:7 ~lo:0 ~hi:corpus_n ()))
+       (Generator.generate_range ~provider ~seed:7 ~lo:0 ~hi:corpus_n ()))
 
 let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) projects
 

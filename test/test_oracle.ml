@@ -13,7 +13,8 @@ let candidate src =
   Candidate.make ~needs_interpolation:true ~template_id:"TEST" ~support:10
     ~confidence:1.0 ~lift:1.0 (Parser.parse_exn src)
 
-let perfect () = Llm.create ~error_rate:0.0 1
+let provider = Zodiac_azure.Azure.provider
+let perfect () = Llm.create ~provider ~error_rate:0.0 1
 
 let test_prompt_of_check () =
   match Prompt.of_check (Parser.parse_exn "let r:VM in r.sku == 'Standard_F2s_v2' => indegree(r, NIC) <= 1") with
@@ -66,7 +67,7 @@ let test_interpolate_undocumented () =
 
 let test_hallucination_rate () =
   (* with error_rate 1.0, the oracle always misbehaves *)
-  let oracle = Llm.create ~error_rate:1.0 7 in
+  let oracle = Llm.create ~provider ~error_rate:1.0 7 in
   let c = candidate "let r:VM in r.sku == 'Standard_F2s_v2' => indegree(r, NIC) <= 1" in
   (match Llm.interpolate oracle c with
   | Llm.Refined check ->
@@ -89,7 +90,7 @@ let test_assess_separates () =
 
 let test_deterministic_given_seed () =
   let run () =
-    let oracle = Llm.create ~error_rate:0.3 5 in
+    let oracle = Llm.create ~provider ~error_rate:0.3 5 in
     List.map
       (fun src ->
         match Llm.interpolate oracle (candidate src) with

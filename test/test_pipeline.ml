@@ -45,7 +45,8 @@ let test_counterexample_pass_bounded () =
 let test_scan_finds_misconfigurations () =
   let a = Lazy.force artifacts in
   let reports =
-    Pipeline.scan ~checks:a.Pipeline.final_checks ~corpus:a.Pipeline.corpus
+    Pipeline.scan ~provider:Zodiac_azure.Azure.provider ~checks:a.Pipeline.final_checks
+      ~corpus:a.Pipeline.corpus
   in
   (* the corpus has ~4% injected violations; the validated checks
      should catch some of them *)
@@ -78,9 +79,9 @@ let test_categories_present () =
 let test_registry_case_study () =
   let buggy = Registry.compile_exn Registry.appgw_assoc_buggy in
   let fixed = Registry.compile_exn Registry.appgw_assoc_fixed in
-  Alcotest.(check bool) "buggy fails" false (Pipeline.deploy buggy);
-  Alcotest.(check bool) "fixed deploys" true (Pipeline.deploy fixed);
-  (match Arm.first_error (Arm.deploy buggy) with
+  Alcotest.(check bool) "buggy fails" false (Pipeline.deploy ~provider:Zodiac_azure.Azure.provider buggy);
+  Alcotest.(check bool) "fixed deploys" true (Pipeline.deploy ~provider:Zodiac_azure.Azure.provider fixed);
+  (match Arm.first_error (Arm.deploy ~provider:Zodiac_azure.Azure.provider buggy) with
   | Some f -> Alcotest.(check string) "first violation" "APPGW-IP-STANDARD" f.Arm.rule_id
   | None -> Alcotest.fail "expected failure")
 

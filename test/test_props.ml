@@ -13,6 +13,8 @@ module Csp = Zodiac_solver.Csp
 module Generator = Zodiac_corpus.Generator
 module Prng = Zodiac_util.Prng
 
+let provider = Zodiac_azure.Azure.provider
+
 (* ------------- random program generator ------------------------------ *)
 
 let gen_program =
@@ -137,10 +139,10 @@ let prop_violations_witnesses_disjoint =
 let prop_conforming_projects_deploy =
   QCheck.Test.make ~name:"conforming generator output always deploys" ~count:20
     QCheck.(int_bound 100_000) (fun seed ->
-      let projects = Generator.conforming ~seed ~count:5 () in
+      let projects = Generator.conforming ~provider ~seed ~count:5 () in
       List.for_all
         (fun p ->
-          Zodiac_cloud.Arm.success (Zodiac_cloud.Arm.deploy p.Generator.program))
+          Zodiac_cloud.Arm.success (Zodiac_cloud.Arm.deploy ~provider p.Generator.program))
         projects)
 
 (* ------------- solver properties -------------------------------------- *)

@@ -238,7 +238,7 @@ let test_server_round_trip () =
       (* the daemon's SARIF equals the one-shot scan path, byte for byte *)
       let checks = Session.checks session in
       let findings =
-        match Scan.scan_file ~checks tf with
+        match Scan.scan_file ~provider:Zodiac_azure.Azure.provider ~checks tf with
         | Ok fs -> fs
         | Error e -> Alcotest.failf "one-shot scan: %s" e
       in
@@ -427,8 +427,11 @@ let test_scan_directory () =
     (fun () ->
       let files = Scan.hcl_files dir in
       Alcotest.(check int) "two .tf + one .hcl" 3 (List.length files);
-      let checks = Scan.ground_truth_entries () in
-      match Scan.scan_directory ~jobs:2 ~checks dir with
+      let checks = Scan.ground_truth_entries Zodiac_azure.Azure.provider in
+      match
+        Scan.scan_directory ~provider:Zodiac_azure.Azure.provider ~jobs:2
+          ~checks dir
+      with
       | Error e -> Alcotest.failf "scan_directory: %s" e
       | Ok (findings, errors) ->
           Alcotest.(check bool) "findings from bad.tf" true (findings <> []);

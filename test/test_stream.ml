@@ -19,6 +19,8 @@ module Kb = Zodiac_kb.Kb
 module Miner = Zodiac_mining.Miner
 module Candidate = Zodiac_mining.Candidate
 
+let provider = Zodiac_azure.Azure.provider
+
 (* ------------- helpers ------------------------------------------------ *)
 
 let rm_rf dir =
@@ -40,10 +42,10 @@ let with_cache_dir name f =
 let corpus_n = 60
 
 let projects =
-  Miner.materialize
+  Miner.materialize ~provider
     (List.map
        (fun p -> p.Generator.program)
-       (Generator.generate_range ~seed:7 ~lo:0 ~hi:corpus_n ()))
+       (Generator.generate_range ~provider ~seed:7 ~lo:0 ~hi:corpus_n ()))
 
 let slice lo hi = List.filteri (fun i _ -> i >= lo && i < hi) projects
 
@@ -68,9 +70,9 @@ let fold_tables ?cache kb ~shard_size () =
   Shard_stream.fold ?cache ~stage:"t-mine" ~key:"t-mine"
     ~write:Miner.write_tables ~read:Miner.read_tables
     ~load:(fun ~lo ~hi -> slice lo hi)
-    ~count:(Miner.count_tables Miner.default_config kb)
+    ~count:(Miner.count_tables ~provider Miner.default_config kb)
     ~merge:Miner.merge_tables
-    ~init:(Miner.count_tables Miner.default_config kb [])
+    ~init:(Miner.count_tables ~provider Miner.default_config kb [])
     ~total:corpus_n ~shard_size ()
 
 (* ------------- plan units ---------------------------------------------- *)
@@ -119,10 +121,10 @@ let prop_tables_invariant =
   QCheck.Test.make ~name:"miner tables fold ≡ monolithic mine" ~count:12
     QCheck.(int_range 1 70)
     (fun k ->
-      let kb = Kb.finalize (fst (fold_stats ~shard_size:k ())) in
+      let kb = Kb.finalize ~provider (fst (fold_stats ~shard_size:k ())) in
       let tables, _ = fold_tables kb ~shard_size:k () in
       let streamed = Miner.emit_tables Miner.default_config kb tables in
-      let mono = Miner.mine ~config:Miner.default_config kb projects in
+      let mono = Miner.mine ~provider ~config:Miner.default_config kb projects in
       String.equal
         (bytes_of (Codec.write_list Candidate.write) streamed)
         (bytes_of (Codec.write_list Candidate.write) mono))
@@ -253,7 +255,7 @@ let test_observation_cap () =
   Alcotest.(check bool)
     "capped stats grouping-invariant" true
     (String.equal (stats_bytes whole) (stats_bytes halves));
-  match Kb.attr_info (Kb.finalize whole) ~rtype:"SA" ~attr:"name" with
+  match Kb.attr_info (Kb.finalize ~provider whole) ~rtype:"SA" ~attr:"name" with
   | None -> Alcotest.fail "SA.name missing"
   | Some info ->
       Alcotest.(check int)

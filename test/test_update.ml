@@ -6,6 +6,8 @@ module Value = Zodiac_iac.Value
 module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 
+let provider = Zodiac_azure.Azure.provider
+
 let current = Zodiac.Registry.compile_exn Zodiac.Registry.quickstart_vm
 
 let vpc_id = { Resource.rtype = "VPC"; rname = "net" }
@@ -16,7 +18,7 @@ let vm_id = { Resource.rtype = "VM"; rname = "vm" }
 let has_action actions pred = List.exists pred actions
 
 let test_noop_plan () =
-  let actions = Update.plan ~current ~desired:current in
+  let actions = Update.plan ~provider ~current ~desired:current in
   List.iter
     (fun a ->
       match a with
@@ -29,7 +31,7 @@ let test_in_place_update () =
     Program.update current nic_id (fun r ->
         Resource.set r "accelerated_networking" (Value.Bool true))
   in
-  let actions = Update.plan ~current ~desired in
+  let actions = Update.plan ~provider ~current ~desired in
   Alcotest.(check bool) "in-place on nic" true
     (has_action actions (function
       | Update.Update_in_place (id, [ "accelerated_networking" ]) ->
@@ -43,7 +45,7 @@ let test_immutable_forces_replace () =
     Program.update current vm_id (fun r ->
         Resource.set r "sku" (Value.Str "Standard_D2s_v3"))
   in
-  let actions = Update.plan ~current ~desired in
+  let actions = Update.plan ~provider ~current ~desired in
   Alcotest.(check bool) "vm replaced" true
     (has_action actions (function
       | Update.Replace (id, _) -> Resource.equal_id id vm_id
@@ -54,7 +56,7 @@ let test_replace_cascades_to_dependents () =
     Program.update current vpc_id (fun r ->
         Resource.set r "address_space" (Value.List [ Value.Str "10.99.0.0/16" ]))
   in
-  let actions = Update.plan ~current ~desired in
+  let actions = Update.plan ~provider ~current ~desired in
   List.iter
     (fun id ->
       Alcotest.(check bool)
@@ -71,7 +73,7 @@ let test_leaf_replace_does_not_cascade_down () =
     Program.update current vm_id (fun r ->
         Resource.set r "sku" (Value.Str "Standard_D2s_v3"))
   in
-  let actions = Update.plan ~current ~desired in
+  let actions = Update.plan ~provider ~current ~desired in
   Alcotest.(check bool) "vpc untouched" true
     (has_action actions (function
       | Update.Noop id -> Resource.equal_id id vpc_id
@@ -83,7 +85,7 @@ let test_create_and_destroy () =
         ("tier", Value.Str "Standard"); ("replica", Value.Str "LRS") ]
   in
   let desired = Program.add (Program.remove current vm_id) extra in
-  let actions = Update.plan ~current ~desired in
+  let actions = Update.plan ~provider ~current ~desired in
   Alcotest.(check bool) "create sa" true
     (has_action actions (function
       | Update.Create id -> Resource.equal_id id (Resource.id extra)
@@ -98,7 +100,7 @@ let test_apply_clean_update () =
     Program.update current nic_id (fun r ->
         Resource.set r "accelerated_networking" (Value.Bool true))
   in
-  let result = Update.apply ~current ~desired () in
+  let result = Update.apply ~provider ~current ~desired () in
   Alcotest.(check int) "no disruption" 0 (Update.disruption result);
   Alcotest.(check bool) "succeeds" true (Arm.success result.Update.outcome)
 
@@ -108,7 +110,7 @@ let test_apply_failing_update () =
     Program.update current vpc_id (fun r ->
         Resource.set r "address_space" (Value.List [ Value.Str "10.99.0.0/16" ]))
   in
-  let result = Update.apply ~current ~desired () in
+  let result = Update.apply ~provider ~current ~desired () in
   Alcotest.(check bool) "disruption includes cascade" true
     (Update.disruption result >= 4);
   (match Arm.first_error result.Update.outcome with
@@ -117,9 +119,9 @@ let test_apply_failing_update () =
 
 let test_immutable_attr_table () =
   Alcotest.(check bool) "vpc address space immutable" true
-    (List.mem "address_space" (Update.immutable_attrs "VPC"));
+    (List.mem "address_space" (Update.immutable_attrs provider "VPC"));
   Alcotest.(check bool) "names immutable everywhere" true
-    (List.mem "name" (Update.immutable_attrs "WEBAPP"))
+    (List.mem "name" (Update.immutable_attrs provider "WEBAPP"))
 
 let () =
   Alcotest.run "update"

@@ -17,18 +17,19 @@ module Resource = Zodiac_iac.Resource
 module Program = Zodiac_iac.Program
 module Graph = Zodiac_iac.Graph
 
-let projects = lazy (Generator.generate ~seed:55 ~count:400 ())
+let provider = Zodiac_azure.Azure.provider
+let projects = lazy (Generator.generate ~provider ~seed:55 ~count:400 ())
 
 let corpus =
   lazy (List.map (fun p -> (p.Generator.pname, p.Generator.program)) (Lazy.force projects))
 
 let kb =
   lazy
-    (Kb.build
-       ~projects:(Miner.materialize (List.map snd (Lazy.force corpus)))
+    (Kb.build ~provider
+       ~projects:(Miner.materialize ~provider (List.map snd (Lazy.force corpus)))
        ())
 
-let deploy prog = Arm.success (Arm.deploy prog)
+let deploy prog = Arm.success (Arm.deploy ~provider prog)
 
 let parse = Parser.parse_exn
 
@@ -60,14 +61,14 @@ let test_mdc_measure () =
         Resource.make "MONITOR_DIAG" "d" [];
       ]
   in
-  let sizes = Mdc.measure prog in
+  let sizes = Mdc.measure provider prog in
   Alcotest.(check int) "attended" 1 sizes.Mdc.attended;
   Alcotest.(check int) "unattended" 1 sizes.Mdc.unattended
 
 let test_mdc_shrinks_corpus_programs () =
   (* on real projects, pruning to a single witness shrinks programs *)
   let check = parse "let r:SA in r.tier == 'Premium' => r.replica != 'GZRS'" in
-  let tps = Testcase.find ~corpus:(Lazy.force corpus) check in
+  let tps = Testcase.find ~provider ~corpus:(Lazy.force corpus) check in
   Alcotest.(check bool) "found tps" true (tps <> []);
   List.iter
     (fun tp ->
@@ -82,31 +83,31 @@ let test_tp_witnesses_check () =
     parse
       "let r1:SUBNET, r2:VPC in conn(r1.vpc_name -> r2.name) => contain(r2.address_space, r1.cidr)"
   in
-  match Testcase.find ~corpus:(Lazy.force corpus) check with
+  match Testcase.find ~provider ~corpus:(Lazy.force corpus) check with
   | [] -> Alcotest.fail "no positive test case"
   | tp :: _ ->
       let g = Graph.build tp.Testcase.program in
       Alcotest.(check bool) "witnesses" true
-        (Eval.first_witness ~defaults:Arm.defaults g check <> None);
-      Alcotest.(check bool) "holds" true (Eval.holds ~defaults:Arm.defaults g check);
+        (Eval.first_witness ~defaults:(Arm.defaults provider) g check <> None);
+      Alcotest.(check bool) "holds" true (Eval.holds ~defaults:(Arm.defaults provider) g check);
       Alcotest.(check bool) "deploys" true (deploy tp.Testcase.program)
 
 let test_tp_none_for_alien_check () =
   let check = parse "let r:EXPRESS in r.bandwidth_in_mbps >= 50 => r.name != null" in
   Alcotest.(check (list unit)) "no instance" []
-    (List.map (fun _ -> ()) (Testcase.find ~corpus:(Lazy.force corpus) check))
+    (List.map (fun _ -> ()) (Testcase.find ~provider ~corpus:(Lazy.force corpus) check))
 
 (* ---------------- mutation ------------------------------------------- *)
 
 let mutate ?(hard = []) ?(soft = []) check =
-  match Testcase.find ~limit:1 ~corpus:(Lazy.force corpus) check with
+  match Testcase.find ~provider ~limit:1 ~corpus:(Lazy.force corpus) check with
   | [] -> None
   | tp :: _ ->
-      Mutation.negative ~kb:(Lazy.force kb) ~donors:(Lazy.force corpus) ~target:check
+      Mutation.negative ~provider ~kb:(Lazy.force kb) ~donors:(Lazy.force corpus) ~target:check
         ~hard ~soft tp
 
 let violated prog check =
-  not (Eval.holds ~defaults:Arm.defaults (Graph.build prog) check)
+  not (Eval.holds ~defaults:(Arm.defaults provider) (Graph.build prog) check)
 
 let test_mutation_violates_target () =
   let check = parse "let r:SA in r.tier == 'Premium' => r.replica != 'GZRS'" in
@@ -196,7 +197,7 @@ let test_scheduler_validates_and_falsifies () =
     ]
   in
   let result =
-    Scheduler.run ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy candidates
+    Scheduler.run ~provider ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy candidates
   in
   let validated_cids = List.map (fun (c : Check.t) -> c.Check.cid) result.Scheduler.validated in
   let falsified_cids = List.map (fun ((c : Check.t), _) -> c.Check.cid) result.Scheduler.falsified in
@@ -225,7 +226,7 @@ let test_scheduler_indistinguishable_group () =
     ]
   in
   let result =
-    Scheduler.run ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy pair
+    Scheduler.run ~provider ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy pair
   in
   Alcotest.(check int) "both validated" 2 (List.length result.Scheduler.validated);
   let grouped =
@@ -242,7 +243,7 @@ let test_scheduler_stalls_without_indistinct () =
   in
   let config = { Scheduler.default_config with Scheduler.handle_indistinct = false } in
   let result =
-    Scheduler.run ~config ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy pair
+    Scheduler.run ~config ~provider ~kb:(Lazy.force kb) ~corpus:(Lazy.force corpus) ~deploy pair
   in
   Alcotest.(check int) "nothing validated" 0 (List.length result.Scheduler.validated);
   Alcotest.(check bool) "stalled" true
@@ -259,9 +260,9 @@ let test_counterexample_pass () =
   let big =
     List.map
       (fun p -> (p.Generator.pname, p.Generator.program))
-      (Generator.conforming ~seed:88 ~count:1500 ())
+      (Generator.conforming ~provider ~seed:88 ~count:1500 ())
   in
-  let kept, exposed = Scheduler.counterexample_pass ~corpus:big ~deploy [ fp; real ] in
+  let kept, exposed = Scheduler.counterexample_pass ~provider ~corpus:big ~deploy [ fp; real ] in
   Alcotest.(check bool) "real kept" true
     (List.exists (fun (c : Check.t) -> c.Check.cid = real.Check.cid) kept);
   Alcotest.(check bool) "fp exposed" true
